@@ -1,0 +1,75 @@
+//===- bench/BenchUtil.h - shared benchmark plumbing ---------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure regeneration binaries: parsing a
+/// corpus file through the pipeline and computing its enumeration counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_BENCH_BENCHUTIL_H
+#define SPE_BENCH_BENCHUTIL_H
+
+#include "core/SpeEnumerator.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "skeleton/ProgramEnumerator.h"
+#include "skeleton/SkeletonExtractor.h"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spe {
+namespace bench {
+
+/// One corpus file pushed through the front end with its counts.
+struct FileAnalysis {
+  std::unique_ptr<ASTContext> Ctx;
+  std::unique_ptr<Sema> Analysis;
+  std::vector<SkeletonUnit> Units;
+  SkeletonStats Stats;
+  BigInt NaiveCount;
+  BigInt SpeCount;      ///< Paper-faithful Algorithm 1.
+  BigInt SpeExactCount; ///< Complete canonical count.
+};
+
+/// Parses + analyzes + extracts + counts; nullopt when the front end
+/// rejects the file.
+inline std::optional<FileAnalysis>
+analyzeFile(const std::string &Source,
+            ExtractorOptions Opts = {}) {
+  FileAnalysis R;
+  R.Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Source, *R.Ctx, Diags))
+    return std::nullopt;
+  R.Analysis = std::make_unique<Sema>(*R.Ctx, Diags);
+  if (!R.Analysis->run())
+    return std::nullopt;
+  SkeletonExtractor Extractor(*R.Ctx, *R.Analysis, Opts);
+  R.Units = Extractor.extract();
+  R.Stats = computeSkeletonStats(*R.Ctx, *R.Analysis, R.Units);
+  ProgramEnumerator Enumerator(R.Units, SpeMode::PaperFaithful);
+  R.NaiveCount = Enumerator.countNaive();
+  R.SpeCount = Enumerator.countSpe();
+  R.SpeExactCount =
+      ProgramEnumerator(R.Units, SpeMode::Exact).countSpe();
+  return R;
+}
+
+/// Prints a horizontal rule and a section header.
+inline void header(const char *Title) {
+  std::printf("\n=== %s ===\n", Title);
+}
+
+} // namespace bench
+} // namespace spe
+
+#endif // SPE_BENCH_BENCHUTIL_H

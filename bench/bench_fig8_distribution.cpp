@@ -1,0 +1,91 @@
+//===- bench/bench_fig8_distribution.cpp - Figure 8 regeneration ---------===//
+//
+// Regenerates Figure 8: (a) the distribution of per-file variant counts for
+// the naive approach vs. SPE over logarithmic buckets [1,10), [10,100), ...,
+// >=1e10; (b) the average fraction of variants eliminated per bucket.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "testing/Corpus.h"
+
+#include <cmath>
+
+using namespace spe;
+using namespace spe::bench;
+
+namespace {
+constexpr unsigned NumBuckets = 11;
+
+unsigned bucketOf(const BigInt &Count) {
+  if (Count.isZero())
+    return 0;
+  double L = Count.log10();
+  if (L >= 10.0)
+    return NumBuckets - 1;
+  unsigned B = static_cast<unsigned>(L);
+  return B >= NumBuckets ? NumBuckets - 1 : B;
+}
+
+const char *bucketName(unsigned B) {
+  static const char *Names[] = {
+      "[1,10)",      "[10,1e2)",   "[1e2,1e3)", "[1e3,1e4)",
+      "[1e4,1e5)",   "[1e5,1e6)",  "[1e6,1e7)", "[1e7,1e8)",
+      "[1e8,1e9)",   "[1e9,1e10)", ">=1e10",
+  };
+  return Names[B];
+}
+} // namespace
+
+int main() {
+  std::vector<std::string> Corpus = generateCorpus(1000, 400);
+  for (const std::string &Seed : embeddedSeeds())
+    Corpus.push_back(Seed);
+
+  unsigned NaiveHist[NumBuckets] = {};
+  unsigned OurHist[NumBuckets] = {};
+  double ReductionSum[NumBuckets] = {};
+  unsigned ReductionN[NumBuckets] = {};
+  unsigned Parsed = 0;
+
+  for (const std::string &Source : Corpus) {
+    auto R = analyzeFile(Source);
+    if (!R)
+      continue;
+    ++Parsed;
+    unsigned NB = bucketOf(R->NaiveCount);
+    ++NaiveHist[NB];
+    ++OurHist[bucketOf(R->SpeCount)];
+    // Eliminated fraction = 1 - ours/naive, bucketed by the naive size.
+    double Naive = R->NaiveCount.toDouble();
+    double Ours = R->SpeCount.toDouble();
+    double Eliminated;
+    if (std::isinf(Naive))
+      Eliminated = 1.0 - std::pow(10.0, R->SpeCount.log10() -
+                                            R->NaiveCount.log10());
+    else
+      Eliminated = Naive == 0 ? 0.0 : 1.0 - Ours / Naive;
+    ReductionSum[NB] += Eliminated;
+    ++ReductionN[NB];
+  }
+
+  header("Figure 8(a): distribution of per-file variant counts");
+  std::printf("%-12s %10s %10s\n", "Bucket", "Naive %", "Our %");
+  for (unsigned B = 0; B < NumBuckets; ++B)
+    std::printf("%-12s %9.1f%% %9.1f%%\n", bucketName(B),
+                100.0 * NaiveHist[B] / Parsed, 100.0 * OurHist[B] / Parsed);
+  std::printf("(paper: 29%% of files below 10 naive variants vs 46%% with "
+              "SPE; mass shifts sharply to small buckets)\n");
+
+  header("Figure 8(b): avg fraction of variants eliminated per bucket");
+  std::printf("%-12s %12s %8s\n", "Bucket", "Eliminated", "#Files");
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    if (ReductionN[B] == 0)
+      continue;
+    std::printf("%-12s %11.1f%% %8u\n", bucketName(B),
+                100.0 * ReductionSum[B] / ReductionN[B], ReductionN[B]);
+  }
+  std::printf("(paper: ~55%% eliminated in [10,1e2), approaching 100%% for "
+              "large buckets)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- bench/bench_fig9_coverage.cpp - Figure 9 regeneration -------------===//
+//
+// Regenerates Figure 9: compiler coverage improvement over a seed baseline
+// from (a) Orion-style mutation deleting up to X dead statements (PM-10/
+// PM-20/PM-30) and (b) SPE enumeration. The paper measured gcov
+// function/line coverage of GCC and Clang over 100 random suite programs;
+// here coverage is the MiniCC pass-point catalog (DESIGN.md substitution),
+// and the reproduced claim is the *ordering*: SPE's improvement exceeds
+// mutation's by a wide margin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "compiler/Compiler.h"
+#include "compiler/Passes.h"
+#include "skeleton/VariantRenderer.h"
+#include "testing/Corpus.h"
+#include "testing/Mutation.h"
+
+#include <set>
+
+using namespace spe;
+using namespace spe::bench;
+
+namespace {
+
+/// Compiles one source at O0..O3 with coverage, bugs off.
+void compileForCoverage(const std::string &Source, CoverageRegistry &Cov) {
+  for (unsigned Opt = 0; Opt <= 3; ++Opt) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    if (!Parser::parse(Source, Ctx, Diags))
+      return;
+    Sema Analysis(Ctx, Diags);
+    if (!Analysis.run())
+      return;
+    CompilerConfig Config;
+    Config.OptLevel = Opt;
+    MiniCompiler CC(Config, &Cov, /*InjectBugs=*/false);
+    CC.compile(Ctx);
+  }
+}
+
+} // namespace
+
+int main() {
+  const unsigned NumSeeds = 100;
+  std::vector<std::string> Seeds = generateCorpus(4000, NumSeeds);
+
+  CoverageRegistry Cov;
+  registerPassCoverageCatalog(Cov);
+
+  // Baseline: the seeds themselves.
+  for (const std::string &S : Seeds)
+    compileForCoverage(S, Cov);
+  std::set<std::string> Baseline = Cov.hitSet();
+  double BaseFn = Cov.functionCoverage(), BasePt = Cov.pointCoverage();
+
+  header("Figure 9: coverage improvements over the seed baseline");
+  std::printf("Baseline over %u seeds: function %.1f%%, point %.1f%% "
+              "(catalog: %u functions, %u points)\n\n",
+              NumSeeds, 100.0 * BaseFn, 100.0 * BasePt,
+              Cov.totalFunctions(), Cov.totalPoints());
+  std::printf("%-8s %12s %10s\n", "Series", "Function +%", "Point +%");
+
+  // PM-X: Orion-style deletion of up to X dead statements.
+  for (unsigned X : {10u, 20u, 30u}) {
+    Cov.setHits(Baseline);
+    for (size_t I = 0; I < Seeds.size(); ++I)
+      for (const std::string &Mutant :
+           generateEmiMutants(Seeds[I], X, 3, 4000 + I))
+        compileForCoverage(Mutant, Cov);
+    std::printf("PM-%-5u %11.1f%% %9.1f%%\n", X,
+                100.0 * (Cov.functionCoverage() - BaseFn),
+                100.0 * (Cov.pointCoverage() - BasePt));
+  }
+
+  // SPE: enumerate variants of each seed.
+  Cov.setHits(Baseline);
+  for (const std::string &S : Seeds) {
+    auto R = analyzeFile(S);
+    if (!R)
+      continue;
+    VariantRenderer Renderer(*R->Ctx, R->Units);
+    ProgramEnumerator Enumerator(R->Units, SpeMode::PaperFaithful);
+    Enumerator.enumerate(
+        [&](const ProgramAssignment &PA) {
+          compileForCoverage(Renderer.render(PA), Cov);
+          return true;
+        },
+        40);
+  }
+  std::printf("%-8s %11.1f%% %9.1f%%\n", "SPE",
+              100.0 * (Cov.functionCoverage() - BaseFn),
+              100.0 * (Cov.pointCoverage() - BasePt));
+
+  std::printf("\nPaper reference (100 suite programs):\n"
+              "  GCC:   PM-10/20/30 ~0.6%%/0.3%% fn/line; SPE 4.6%%/5.2%%\n"
+              "  Clang: PM-10/20/30 ~0.5%%/0.2%%;         SPE 2.4%%/2.5%%\n"
+              "Reproduced claim: SPE's improvement dominates mutation's.\n");
+  return 0;
+}

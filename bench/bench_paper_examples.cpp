@@ -1,0 +1,103 @@
+//===- bench/bench_paper_examples.cpp - worked-example arithmetic --------===//
+//
+// Regenerates every concrete number the paper states for its running
+// examples (Figures 2, 5, 6, 7; Examples 1-6; Section 3.2.2), plus the
+// exact-mode ground truth where the published recursion undercounts
+// (DESIGN.md Section 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AlphaEquivalence.h"
+#include "core/NaiveEnumerator.h"
+#include "core/SpeEnumerator.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace spe;
+
+namespace {
+
+uint64_t bruteForceClasses(const AbstractSkeleton &Sk) {
+  NaiveEnumerator Naive(Sk);
+  AlphaCanonicalizer Canon(Sk);
+  std::set<std::string> Keys;
+  Naive.enumerate([&](const Assignment &A) {
+    Keys.insert(Canon.canonicalKey(A));
+    return true;
+  });
+  return Keys.size();
+}
+
+void row(const char *Label, const BigInt &Naive, const BigInt &Paper,
+         const BigInt &Exact, uint64_t Brute) {
+  std::printf("%-34s %10s %14s %12s %12llu\n", Label,
+              Naive.toString().c_str(), Paper.toString().c_str(),
+              Exact.toString().c_str(),
+              static_cast<unsigned long long>(Brute));
+}
+
+void report(const char *Label, const AbstractSkeleton &Sk) {
+  row(Label, NaiveEnumerator(Sk).count(),
+      SpeEnumerator(Sk, SpeMode::PaperFaithful).count(),
+      SpeEnumerator(Sk, SpeMode::Exact).count(), bruteForceClasses(Sk));
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Paper worked examples ===\n");
+  std::printf("%-34s %10s %14s %12s %12s\n", "Skeleton", "Naive",
+              "PaperFaithful", "Exact", "BruteForce");
+
+  {
+    AbstractSkeleton Sk; // Figure 5: 6 holes over {a,b}.
+    Sk.addVariable("a", 0, 0);
+    Sk.addVariable("b", 0, 0);
+    for (int I = 0; I < 6; ++I)
+      Sk.addHole(0, 0);
+    report("Figure 5 (WHILE, 6 holes, k=2)", Sk);
+  }
+  {
+    AbstractSkeleton Sk; // Figure 2 bug: 5 holes over 5 variables.
+    for (int I = 0; I < 5; ++I)
+      Sk.addVariable("v" + std::to_string(I), 0, 0);
+    for (int I = 0; I < 5; ++I)
+      Sk.addHole(0, 0);
+    report("Figure 2 bug (5 holes, k=5)", Sk);
+  }
+  {
+    AbstractSkeleton Sk; // Figure 7 / Example 6.
+    ScopeId Local = Sk.addScope(0);
+    Sk.addVariable("a", 0, 0);
+    Sk.addVariable("b", 0, 0);
+    Sk.addVariable("c", Local, 0);
+    Sk.addVariable("d", Local, 0);
+    Sk.addHole(0, 0);
+    Sk.addHole(0, 0);
+    Sk.addHole(Local, 0);
+    Sk.addHole(Local, 0);
+    Sk.addHole(0, 0);
+    report("Example 6 (3 global + 2 local)", Sk);
+  }
+  {
+    AbstractSkeleton Sk; // Figure 6: 5 global + 5 local holes, 2+2 vars.
+    ScopeId Inner = Sk.addScope(0);
+    Sk.addVariable("a", 0, 0);
+    Sk.addVariable("b", 0, 0);
+    Sk.addVariable("c", Inner, 0);
+    Sk.addVariable("d", Inner, 0);
+    for (int I = 0; I < 5; ++I)
+      Sk.addHole(0, 0);
+    for (int I = 0; I < 5; ++I)
+      Sk.addHole(Inner, 0);
+    report("Figure 6 (paper hole model)", Sk);
+  }
+
+  std::printf(
+      "\nPaper-stated values: Figure 5 naive 64; Figure 2 naive 3125 -> 52;\n"
+      "Example 6: naive 128 -> 36 via Algorithm 1 (16 + 2*7 + 6).\n"
+      "Exact mode shows the published recursion misses 4 classes on\n"
+      "Example 6 (ground truth 40); see DESIGN.md Section 4.\n");
+  return 0;
+}

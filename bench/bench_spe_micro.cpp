@@ -1,0 +1,158 @@
+//===- bench/bench_spe_micro.cpp - google-benchmark microbenchmarks ------===//
+//
+// Microbenchmarks of the combinatorial core (Section 4.1.1's asymptotics):
+// partition generation throughput, SPE counting vs. enumeration, naive vs.
+// SPE enumeration rate, alpha-canonicalization, and the intra- vs.
+// inter-procedural ablation called out in DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "combinatorics/SetPartitions.h"
+#include "combinatorics/Stirling.h"
+#include "core/AlphaEquivalence.h"
+#include "core/NaiveEnumerator.h"
+#include "core/SpeEnumerator.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace spe;
+
+namespace {
+
+AbstractSkeleton flatSkeleton(unsigned Vars, unsigned Holes) {
+  AbstractSkeleton Sk;
+  for (unsigned I = 0; I < Vars; ++I)
+    Sk.addVariable("v" + std::to_string(I), 0, 0);
+  for (unsigned I = 0; I < Holes; ++I)
+    Sk.addHole(0, 0);
+  return Sk;
+}
+
+AbstractSkeleton scopedSkeleton(unsigned Depth, unsigned PerScope) {
+  AbstractSkeleton Sk;
+  ScopeId S = AbstractSkeleton::rootScope();
+  for (unsigned D = 0; D < Depth; ++D) {
+    for (unsigned I = 0; I < PerScope; ++I) {
+      Sk.addVariable("v" + std::to_string(D * PerScope + I), S, 0);
+      Sk.addHole(S, 0);
+    }
+    S = Sk.addScope(S);
+  }
+  return Sk;
+}
+
+void BM_SetPartitionGeneration(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    SetPartitionGenerator Gen(N, N);
+    uint64_t Count = 0;
+    while (Gen.next())
+      ++Count;
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_SetPartitionGeneration)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_StirlingTableConstruction(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    StirlingTable Table;
+    benchmark::DoNotOptimize(Table.bell(N));
+  }
+}
+BENCHMARK(BM_StirlingTableConstruction)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SpeCountExact(benchmark::State &State) {
+  AbstractSkeleton Sk =
+      scopedSkeleton(static_cast<unsigned>(State.range(0)), 3);
+  for (auto _ : State) {
+    SpeEnumerator Spe(Sk, SpeMode::Exact);
+    benchmark::DoNotOptimize(Spe.count().numDecimalDigits());
+  }
+}
+BENCHMARK(BM_SpeCountExact)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SpeCountPaperFaithful(benchmark::State &State) {
+  AbstractSkeleton Sk =
+      scopedSkeleton(static_cast<unsigned>(State.range(0)), 3);
+  for (auto _ : State) {
+    SpeEnumerator Spe(Sk, SpeMode::PaperFaithful);
+    benchmark::DoNotOptimize(Spe.count().numDecimalDigits());
+  }
+}
+BENCHMARK(BM_SpeCountPaperFaithful)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SpeEnumerate(benchmark::State &State) {
+  AbstractSkeleton Sk = flatSkeleton(3, static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    SpeEnumerator Spe(Sk, SpeMode::Exact);
+    uint64_t N = Spe.enumerate([](const Assignment &) { return true; });
+    benchmark::DoNotOptimize(N);
+  }
+}
+BENCHMARK(BM_SpeEnumerate)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_NaiveEnumerate(benchmark::State &State) {
+  AbstractSkeleton Sk = flatSkeleton(3, static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    NaiveEnumerator Naive(Sk);
+    uint64_t N = Naive.enumerate([](const Assignment &) { return true; });
+    benchmark::DoNotOptimize(N);
+  }
+}
+BENCHMARK(BM_NaiveEnumerate)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_AlphaCanonicalKey(benchmark::State &State) {
+  AbstractSkeleton Sk = flatSkeleton(4, 12);
+  AlphaCanonicalizer Canon(Sk);
+  Assignment A = {0, 1, 2, 3, 0, 1, 2, 3, 3, 2, 1, 0};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Canon.canonicalKey(A));
+}
+BENCHMARK(BM_AlphaCanonicalKey);
+
+// Ablation (Section 4.3): inter-procedural enumeration finds more classes
+// per program than the per-function Cartesian product; compare the cost of
+// counting both ways on a two-"function" skeleton.
+void BM_GranularityAblation(benchmark::State &State) {
+  bool Inter = State.range(0) != 0;
+  // Two sibling "function" scopes under a shared-globals root.
+  AbstractSkeleton Whole;
+  Whole.addVariable("g0", 0, 0);
+  Whole.addVariable("g1", 0, 0);
+  ScopeId F0 = Whole.addScope(0), F1 = Whole.addScope(0);
+  for (unsigned I = 0; I < 3; ++I) {
+    Whole.addVariable("x" + std::to_string(I), F0, 0);
+    Whole.addVariable("y" + std::to_string(I), F1, 0);
+    Whole.addHole(F0, 0);
+    Whole.addHole(F1, 0);
+    Whole.addHole(F0, 0);
+  }
+  for (auto _ : State) {
+    if (Inter) {
+      SpeEnumerator Spe(Whole, SpeMode::Exact);
+      benchmark::DoNotOptimize(Spe.count().numDecimalDigits());
+    } else {
+      // Intra approximation: treat each function scope independently.
+      BigInt Product(1);
+      for (ScopeId F : {F0, F1}) {
+        AbstractSkeleton Part;
+        Part.addVariable("g0", 0, 0);
+        Part.addVariable("g1", 0, 0);
+        ScopeId S = Part.addScope(0);
+        for (unsigned I = 0; I < 3; ++I)
+          Part.addVariable("l" + std::to_string(I), S, 0);
+        unsigned Holes = F == F0 ? 6 : 3;
+        for (unsigned I = 0; I < Holes; ++I)
+          Part.addHole(S, 0);
+        Product *= SpeEnumerator(Part, SpeMode::Exact).count();
+      }
+      benchmark::DoNotOptimize(Product.numDecimalDigits());
+    }
+  }
+}
+BENCHMARK(BM_GranularityAblation)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

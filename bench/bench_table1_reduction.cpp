@@ -1,0 +1,81 @@
+//===- bench/bench_table1_reduction.cpp - Table 1 regeneration -----------===//
+//
+// Regenerates Table 1 of the paper: total/average enumeration-set sizes of
+// the naive Cartesian-product approach vs. the combinatorial SPE algorithm,
+// over the full corpus and over the 10K-threshold-filtered corpus. The
+// paper used GCC-4.8.5's ~21K-file suite; this run uses the calibrated
+// synthetic corpus (see DESIGN.md) -- absolute magnitudes differ, the
+// *shape* (orders-of-magnitude reduction, ~90% of files retained by the
+// threshold) is the reproduced claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "testing/Corpus.h"
+
+using namespace spe;
+using namespace spe::bench;
+
+int main() {
+  const unsigned NumFiles = 400;
+  const uint64_t Threshold = 10'000;
+
+  std::vector<std::string> Corpus = generateCorpus(1000, NumFiles);
+  for (const std::string &Seed : embeddedSeeds())
+    Corpus.push_back(Seed);
+
+  BigInt TotalNaive(0), TotalSpe(0), TotalExact(0);
+  BigInt KeptNaive(0), KeptSpe(0);
+  unsigned Parsed = 0, Kept = 0;
+  for (const std::string &Source : Corpus) {
+    auto R = analyzeFile(Source);
+    if (!R)
+      continue;
+    ++Parsed;
+    TotalNaive += R->NaiveCount;
+    TotalSpe += R->SpeCount;
+    TotalExact += R->SpeExactCount;
+    if (R->SpeCount <= BigInt(Threshold)) {
+      ++Kept;
+      KeptNaive += R->NaiveCount;
+      KeptSpe += R->SpeCount;
+    }
+  }
+
+  header("Table 1: enumeration size reduction");
+  std::printf("Corpus: %u synthetic files + %zu embedded seeds; parsed %u\n",
+              NumFiles, embeddedSeeds().size(), Parsed);
+  auto PrintRow = [](const char *Label, const BigInt &Total, unsigned N) {
+    std::string Size = Total.numDecimalDigits() > 15
+                           ? "~1e" + std::to_string(Total.numDecimalDigits() -
+                                                    1)
+                           : Total.toString();
+    std::printf("%-28s %22s %14.4g %8u\n", Label, Size.c_str(),
+                Total.toDouble() / N, N);
+  };
+  std::printf("\n%-28s %22s %14s %8s\n", "Approach (original suite)",
+              "Total size", "Avg size", "#Files");
+  PrintRow("Naive", TotalNaive, Parsed);
+  PrintRow("Our (paper-faithful)", TotalSpe, Parsed);
+  PrintRow("Our (exact mode)", TotalExact, Parsed);
+
+  std::printf("\n%-28s %22s %14s %8s\n",
+              "Approach (<=10K threshold)", "Total size", "Avg size",
+              "#Files");
+  PrintRow("Naive", KeptNaive, Kept);
+  PrintRow("Our", KeptSpe, Kept);
+
+  double OrdersAll = TotalNaive.log10() - TotalSpe.log10();
+  double OrdersKept = KeptNaive.log10() - KeptSpe.log10();
+  std::printf("\nReduction, full corpus:      %.1f orders of magnitude\n",
+              OrdersAll);
+  std::printf("Reduction, thresholded:      %.1f orders of magnitude\n",
+              OrdersKept);
+  std::printf("Files retained by threshold: %.1f%%  (paper: ~90%%)\n",
+              100.0 * Kept / Parsed);
+  std::printf("\nPaper reference (GCC-4.8.5 suite, 20,978 files):\n"
+              "  naive total 5.24e163 -> ours 1.48e79 (94 orders);\n"
+              "  thresholded: naive 1.31e12 -> ours 2,050,671 "
+              "(6 orders, avg 108.8/file, 18,852 files kept)\n");
+  return 0;
+}

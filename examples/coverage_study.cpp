@@ -1,0 +1,86 @@
+//===- examples/coverage_study.cpp - SPE vs mutation coverage -------------===//
+//
+// A compact version of the Figure 9 experiment: measure how much compiler
+// coverage a handful of seeds achieve, then how much Orion-style mutation
+// and SPE enumeration each add on top.
+//
+// Build and run:  ./build/examples/coverage_study
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "compiler/Passes.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "skeleton/ProgramEnumerator.h"
+#include "skeleton/VariantRenderer.h"
+#include "testing/Corpus.h"
+#include "testing/Mutation.h"
+
+#include <cstdio>
+
+using namespace spe;
+
+static void compileAllLevels(const std::string &Source,
+                             CoverageRegistry &Cov) {
+  for (unsigned Opt = 0; Opt <= 3; ++Opt) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    if (!Parser::parse(Source, Ctx, Diags))
+      return;
+    Sema Analysis(Ctx, Diags);
+    if (!Analysis.run())
+      return;
+    CompilerConfig Config;
+    Config.OptLevel = Opt;
+    MiniCompiler(Config, &Cov, /*InjectBugs=*/false).compile(Ctx);
+  }
+}
+
+int main() {
+  std::vector<std::string> Seeds = generateCorpus(9000, 20);
+
+  CoverageRegistry Cov;
+  registerPassCoverageCatalog(Cov);
+  for (const std::string &S : Seeds)
+    compileAllLevels(S, Cov);
+  auto Baseline = Cov.hitSet();
+  double BasePt = Cov.pointCoverage();
+  std::printf("Baseline point coverage over %zu seeds: %.1f%%\n",
+              Seeds.size(), 100.0 * BasePt);
+
+  // Mutation.
+  Cov.setHits(Baseline);
+  for (size_t I = 0; I < Seeds.size(); ++I)
+    for (const std::string &M : generateEmiMutants(Seeds[I], 20, 3, I))
+      compileAllLevels(M, Cov);
+  std::printf("After PM-20 mutation:  +%.1f%% points\n",
+              100.0 * (Cov.pointCoverage() - BasePt));
+
+  // SPE.
+  Cov.setHits(Baseline);
+  for (const std::string &S : Seeds) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    if (!Parser::parse(S, Ctx, Diags))
+      continue;
+    Sema Analysis(Ctx, Diags);
+    if (!Analysis.run())
+      continue;
+    SkeletonExtractor Extractor(Ctx, Analysis);
+    std::vector<SkeletonUnit> Units = Extractor.extract();
+    VariantRenderer Renderer(Ctx, Units);
+    ProgramEnumerator(Units, SpeMode::PaperFaithful)
+        .enumerate(
+            [&](const ProgramAssignment &PA) {
+              compileAllLevels(Renderer.render(PA), Cov);
+              return true;
+            },
+            30);
+  }
+  std::printf("After SPE enumeration: +%.1f%% points\n",
+              100.0 * (Cov.pointCoverage() - BasePt));
+  std::printf("\nThe paper's Figure 9 claim: SPE's coverage gain dominates "
+              "statement-deletion mutation.\n");
+  return 0;
+}

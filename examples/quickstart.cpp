@@ -1,0 +1,69 @@
+//===- examples/quickstart.cpp - SPE in ten lines -------------------------===//
+//
+// Quickstart: take a tiny C program, extract its skeleton, count the naive
+// and SPE enumeration spaces, and print the first few non-alpha-equivalent
+// variants. This is the paper's Figure 1 workflow end to end.
+//
+// Build and run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "skeleton/ProgramEnumerator.h"
+#include "skeleton/VariantRenderer.h"
+
+#include <cstdio>
+
+using namespace spe;
+
+int main() {
+  const char *Source = "int main(void) {\n"
+                       "  int a = 3, b = 1;\n"
+                       "  b = b - a;\n"
+                       "  if (a > b)\n"
+                       "    a = a - b;\n"
+                       "  return a;\n"
+                       "}\n";
+
+  // 1. Front end.
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Source, Ctx, Diags)) {
+    std::printf("parse error:\n%s", Diags.toString().c_str());
+    return 1;
+  }
+  Sema Analysis(Ctx, Diags);
+  if (!Analysis.run()) {
+    std::printf("sema error:\n%s", Diags.toString().c_str());
+    return 1;
+  }
+
+  // 2. Skeleton extraction (paper-merged scopes, intra-procedural).
+  SkeletonExtractor Extractor(Ctx, Analysis);
+  std::vector<SkeletonUnit> Units = Extractor.extract();
+  SkeletonStats Stats = computeSkeletonStats(Ctx, Analysis, Units);
+  std::printf("Seed program:\n%s\n", Source);
+  std::printf("Skeleton: %u holes, %.2f candidate variables per hole\n",
+              Stats.NumHoles, Stats.varsPerHole());
+
+  // 3. Counting: naive Cartesian product vs. non-alpha-equivalent classes.
+  ProgramEnumerator Enumerator(Units, SpeMode::Exact);
+  std::printf("Naive enumeration space: %s programs\n",
+              Enumerator.countNaive().toString().c_str());
+  std::printf("Non-alpha-equivalent:    %s programs\n\n",
+              Enumerator.countSpe().toString().c_str());
+
+  // 4. Enumerate and render the first few variants.
+  VariantRenderer Renderer(Ctx, Units);
+  unsigned Shown = 0;
+  Enumerator.enumerate(
+      [&](const ProgramAssignment &PA) {
+        std::printf("--- variant %u ---\n%s", ++Shown,
+                    Renderer.render(PA).c_str());
+        return true;
+      },
+      4);
+  std::printf("... (%s total)\n", Enumerator.countSpe().toString().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- combinatorics/Stirling.cpp - Stirling and Bell numbers ------------===//
+
+#include "combinatorics/Stirling.h"
+
+#include <cassert>
+
+using namespace spe;
+
+void StirlingTable::growTo(unsigned N) {
+  if (Rows.empty())
+    Rows.push_back({BigInt(1)}); // {0,0} = 1.
+  while (Rows.size() <= N) {
+    unsigned Row = static_cast<unsigned>(Rows.size());
+    std::vector<BigInt> Next(Row + 1);
+    Next[0] = BigInt(0);
+    for (unsigned K = 1; K <= Row; ++K) {
+      // {n,k} = k * {n-1,k} + {n-1,k-1}; {n-1,k} is 0 when k = n.
+      BigInt Term = K < Row ? Rows[Row - 1][K] * static_cast<uint64_t>(K)
+                            : BigInt(0);
+      Term += Rows[Row - 1][K - 1];
+      Next[K] = std::move(Term);
+    }
+    Rows.push_back(std::move(Next));
+  }
+}
+
+const BigInt &StirlingTable::stirling2(unsigned N, unsigned K) {
+  growTo(N);
+  static const BigInt Zero(0);
+  if (K > N)
+    return Zero;
+  return Rows[N][K];
+}
+
+BigInt StirlingTable::partitionsUpTo(unsigned N, unsigned K) {
+  if (N == 0)
+    return BigInt(1);
+  BigInt Total(0);
+  unsigned Max = K < N ? K : N;
+  for (unsigned I = 1; I <= Max; ++I)
+    Total += stirling2(N, I);
+  return Total;
+}
+
+BigInt StirlingTable::bell(unsigned N) { return partitionsUpTo(N, N); }
+
+BigInt StirlingTable::binomial(unsigned N, unsigned K) {
+  if (K > N)
+    return BigInt(0);
+  if (K > N - K)
+    K = N - K;
+  BigInt Result(1);
+  for (unsigned I = 0; I < K; ++I) {
+    Result *= static_cast<uint64_t>(N - I);
+    uint64_t Rem = 0;
+    Result = Result.divideBySmall(I + 1, &Rem);
+    assert(Rem == 0 && "binomial division must be exact");
+  }
+  return Result;
+}

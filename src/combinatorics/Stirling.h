@@ -1,0 +1,55 @@
+//===- combinatorics/Stirling.h - Stirling and Bell numbers --------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stirling numbers of the second kind {n over k} and Bell numbers, cached
+/// with arbitrary precision. Section 4.1.1 of the paper expresses the SPE
+/// solution size without scopes as S = sum_{i=1..k} {n over i}; these tables
+/// back both the counting APIs and the Table 1 / Figure 8 benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMBINATORICS_STIRLING_H
+#define SPE_COMBINATORICS_STIRLING_H
+
+#include "support/BigInt.h"
+
+#include <vector>
+
+namespace spe {
+
+/// Memoized table of Stirling numbers of the second kind and derived sums.
+///
+/// All entries are computed with the triangular recurrence
+/// {n,k} = k*{n-1,k} + {n-1,k-1} and cached; the table grows on demand.
+class StirlingTable {
+public:
+  /// \returns {n over k}, the number of partitions of an n-set into exactly
+  /// k non-empty unlabeled blocks. {0,0} = 1; {n,0} = 0 for n > 0.
+  const BigInt &stirling2(unsigned N, unsigned K);
+
+  /// \returns sum_{i=1..min(k,n)} {n over i}: partitions of an n-set into at
+  /// most k non-empty blocks. This is the paper's PARTITIONS(Q, k) count
+  /// (Eq. 1). For n = 0 returns 1 (the empty partition).
+  BigInt partitionsUpTo(unsigned N, unsigned K);
+
+  /// \returns the Bell number B(n) = partitionsUpTo(n, n).
+  BigInt bell(unsigned N);
+
+  /// \returns C(n, k) as a BigInt.
+  BigInt binomial(unsigned N, unsigned K);
+
+private:
+  void growTo(unsigned N);
+
+  /// Rows[n][k] = {n over k} for k in [0, n].
+  std::vector<std::vector<BigInt>> Rows;
+};
+
+} // namespace spe
+
+#endif // SPE_COMBINATORICS_STIRLING_H

@@ -1,0 +1,185 @@
+//===- compiler/Bugs.cpp - injected latent compiler bugs -----------------===//
+
+#include "compiler/Bugs.h"
+
+using namespace spe;
+
+const char *spe::personaName(Persona P) {
+  return P == Persona::GccSim ? "gcc-sim" : "clang-sim";
+}
+
+const char *spe::bugEffectName(BugEffect E) {
+  switch (E) {
+  case BugEffect::Crash:
+    return "crash";
+  case BugEffect::WrongCode:
+    return "wrong-code";
+  case BugEffect::Performance:
+    return "performance";
+  }
+  return "?";
+}
+
+bool InjectedBug::activeIn(const CompilerConfig &Config) const {
+  if (Config.P != P)
+    return false;
+  if (Config.Version < IntroducedIn)
+    return false;
+  if (FixedIn != 0 && Config.Version >= FixedIn)
+    return false;
+  if (Config.OptLevel < MinOptLevel)
+    return false;
+  if (Mode32Only && Config.Mode64)
+    return false;
+  return true;
+}
+
+bool InjectedBug::firesOn(const CompilerConfig &Config,
+                          const ProgramFeatures &Features) const {
+  return activeIn(Config) && Trigger(Features);
+}
+
+const std::vector<InjectedBug> &spe::bugDatabase() {
+  static const std::vector<InjectedBug> Bugs = [] {
+    std::vector<InjectedBug> DB;
+    auto Add = [&](InjectedBug B) {
+      B.Id = static_cast<int>(DB.size()) + 1;
+      DB.push_back(std::move(B));
+    };
+    using F = ProgramFeatures;
+
+    // ---- gcc-sim -------------------------------------------------------
+    // Modeled on bug 69951 (Figure 2): alias analysis treats two names for
+    // one object as distinct; the second store is lost. Latent since "4.4".
+    Add({0, Persona::GccSim, "middle-end", 2, 44, 0, 2, false,
+         BugEffect::WrongCode, Mutilation::DropLastStore, "",
+         [](const F &X) { return X.AliasedPointers && X.NumDerefs >= 2; }});
+    // Modeled on bug 69801 (Figure 3): operand_equal_p asserts on identical
+    // conditional arms. Release-blocking (P1), crashes at all levels.
+    Add({0, Persona::GccSim, "c", 1, 60, 0, 0, false, BugEffect::Crash,
+         Mutilation::None,
+         "internal compiler error: in operand_equal_p, at fold-const.c:2977",
+         [](const F &X) { return X.IdenticalCondArms; }});
+    // Modeled on bug 69740 (Figure 11b): irreducible loops from goto break
+    // loop verification at -O2+.
+    Add({0, Persona::GccSim, "tree-optimization", 3, 58, 0, 2, false,
+         BugEffect::Crash, Mutilation::None,
+         "internal compiler error: in verify_loop_structure, at "
+         "cfgloop.c:1644",
+         [](const F &X) { return X.GotoIntoLoop || X.BackwardGoto; }});
+    // Self-subtraction folding drops a needed sign extension (wrong code at
+    // -O2, fixed in "6.2" = 62).
+    Add({0, Persona::GccSim, "tree-optimization", 3, 50, 62, 2, false,
+         BugEffect::WrongCode, Mutilation::SwapFirstSubOperands, "",
+         [](const F &X) { return X.IdenticalSubOperands; }});
+    // v/v folded to 1 ignoring v == 0 (wrong code at -O3).
+    Add({0, Persona::GccSim, "tree-optimization", 2, 55, 0, 3, false,
+         BugEffect::WrongCode, Mutilation::FoldSelfDivToOne, "",
+         [](const F &X) { return X.IdenticalDivOperands; }});
+    // LRA spill crash on self-shift patterns in -m32 (Table 3 signature).
+    Add({0, Persona::GccSim, "target", 3, 48, 0, 1, true, BugEffect::Crash,
+         Mutilation::None,
+         "internal compiler error: in assign_by_spills, at lra-assigns.c:1281",
+         [](const F &X) { return X.ShiftBySelf; }});
+    // RTL: self-comparison canonicalization flips a branch (wrong code).
+    Add({0, Persona::GccSim, "rtl-optimization", 3, 46, 66, 1, false,
+         BugEffect::WrongCode, Mutilation::NegateFirstCondBr, "",
+         [](const F &X) { return X.IdenticalCmpOperands && X.NumLoops > 0; }});
+    // IPA: repeated argument confuses the clone pass (crash).
+    Add({0, Persona::GccSim, "ipa", 4, 59, 0, 2, false, BugEffect::Crash,
+         Mutilation::None,
+         "internal compiler error: in ipa_edge_args_sum_t::duplicate",
+         [](const F &X) { return X.RepeatedCallArg && X.NumCalls >= 2; }});
+    // Frontend crash on x = x with struct member chains.
+    Add({0, Persona::GccSim, "c", 3, 49, 61, 0, false, BugEffect::Crash,
+         Mutilation::None,
+         "internal compiler error: in c_fully_fold_internal, at c-fold.c:482",
+         [](const F &X) { return X.SelfAssignment && X.NumStructAccesses > 0; }});
+    // Middle-end hang: loop bound equals induction variable (performance).
+    Add({0, Persona::GccSim, "middle-end", 3, 52, 0, 1, false,
+         BugEffect::Performance, Mutilation::None, "",
+         [](const F &X) { return X.LoopBoundIsInductionVar; }});
+    // Uninitialized-use path in the C frontend's warning machinery.
+    Add({0, Persona::GccSim, "c", 4, 63, 0, 0, false, BugEffect::Crash,
+         Mutilation::None,
+         "internal compiler error: tree check: expected ssa_name, have "
+         "var_decl in warn_uninit",
+         [](const F &X) { return X.UninitUseLikely && X.IdenticalBitOperands; }});
+    // Backend crash on a[a] addressing at -O1+ (Table 3 signature).
+    Add({0, Persona::GccSim, "target", 2, 54, 0, 1, false, BugEffect::Crash,
+         Mutilation::None, "error in backend: Invalid register name global "
+                           "variable.",
+         [](const F &X) { return X.IndexBySelf; }});
+    // Tree-opt: conditional with its own condition as an arm miscompiles
+    // at -O2 (latent, fixed in 6.4 = 64).
+    Add({0, Persona::GccSim, "tree-optimization", 3, 51, 64, 2, false,
+         BugEffect::WrongCode, Mutilation::DropFirstStore, "",
+         [](const F &X) { return X.CondWithSameVarAsArm; }});
+    // Self-bitand canonicalizer infinite loop at -O3 (performance, P1).
+    Add({0, Persona::GccSim, "middle-end", 1, 65, 0, 3, false,
+         BugEffect::Performance, Mutilation::None, "",
+         [](const F &X) { return X.IdenticalBitOperands && X.NumLoops > 1; }});
+
+    // ---- clang-sim -----------------------------------------------------
+    // Modeled on bug 26994 (Figure 11d): lifetime ends at backward goto.
+    Add({0, Persona::ClangSim, "c", 2, 37, 0, 1, false,
+         BugEffect::WrongCode, Mutilation::DropLastStore, "",
+         [](const F &X) { return X.BackwardGoto && X.SelfAddressOfInit; }});
+    // Modeled on bug 26973 (Figure 11c): loop-invariant inference corrupts
+    // bitcode; crash at -O1+.
+    Add({0, Persona::ClangSim, "tree-optimization", 2, 38, 40, 1, false,
+         BugEffect::Crash, Mutilation::None,
+         "Assertion `MRI->getVRegDef(reg) && \"Register use before def!\"' "
+         "failed.",
+         [](const F &X) { return X.NumLoops >= 2 && X.IdenticalCmpOperands; }});
+    // SDNode operand assert on identical conditional arms (Table 3).
+    Add({0, Persona::ClangSim, "target", 3, 35, 0, 0, false,
+         BugEffect::Crash, Mutilation::None,
+         "Assertion `Num < NumOperands && \"Invalid child # of SDNode!\"' "
+         "failed.",
+         [](const F &X) { return X.IdenticalCondArms; }});
+    // Backend splitter crash on self-shifts (Table 3 signature).
+    Add({0, Persona::ClangSim, "target", 3, 36, 0, 1, false,
+         BugEffect::Crash, Mutilation::None,
+         "error in backend: Do not know how to split the result of this "
+         "operator!",
+         [](const F &X) { return X.ShiftBySelf; }});
+    // Stack coloring drops a store when two pointers alias one local.
+    Add({0, Persona::ClangSim, "middle-end", 2, 34, 39, 2, false,
+         BugEffect::WrongCode, Mutilation::DropLastStore, "",
+         [](const F &X) { return X.AliasedPointers; }});
+    // -m32 only: register scavenger overflow on a[a] (crash).
+    Add({0, Persona::ClangSim, "target", 3, 36, 0, 1, true,
+         BugEffect::Crash, Mutilation::None,
+         "error in backend: Access past stack top!",
+         [](const F &X) { return X.IndexBySelf; }});
+    // InstCombine folds v/v to 1 (wrong code at -O2+).
+    Add({0, Persona::ClangSim, "tree-optimization", 3, 37, 0, 2, false,
+         BugEffect::WrongCode, Mutilation::FoldSelfDivToOne, "",
+         [](const F &X) { return X.IdenticalDivOperands; }});
+    // Frontend crash on self-assignment through a struct member.
+    Add({0, Persona::ClangSim, "c", 4, 38, 0, 0, false, BugEffect::Crash,
+         Mutilation::None,
+         "Assertion `isa<LoadInst>(V) && \"self-init fold\"' failed.",
+         [](const F &X) { return X.SelfAssignment && X.NumStructAccesses > 0; }});
+    // Branch folding flips polarity on self-comparison in loops.
+    Add({0, Persona::ClangSim, "rtl-optimization", 3, 35, 39, 1, false,
+         BugEffect::WrongCode, Mutilation::NegateFirstCondBr, "",
+         [](const F &X) { return X.IdenticalCmpOperands && X.NumLoops > 0; }});
+    // Pathological SCEV on loop bound == induction variable.
+    Add({0, Persona::ClangSim, "middle-end", 3, 36, 0, 2, false,
+         BugEffect::Performance, Mutilation::None, "",
+         [](const F &X) { return X.LoopBoundIsInductionVar; }});
+
+    return DB;
+  }();
+  return Bugs;
+}
+
+std::vector<const InjectedBug *> spe::bugsOf(Persona P) {
+  std::vector<const InjectedBug *> Result;
+  for (const InjectedBug &B : bugDatabase())
+    if (B.P == P)
+      Result.push_back(&B);
+  return Result;
+}

@@ -1,0 +1,101 @@
+//===- compiler/Bugs.h - injected latent compiler bugs -------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ground-truth bug population for the differential-testing experiments.
+/// Real GCC/Clang cannot be shipped in this reproduction, so MiniCC carries
+/// two personas ("gcc-sim", "clang-sim") with known latent bugs whose
+/// triggers are variable-usage patterns modeled on the paper's case studies
+/// (Figures 2, 3, 11, 12) and whose metadata (priority, component, affected
+/// versions and optimization levels, fixed status) mirrors the shape of
+/// Figure 10. Since the ground truth is known, the benches can report both
+/// what a technique found and what it missed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMPILER_BUGS_H
+#define SPE_COMPILER_BUGS_H
+
+#include "compiler/Features.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// Compiler persona under test.
+enum class Persona { GccSim, ClangSim };
+const char *personaName(Persona P);
+
+/// One compiler configuration (the paper tests 2 opt levels x 2 machine
+/// modes for crashes and all levels for the campaign).
+struct CompilerConfig {
+  Persona P = Persona::GccSim;
+  /// Version code: gcc-sim uses 44..70 (4.4 .. 7.0 trunk = 70); clang-sim
+  /// uses 34..40 (3.4 .. 4.0 trunk = 40).
+  unsigned Version = 70;
+  unsigned OptLevel = 0; ///< 0..3.
+  bool Mode64 = true;    ///< -m64 vs -m32.
+};
+
+/// What an injected bug does when triggered.
+enum class BugEffect {
+  Crash,       ///< Internal compiler error with a signature.
+  WrongCode,   ///< Silent miscompilation (an IR mutilation is applied).
+  Performance, ///< Pathological compile time.
+};
+const char *bugEffectName(BugEffect E);
+
+/// Wrong-code mutilations (applied to the optimized IR).
+enum class Mutilation {
+  None,
+  DropLastStore,        ///< Delete the final Store in main (alias bugs).
+  SwapFirstSubOperands, ///< a-b becomes b-a somewhere.
+  FoldSelfDivToOne,     ///< v/v folded to 1 without the zero check.
+  NegateFirstCondBr,    ///< One branch polarity flipped.
+  DropFirstStore,       ///< Delete the first Store in main.
+};
+
+/// One injected latent bug.
+struct InjectedBug {
+  int Id = 0;
+  Persona P = Persona::GccSim;
+  /// Component label as in Figure 10(d): "c", "middle-end",
+  /// "tree-optimization", "rtl-optimization", "target", "ipa".
+  std::string Component;
+  /// Priority P1..P5 as in Figure 10(a).
+  int Priority = 3;
+  /// Version range [IntroducedIn, FixedIn); FixedIn == 0 means still open.
+  unsigned IntroducedIn = 0;
+  unsigned FixedIn = 0;
+  /// Minimum optimization level that runs the buggy code.
+  unsigned MinOptLevel = 0;
+  /// When true the bug only manifests in -m32 mode.
+  bool Mode32Only = false;
+  BugEffect Effect = BugEffect::Crash;
+  Mutilation Mut = Mutilation::None;
+  std::string CrashSignature;
+  /// The variable-usage pattern that exercises the buggy path.
+  std::function<bool(const ProgramFeatures &)> Trigger;
+
+  /// \returns true iff the bug is live in \p Config (regardless of input).
+  bool activeIn(const CompilerConfig &Config) const;
+  /// \returns true iff \p Config + \p Features fire the bug.
+  bool firesOn(const CompilerConfig &Config,
+               const ProgramFeatures &Features) const;
+};
+
+/// The full ground-truth population for both personas. Deterministic.
+const std::vector<InjectedBug> &bugDatabase();
+
+/// \returns the bugs of one persona.
+std::vector<const InjectedBug *> bugsOf(Persona P);
+
+} // namespace spe
+
+#endif // SPE_COMPILER_BUGS_H

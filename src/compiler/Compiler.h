@@ -1,0 +1,75 @@
+//===- compiler/Compiler.h - MiniCC driver --------------------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniCC driver: feature extraction, IR generation, the optimization
+/// pipeline with coverage instrumentation, and the injected-bug hooks. This
+/// is the "compiler under test" of the differential harness; the paper's
+/// GCC/Clang stand-ins are CompilerConfig personas over this driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMPILER_COMPILER_H
+#define SPE_COMPILER_COMPILER_H
+
+#include "compiler/Bugs.h"
+#include "compiler/Coverage.h"
+#include "compiler/IRGen.h"
+#include "compiler/VM.h"
+
+namespace spe {
+
+/// Outcome of one compilation.
+struct CompileResult {
+  enum class Status {
+    Ok,       ///< Module ready to execute.
+    Crashed,  ///< Internal compiler error (an injected bug fired).
+    Rejected, ///< Outside the compilable subset.
+  };
+  Status St = Status::Rejected;
+  IRModule Module;
+  std::string CrashSignature;
+  /// The injected bug behind a crash, or 0.
+  int CrashBugId = 0;
+  /// All injected bugs that fired (crash, wrong-code, performance).
+  std::vector<int> FiredBugs;
+  /// Simulated compile cost; Performance bugs inflate it.
+  uint64_t CompileCost = 0;
+  std::string Error;
+
+  bool ok() const { return St == Status::Ok; }
+  bool crashed() const { return St == Status::Crashed; }
+};
+
+/// Compiles one analyzed translation unit under a configuration.
+class MiniCompiler {
+public:
+  /// \param Config   persona/version/opt-level/machine mode.
+  /// \param Cov      optional coverage registry (Figure 9).
+  /// \param InjectBugs when false the ground-truth bugs are disabled; this
+  ///        is the "fixed compiler" used by differential self-validation.
+  MiniCompiler(CompilerConfig Config, CoverageRegistry *Cov = nullptr,
+               bool InjectBugs = true)
+      : Config(Config), Cov(Cov), InjectBugs(InjectBugs) {}
+
+  CompileResult compile(ASTContext &Ctx) const;
+
+  const CompilerConfig &config() const { return Config; }
+
+private:
+  CompilerConfig Config;
+  CoverageRegistry *Cov;
+  bool InjectBugs;
+};
+
+/// Applies a wrong-code mutilation to the module (test hook; the driver
+/// calls it internally when a WrongCode bug fires).
+void applyMutilation(IRModule &M, Mutilation Mut);
+
+} // namespace spe
+
+#endif // SPE_COMPILER_COMPILER_H

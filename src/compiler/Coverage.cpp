@@ -1,0 +1,41 @@
+//===- compiler/Coverage.cpp - compiler coverage instrumentation ---------===//
+
+#include "compiler/Coverage.h"
+
+using namespace spe;
+
+void CoverageRegistry::registerPoint(const std::string &Name) {
+  Catalog.insert(Name);
+}
+
+void CoverageRegistry::hit(const std::string &Name) {
+  Catalog.insert(Name);
+  Hits.insert(Name);
+}
+
+void CoverageRegistry::resetHits() { Hits.clear(); }
+
+std::string CoverageRegistry::functionOf(const std::string &PointName) {
+  // A "function" is the rule family: the first two dot-separated segments
+  // (e.g. "algebra.selfcancel" of "algebra.selfcancel.-"); points are the
+  // per-operator "lines" within it.
+  size_t Dot = PointName.find('.');
+  if (Dot == std::string::npos)
+    return PointName;
+  size_t Dot2 = PointName.find('.', Dot + 1);
+  return Dot2 == std::string::npos ? PointName : PointName.substr(0, Dot2);
+}
+
+unsigned CoverageRegistry::totalFunctions() const {
+  std::set<std::string> Fns;
+  for (const std::string &Name : Catalog)
+    Fns.insert(functionOf(Name));
+  return static_cast<unsigned>(Fns.size());
+}
+
+unsigned CoverageRegistry::hitFunctions() const {
+  std::set<std::string> Fns;
+  for (const std::string &Name : Hits)
+    Fns.insert(functionOf(Name));
+  return static_cast<unsigned>(Fns.size());
+}

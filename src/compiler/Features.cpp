@@ -1,0 +1,355 @@
+//===- compiler/Features.cpp - variable-usage pattern features -----------===//
+
+#include "compiler/Features.h"
+
+#include <map>
+#include <set>
+
+using namespace spe;
+
+bool spe::exprStructurallyEqual(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Expr::Kind::IntegerLiteral:
+    return cast<IntegerLiteral>(A)->value() ==
+           cast<IntegerLiteral>(B)->value();
+  case Expr::Kind::StringLiteral:
+    return cast<StringLiteral>(A)->value() ==
+           cast<StringLiteral>(B)->value();
+  case Expr::Kind::DeclRef:
+    return cast<DeclRefExpr>(A)->decl() == cast<DeclRefExpr>(B)->decl();
+  case Expr::Kind::Unary: {
+    const auto *UA = cast<UnaryExpr>(A), *UB = cast<UnaryExpr>(B);
+    return UA->op() == UB->op() &&
+           exprStructurallyEqual(UA->sub(), UB->sub());
+  }
+  case Expr::Kind::Binary: {
+    const auto *BA = cast<BinaryExpr>(A), *BB = cast<BinaryExpr>(B);
+    return BA->op() == BB->op() &&
+           exprStructurallyEqual(BA->lhs(), BB->lhs()) &&
+           exprStructurallyEqual(BA->rhs(), BB->rhs());
+  }
+  case Expr::Kind::Conditional: {
+    const auto *CA = cast<ConditionalExpr>(A), *CB = cast<ConditionalExpr>(B);
+    return exprStructurallyEqual(CA->cond(), CB->cond()) &&
+           exprStructurallyEqual(CA->trueExpr(), CB->trueExpr()) &&
+           exprStructurallyEqual(CA->falseExpr(), CB->falseExpr());
+  }
+  case Expr::Kind::Call: {
+    const auto *CA = cast<CallExpr>(A), *CB = cast<CallExpr>(B);
+    if (CA->callee()->name() != CB->callee()->name() ||
+        CA->args().size() != CB->args().size())
+      return false;
+    for (size_t I = 0; I < CA->args().size(); ++I)
+      if (!exprStructurallyEqual(CA->args()[I], CB->args()[I]))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Index: {
+    const auto *IA = cast<IndexExpr>(A), *IB = cast<IndexExpr>(B);
+    return exprStructurallyEqual(IA->base(), IB->base()) &&
+           exprStructurallyEqual(IA->index(), IB->index());
+  }
+  case Expr::Kind::Member: {
+    const auto *MA = cast<MemberExpr>(A), *MB = cast<MemberExpr>(B);
+    return MA->fieldName() == MB->fieldName() &&
+           MA->isArrow() == MB->isArrow() &&
+           exprStructurallyEqual(MA->base(), MB->base());
+  }
+  case Expr::Kind::Cast: {
+    const auto *CA = cast<CastExpr>(A), *CB = cast<CastExpr>(B);
+    return CA->toType() == CB->toType() &&
+           exprStructurallyEqual(CA->sub(), CB->sub());
+  }
+  case Expr::Kind::SizeOf: {
+    const auto *SA = cast<SizeOfExpr>(A), *SB = cast<SizeOfExpr>(B);
+    if (SA->typeOperand() || SB->typeOperand())
+      return SA->typeOperand() == SB->typeOperand();
+    return exprStructurallyEqual(SA->exprOperand(), SB->exprOperand());
+  }
+  case Expr::Kind::InitList: {
+    const auto *LA = cast<InitListExpr>(A), *LB = cast<InitListExpr>(B);
+    if (LA->elements().size() != LB->elements().size())
+      return false;
+    for (size_t I = 0; I < LA->elements().size(); ++I)
+      if (!exprStructurallyEqual(LA->elements()[I], LB->elements()[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+namespace {
+
+const VarDecl *refTarget(const Expr *E) {
+  if (const auto *Ref = dyn_cast<DeclRefExpr>(E))
+    return Ref->decl();
+  return nullptr;
+}
+
+class FeatureWalker {
+public:
+  explicit FeatureWalker(ProgramFeatures &F) : F(F) {}
+
+  void walkStmt(const Stmt *S, unsigned LoopDepth) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+        walkStmt(Child, LoopDepth);
+      return;
+    case Stmt::Kind::Decl:
+      for (const VarDecl *V : cast<DeclStmt>(S)->decls()) {
+        if (V->init()) {
+          Assigned.insert(V);
+          walkExpr(V->init());
+          // int *p = &v;
+          if (const auto *U = dyn_cast<UnaryExpr>(V->init())) {
+            if (U->op() == UnaryOp::AddrOf) {
+              if (const VarDecl *Target = refTarget(U->sub()))
+                recordAddressTaken(V, Target);
+            }
+          }
+        }
+      }
+      return;
+    case Stmt::Kind::Expr:
+      walkExpr(cast<ExprStmt>(S)->expr());
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      walkExpr(I->cond());
+      walkStmt(I->thenStmt(), LoopDepth);
+      walkStmt(I->elseStmt(), LoopDepth);
+      return;
+    }
+    case Stmt::Kind::While: {
+      ++F.NumLoops;
+      const auto *W = cast<WhileStmt>(S);
+      walkExpr(W->cond());
+      walkStmt(W->body(), LoopDepth + 1);
+      return;
+    }
+    case Stmt::Kind::Do: {
+      ++F.NumLoops;
+      const auto *D = cast<DoStmt>(S);
+      walkStmt(D->body(), LoopDepth + 1);
+      walkExpr(D->cond());
+      return;
+    }
+    case Stmt::Kind::For: {
+      ++F.NumLoops;
+      const auto *For = cast<ForStmt>(S);
+      walkStmt(For->init(), LoopDepth);
+      if (For->cond()) {
+        walkExpr(For->cond());
+        if (const auto *B = dyn_cast<BinaryExpr>(For->cond())) {
+          const VarDecl *L = refTarget(B->lhs());
+          const VarDecl *R = refTarget(B->rhs());
+          if (L && L == R && isComparisonOp(B->op()))
+            F.LoopBoundIsInductionVar = true;
+        }
+      }
+      if (For->step())
+        walkExpr(For->step());
+      walkStmt(For->body(), LoopDepth + 1);
+      return;
+    }
+    case Stmt::Kind::Return:
+      walkExpr(cast<ReturnStmt>(S)->value());
+      return;
+    case Stmt::Kind::Goto: {
+      ++F.NumGotos;
+      const auto *G = cast<GotoStmt>(S);
+      auto It = LabelIds.find(G->label());
+      if (It != LabelIds.end() && It->second < S->stmtId())
+        F.BackwardGoto = true;
+      PendingGotos = true;
+      return;
+    }
+    case Stmt::Kind::Label: {
+      const auto *L = cast<LabelStmt>(S);
+      LabelIds[L->name()] = S->stmtId();
+      if (LoopDepth > 0)
+        LabelInLoop = true;
+      walkStmt(L->sub(), LoopDepth);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void walkExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      const VarDecl *L = refTarget(B->lhs());
+      const VarDecl *R = refTarget(B->rhs());
+      if (L && L == R) {
+        switch (B->op()) {
+        case BinaryOp::Sub:
+          F.IdenticalSubOperands = true;
+          break;
+        case BinaryOp::Div:
+        case BinaryOp::Rem:
+          F.IdenticalDivOperands = true;
+          break;
+        case BinaryOp::Shl:
+        case BinaryOp::Shr:
+          F.ShiftBySelf = true;
+          break;
+        case BinaryOp::BitAnd:
+        case BinaryOp::BitOr:
+        case BinaryOp::BitXor:
+          F.IdenticalBitOperands = true;
+          break;
+        case BinaryOp::Assign:
+          F.SelfAssignment = true;
+          break;
+        default:
+          if (isComparisonOp(B->op()))
+            F.IdenticalCmpOperands = true;
+          break;
+        }
+      }
+      if (isAssignmentOp(B->op())) {
+        if (const VarDecl *Target = refTarget(B->lhs()))
+          Assigned.insert(Target);
+        // p = &v;
+        if (const auto *U = dyn_cast<UnaryExpr>(B->rhs())) {
+          if (U->op() == UnaryOp::AddrOf) {
+            if (const VarDecl *Target = refTarget(U->sub()))
+              if (const VarDecl *Ptr = refTarget(B->lhs()))
+                recordAddressTaken(Ptr, Target);
+          }
+        }
+      } else {
+        noteRead(B->lhs());
+      }
+      noteRead(B->rhs());
+      walkExpr(B->lhs());
+      walkExpr(B->rhs());
+      return;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->op() == UnaryOp::Deref)
+        ++F.NumDerefs;
+      if (U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PreDec ||
+          U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec) {
+        if (const VarDecl *Target = refTarget(U->sub()))
+          Assigned.insert(Target);
+      } else if (U->op() != UnaryOp::AddrOf) {
+        noteRead(U->sub());
+      }
+      walkExpr(U->sub());
+      return;
+    }
+    case Expr::Kind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      if (exprStructurallyEqual(C->trueExpr(), C->falseExpr()))
+        F.IdenticalCondArms = true;
+      const VarDecl *Cond = refTarget(C->cond());
+      if (Cond && (refTarget(C->trueExpr()) == Cond ||
+                   refTarget(C->falseExpr()) == Cond))
+        F.CondWithSameVarAsArm = true;
+      noteRead(C->cond());
+      noteRead(C->trueExpr());
+      noteRead(C->falseExpr());
+      walkExpr(C->cond());
+      walkExpr(C->trueExpr());
+      walkExpr(C->falseExpr());
+      return;
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      ++F.NumCalls;
+      std::set<const VarDecl *> SeenArgs;
+      for (const Expr *A : C->args()) {
+        if (const VarDecl *V = refTarget(A))
+          if (!SeenArgs.insert(V).second)
+            F.RepeatedCallArg = true;
+        noteRead(A);
+        walkExpr(A);
+      }
+      return;
+    }
+    case Expr::Kind::Index: {
+      const auto *Ix = cast<IndexExpr>(E);
+      const VarDecl *Base = refTarget(Ix->base());
+      if (Base && refTarget(Ix->index()) == Base)
+        F.IndexBySelf = true;
+      noteRead(Ix->base());
+      noteRead(Ix->index());
+      walkExpr(Ix->base());
+      walkExpr(Ix->index());
+      return;
+    }
+    case Expr::Kind::Member:
+      ++F.NumStructAccesses;
+      walkExpr(cast<MemberExpr>(E)->base());
+      return;
+    case Expr::Kind::Cast:
+      noteRead(cast<CastExpr>(E)->sub());
+      walkExpr(cast<CastExpr>(E)->sub());
+      return;
+    case Expr::Kind::SizeOf:
+      if (const Expr *Sub = cast<SizeOfExpr>(E)->exprOperand())
+        walkExpr(Sub);
+      return;
+    case Expr::Kind::InitList:
+      for (const Expr *Elem : cast<InitListExpr>(E)->elements())
+        walkExpr(Elem);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void finish() {
+    if (PendingGotos && LabelInLoop)
+      F.GotoIntoLoop = true;
+  }
+
+private:
+  void noteRead(const Expr *E) {
+    const VarDecl *V = E ? refTarget(E) : nullptr;
+    if (!V || V->isGlobal() || V->storage() == VarDecl::Storage::Param)
+      return;
+    if (!Assigned.count(V))
+      F.UninitUseLikely = true;
+  }
+
+  void recordAddressTaken(const VarDecl *Pointer, const VarDecl *Target) {
+    auto [It, Inserted] = AddressOf.insert({Target, Pointer});
+    if (!Inserted && It->second != Pointer)
+      F.AliasedPointers = true;
+    F.SelfAddressOfInit = true;
+  }
+
+  ProgramFeatures &F;
+  std::set<const VarDecl *> Assigned;
+  std::map<const VarDecl *, const VarDecl *> AddressOf;
+  std::map<std::string, int> LabelIds;
+  bool PendingGotos = false;
+  bool LabelInLoop = false;
+};
+
+} // namespace
+
+ProgramFeatures spe::extractFeatures(const ASTContext &Ctx) {
+  ProgramFeatures F;
+  FeatureWalker Walker(F);
+  for (const FunctionDecl *Fn : Ctx.functions())
+    Walker.walkStmt(Fn->body(), 0);
+  Walker.finish();
+  return F;
+}

@@ -1,0 +1,182 @@
+//===- compiler/IR.cpp - MiniCC IR printing and verification -------------===//
+
+#include "compiler/IR.h"
+
+#include <set>
+
+using namespace spe;
+
+static std::string operandToString(const IROperand &O) {
+  switch (O.K) {
+  case IROperand::Kind::None:
+    return "_";
+  case IROperand::Kind::Const:
+    return "#" + std::to_string(static_cast<int64_t>(O.Imm));
+  case IROperand::Kind::Reg:
+    return "%" + std::to_string(O.Reg);
+  }
+  return "?";
+}
+
+static std::string instrToString(const IRInstr &I) {
+  std::string Out;
+  auto Dst = [&] { return "%" + std::to_string(I.Dst) + " = "; };
+  switch (I.Op) {
+  case IROp::Const:
+    Out = Dst() + "const " + operandToString(I.A);
+    break;
+  case IROp::Copy:
+    Out = Dst() + "copy " + operandToString(I.A);
+    break;
+  case IROp::Bin:
+    Out = Dst() + "bin " + binaryOpSpelling(I.Bin) + " " +
+          operandToString(I.A) + ", " + operandToString(I.B);
+    break;
+  case IROp::Neg:
+    Out = Dst() + "neg " + operandToString(I.A);
+    break;
+  case IROp::BitNot:
+    Out = Dst() + "bitnot " + operandToString(I.A);
+    break;
+  case IROp::Not:
+    Out = Dst() + "not " + operandToString(I.A);
+    break;
+  case IROp::AddrSlot:
+    Out = Dst() + "addr slot" + std::to_string(I.SlotIndex);
+    break;
+  case IROp::AddrGlobal:
+    Out = Dst() + "addr global" + std::to_string(I.GlobalIndex);
+    break;
+  case IROp::PtrAdd:
+    Out = Dst() + "ptradd " + operandToString(I.A) + " + " +
+          operandToString(I.B) + " * " + std::to_string(I.Scale);
+    break;
+  case IROp::PtrDiff:
+    Out = Dst() + "ptrdiff (" + operandToString(I.A) + " - " +
+          operandToString(I.B) + ") / " + std::to_string(I.Scale);
+    break;
+  case IROp::Load:
+    Out = Dst() + "load " + operandToString(I.A);
+    break;
+  case IROp::Store:
+    Out = "store " + operandToString(I.A) + " <- " + operandToString(I.B);
+    break;
+  case IROp::Memcpy:
+    Out = "memcpy " + operandToString(I.A) + " <- " + operandToString(I.B) +
+          ", " + std::to_string(I.Size);
+    break;
+  case IROp::Memset:
+    Out = "memset " + operandToString(I.A) + ", 0, " +
+          std::to_string(I.Size);
+    break;
+  case IROp::Call:
+    Out = (I.HasDst ? Dst() : std::string()) + "call fn" +
+          std::to_string(I.CalleeIndex) + "(";
+    for (size_t A = 0; A < I.Args.size(); ++A) {
+      if (A)
+        Out += ", ";
+      Out += operandToString(I.Args[A]);
+    }
+    Out += ")";
+    break;
+  case IROp::Printf:
+    Out = "printf(...)";
+    break;
+  case IROp::Ret:
+    Out = "ret " + operandToString(I.A);
+    break;
+  case IROp::Br:
+    Out = "br bb" + std::to_string(I.Succ0);
+    break;
+  case IROp::CondBr:
+    Out = "condbr " + operandToString(I.A) + ", bb" +
+          std::to_string(I.Succ0) + ", bb" + std::to_string(I.Succ1);
+    break;
+  case IROp::Unreachable:
+    Out = "unreachable";
+    break;
+  }
+  return Out;
+}
+
+std::string spe::printFunction(const IRFunction &F) {
+  std::string Out = "function " + F.Name + " (params " +
+                    std::to_string(F.NumParams) + ", slots " +
+                    std::to_string(F.Slots.size()) + ")\n";
+  for (size_t B = 0; B < F.Blocks.size(); ++B) {
+    Out += "bb" + std::to_string(B) + ":\n";
+    for (const IRInstr &I : F.Blocks[B].Instrs)
+      Out += "  " + instrToString(I) + "\n";
+  }
+  return Out;
+}
+
+std::string spe::printModule(const IRModule &M) {
+  std::string Out;
+  for (const IRGlobal &G : M.Globals)
+    Out += "global " + G.Name + " : " + G.Ty->toString() + " (" +
+           std::to_string(G.InitBytes.size()) + " bytes)\n";
+  for (const IRFunction &F : M.Functions)
+    Out += printFunction(F);
+  return Out;
+}
+
+static std::string verifyFunction(const IRModule &M, const IRFunction &F) {
+  std::string Where = "function '" + F.Name + "': ";
+  if (F.Blocks.empty())
+    return Where + "no blocks";
+  std::set<unsigned> Defined;
+  auto CollectDef = [&](const IRInstr &I) {
+    if (I.HasDst)
+      Defined.insert(I.Dst);
+  };
+  for (const IRBlock &B : F.Blocks)
+    for (const IRInstr &I : B.Instrs)
+      CollectDef(I);
+  for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    const IRBlock &B = F.Blocks[BI];
+    std::string Block = Where + "bb" + std::to_string(BI) + ": ";
+    if (B.Instrs.empty())
+      return Block + "empty block";
+    for (size_t II = 0; II < B.Instrs.size(); ++II) {
+      const IRInstr &I = B.Instrs[II];
+      bool IsLast = II + 1 == B.Instrs.size();
+      if (I.isTerminator() != IsLast)
+        return Block + "terminator placement broken";
+      auto CheckOperand = [&](const IROperand &O) -> bool {
+        return !O.isReg() || Defined.count(O.Reg);
+      };
+      if (!CheckOperand(I.A) || !CheckOperand(I.B))
+        return Block + "use of undefined register";
+      for (const IROperand &O : I.Args)
+        if (!CheckOperand(O))
+          return Block + "use of undefined register in args";
+      if (I.Op == IROp::AddrSlot &&
+          (I.SlotIndex < 0 ||
+           static_cast<size_t>(I.SlotIndex) >= F.Slots.size()))
+        return Block + "slot index out of range";
+      if (I.Op == IROp::AddrGlobal &&
+          (I.GlobalIndex < 0 ||
+           static_cast<size_t>(I.GlobalIndex) >= M.Globals.size()))
+        return Block + "global index out of range";
+      if (I.Op == IROp::Call &&
+          (I.CalleeIndex < 0 ||
+           static_cast<size_t>(I.CalleeIndex) >= M.Functions.size()))
+        return Block + "callee index out of range";
+      if ((I.Op == IROp::Br || I.Op == IROp::CondBr) &&
+          (I.Succ0 >= F.Blocks.size() ||
+           (I.Op == IROp::CondBr && I.Succ1 >= F.Blocks.size())))
+        return Block + "successor out of range";
+    }
+  }
+  return "";
+}
+
+std::string spe::verifyModule(const IRModule &M) {
+  for (const IRFunction &F : M.Functions) {
+    std::string Err = verifyFunction(M, F);
+    if (!Err.empty())
+      return Err;
+  }
+  return "";
+}

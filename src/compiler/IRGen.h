@@ -1,0 +1,40 @@
+//===- compiler/IRGen.h - AST to MiniCC IR lowering ----------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an analyzed mini-C translation unit to the MiniCC IR. Locals live
+/// in stack slots (every access is an explicit Load/Store so the
+/// optimization passes have real work to do); control flow becomes a CFG,
+/// including goto/label, short-circuit operators and conditional
+/// expressions; struct copies become Memcpy. Global initializers must be
+/// constant expressions (the corpus convention); anything outside the
+/// compilable subset yields a Rejected result rather than a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMPILER_IRGEN_H
+#define SPE_COMPILER_IRGEN_H
+
+#include "compiler/IR.h"
+
+#include <string>
+
+namespace spe {
+
+/// Result of lowering.
+struct IRGenResult {
+  bool Ok = false;
+  IRModule Module;
+  std::string Error;
+};
+
+/// Lowers \p Ctx (post-Sema) to IR.
+IRGenResult generateIR(ASTContext &Ctx);
+
+} // namespace spe
+
+#endif // SPE_COMPILER_IRGEN_H

@@ -1,0 +1,832 @@
+//===- compiler/Passes.cpp - MiniCC optimization passes ------------------===//
+
+#include "compiler/Passes.h"
+
+#include <cassert>
+#include <limits>
+#include <map>
+#include <set>
+
+using namespace spe;
+
+namespace {
+
+void cov(CoverageRegistry *Cov, const char *Point) {
+  if (Cov)
+    Cov->hit(Point);
+}
+
+/// Coverage point suffixed with the operator spelling, so each operator is
+/// its own "line" within the rule family (Figure 9 granularity).
+void covOp(CoverageRegistry *Cov, const char *Family, BinaryOp Op) {
+  if (Cov)
+    Cov->hit(std::string(Family) + "." + binaryOpSpelling(Op));
+}
+
+/// Folds an integer binary operation with VM-identical semantics.
+/// \returns false when folding would change runtime behavior (e.g. a
+/// division that must trap).
+bool evalBinConst(const IRInstr &I, uint64_t &Out) {
+  const Type *Ty = isComparisonOp(I.Bin) && I.A.Ty ? I.A.Ty : I.Ty;
+  if (!Ty || !Ty->isInteger())
+    return false;
+  if (I.A.Ty && I.A.Ty->isPointer())
+    return false;
+  unsigned Width = Ty->intWidth();
+  bool Signed = Ty->isSigned();
+  uint64_t UL = I.A.Imm, UR = I.B.Imm;
+  int64_t SL = static_cast<int64_t>(UL), SR = static_cast<int64_t>(UR);
+  uint64_t Raw;
+  switch (I.Bin) {
+  case BinaryOp::Add:
+    Raw = UL + UR;
+    break;
+  case BinaryOp::Sub:
+    Raw = UL - UR;
+    break;
+  case BinaryOp::Mul:
+    Raw = UL * UR;
+    break;
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+    if (UR == 0)
+      return false;
+    if (Signed && SL == std::numeric_limits<int64_t>::min() && SR == -1)
+      return false;
+    if (Signed)
+      Raw = static_cast<uint64_t>(I.Bin == BinaryOp::Div ? SL / SR : SL % SR);
+    else
+      Raw = I.Bin == BinaryOp::Div ? UL / UR : UL % UR;
+    break;
+  case BinaryOp::Shl:
+    Raw = UL << (UR & (Width - 1));
+    break;
+  case BinaryOp::Shr:
+    Raw = Signed ? static_cast<uint64_t>(SL >> (UR & (Width - 1)))
+                 : normalizeIntValue(Ty, UL) >> (UR & (Width - 1));
+    break;
+  case BinaryOp::BitAnd:
+    Raw = UL & UR;
+    break;
+  case BinaryOp::BitXor:
+    Raw = UL ^ UR;
+    break;
+  case BinaryOp::BitOr:
+    Raw = UL | UR;
+    break;
+  case BinaryOp::LT:
+  case BinaryOp::GT:
+  case BinaryOp::LE:
+  case BinaryOp::GE:
+  case BinaryOp::EQ:
+  case BinaryOp::NE: {
+    uint64_t NL = normalizeIntValue(Ty, UL), NR = normalizeIntValue(Ty, UR);
+    int64_t TSL = static_cast<int64_t>(NL), TSR = static_cast<int64_t>(NR);
+    bool Res;
+    switch (I.Bin) {
+    case BinaryOp::LT:
+      Res = Signed ? TSL < TSR : NL < NR;
+      break;
+    case BinaryOp::GT:
+      Res = Signed ? TSL > TSR : NL > NR;
+      break;
+    case BinaryOp::LE:
+      Res = Signed ? TSL <= TSR : NL <= NR;
+      break;
+    case BinaryOp::GE:
+      Res = Signed ? TSL >= TSR : NL >= NR;
+      break;
+    case BinaryOp::EQ:
+      Res = NL == NR;
+      break;
+    default:
+      Res = NL != NR;
+      break;
+    }
+    Out = Res ? 1 : 0;
+    return true;
+  }
+  default:
+    return false;
+  }
+  Out = normalizeIntValue(I.Ty && I.Ty->isInteger() ? I.Ty : Ty, Raw);
+  return true;
+}
+
+/// Rewrites an instruction into `Dst = Const Imm`.
+void makeConst(IRInstr &I, uint64_t Imm) {
+  IRInstr New;
+  New.Op = IROp::Const;
+  New.HasDst = true;
+  New.Dst = I.Dst;
+  New.Ty = I.Ty;
+  New.A = IROperand::constant(Imm, I.Ty);
+  I = std::move(New);
+}
+
+/// Rewrites an instruction into `Dst = Copy Src`.
+void makeCopy(IRInstr &I, IROperand Src) {
+  IRInstr New;
+  New.Op = IROp::Copy;
+  New.HasDst = true;
+  New.Dst = I.Dst;
+  New.Ty = I.Ty;
+  New.A = Src;
+  I = std::move(New);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+bool spe::foldConstants(IRFunction &F, CoverageRegistry *Cov) {
+  bool Changed = false;
+  for (IRBlock &B : F.Blocks) {
+    for (IRInstr &I : B.Instrs) {
+      switch (I.Op) {
+      case IROp::Bin: {
+        if (!I.A.isConst() || !I.B.isConst())
+          break;
+        uint64_t Out;
+        if (!evalBinConst(I, Out))
+          break;
+        BinaryOp FoldedOp = I.Bin;
+        makeConst(I, Out);
+        covOp(Cov, "constfold.bin", FoldedOp);
+        Changed = true;
+        break;
+      }
+      case IROp::Neg:
+        if (I.A.isConst() && I.Ty && I.Ty->isInteger()) {
+          makeConst(I, normalizeIntValue(I.Ty, 0 - I.A.Imm));
+          cov(Cov, "constfold.neg");
+          Changed = true;
+        }
+        break;
+      case IROp::BitNot:
+        if (I.A.isConst() && I.Ty && I.Ty->isInteger()) {
+          makeConst(I, normalizeIntValue(I.Ty, ~I.A.Imm));
+          cov(Cov, "constfold.bitnot");
+          Changed = true;
+        }
+        break;
+      case IROp::Not:
+        if (I.A.isConst()) {
+          makeConst(I, I.A.Imm == 0 ? 1 : 0);
+          cov(Cov, "constfold.not");
+          Changed = true;
+        }
+        break;
+      case IROp::Copy:
+        if (I.A.isConst() && I.Ty && I.Ty->isInteger() && I.A.Ty &&
+            I.A.Ty->isInteger()) {
+          makeConst(I, normalizeIntValue(I.Ty, I.A.Imm));
+          cov(Cov, "constfold.convert");
+          Changed = true;
+        }
+        break;
+      case IROp::CondBr:
+        if (I.A.isConst()) {
+          IRInstr New;
+          New.Op = IROp::Br;
+          New.Succ0 = I.A.Imm != 0 ? I.Succ0 : I.Succ1;
+          I = std::move(New);
+          cov(Cov, "constfold.branch");
+          Changed = true;
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Copy / constant propagation over single-assignment registers
+//===----------------------------------------------------------------------===//
+
+bool spe::propagateCopies(IRFunction &F, CoverageRegistry *Cov) {
+  // Registers are single-assignment, so a Copy or Const definition may be
+  // substituted into every use.
+  std::map<unsigned, IROperand> Defs;
+  for (IRBlock &B : F.Blocks) {
+    for (IRInstr &I : B.Instrs) {
+      if (I.Op == IROp::Const)
+        Defs[I.Dst] = IROperand::constant(I.A.Imm, I.Ty);
+      else if (I.Op == IROp::Copy && I.Ty == I.A.Ty)
+        Defs[I.Dst] = I.A;
+    }
+  }
+  if (Defs.empty())
+    return false;
+  auto Resolve = [&](IROperand O) {
+    unsigned Guard = 0;
+    while (O.isReg() && Defs.count(O.Reg) && Guard++ < 64) {
+      IROperand Next = Defs[O.Reg];
+      if (Next.isNone())
+        break;
+      O = Next;
+    }
+    return O;
+  };
+  bool Changed = false;
+  for (IRBlock &B : F.Blocks) {
+    for (IRInstr &I : B.Instrs) {
+      auto Rewrite = [&](IROperand &O) {
+        if (!O.isReg() || !Defs.count(O.Reg))
+          return;
+        IROperand R = Resolve(O);
+        if (R.isReg() && R.Reg == O.Reg)
+          return;
+        O = R;
+        Changed = true;
+        cov(Cov, "copyprop.replaced");
+      };
+      Rewrite(I.A);
+      Rewrite(I.B);
+      for (IROperand &O : I.Args)
+        Rewrite(O);
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead code elimination
+//===----------------------------------------------------------------------===//
+
+bool spe::eliminateDeadCode(IRFunction &F, CoverageRegistry *Cov) {
+  bool ChangedAny = false;
+  for (;;) {
+    std::set<unsigned> Used;
+    for (const IRBlock &B : F.Blocks) {
+      for (const IRInstr &I : B.Instrs) {
+        if (I.A.isReg())
+          Used.insert(I.A.Reg);
+        if (I.B.isReg())
+          Used.insert(I.B.Reg);
+        for (const IROperand &O : I.Args)
+          if (O.isReg())
+            Used.insert(O.Reg);
+      }
+    }
+    bool Changed = false;
+    for (IRBlock &B : F.Blocks) {
+      std::vector<IRInstr> Kept;
+      Kept.reserve(B.Instrs.size());
+      for (IRInstr &I : B.Instrs) {
+        if (I.isPure() && I.HasDst && !Used.count(I.Dst)) {
+          Changed = true;
+          cov(Cov, "dce.removed");
+          continue;
+        }
+        Kept.push_back(std::move(I));
+      }
+      B.Instrs = std::move(Kept);
+    }
+    if (!Changed)
+      return ChangedAny;
+    ChangedAny = true;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CFG simplification
+//===----------------------------------------------------------------------===//
+
+bool spe::simplifyControlFlow(IRFunction &F, CoverageRegistry *Cov) {
+  bool Changed = false;
+
+  // CondBr with identical arms becomes an unconditional branch.
+  for (IRBlock &B : F.Blocks) {
+    IRInstr &Term = B.Instrs.back();
+    if (Term.Op == IROp::CondBr && Term.Succ0 == Term.Succ1) {
+      IRInstr New;
+      New.Op = IROp::Br;
+      New.Succ0 = Term.Succ0;
+      Term = std::move(New);
+      cov(Cov, "simplifycfg.samearms");
+      Changed = true;
+    }
+  }
+
+  // Thread forwarder blocks that contain only `br`.
+  std::vector<int> Forward(F.Blocks.size(), -1);
+  for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    const IRBlock &B = F.Blocks[BI];
+    if (B.Instrs.size() == 1 && B.Instrs[0].Op == IROp::Br &&
+        B.Instrs[0].Succ0 != BI)
+      Forward[BI] = static_cast<int>(B.Instrs[0].Succ0);
+  }
+  auto Thread = [&](unsigned Succ) {
+    std::set<unsigned> Seen;
+    while (Forward[Succ] >= 0 && Seen.insert(Succ).second)
+      Succ = static_cast<unsigned>(Forward[Succ]);
+    return Succ;
+  };
+  for (IRBlock &B : F.Blocks) {
+    IRInstr &Term = B.Instrs.back();
+    if (Term.Op == IROp::Br) {
+      unsigned T = Thread(Term.Succ0);
+      if (T != Term.Succ0) {
+        Term.Succ0 = T;
+        cov(Cov, "simplifycfg.thread");
+        Changed = true;
+      }
+    } else if (Term.Op == IROp::CondBr) {
+      unsigned T0 = Thread(Term.Succ0), T1 = Thread(Term.Succ1);
+      if (T0 != Term.Succ0 || T1 != Term.Succ1) {
+        Term.Succ0 = T0;
+        Term.Succ1 = T1;
+        cov(Cov, "simplifycfg.thread");
+        Changed = true;
+      }
+    }
+  }
+
+  // Remove unreachable blocks.
+  std::vector<bool> Reachable(F.Blocks.size(), false);
+  std::vector<unsigned> Work{0};
+  Reachable[0] = true;
+  while (!Work.empty()) {
+    unsigned B = Work.back();
+    Work.pop_back();
+    const IRInstr &Term = F.Blocks[B].Instrs.back();
+    if (Term.Op == IROp::Br || Term.Op == IROp::CondBr) {
+      if (!Reachable[Term.Succ0]) {
+        Reachable[Term.Succ0] = true;
+        Work.push_back(Term.Succ0);
+      }
+      if (Term.Op == IROp::CondBr && !Reachable[Term.Succ1]) {
+        Reachable[Term.Succ1] = true;
+        Work.push_back(Term.Succ1);
+      }
+    }
+  }
+  bool AnyUnreachable = false;
+  for (bool R : Reachable)
+    if (!R)
+      AnyUnreachable = true;
+  if (AnyUnreachable) {
+    std::vector<unsigned> Remap(F.Blocks.size(), 0);
+    std::vector<IRBlock> Kept;
+    for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      if (!Reachable[BI])
+        continue;
+      Remap[BI] = static_cast<unsigned>(Kept.size());
+      Kept.push_back(std::move(F.Blocks[BI]));
+    }
+    for (IRBlock &B : Kept) {
+      IRInstr &Term = B.Instrs.back();
+      if (Term.Op == IROp::Br || Term.Op == IROp::CondBr) {
+        Term.Succ0 = Remap[Term.Succ0];
+        if (Term.Op == IROp::CondBr)
+          Term.Succ1 = Remap[Term.Succ1];
+      }
+    }
+    F.Blocks = std::move(Kept);
+    cov(Cov, "simplifycfg.unreachable");
+    Changed = true;
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Store-to-load forwarding over stack slots
+//===----------------------------------------------------------------------===//
+
+bool spe::forwardStores(IRFunction &F, CoverageRegistry *Cov) {
+  // Map each AddrSlot result register to its slot.
+  std::map<unsigned, int> AddrToSlot;
+  for (const IRBlock &B : F.Blocks)
+    for (const IRInstr &I : B.Instrs)
+      if (I.Op == IROp::AddrSlot)
+        AddrToSlot[I.Dst] = I.SlotIndex;
+
+  auto SlotOf = [&](const IROperand &O) -> int {
+    if (!O.isReg())
+      return -1;
+    auto It = AddrToSlot.find(O.Reg);
+    if (It == AddrToSlot.end())
+      return -1;
+    int Slot = It->second;
+    // Only slots whose address never escapes are tracked.
+    if (F.Slots[Slot].AddressTaken)
+      return -1;
+    return Slot;
+  };
+
+  bool Changed = false;
+  for (IRBlock &B : F.Blocks) {
+    // Known value per slot, plus the index of a store not yet observed.
+    std::map<int, IROperand> Known;
+    std::map<int, size_t> PendingStore;
+    std::set<size_t> Dead;
+    for (size_t II = 0; II < B.Instrs.size(); ++II) {
+      IRInstr &I = B.Instrs[II];
+      switch (I.Op) {
+      case IROp::Store: {
+        int Slot = SlotOf(I.A);
+        if (Slot < 0)
+          break;
+        auto Pending = PendingStore.find(Slot);
+        if (Pending != PendingStore.end()) {
+          // Overwritten without an intervening read: dead store.
+          Dead.insert(Pending->second);
+          cov(Cov, "forward.deadstore");
+          Changed = true;
+        }
+        Known[Slot] = I.B;
+        PendingStore[Slot] = II;
+        break;
+      }
+      case IROp::Load: {
+        int Slot = SlotOf(I.A);
+        if (Slot < 0)
+          break;
+        auto It = Known.find(Slot);
+        if (It != Known.end() && !It->second.isNone()) {
+          makeCopy(I, It->second);
+          cov(Cov, "forward.load");
+          Changed = true;
+        } else {
+          // Remember the loaded value for load-to-load forwarding.
+          Known[Slot] = IROperand::reg(I.Dst, I.Ty);
+          cov(Cov, "forward.record");
+        }
+        PendingStore.erase(Slot);
+        break;
+      }
+      case IROp::Memset:
+      case IROp::Memcpy: {
+        int Slot = SlotOf(I.A);
+        if (Slot >= 0) {
+          Known.erase(Slot);
+          PendingStore.erase(Slot);
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    if (!Dead.empty()) {
+      std::vector<IRInstr> Kept;
+      for (size_t II = 0; II < B.Instrs.size(); ++II)
+        if (!Dead.count(II))
+          Kept.push_back(std::move(B.Instrs[II]));
+      B.Instrs = std::move(Kept);
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Algebraic peepholes
+//===----------------------------------------------------------------------===//
+
+bool spe::simplifyAlgebra(IRFunction &F, CoverageRegistry *Cov) {
+  bool Changed = false;
+  for (IRBlock &B : F.Blocks) {
+    for (IRInstr &I : B.Instrs) {
+      if (I.Op != IROp::Bin || !I.Ty || !I.Ty->isInteger())
+        continue;
+      BinaryOp Op = I.Bin;
+      bool SameReg = I.A.isReg() && I.B.isReg() && I.A.Reg == I.B.Reg;
+      if (SameReg) {
+        switch (I.Bin) {
+        case BinaryOp::Sub:
+        case BinaryOp::BitXor:
+          makeConst(I, 0);
+          covOp(Cov, "algebra.selfcancel", Op);
+          Changed = true;
+          continue;
+        case BinaryOp::BitAnd:
+        case BinaryOp::BitOr:
+          makeCopy(I, I.A);
+          covOp(Cov, "algebra.selfidem", Op);
+          Changed = true;
+          continue;
+        case BinaryOp::EQ:
+        case BinaryOp::LE:
+        case BinaryOp::GE:
+          makeConst(I, 1);
+          covOp(Cov, "algebra.selfcompare", Op);
+          Changed = true;
+          continue;
+        case BinaryOp::NE:
+        case BinaryOp::LT:
+        case BinaryOp::GT:
+          makeConst(I, 0);
+          covOp(Cov, "algebra.selfcompare", Op);
+          Changed = true;
+          continue;
+        default:
+          break;
+        }
+      }
+      auto IsConst = [](const IROperand &O, uint64_t V) {
+        return O.isConst() && O.Ty && O.Ty->isInteger() &&
+               normalizeIntValue(O.Ty, O.Imm) == normalizeIntValue(O.Ty, V);
+      };
+      // Identities with a constant on either side.
+      if ((I.Bin == BinaryOp::Add && IsConst(I.B, 0)) ||
+          (I.Bin == BinaryOp::Sub && IsConst(I.B, 0)) ||
+          (I.Bin == BinaryOp::Mul && IsConst(I.B, 1)) ||
+          (I.Bin == BinaryOp::Div && IsConst(I.B, 1)) ||
+          (I.Bin == BinaryOp::Shl && IsConst(I.B, 0)) ||
+          (I.Bin == BinaryOp::Shr && IsConst(I.B, 0)) ||
+          (I.Bin == BinaryOp::BitOr && IsConst(I.B, 0)) ||
+          (I.Bin == BinaryOp::BitXor && IsConst(I.B, 0))) {
+        makeCopy(I, I.A);
+        covOp(Cov, "algebra.rightident", Op);
+        Changed = true;
+        continue;
+      }
+      if ((I.Bin == BinaryOp::Add && IsConst(I.A, 0)) ||
+          (I.Bin == BinaryOp::Mul && IsConst(I.A, 1)) ||
+          (I.Bin == BinaryOp::BitOr && IsConst(I.A, 0)) ||
+          (I.Bin == BinaryOp::BitXor && IsConst(I.A, 0))) {
+        makeCopy(I, I.B);
+        covOp(Cov, "algebra.leftident", Op);
+        Changed = true;
+        continue;
+      }
+      if ((I.Bin == BinaryOp::Mul && (IsConst(I.A, 0) || IsConst(I.B, 0))) ||
+          (I.Bin == BinaryOp::BitAnd &&
+           (IsConst(I.A, 0) || IsConst(I.B, 0))) ||
+          (I.Bin == BinaryOp::Rem && IsConst(I.B, 1))) {
+        makeConst(I, 0);
+        covOp(Cov, "algebra.zero", Op);
+        Changed = true;
+        continue;
+      }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-invariant code motion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Computes dominators with the classic iterative algorithm.
+std::vector<std::set<unsigned>> computeDominators(const IRFunction &F) {
+  size_t N = F.Blocks.size();
+  std::vector<std::vector<unsigned>> Preds(N);
+  for (unsigned B = 0; B < N; ++B) {
+    const IRInstr &Term = F.Blocks[B].Instrs.back();
+    if (Term.Op == IROp::Br || Term.Op == IROp::CondBr) {
+      Preds[Term.Succ0].push_back(B);
+      if (Term.Op == IROp::CondBr)
+        Preds[Term.Succ1].push_back(B);
+    }
+  }
+  std::set<unsigned> All;
+  for (unsigned B = 0; B < N; ++B)
+    All.insert(B);
+  std::vector<std::set<unsigned>> Dom(N, All);
+  Dom[0] = {0};
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = 1; B < N; ++B) {
+      std::set<unsigned> NewDom = All;
+      if (Preds[B].empty())
+        NewDom = {B}; // Unreachable; keep minimal.
+      for (unsigned P : Preds[B]) {
+        std::set<unsigned> Inter;
+        for (unsigned D : Dom[P])
+          if (NewDom.count(D))
+            Inter.insert(D);
+        NewDom = std::move(Inter);
+      }
+      NewDom.insert(B);
+      if (NewDom != Dom[B]) {
+        Dom[B] = std::move(NewDom);
+        Changed = true;
+      }
+    }
+  }
+  return Dom;
+}
+
+} // namespace
+
+bool spe::hoistLoopInvariants(IRFunction &F, CoverageRegistry *Cov) {
+  if (F.Blocks.size() < 2)
+    return false;
+  std::vector<std::set<unsigned>> Dom = computeDominators(F);
+
+  // Find back edges U -> H where H dominates U.
+  std::vector<std::pair<unsigned, unsigned>> BackEdges;
+  for (unsigned B = 0; B < F.Blocks.size(); ++B) {
+    const IRInstr &Term = F.Blocks[B].Instrs.back();
+    auto Check = [&](unsigned Succ) {
+      if (Succ != 0 && Dom[B].count(Succ))
+        BackEdges.push_back({B, Succ});
+    };
+    if (Term.Op == IROp::Br)
+      Check(Term.Succ0);
+    if (Term.Op == IROp::CondBr) {
+      Check(Term.Succ0);
+      Check(Term.Succ1);
+    }
+  }
+  if (BackEdges.empty())
+    return false;
+
+  bool Changed = false;
+  for (auto [Latch, Header] : BackEdges) {
+    // Natural loop: header plus everything reaching the latch without
+    // passing through the header.
+    std::set<unsigned> Loop{Header, Latch};
+    std::vector<unsigned> Work{Latch};
+    std::vector<std::vector<unsigned>> Preds(F.Blocks.size());
+    for (unsigned B = 0; B < F.Blocks.size(); ++B) {
+      const IRInstr &Term = F.Blocks[B].Instrs.back();
+      if (Term.Op == IROp::Br || Term.Op == IROp::CondBr) {
+        Preds[Term.Succ0].push_back(B);
+        if (Term.Op == IROp::CondBr)
+          Preds[Term.Succ1].push_back(B);
+      }
+    }
+    while (!Work.empty()) {
+      unsigned B = Work.back();
+      Work.pop_back();
+      if (B == Header)
+        continue;
+      for (unsigned P : Preds[B])
+        if (Loop.insert(P).second)
+          Work.push_back(P);
+    }
+
+    // Definition site per register.
+    std::map<unsigned, unsigned> DefBlock;
+    for (unsigned B = 0; B < F.Blocks.size(); ++B)
+      for (const IRInstr &I : F.Blocks[B].Instrs)
+        if (I.HasDst)
+          DefBlock[I.Dst] = B;
+
+    auto IsInvariantOperand = [&](const IROperand &O) {
+      if (!O.isReg())
+        return true;
+      auto It = DefBlock.find(O.Reg);
+      return It != DefBlock.end() && !Loop.count(It->second);
+    };
+    auto IsHoistable = [&](const IRInstr &I) {
+      if (!I.isPure() || I.Op == IROp::Load)
+        return false;
+      // Division can trap; moving it above the loop guard is unsound.
+      if (I.Op == IROp::Bin &&
+          (I.Bin == BinaryOp::Div || I.Bin == BinaryOp::Rem))
+        return false;
+      if (!IsInvariantOperand(I.A) || !IsInvariantOperand(I.B))
+        return false;
+      for (const IROperand &O : I.Args)
+        if (!IsInvariantOperand(O))
+          return false;
+      return true;
+    };
+
+    // Build a preheader: a fresh block branching to the header; all
+    // non-loop predecessors of the header are redirected to it.
+    std::vector<unsigned> OutsidePreds;
+    for (unsigned P : Preds[Header])
+      if (!Loop.count(P))
+        OutsidePreds.push_back(P);
+    if (OutsidePreds.empty())
+      continue;
+    unsigned Preheader = static_cast<unsigned>(F.Blocks.size());
+    F.Blocks.emplace_back();
+    {
+      IRInstr Br;
+      Br.Op = IROp::Br;
+      Br.Succ0 = Header;
+      F.Blocks[Preheader].Instrs.push_back(std::move(Br));
+    }
+    for (unsigned P : OutsidePreds) {
+      IRInstr &Term = F.Blocks[P].Instrs.back();
+      if (Term.Succ0 == Header)
+        Term.Succ0 = Preheader;
+      if (Term.Op == IROp::CondBr && Term.Succ1 == Header)
+        Term.Succ1 = Preheader;
+    }
+
+    // Hoist to the preheader until fixpoint.
+    bool LocalChanged = true;
+    while (LocalChanged) {
+      LocalChanged = false;
+      for (unsigned B : Loop) {
+        std::vector<IRInstr> &Instrs = F.Blocks[B].Instrs;
+        for (size_t II = 0; II + 1 < Instrs.size(); ++II) {
+          IRInstr &I = Instrs[II];
+          if (!I.HasDst || !IsHoistable(I))
+            continue;
+          IRInstr Hoisted = I;
+          // Insert before the preheader terminator.
+          std::vector<IRInstr> &PH = F.Blocks[Preheader].Instrs;
+          PH.insert(PH.end() - 1, Hoisted);
+          DefBlock[I.Dst] = Preheader;
+          Instrs.erase(Instrs.begin() + static_cast<long>(II));
+          --II;
+          cov(Cov, "licm.hoist");
+          Changed = true;
+          LocalChanged = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline
+//===----------------------------------------------------------------------===//
+
+void spe::registerPassCoverageCatalog(CoverageRegistry &Cov) {
+  static const char *Points[] = {
+      "constfold.neg",      "constfold.bitnot",        "constfold.not",
+      "constfold.convert",  "constfold.branch",        "copyprop.replaced",
+      "dce.removed",        "simplifycfg.samearms",    "simplifycfg.thread",
+      "simplifycfg.unreachable",                       "forward.deadstore",
+      "forward.load",       "forward.record",          "licm.hoist",
+      "irgen.function",     "irgen.loop",              "irgen.branch",
+      "irgen.call",         "irgen.pointer",           "irgen.struct",
+      "irgen.goto",
+  };
+  for (const char *P : Points)
+    Cov.registerPoint(P);
+
+  // Per-operator "lines" within each rule family.
+  static const BinaryOp FoldableOps[] = {
+      BinaryOp::Add,    BinaryOp::Sub,    BinaryOp::Mul, BinaryOp::Div,
+      BinaryOp::Rem,    BinaryOp::Shl,    BinaryOp::Shr, BinaryOp::LT,
+      BinaryOp::GT,     BinaryOp::LE,     BinaryOp::GE,  BinaryOp::EQ,
+      BinaryOp::NE,     BinaryOp::BitAnd, BinaryOp::BitXor,
+      BinaryOp::BitOr,
+  };
+  auto RegisterFamily = [&Cov](const char *Family,
+                               std::initializer_list<BinaryOp> Ops) {
+    for (BinaryOp Op : Ops)
+      Cov.registerPoint(std::string(Family) + "." + binaryOpSpelling(Op));
+  };
+  for (BinaryOp Op : FoldableOps) {
+    Cov.registerPoint(std::string("constfold.bin.") + binaryOpSpelling(Op));
+    Cov.registerPoint(std::string("irgen.bin.") + binaryOpSpelling(Op));
+  }
+  RegisterFamily("algebra.selfcancel", {BinaryOp::Sub, BinaryOp::BitXor});
+  RegisterFamily("algebra.selfidem", {BinaryOp::BitAnd, BinaryOp::BitOr});
+  RegisterFamily("algebra.selfcompare",
+                 {BinaryOp::EQ, BinaryOp::NE, BinaryOp::LT, BinaryOp::GT,
+                  BinaryOp::LE, BinaryOp::GE});
+  RegisterFamily("algebra.rightident",
+                 {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul,
+                  BinaryOp::Div, BinaryOp::Shl, BinaryOp::Shr,
+                  BinaryOp::BitOr, BinaryOp::BitXor});
+  RegisterFamily("algebra.leftident", {BinaryOp::Add, BinaryOp::Mul,
+                                       BinaryOp::BitOr, BinaryOp::BitXor});
+  RegisterFamily("algebra.zero",
+                 {BinaryOp::Mul, BinaryOp::BitAnd, BinaryOp::Rem});
+}
+
+void spe::runPipeline(IRModule &M, unsigned OptLevel, CoverageRegistry *Cov) {
+  if (OptLevel == 0)
+    return;
+  for (IRFunction &F : M.Functions) {
+    // Round 1 (-O1): local cleanups.
+    foldConstants(F, Cov);
+    propagateCopies(F, Cov);
+    simplifyControlFlow(F, Cov);
+    eliminateDeadCode(F, Cov);
+    if (OptLevel >= 2) {
+      // Round 2 (-O2): memory forwarding and algebraic identities.
+      forwardStores(F, Cov);
+      propagateCopies(F, Cov);
+      foldConstants(F, Cov);
+      simplifyAlgebra(F, Cov);
+      propagateCopies(F, Cov);
+      foldConstants(F, Cov);
+      simplifyControlFlow(F, Cov);
+      eliminateDeadCode(F, Cov);
+    }
+    if (OptLevel >= 3) {
+      // Round 3 (-O3): loop optimizations and one more strengthening pass.
+      hoistLoopInvariants(F, Cov);
+      forwardStores(F, Cov);
+      propagateCopies(F, Cov);
+      foldConstants(F, Cov);
+      simplifyAlgebra(F, Cov);
+      propagateCopies(F, Cov);
+      foldConstants(F, Cov);
+      simplifyControlFlow(F, Cov);
+      eliminateDeadCode(F, Cov);
+    }
+  }
+}

@@ -1,0 +1,50 @@
+//===- compiler/Passes.h - MiniCC optimization passes --------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization pipeline of MiniCC. The passes implement exactly the
+/// transformations the paper's running example motivates (Section 1,
+/// Figure 1): constant folding and propagation, dead code elimination of
+/// branches whose condition folds, store-to-load forwarding over stack
+/// slots, algebraic peepholes (x - x, x ^ x, ...), CFG simplification, and
+/// loop-invariant code motion. Every pass marks coverage points in a
+/// CoverageRegistry so Figure 9's coverage experiment can be reproduced.
+///
+/// Pipelines: -O0 runs nothing; -O1 folds constants, simplifies control
+/// flow and removes dead code; -O2 adds slot forwarding, copy propagation
+/// and peepholes; -O3 adds loop-invariant code motion and a second
+/// strengthened round.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMPILER_PASSES_H
+#define SPE_COMPILER_PASSES_H
+
+#include "compiler/Coverage.h"
+#include "compiler/IR.h"
+
+namespace spe {
+
+/// Registers every pass's coverage catalog (fixed totals for Figure 9).
+void registerPassCoverageCatalog(CoverageRegistry &Cov);
+
+/// Individual passes. Each returns true when it changed the function and
+/// marks coverage points through \p Cov (which may be null).
+bool foldConstants(IRFunction &F, CoverageRegistry *Cov);
+bool propagateCopies(IRFunction &F, CoverageRegistry *Cov);
+bool eliminateDeadCode(IRFunction &F, CoverageRegistry *Cov);
+bool simplifyControlFlow(IRFunction &F, CoverageRegistry *Cov);
+bool forwardStores(IRFunction &F, CoverageRegistry *Cov);
+bool simplifyAlgebra(IRFunction &F, CoverageRegistry *Cov);
+bool hoistLoopInvariants(IRFunction &F, CoverageRegistry *Cov);
+
+/// Runs the pipeline for \p OptLevel (0-3) over the whole module.
+void runPipeline(IRModule &M, unsigned OptLevel, CoverageRegistry *Cov);
+
+} // namespace spe
+
+#endif // SPE_COMPILER_PASSES_H

@@ -1,0 +1,51 @@
+//===- compiler/VM.h - MiniCC IR execution engine ------------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bytecode-style executor for MiniCC IR. On UB-free programs (the only ones
+/// the differential harness compares, per Section 5.4) the O0 pipeline's
+/// behavior matches the reference interpreter exactly; divergence after
+/// optimization therefore indicates a compiler bug (injected or real).
+/// Unlike the reference interpreter, the VM performs no UB bookkeeping -- it
+/// guards only against conditions that would crash the host (bad memory,
+/// division by zero) and reports them as traps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMPILER_VM_H
+#define SPE_COMPILER_VM_H
+
+#include "compiler/IR.h"
+
+#include <string>
+
+namespace spe {
+
+/// VM execution options.
+struct VMOptions {
+  uint64_t MaxSteps = 5'000'000;
+  unsigned MaxCallDepth = 256;
+};
+
+/// Outcome of a VM run.
+enum class VMStatus { Ok, Trap, Timeout };
+
+struct VMResult {
+  VMStatus Status = VMStatus::Trap;
+  int64_t ExitCode = 0;
+  std::string Output;
+  std::string Message;
+
+  bool ok() const { return Status == VMStatus::Ok; }
+};
+
+/// Executes the module's main function.
+VMResult executeModule(const IRModule &M, VMOptions Opts = {});
+
+} // namespace spe
+
+#endif // SPE_COMPILER_VM_H

@@ -1,0 +1,91 @@
+//===- core/AbstractSkeleton.cpp - Skeletons, scopes, holes --------------===//
+
+#include "core/AbstractSkeleton.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spe;
+
+ScopeId AbstractSkeleton::addScope(ScopeId Parent) {
+  assert(Parent < Scopes.size() && "unknown parent scope");
+  Scopes.push_back(SkeletonScope{Parent});
+  return static_cast<ScopeId>(Scopes.size() - 1);
+}
+
+VarId AbstractSkeleton::addVariable(std::string Name, ScopeId Scope,
+                                    TypeKey Type) {
+  assert(Scope < Scopes.size() && "unknown scope");
+  Vars.push_back(SkeletonVar{std::move(Name), Scope, Type});
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+unsigned AbstractSkeleton::addHole(ScopeId Scope, TypeKey Type) {
+  assert(Scope < Scopes.size() && "unknown scope");
+  Holes.push_back(SkeletonHole{Scope, Type});
+  return static_cast<unsigned>(Holes.size() - 1);
+}
+
+std::vector<ScopeId> AbstractSkeleton::scopeChain(ScopeId Id) const {
+  std::vector<ScopeId> Chain;
+  for (ScopeId S = Id; S != InvalidScope; S = Scopes[S].Parent)
+    Chain.push_back(S);
+  std::reverse(Chain.begin(), Chain.end());
+  return Chain;
+}
+
+bool AbstractSkeleton::isAncestorOrSelf(ScopeId Ancestor,
+                                        ScopeId Scope) const {
+  for (ScopeId S = Scope; S != InvalidScope; S = Scopes[S].Parent)
+    if (S == Ancestor)
+      return true;
+  return false;
+}
+
+std::vector<VarId> AbstractSkeleton::varsInScopeOfType(ScopeId Scope,
+                                                       TypeKey Type) const {
+  std::vector<VarId> Result;
+  for (VarId V = 0; V < Vars.size(); ++V)
+    if (Vars[V].Scope == Scope && Vars[V].Type == Type)
+      Result.push_back(V);
+  return Result;
+}
+
+std::vector<VarId> AbstractSkeleton::candidatesFor(unsigned HoleIndex) const {
+  assert(HoleIndex < Holes.size() && "hole index out of range");
+  const SkeletonHole &H = Holes[HoleIndex];
+  std::vector<VarId> Result;
+  for (ScopeId S : scopeChain(H.UseScope)) {
+    std::vector<VarId> InScope = varsInScopeOfType(S, H.Type);
+    Result.insert(Result.end(), InScope.begin(), InScope.end());
+  }
+  return Result;
+}
+
+std::vector<ScopeId> AbstractSkeleton::childrenOf(ScopeId Scope) const {
+  std::vector<ScopeId> Result;
+  for (ScopeId S = 0; S < Scopes.size(); ++S)
+    if (Scopes[S].Parent == Scope)
+      Result.push_back(S);
+  return Result;
+}
+
+std::vector<TypeKey> AbstractSkeleton::holeTypes() const {
+  std::vector<TypeKey> Result;
+  for (const SkeletonHole &H : Holes)
+    if (std::find(Result.begin(), Result.end(), H.Type) == Result.end())
+      Result.push_back(H.Type);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::string AbstractSkeleton::assignmentToString(const Assignment &A) const {
+  std::string Result = "<";
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (I != 0)
+      Result += ",";
+    Result += Vars[A[I]].Name;
+  }
+  Result += ">";
+  return Result;
+}

@@ -1,0 +1,116 @@
+//===- core/AbstractSkeleton.h - Skeletons, scopes, holes ----------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The language-independent skeleton model of Section 3 of the paper. A
+/// skeleton is a scope tree, a set of typed variables attached to scopes, and
+/// an ordered list of holes; hole i may be filled by any variable of the same
+/// type class declared in an ancestor-or-self scope of the hole's use scope
+/// (the "hole variable set" v_i of Definition 1). The mini-C frontend lowers
+/// real programs into this model; the enumerators and counters operate on it
+/// exclusively, which keeps the combinatorial core reusable for other
+/// languages (the paper's "generality" remark in Section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_CORE_ABSTRACTSKELETON_H
+#define SPE_CORE_ABSTRACTSKELETON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+using ScopeId = uint32_t;
+using VarId = uint32_t;
+/// Opaque type-class key: two variables may be exchanged by a compact
+/// alpha-renaming only if they have equal TypeKey and equal declaration scope.
+using TypeKey = uint32_t;
+
+constexpr ScopeId InvalidScope = ~static_cast<ScopeId>(0);
+
+/// One lexical scope. Scope 0 is always the root ("global") scope.
+struct SkeletonScope {
+  ScopeId Parent = InvalidScope;
+};
+
+/// One variable declaration.
+struct SkeletonVar {
+  std::string Name;
+  ScopeId Scope = 0;
+  TypeKey Type = 0;
+};
+
+/// One hole: a variable-use site to be filled during enumeration.
+struct SkeletonHole {
+  ScopeId UseScope = 0;
+  TypeKey Type = 0;
+};
+
+/// A program variant: Values[i] is the variable filling hole i (the paper's
+/// characteristic vector s_P).
+using Assignment = std::vector<VarId>;
+
+/// A syntactic skeleton with scope and type information.
+class AbstractSkeleton {
+public:
+  AbstractSkeleton() { Scopes.push_back(SkeletonScope{InvalidScope}); }
+
+  /// The root scope id.
+  static constexpr ScopeId rootScope() { return 0; }
+
+  /// Adds a scope under \p Parent and \returns its id.
+  ScopeId addScope(ScopeId Parent);
+
+  /// Declares a variable in \p Scope and \returns its id.
+  VarId addVariable(std::string Name, ScopeId Scope, TypeKey Type);
+
+  /// Appends a hole used in \p Scope with type class \p Type; \returns its
+  /// index.
+  unsigned addHole(ScopeId Scope, TypeKey Type);
+
+  unsigned numScopes() const { return static_cast<unsigned>(Scopes.size()); }
+  unsigned numVars() const { return static_cast<unsigned>(Vars.size()); }
+  unsigned numHoles() const { return static_cast<unsigned>(Holes.size()); }
+
+  const SkeletonScope &scope(ScopeId Id) const { return Scopes[Id]; }
+  const SkeletonVar &var(VarId Id) const { return Vars[Id]; }
+  const SkeletonHole &hole(unsigned Index) const { return Holes[Index]; }
+
+  /// \returns the scope chain from the root down to \p Id, inclusive.
+  std::vector<ScopeId> scopeChain(ScopeId Id) const;
+
+  /// \returns true iff \p Ancestor is \p Scope or one of its ancestors.
+  bool isAncestorOrSelf(ScopeId Ancestor, ScopeId Scope) const;
+
+  /// \returns the variables of type \p Type declared exactly in \p Scope, in
+  /// declaration order.
+  std::vector<VarId> varsInScopeOfType(ScopeId Scope, TypeKey Type) const;
+
+  /// \returns the hole variable set v_i for hole \p HoleIndex: all visible,
+  /// type-compatible variables in declaration order from the root downwards.
+  std::vector<VarId> candidatesFor(unsigned HoleIndex) const;
+
+  /// \returns the ids of direct children of \p Scope.
+  std::vector<ScopeId> childrenOf(ScopeId Scope) const;
+
+  /// \returns the distinct type keys that occur among the holes.
+  std::vector<TypeKey> holeTypes() const;
+
+  /// Renders the assignment as "<name,...>" for debugging and tests.
+  std::string assignmentToString(const Assignment &A) const;
+
+private:
+  std::vector<SkeletonScope> Scopes;
+  std::vector<SkeletonVar> Vars;
+  std::vector<SkeletonHole> Holes;
+};
+
+} // namespace spe
+
+#endif // SPE_CORE_ABSTRACTSKELETON_H

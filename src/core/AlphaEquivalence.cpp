@@ -1,0 +1,55 @@
+//===- core/AlphaEquivalence.cpp - Compact alpha-renaming equivalence ----===//
+
+#include "core/AlphaEquivalence.h"
+
+#include <cassert>
+#include <map>
+
+using namespace spe;
+
+namespace {
+/// Identifies one renaming class: variables are interchangeable only within
+/// the same declaration scope and type class.
+using RenamingClass = std::pair<ScopeId, TypeKey>;
+} // namespace
+
+std::string AlphaCanonicalizer::canonicalKey(const Assignment &A) const {
+  assert(A.size() == Skeleton.numHoles() && "assignment arity mismatch");
+  // Per class, map each variable to its first-occurrence rank.
+  std::map<RenamingClass, std::map<VarId, unsigned>> Ranks;
+  std::string Key;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const SkeletonVar &V = Skeleton.var(A[I]);
+    RenamingClass Class{V.Scope, V.Type};
+    std::map<VarId, unsigned> &ClassRanks = Ranks[Class];
+    auto [It, Inserted] =
+        ClassRanks.insert({A[I], static_cast<unsigned>(ClassRanks.size())});
+    Key += std::to_string(V.Scope);
+    Key += '.';
+    Key += std::to_string(V.Type);
+    Key += '#';
+    Key += std::to_string(It->second);
+    Key += '|';
+  }
+  return Key;
+}
+
+Assignment AlphaCanonicalizer::canonicalRepresentative(
+    const Assignment &A) const {
+  assert(A.size() == Skeleton.numHoles() && "assignment arity mismatch");
+  std::map<RenamingClass, std::map<VarId, unsigned>> Ranks;
+  Assignment Result(A.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    const SkeletonVar &V = Skeleton.var(A[I]);
+    RenamingClass Class{V.Scope, V.Type};
+    std::map<VarId, unsigned> &ClassRanks = Ranks[Class];
+    auto [It, Inserted] =
+        ClassRanks.insert({A[I], static_cast<unsigned>(ClassRanks.size())});
+    std::vector<VarId> ClassVars =
+        Skeleton.varsInScopeOfType(V.Scope, V.Type);
+    assert(It->second < ClassVars.size() &&
+           "more distinct variables used than declared in class");
+    Result[I] = ClassVars[It->second];
+  }
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===- core/AlphaEquivalence.h - Compact alpha-renaming equivalence ------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program alpha-equivalence (Definition 2 of the paper, extended with the
+/// compact alpha-renaming of Section 3.2.2): two assignments of the same
+/// skeleton are equivalent iff one maps to the other under a permutation of
+/// variables that respects declaration scope and type class. The canonical
+/// key renumbers, independently per (declaration scope, type) class, the
+/// variables of each class in first-occurrence order over the hole sequence;
+/// equivalence is then key equality. This is the ground truth the enumerators
+/// are property-tested against, and the dedup basis for brute-force SPE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_CORE_ALPHAEQUIVALENCE_H
+#define SPE_CORE_ALPHAEQUIVALENCE_H
+
+#include "core/AbstractSkeleton.h"
+
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// Canonicalization of assignments under compact alpha-renaming.
+class AlphaCanonicalizer {
+public:
+  explicit AlphaCanonicalizer(const AbstractSkeleton &Skeleton)
+      : Skeleton(Skeleton) {}
+
+  /// \returns a string key equal for exactly the alpha-equivalent
+  /// assignments of this skeleton.
+  std::string canonicalKey(const Assignment &A) const;
+
+  /// \returns the canonical representative of A's equivalence class: each
+  /// (scope, type) class's variables are renamed, in first-occurrence order,
+  /// to that class's variables in declaration order.
+  Assignment canonicalRepresentative(const Assignment &A) const;
+
+  /// \returns true iff \p A and \p B are alpha-equivalent.
+  bool areEquivalent(const Assignment &A, const Assignment &B) const {
+    return canonicalKey(A) == canonicalKey(B);
+  }
+
+private:
+  const AbstractSkeleton &Skeleton;
+};
+
+} // namespace spe
+
+#endif // SPE_CORE_ALPHAEQUIVALENCE_H

@@ -1,0 +1,54 @@
+//===- core/NaiveEnumerator.cpp - Cartesian-product enumeration ----------===//
+
+#include "core/NaiveEnumerator.h"
+
+using namespace spe;
+
+NaiveEnumerator::NaiveEnumerator(const AbstractSkeleton &Skeleton)
+    : Skeleton(Skeleton) {
+  Candidates.reserve(Skeleton.numHoles());
+  for (unsigned I = 0; I < Skeleton.numHoles(); ++I)
+    Candidates.push_back(Skeleton.candidatesFor(I));
+}
+
+BigInt NaiveEnumerator::count() const {
+  BigInt Total(1);
+  for (const std::vector<VarId> &C : Candidates) {
+    if (C.empty())
+      return BigInt(0);
+    Total *= static_cast<uint64_t>(C.size());
+  }
+  return Total;
+}
+
+uint64_t NaiveEnumerator::enumerate(
+    const std::function<bool(const Assignment &)> &Callback,
+    uint64_t Limit) const {
+  unsigned NumHoles = Skeleton.numHoles();
+  for (const std::vector<VarId> &C : Candidates)
+    if (C.empty())
+      return 0;
+
+  std::vector<size_t> Odometer(NumHoles, 0);
+  Assignment Current(NumHoles);
+  uint64_t Produced = 0;
+  for (;;) {
+    for (unsigned I = 0; I < NumHoles; ++I)
+      Current[I] = Candidates[I][Odometer[I]];
+    ++Produced;
+    if (!Callback(Current))
+      return Produced;
+    if (Limit != 0 && Produced >= Limit)
+      return Produced;
+    // Advance the odometer, least-significant hole last (so the rightmost
+    // hole varies fastest, giving lexicographic order over candidates).
+    unsigned I = NumHoles;
+    for (; I-- > 0;) {
+      if (++Odometer[I] < Candidates[I].size())
+        break;
+      Odometer[I] = 0;
+    }
+    if (I == static_cast<unsigned>(-1))
+      return Produced;
+  }
+}

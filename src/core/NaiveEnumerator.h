@@ -1,0 +1,48 @@
+//===- core/NaiveEnumerator.h - Cartesian-product enumeration ------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The naive SPE baseline of Section 3.1: the n-ary Cartesian product over
+/// the hole variable sets v_1 x ... x v_n. Used as the comparison baseline of
+/// Table 1 / Figure 8 and as the generator underlying the brute-force
+/// canonical-dedup oracle in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_CORE_NAIVEENUMERATOR_H
+#define SPE_CORE_NAIVEENUMERATOR_H
+
+#include "core/AbstractSkeleton.h"
+#include "support/BigInt.h"
+
+#include <functional>
+
+namespace spe {
+
+/// Enumerates every realization of a skeleton (the paper's set P).
+class NaiveEnumerator {
+public:
+  explicit NaiveEnumerator(const AbstractSkeleton &Skeleton);
+
+  /// \returns prod_i |v_i|, the full Cartesian-product size.
+  BigInt count() const;
+
+  /// Invokes \p Callback on every assignment in lexicographic candidate
+  /// order until it returns false or \p Limit assignments were produced
+  /// (0 = unlimited). \returns the number of assignments produced.
+  uint64_t
+  enumerate(const std::function<bool(const Assignment &)> &Callback,
+            uint64_t Limit = 0) const;
+
+private:
+  const AbstractSkeleton &Skeleton;
+  std::vector<std::vector<VarId>> Candidates;
+};
+
+} // namespace spe
+
+#endif // SPE_CORE_NAIVEENUMERATOR_H

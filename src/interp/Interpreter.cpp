@@ -1,0 +1,1489 @@
+//===- interp/Interpreter.cpp - Reference interpreter with UB oracle -----===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <vector>
+
+using namespace spe;
+
+const char *spe::execStatusName(ExecStatus Status) {
+  switch (Status) {
+  case ExecStatus::Ok:
+    return "ok";
+  case ExecStatus::UndefinedBehavior:
+    return "undefined-behavior";
+  case ExecStatus::Timeout:
+    return "timeout";
+  case ExecStatus::Unsupported:
+    return "unsupported";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A runtime scalar: an integer (sign-/zero-extended into 64 bits) or a
+/// pointer (block + byte offset). Uninit marks the indeterminate value a
+/// non-void function "returns" when control falls off its end.
+struct Value {
+  const Type *Ty = nullptr;
+  uint64_t Bits = 0;
+  uint32_t Block = 0;
+  int64_t Offset = 0;
+  bool Uninit = false;
+
+  bool isPointer() const { return Ty && Ty->isPointer(); }
+};
+
+/// A memory place.
+struct LValue {
+  uint32_t Block = 0;
+  int64_t Offset = 0;
+  const Type *Ty = nullptr;
+};
+
+/// One allocation.
+struct MemBlock {
+  std::string Name;
+  std::vector<uint8_t> Bytes;
+  std::vector<bool> Init;
+  bool Alive = true;
+};
+
+/// Control-flow signal propagated out of statement execution.
+struct Signal {
+  enum Kind { None, Break, Continue, Return, Goto } K = None;
+  Value Ret;
+  std::string Label;
+};
+
+class Interp {
+public:
+  Interp(ASTContext &Ctx, const InterpOptions &Opts)
+      : Ctx(Ctx), Opts(Opts) {
+    Blocks.push_back(MemBlock{"<null>", {}, {}, false});
+  }
+
+  ExecResult run();
+
+private:
+  // --- failure handling -------------------------------------------------
+  void fail(ExecStatus Status, const std::string &Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    Result.Status = Status;
+    Result.Message = Message;
+  }
+  void ub(const std::string &Message) {
+    fail(ExecStatus::UndefinedBehavior, Message);
+  }
+  bool step() {
+    if (Failed)
+      return false;
+    if (++Steps > Opts.MaxSteps) {
+      fail(ExecStatus::Timeout, "step budget exhausted");
+      return false;
+    }
+    return true;
+  }
+
+  // --- memory -----------------------------------------------------------
+  uint32_t allocate(const std::string &Name, uint64_t Size, bool ZeroInit);
+  void deallocateFrame(const std::map<const VarDecl *, uint32_t> &Frame);
+  bool checkAccess(const LValue &LV, uint64_t Size, const char *What);
+  Value loadScalar(const LValue &LV);
+  void storeScalar(const LValue &LV, const Value &V);
+  void copyObject(const LValue &Dst, const LValue &Src, uint64_t Size);
+
+  // --- value helpers ----------------------------------------------------
+  static uint64_t normalizeInt(const Type *Ty, uint64_t Raw);
+  Value makeInt(const Type *Ty, uint64_t Raw) const;
+  Value convert(const Value &V, const Type *To);
+  /// \returns the boolean truth of a scalar; flags UB on uninit.
+  bool truthy(const Value &V);
+  bool requireInit(const Value &V, const char *What);
+
+  // --- evaluation -------------------------------------------------------
+  Value evalExpr(const Expr *E);
+  bool evalLValue(const Expr *E, LValue &Out);
+  Value evalBinary(const BinaryExpr *B);
+  Value applyArith(BinaryOp Op, const Type *Ty, const Value &L,
+                   const Value &R, SourceLocation Loc);
+  Value pointerAdd(const Value &Ptr, int64_t Delta, SourceLocation Loc);
+  Value evalCall(const CallExpr *C);
+  void doPrintf(const CallExpr *C);
+  Value callFunction(const FunctionDecl *F, const std::vector<Value> &Args);
+  const Type *promoted(const Type *Ty) const;
+  const Type *arithResultType(BinaryOp Op, const Type *L, const Type *R);
+
+  // --- statements -------------------------------------------------------
+  Signal execStmt(const Stmt *S);
+  Signal execSeek(const Stmt *S, const std::string &Label, bool &Found);
+  Signal runBody(const CompoundStmt *Body);
+  void execVarDecl(const VarDecl *V);
+  void initializeObject(const LValue &LV, const Expr *Init);
+
+  VarDecl *findVar(const DeclRefExpr *Ref) const { return Ref->decl(); }
+  uint32_t blockOf(const VarDecl *V);
+
+  ASTContext &Ctx;
+  const InterpOptions &Opts;
+  ExecResult Result;
+  bool Failed = false;
+  uint64_t Steps = 0;
+
+  std::vector<MemBlock> Blocks;
+  std::map<const VarDecl *, uint32_t> Globals;
+  std::vector<std::map<const VarDecl *, uint32_t>> Frames;
+  unsigned CallDepth = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+uint32_t Interp::allocate(const std::string &Name, uint64_t Size,
+                          bool ZeroInit) {
+  MemBlock B;
+  B.Name = Name;
+  B.Bytes.assign(Size, 0);
+  B.Init.assign(Size, ZeroInit);
+  Blocks.push_back(std::move(B));
+  return static_cast<uint32_t>(Blocks.size() - 1);
+}
+
+void Interp::deallocateFrame(
+    const std::map<const VarDecl *, uint32_t> &Frame) {
+  for (const auto &[V, Block] : Frame)
+    Blocks[Block].Alive = false;
+}
+
+bool Interp::checkAccess(const LValue &LV, uint64_t Size, const char *What) {
+  if (LV.Block == 0 || LV.Block >= Blocks.size()) {
+    ub(std::string("null pointer ") + What);
+    return false;
+  }
+  MemBlock &B = Blocks[LV.Block];
+  if (!B.Alive) {
+    ub(std::string("dangling pointer ") + What + " of '" + B.Name + "'");
+    return false;
+  }
+  if (LV.Offset < 0 ||
+      static_cast<uint64_t>(LV.Offset) + Size > B.Bytes.size()) {
+    ub(std::string("out-of-bounds ") + What + " of '" + B.Name + "'");
+    return false;
+  }
+  return true;
+}
+
+Value Interp::loadScalar(const LValue &LV) {
+  assert(LV.Ty->isScalar() && "loadScalar on aggregate");
+  uint64_t Size = LV.Ty->sizeInBytes();
+  if (!checkAccess(LV, Size, "read"))
+    return {};
+  MemBlock &B = Blocks[LV.Block];
+  for (uint64_t I = 0; I < Size; ++I) {
+    if (!B.Init[LV.Offset + I]) {
+      ub("read of uninitialized value from '" + B.Name + "'");
+      return {};
+    }
+  }
+  if (LV.Ty->isPointer()) {
+    Value V;
+    V.Ty = LV.Ty;
+    uint32_t Block = 0;
+    uint32_t Off = 0;
+    for (int I = 3; I >= 0; --I)
+      Block = (Block << 8) | B.Bytes[LV.Offset + I];
+    for (int I = 3; I >= 0; --I)
+      Off = (Off << 8) | B.Bytes[LV.Offset + 4 + I];
+    V.Block = Block;
+    V.Offset = static_cast<int32_t>(Off);
+    return V;
+  }
+  uint64_t Raw = 0;
+  for (uint64_t I = Size; I-- > 0;)
+    Raw = (Raw << 8) | B.Bytes[LV.Offset + I];
+  return makeInt(LV.Ty, Raw);
+}
+
+void Interp::storeScalar(const LValue &LV, const Value &V) {
+  assert(LV.Ty->isScalar() && "storeScalar on aggregate");
+  uint64_t Size = LV.Ty->sizeInBytes();
+  if (!checkAccess(LV, Size, "write"))
+    return;
+  MemBlock &B = Blocks[LV.Block];
+  if (V.Uninit) {
+    // Storing an indeterminate value leaves the bytes uninitialized.
+    for (uint64_t I = 0; I < Size; ++I)
+      B.Init[LV.Offset + I] = false;
+    return;
+  }
+  if (LV.Ty->isPointer()) {
+    uint32_t Off = static_cast<uint32_t>(static_cast<int32_t>(V.Offset));
+    for (int I = 0; I < 4; ++I)
+      B.Bytes[LV.Offset + I] = static_cast<uint8_t>(V.Block >> (8 * I));
+    for (int I = 0; I < 4; ++I)
+      B.Bytes[LV.Offset + 4 + I] = static_cast<uint8_t>(Off >> (8 * I));
+  } else {
+    for (uint64_t I = 0; I < Size; ++I)
+      B.Bytes[LV.Offset + I] = static_cast<uint8_t>(V.Bits >> (8 * I));
+  }
+  for (uint64_t I = 0; I < Size; ++I)
+    B.Init[LV.Offset + I] = true;
+}
+
+void Interp::copyObject(const LValue &Dst, const LValue &Src, uint64_t Size) {
+  if (!checkAccess(Src, Size, "read") || !checkAccess(Dst, Size, "write"))
+    return;
+  MemBlock &SB = Blocks[Src.Block];
+  MemBlock &DB = Blocks[Dst.Block];
+  for (uint64_t I = 0; I < Size; ++I) {
+    DB.Bytes[Dst.Offset + I] = SB.Bytes[Src.Offset + I];
+    DB.Init[Dst.Offset + I] = SB.Init[Src.Offset + I];
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Values and conversions
+//===----------------------------------------------------------------------===//
+
+uint64_t Interp::normalizeInt(const Type *Ty, uint64_t Raw) {
+  unsigned Width = Ty->intWidth();
+  if (Width == 64)
+    return Raw;
+  uint64_t Mask = (1ull << Width) - 1;
+  Raw &= Mask;
+  if (Ty->isSigned() && (Raw & (1ull << (Width - 1))))
+    Raw |= ~Mask; // Sign extend.
+  return Raw;
+}
+
+Value Interp::makeInt(const Type *Ty, uint64_t Raw) const {
+  Value V;
+  V.Ty = Ty;
+  V.Bits = normalizeInt(Ty, Raw);
+  return V;
+}
+
+Value Interp::convert(const Value &V, const Type *To) {
+  if (V.Uninit || V.Ty == To)
+    return V.Uninit ? V : [&] {
+      Value C = V;
+      C.Ty = To;
+      if (To->isInteger())
+        C.Bits = normalizeInt(To, V.Bits);
+      return C;
+    }();
+  Value C;
+  C.Ty = To;
+  if (To->isInteger()) {
+    // ptr -> int uses a deterministic synthetic encoding shared with the VM.
+    uint64_t Raw = V.isPointer()
+                       ? (static_cast<uint64_t>(V.Block) << 32) |
+                             (static_cast<uint32_t>(V.Offset))
+                       : V.Bits;
+    C.Bits = normalizeInt(To, Raw);
+    return C;
+  }
+  if (To->isPointer()) {
+    if (V.isPointer()) {
+      C.Block = V.Block;
+      C.Offset = V.Offset;
+      return C;
+    }
+    // int -> ptr: zero becomes null, anything else a poisoned pointer.
+    C.Block = V.Bits == 0 ? 0 : 0;
+    C.Offset = static_cast<int64_t>(V.Bits);
+    return C;
+  }
+  return C;
+}
+
+bool Interp::requireInit(const Value &V, const char *What) {
+  if (!V.Uninit)
+    return true;
+  ub(std::string("use of indeterminate value in ") + What);
+  return false;
+}
+
+bool Interp::truthy(const Value &V) {
+  if (!requireInit(V, "condition"))
+    return false;
+  if (V.isPointer())
+    return V.Block != 0 || V.Offset != 0;
+  return V.Bits != 0;
+}
+
+const Type *Interp::promoted(const Type *Ty) const {
+  if (Ty->isInteger() && Ty->intWidth() < 32)
+    return Ctx.types().int32Type();
+  return Ty;
+}
+
+const Type *Interp::arithResultType(BinaryOp Op, const Type *L,
+                                    const Type *R) {
+  if (Op == BinaryOp::Shl || Op == BinaryOp::Shr)
+    return promoted(L);
+  const Type *A = promoted(L);
+  const Type *B = promoted(R);
+  if (A == B)
+    return A;
+  unsigned Width = std::max(A->intWidth(), B->intWidth());
+  bool Signed;
+  if (A->isSigned() == B->isSigned()) {
+    Signed = A->isSigned();
+  } else {
+    const Type *SignedT = A->isSigned() ? A : B;
+    const Type *UnsignedT = A->isSigned() ? B : A;
+    Signed = SignedT->intWidth() > UnsignedT->intWidth();
+  }
+  return Ctx.types().intType(Width, Signed);
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic with UB detection
+//===----------------------------------------------------------------------===//
+
+Value Interp::applyArith(BinaryOp Op, const Type *Ty, const Value &L,
+                         const Value &R, SourceLocation Loc) {
+  (void)Loc;
+  if (!requireInit(L, "arithmetic") || !requireInit(R, "arithmetic"))
+    return {};
+  unsigned Width = Ty->intWidth();
+  bool Signed = Ty->isSigned();
+  int64_t SL = static_cast<int64_t>(normalizeInt(Ty, L.Bits));
+  int64_t SR = static_cast<int64_t>(normalizeInt(Ty, R.Bits));
+  uint64_t UL = normalizeInt(Ty, L.Bits);
+  uint64_t UR = normalizeInt(Ty, R.Bits);
+
+  auto CheckSignedRange = [&](__int128 Wide, const char *OpName) -> bool {
+    __int128 Min = -(static_cast<__int128>(1) << (Width - 1));
+    __int128 Max = (static_cast<__int128>(1) << (Width - 1)) - 1;
+    if (Wide < Min || Wide > Max) {
+      ub(std::string("signed integer overflow in '") + OpName + "'");
+      return false;
+    }
+    return true;
+  };
+
+  uint64_t Raw = 0;
+  switch (Op) {
+  case BinaryOp::Add:
+    if (Signed) {
+      __int128 Wide = static_cast<__int128>(SL) + SR;
+      if (!CheckSignedRange(Wide, "+"))
+        return {};
+      Raw = static_cast<uint64_t>(static_cast<int64_t>(Wide));
+    } else {
+      Raw = UL + UR;
+    }
+    break;
+  case BinaryOp::Sub:
+    if (Signed) {
+      __int128 Wide = static_cast<__int128>(SL) - SR;
+      if (!CheckSignedRange(Wide, "-"))
+        return {};
+      Raw = static_cast<uint64_t>(static_cast<int64_t>(Wide));
+    } else {
+      Raw = UL - UR;
+    }
+    break;
+  case BinaryOp::Mul:
+    if (Signed) {
+      __int128 Wide = static_cast<__int128>(SL) * SR;
+      if (!CheckSignedRange(Wide, "*"))
+        return {};
+      Raw = static_cast<uint64_t>(static_cast<int64_t>(Wide));
+    } else {
+      Raw = UL * UR;
+    }
+    break;
+  case BinaryOp::Div:
+  case BinaryOp::Rem: {
+    bool IsDiv = Op == BinaryOp::Div;
+    if ((Signed && SR == 0) || (!Signed && UR == 0)) {
+      ub(IsDiv ? "division by zero" : "remainder by zero");
+      return {};
+    }
+    if (Signed) {
+      int64_t MinVal = Width == 64
+                           ? std::numeric_limits<int64_t>::min()
+                           : -(static_cast<int64_t>(1) << (Width - 1));
+      if (SL == MinVal && SR == -1) {
+        ub("signed overflow in division (MIN / -1)");
+        return {};
+      }
+      Raw = static_cast<uint64_t>(IsDiv ? SL / SR : SL % SR);
+    } else {
+      Raw = IsDiv ? UL / UR : UL % UR;
+    }
+    break;
+  }
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: {
+    // The count is the RHS as written; the type is the promoted LHS type.
+    int64_t Count = R.Ty->isInteger() && R.Ty->isSigned()
+                        ? static_cast<int64_t>(R.Bits)
+                        : static_cast<int64_t>(R.Bits);
+    if (Count < 0 || Count >= static_cast<int64_t>(Width)) {
+      ub("shift amount out of range");
+      return {};
+    }
+    if (Op == BinaryOp::Shl) {
+      if (Signed && SL < 0) {
+        ub("left shift of negative value");
+        return {};
+      }
+      if (Signed) {
+        __int128 Wide = static_cast<__int128>(SL) << Count;
+        __int128 Max = (static_cast<__int128>(1) << (Width - 1)) - 1;
+        if (Wide > Max) {
+          ub("signed overflow in left shift");
+          return {};
+        }
+        Raw = static_cast<uint64_t>(static_cast<int64_t>(Wide));
+      } else {
+        Raw = UL << Count;
+      }
+    } else {
+      Raw = Signed ? static_cast<uint64_t>(SL >> Count) : UL >> Count;
+    }
+    break;
+  }
+  case BinaryOp::BitAnd:
+    Raw = UL & UR;
+    break;
+  case BinaryOp::BitXor:
+    Raw = UL ^ UR;
+    break;
+  case BinaryOp::BitOr:
+    Raw = UL | UR;
+    break;
+  default:
+    assert(false && "not an arithmetic operator");
+  }
+  return makeInt(Ty, Raw);
+}
+
+Value Interp::pointerAdd(const Value &Ptr, int64_t Delta,
+                         SourceLocation Loc) {
+  (void)Loc;
+  if (Ptr.Block == 0) {
+    if (Delta == 0)
+      return Ptr; // NULL + 0 stays NULL.
+    ub("arithmetic on null pointer");
+    return {};
+  }
+  uint64_t ElemSize = Ptr.Ty->elementType()->sizeInBytes();
+  Value R = Ptr;
+  R.Offset = Ptr.Offset + Delta * static_cast<int64_t>(ElemSize);
+  const MemBlock &B = Blocks[Ptr.Block];
+  if (R.Offset < 0 ||
+      static_cast<uint64_t>(R.Offset) > B.Bytes.size()) {
+    ub("pointer arithmetic escapes object '" + B.Name + "'");
+    return {};
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+uint32_t Interp::blockOf(const VarDecl *V) {
+  if (!Frames.empty()) {
+    auto It = Frames.back().find(V);
+    if (It != Frames.back().end())
+      return It->second;
+  }
+  auto It = Globals.find(V);
+  if (It != Globals.end())
+    return It->second;
+  return 0;
+}
+
+bool Interp::evalLValue(const Expr *E, LValue &Out) {
+  if (Failed || !step())
+    return false;
+  switch (E->kind()) {
+  case Expr::Kind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(E);
+    uint32_t Block = blockOf(Ref->decl());
+    if (Block == 0) {
+      fail(ExecStatus::Unsupported, "unbound variable '" + Ref->name() + "'");
+      return false;
+    }
+    Out = LValue{Block, 0, Ref->decl()->type()};
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    assert(U->op() == UnaryOp::Deref && "not an lvalue unary");
+    Value P = evalExpr(U->sub());
+    if (Failed || !requireInit(P, "dereference"))
+      return false;
+    Out = LValue{P.Block, P.Offset, E->type()};
+    return true;
+  }
+  case Expr::Kind::Index: {
+    const auto *Ix = cast<IndexExpr>(E);
+    Value Base = evalExpr(Ix->base());
+    Value Index = evalExpr(Ix->index());
+    if (Failed || !requireInit(Base, "subscript") ||
+        !requireInit(Index, "subscript"))
+      return false;
+    Value P = pointerAdd(Base, static_cast<int64_t>(Index.Bits), Ix->loc());
+    if (Failed)
+      return false;
+    Out = LValue{P.Block, P.Offset, E->type()};
+    return true;
+  }
+  case Expr::Kind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    const Type *StructTy;
+    LValue BaseLV;
+    if (M->isArrow()) {
+      Value P = evalExpr(M->base());
+      if (Failed || !requireInit(P, "member access"))
+        return false;
+      StructTy = P.Ty->elementType();
+      BaseLV = LValue{P.Block, P.Offset, StructTy};
+    } else {
+      if (!evalLValue(M->base(), BaseLV))
+        return false;
+      StructTy = BaseLV.Ty;
+    }
+    const Type::Field &F = StructTy->fields()[M->fieldIndex()];
+    Out = LValue{BaseLV.Block, BaseLV.Offset + static_cast<int64_t>(F.Offset),
+                 F.Ty};
+    return true;
+  }
+  case Expr::Kind::Conditional: {
+    // Needed for struct-valued ?: as in the paper's Figure 3 program.
+    const auto *C = cast<ConditionalExpr>(E);
+    Value Cond = evalExpr(C->cond());
+    if (Failed)
+      return false;
+    return evalLValue(truthy(Cond) ? C->trueExpr() : C->falseExpr(), Out);
+  }
+  default:
+    fail(ExecStatus::Unsupported, "expression is not an lvalue");
+    return false;
+  }
+}
+
+Value Interp::evalExpr(const Expr *E) {
+  if (Failed || !step())
+    return {};
+  switch (E->kind()) {
+  case Expr::Kind::IntegerLiteral:
+    return makeInt(E->type(), cast<IntegerLiteral>(E)->value());
+  case Expr::Kind::StringLiteral:
+    fail(ExecStatus::Unsupported, "string literal outside printf");
+    return {};
+  case Expr::Kind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(E);
+    LValue LV;
+    if (!evalLValue(E, LV))
+      return {};
+    // Arrays decay to a pointer to their first element.
+    if (Ref->decl()->type()->isArray()) {
+      Value V;
+      V.Ty = Ctx.types().pointerTo(Ref->decl()->type()->elementType());
+      V.Block = LV.Block;
+      V.Offset = LV.Offset;
+      return V;
+    }
+    if (!Ref->decl()->type()->isScalar()) {
+      fail(ExecStatus::Unsupported, "aggregate rvalue use");
+      return {};
+    }
+    return loadScalar(LV);
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    switch (U->op()) {
+    case UnaryOp::Plus:
+      return convert(evalExpr(U->sub()), E->type());
+    case UnaryOp::Neg: {
+      Value V = convert(evalExpr(U->sub()), E->type());
+      if (Failed || !requireInit(V, "negation"))
+        return {};
+      Value Zero = makeInt(E->type(), 0);
+      return applyArith(BinaryOp::Sub, E->type(), Zero, V, U->loc());
+    }
+    case UnaryOp::BitNot: {
+      Value V = convert(evalExpr(U->sub()), E->type());
+      if (Failed || !requireInit(V, "bitwise not"))
+        return {};
+      return makeInt(E->type(), ~V.Bits);
+    }
+    case UnaryOp::LogicalNot: {
+      Value V = evalExpr(U->sub());
+      if (Failed)
+        return {};
+      return makeInt(E->type(), truthy(V) ? 0 : 1);
+    }
+    case UnaryOp::Deref: {
+      LValue LV;
+      if (!evalLValue(E, LV))
+        return {};
+      if (LV.Ty->isArray()) {
+        Value V;
+        V.Ty = Ctx.types().pointerTo(LV.Ty->elementType());
+        V.Block = LV.Block;
+        V.Offset = LV.Offset;
+        return V;
+      }
+      if (!LV.Ty->isScalar()) {
+        fail(ExecStatus::Unsupported, "aggregate rvalue deref");
+        return {};
+      }
+      return loadScalar(LV);
+    }
+    case UnaryOp::AddrOf: {
+      LValue LV;
+      if (!evalLValue(U->sub(), LV))
+        return {};
+      Value V;
+      V.Ty = E->type();
+      V.Block = LV.Block;
+      V.Offset = LV.Offset;
+      return V;
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      LValue LV;
+      if (!evalLValue(U->sub(), LV))
+        return {};
+      Value Old = loadScalar(LV);
+      if (Failed)
+        return {};
+      bool IsInc =
+          U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PostInc;
+      Value New;
+      if (Old.isPointer()) {
+        New = pointerAdd(Old, IsInc ? 1 : -1, U->loc());
+      } else {
+        const Type *Ty = promoted(Old.Ty);
+        Value One = makeInt(Ty, 1);
+        New = applyArith(IsInc ? BinaryOp::Add : BinaryOp::Sub, Ty,
+                         convert(Old, Ty), One, U->loc());
+        if (!Failed)
+          New = convert(New, Old.Ty);
+      }
+      if (Failed)
+        return {};
+      storeScalar(LV, New);
+      bool IsPost =
+          U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec;
+      return IsPost ? Old : New;
+    }
+    }
+    return {};
+  }
+  case Expr::Kind::Binary:
+    return evalBinary(cast<BinaryExpr>(E));
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    Value Cond = evalExpr(C->cond());
+    if (Failed)
+      return {};
+    const Expr *Arm = truthy(Cond) ? C->trueExpr() : C->falseExpr();
+    if (Failed)
+      return {};
+    Value V = evalExpr(Arm);
+    if (Failed)
+      return {};
+    return E->type()->isScalar() ? convert(V, E->type()) : V;
+  }
+  case Expr::Kind::Call:
+    return evalCall(cast<CallExpr>(E));
+  case Expr::Kind::Index: {
+    LValue LV;
+    if (!evalLValue(E, LV))
+      return {};
+    if (LV.Ty->isArray()) {
+      Value V;
+      V.Ty = Ctx.types().pointerTo(LV.Ty->elementType());
+      V.Block = LV.Block;
+      V.Offset = LV.Offset;
+      return V;
+    }
+    return loadScalar(LV);
+  }
+  case Expr::Kind::Member: {
+    LValue LV;
+    if (!evalLValue(E, LV))
+      return {};
+    if (LV.Ty->isArray()) {
+      Value V;
+      V.Ty = Ctx.types().pointerTo(LV.Ty->elementType());
+      V.Block = LV.Block;
+      V.Offset = LV.Offset;
+      return V;
+    }
+    if (!LV.Ty->isScalar()) {
+      fail(ExecStatus::Unsupported, "aggregate rvalue member");
+      return {};
+    }
+    return loadScalar(LV);
+  }
+  case Expr::Kind::Cast: {
+    Value V = evalExpr(cast<CastExpr>(E)->sub());
+    if (Failed)
+      return {};
+    if (V.Uninit)
+      return V;
+    return convert(V, E->type());
+  }
+  case Expr::Kind::SizeOf: {
+    const auto *S = cast<SizeOfExpr>(E);
+    const Type *Ty =
+        S->typeOperand() ? S->typeOperand() : S->exprOperand()->type();
+    uint64_t Size = Ty->isPointer() ? 8 : Ty->sizeInBytes();
+    if (Ty->isArray() && Ty->elementType()->isPointer())
+      Size = Ty->arraySize() * 8;
+    return makeInt(E->type(), Size);
+  }
+  case Expr::Kind::InitList:
+    fail(ExecStatus::Unsupported, "initializer list in expression");
+    return {};
+  }
+  return {};
+}
+
+Value Interp::evalBinary(const BinaryExpr *B) {
+  BinaryOp Op = B->op();
+
+  if (Op == BinaryOp::Comma) {
+    evalExpr(B->lhs());
+    if (Failed)
+      return {};
+    return evalExpr(B->rhs());
+  }
+
+  if (Op == BinaryOp::LogicalAnd || Op == BinaryOp::LogicalOr) {
+    Value L = evalExpr(B->lhs());
+    if (Failed)
+      return {};
+    bool LTrue = truthy(L);
+    if (Failed)
+      return {};
+    if (Op == BinaryOp::LogicalAnd && !LTrue)
+      return makeInt(B->type(), 0);
+    if (Op == BinaryOp::LogicalOr && LTrue)
+      return makeInt(B->type(), 1);
+    Value R = evalExpr(B->rhs());
+    if (Failed)
+      return {};
+    return makeInt(B->type(), truthy(R) ? 1 : 0);
+  }
+
+  if (isAssignmentOp(Op)) {
+    // Struct assignment copies the whole object.
+    if (Op == BinaryOp::Assign && B->lhs()->type()->isStruct()) {
+      LValue Dst, Src;
+      if (!evalLValue(B->lhs(), Dst) || !evalLValue(B->rhs(), Src))
+        return {};
+      copyObject(Dst, Src, Dst.Ty->sizeInBytes());
+      Value V;
+      V.Ty = B->type();
+      V.Uninit = true; // Struct rvalue result is never used as a scalar.
+      return V;
+    }
+    LValue LV;
+    if (!evalLValue(B->lhs(), LV))
+      return {};
+    Value RHS = evalExpr(B->rhs());
+    if (Failed)
+      return {};
+    Value NewVal;
+    if (Op == BinaryOp::Assign) {
+      if (RHS.Uninit)
+        NewVal = RHS;
+      else
+        NewVal = convert(RHS, LV.Ty);
+    } else {
+      Value Old = loadScalar(LV);
+      if (Failed)
+        return {};
+      BinaryOp Base;
+      switch (Op) {
+      case BinaryOp::AddAssign:
+        Base = BinaryOp::Add;
+        break;
+      case BinaryOp::SubAssign:
+        Base = BinaryOp::Sub;
+        break;
+      case BinaryOp::MulAssign:
+        Base = BinaryOp::Mul;
+        break;
+      case BinaryOp::DivAssign:
+        Base = BinaryOp::Div;
+        break;
+      case BinaryOp::RemAssign:
+        Base = BinaryOp::Rem;
+        break;
+      case BinaryOp::ShlAssign:
+        Base = BinaryOp::Shl;
+        break;
+      case BinaryOp::ShrAssign:
+        Base = BinaryOp::Shr;
+        break;
+      case BinaryOp::AndAssign:
+        Base = BinaryOp::BitAnd;
+        break;
+      case BinaryOp::XorAssign:
+        Base = BinaryOp::BitXor;
+        break;
+      default:
+        Base = BinaryOp::BitOr;
+        break;
+      }
+      if (Old.isPointer()) {
+        if (!requireInit(RHS, "pointer arithmetic"))
+          return {};
+        int64_t Delta = static_cast<int64_t>(RHS.Bits);
+        NewVal = pointerAdd(Old, Base == BinaryOp::Sub ? -Delta : Delta,
+                            B->loc());
+      } else {
+        const Type *Ty = arithResultType(Base, Old.Ty,
+                                         RHS.Ty ? RHS.Ty : Old.Ty);
+        Value R = Base == BinaryOp::Shl || Base == BinaryOp::Shr
+                      ? RHS
+                      : convert(RHS, Ty);
+        NewVal = applyArith(Base, Ty, convert(Old, Ty), R, B->loc());
+        if (!Failed)
+          NewVal = convert(NewVal, LV.Ty);
+      }
+      if (Failed)
+        return {};
+    }
+    storeScalar(LV, NewVal);
+    if (Failed)
+      return {};
+    return NewVal.Uninit ? NewVal : convert(NewVal, LV.Ty);
+  }
+
+  Value L = evalExpr(B->lhs());
+  if (Failed)
+    return {};
+  Value R = evalExpr(B->rhs());
+  if (Failed)
+    return {};
+
+  // Pointer arithmetic and comparison.
+  bool LPtr = L.isPointer(), RPtr = R.isPointer();
+  if (Op == BinaryOp::Add && (LPtr || RPtr)) {
+    if (!requireInit(L, "pointer arithmetic") ||
+        !requireInit(R, "pointer arithmetic"))
+      return {};
+    const Value &P = LPtr ? L : R;
+    const Value &N = LPtr ? R : L;
+    return pointerAdd(P, static_cast<int64_t>(N.Bits), B->loc());
+  }
+  if (Op == BinaryOp::Sub && LPtr) {
+    if (!requireInit(L, "pointer arithmetic") ||
+        !requireInit(R, "pointer arithmetic"))
+      return {};
+    if (RPtr) {
+      if (L.Block != R.Block) {
+        ub("subtraction of pointers into different objects");
+        return {};
+      }
+      uint64_t ElemSize = L.Ty->elementType()->sizeInBytes();
+      int64_t Diff = (L.Offset - R.Offset) / static_cast<int64_t>(ElemSize);
+      return makeInt(B->type(), static_cast<uint64_t>(Diff));
+    }
+    return pointerAdd(L, -static_cast<int64_t>(R.Bits), B->loc());
+  }
+  if (isComparisonOp(Op) && (LPtr || RPtr)) {
+    if (!requireInit(L, "comparison") || !requireInit(R, "comparison"))
+      return {};
+    Value PL = LPtr ? L : convert(L, R.Ty);
+    Value PR = RPtr ? R : convert(R, L.Ty);
+    if (Op == BinaryOp::EQ || Op == BinaryOp::NE) {
+      bool Eq = PL.Block == PR.Block && PL.Offset == PR.Offset;
+      return makeInt(B->type(), (Op == BinaryOp::EQ) == Eq ? 1 : 0);
+    }
+    if (PL.Block != PR.Block) {
+      ub("relational comparison of pointers into different objects");
+      return {};
+    }
+    bool Res;
+    switch (Op) {
+    case BinaryOp::LT:
+      Res = PL.Offset < PR.Offset;
+      break;
+    case BinaryOp::GT:
+      Res = PL.Offset > PR.Offset;
+      break;
+    case BinaryOp::LE:
+      Res = PL.Offset <= PR.Offset;
+      break;
+    default:
+      Res = PL.Offset >= PR.Offset;
+      break;
+    }
+    return makeInt(B->type(), Res ? 1 : 0);
+  }
+
+  if (isComparisonOp(Op)) {
+    if (!requireInit(L, "comparison") || !requireInit(R, "comparison"))
+      return {};
+    const Type *Ty = arithResultType(BinaryOp::Add, L.Ty, R.Ty);
+    uint64_t UL = normalizeInt(Ty, L.Bits);
+    uint64_t UR = normalizeInt(Ty, R.Bits);
+    int64_t SL = static_cast<int64_t>(UL);
+    int64_t SR = static_cast<int64_t>(UR);
+    bool Signed = Ty->isSigned();
+    bool Res;
+    switch (Op) {
+    case BinaryOp::LT:
+      Res = Signed ? SL < SR : UL < UR;
+      break;
+    case BinaryOp::GT:
+      Res = Signed ? SL > SR : UL > UR;
+      break;
+    case BinaryOp::LE:
+      Res = Signed ? SL <= SR : UL <= UR;
+      break;
+    case BinaryOp::GE:
+      Res = Signed ? SL >= SR : UL >= UR;
+      break;
+    case BinaryOp::EQ:
+      Res = UL == UR;
+      break;
+    default:
+      Res = UL != UR;
+      break;
+    }
+    return makeInt(B->type(), Res ? 1 : 0);
+  }
+
+  // Plain integer arithmetic.
+  const Type *Ty = B->type();
+  Value CL = Op == BinaryOp::Shl || Op == BinaryOp::Shr ? convert(L, Ty) : convert(L, Ty);
+  Value CR = Op == BinaryOp::Shl || Op == BinaryOp::Shr ? R : convert(R, Ty);
+  return applyArith(Op, Ty, CL, CR, B->loc());
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+void Interp::doPrintf(const CallExpr *C) {
+  const auto *Fmt = cast<StringLiteral>(C->args()[0]);
+  std::vector<Value> Args;
+  for (size_t I = 1; I < C->args().size(); ++I) {
+    Args.push_back(evalExpr(C->args()[I]));
+    if (Failed)
+      return;
+    if (!requireInit(Args.back(), "printf argument"))
+      return;
+  }
+  const std::string &F = Fmt->value();
+  size_t Arg = 0;
+  std::string Out;
+  auto NextArg = [&](const char *Spec) -> const Value * {
+    if (Arg >= Args.size()) {
+      ub(std::string("printf: missing argument for %") + Spec);
+      return nullptr;
+    }
+    return &Args[Arg++];
+  };
+  for (size_t I = 0; I < F.size(); ++I) {
+    if (F[I] != '%') {
+      Out += F[I];
+      continue;
+    }
+    ++I;
+    if (I >= F.size())
+      break;
+    bool Long = false;
+    while (I < F.size() && F[I] == 'l') {
+      Long = true;
+      ++I;
+    }
+    char Conv = I < F.size() ? F[I] : '%';
+    switch (Conv) {
+    case '%':
+      Out += '%';
+      break;
+    case 'd':
+    case 'i': {
+      const Value *V = NextArg("d");
+      if (!V)
+        return;
+      int64_t X = static_cast<int64_t>(V->Bits);
+      if (!Long)
+        X = static_cast<int32_t>(V->Bits);
+      Out += std::to_string(X);
+      break;
+    }
+    case 'u': {
+      const Value *V = NextArg("u");
+      if (!V)
+        return;
+      uint64_t X = Long ? V->Bits : static_cast<uint32_t>(V->Bits);
+      Out += std::to_string(X);
+      break;
+    }
+    case 'x': {
+      const Value *V = NextArg("x");
+      if (!V)
+        return;
+      uint64_t X = Long ? V->Bits : static_cast<uint32_t>(V->Bits);
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%llx",
+                    static_cast<unsigned long long>(X));
+      Out += Buf;
+      break;
+    }
+    case 'c': {
+      const Value *V = NextArg("c");
+      if (!V)
+        return;
+      Out += static_cast<char>(V->Bits & 0xff);
+      break;
+    }
+    default:
+      fail(ExecStatus::Unsupported,
+           std::string("printf conversion %") + Conv);
+      return;
+    }
+  }
+  Result.Output += Out;
+}
+
+Value Interp::evalCall(const CallExpr *C) {
+  if (C->callee()->name() == "printf") {
+    doPrintf(C);
+    return makeInt(Ctx.types().int32Type(), 0);
+  }
+  const FunctionDecl *F = C->callee()->functionDecl();
+  if (!F || !F->isDefinition()) {
+    fail(ExecStatus::Unsupported,
+         "call to undefined function '" + C->callee()->name() + "'");
+    return {};
+  }
+  std::vector<Value> Args;
+  for (const Expr *A : C->args()) {
+    Args.push_back(evalExpr(A));
+    if (Failed)
+      return {};
+  }
+  return callFunction(F, Args);
+}
+
+Value Interp::callFunction(const FunctionDecl *F,
+                           const std::vector<Value> &Args) {
+  if (++CallDepth > Opts.MaxCallDepth) {
+    fail(ExecStatus::Timeout, "call depth exceeded");
+    --CallDepth;
+    return {};
+  }
+  Frames.emplace_back();
+  for (size_t I = 0; I < F->params().size(); ++I) {
+    const VarDecl *P = F->params()[I];
+    uint32_t Block = allocate(P->name(), P->type()->sizeInBytes(), false);
+    Frames.back()[P] = Block;
+    Value V = Args[I];
+    if (!V.Uninit)
+      V = convert(V, P->type());
+    storeScalar(LValue{Block, 0, P->type()}, V);
+    if (Failed)
+      break;
+  }
+  Signal Sig;
+  if (!Failed)
+    Sig = runBody(F->body());
+  deallocateFrame(Frames.back());
+  Frames.pop_back();
+  --CallDepth;
+  if (Failed)
+    return {};
+  if (Sig.K == Signal::Return && !F->returnType()->isVoid()) {
+    if (Sig.Ret.Uninit)
+      return Sig.Ret;
+    return convert(Sig.Ret, F->returnType());
+  }
+  // Fell off the end (or void return): an indeterminate value, which is UB
+  // only if the caller uses it.
+  Value V;
+  V.Ty = F->returnType()->isVoid() ? Ctx.types().int32Type()
+                                   : F->returnType();
+  V.Uninit = true;
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Interp::execVarDecl(const VarDecl *V) {
+  uint64_t Size = V->type()->sizeInBytes();
+  if (Size == 0) {
+    fail(ExecStatus::Unsupported,
+         "variable of incomplete type '" + V->name() + "'");
+    return;
+  }
+  uint32_t Block = allocate(V->name(), Size, false);
+  Frames.back()[V] = Block;
+  if (V->init())
+    initializeObject(LValue{Block, 0, V->type()}, V->init());
+}
+
+void Interp::initializeObject(const LValue &LV, const Expr *Init) {
+  if (const auto *List = dyn_cast<InitListExpr>(Init)) {
+    // Zero-fill first: C zero-initializes the remainder of a braced object.
+    MemBlock &B = Blocks[LV.Block];
+    uint64_t Size = LV.Ty->sizeInBytes();
+    if (!checkAccess(LV, Size, "write"))
+      return;
+    for (uint64_t I = 0; I < Size; ++I) {
+      B.Bytes[LV.Offset + I] = 0;
+      B.Init[LV.Offset + I] = true;
+    }
+    if (LV.Ty->isArray()) {
+      const Type *Elem = LV.Ty->elementType();
+      for (size_t I = 0; I < List->elements().size(); ++I)
+        initializeObject(LValue{LV.Block,
+                                LV.Offset + static_cast<int64_t>(
+                                                I * Elem->sizeInBytes()),
+                                Elem},
+                         List->elements()[I]);
+      return;
+    }
+    if (LV.Ty->isStruct()) {
+      const auto &Fields = LV.Ty->fields();
+      for (size_t I = 0; I < List->elements().size() && I < Fields.size();
+           ++I)
+        initializeObject(LValue{LV.Block,
+                                LV.Offset +
+                                    static_cast<int64_t>(Fields[I].Offset),
+                                Fields[I].Ty},
+                         List->elements()[I]);
+      return;
+    }
+    // Scalar braced initializer: { expr }.
+    if (!List->elements().empty())
+      initializeObject(LV, List->elements()[0]);
+    return;
+  }
+  Value V = evalExpr(Init);
+  if (Failed)
+    return;
+  if (!LV.Ty->isScalar()) {
+    fail(ExecStatus::Unsupported, "aggregate initializer expression");
+    return;
+  }
+  if (!V.Uninit)
+    V = convert(V, LV.Ty);
+  storeScalar(LV, V);
+}
+
+Signal Interp::execStmt(const Stmt *S) {
+  Signal None;
+  if (Failed || !S || !step())
+    return None;
+  Result.ExecutedStmts.insert(S->stmtId());
+  switch (S->kind()) {
+  case Stmt::Kind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body()) {
+      Signal Sig = execStmt(Child);
+      if (Failed || Sig.K != Signal::None)
+        return Sig;
+    }
+    return None;
+  case Stmt::Kind::Decl:
+    for (const VarDecl *V : cast<DeclStmt>(S)->decls()) {
+      execVarDecl(V);
+      if (Failed)
+        return None;
+    }
+    return None;
+  case Stmt::Kind::Expr:
+    if (const Expr *E = cast<ExprStmt>(S)->expr())
+      evalExpr(E);
+    return None;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    Value Cond = evalExpr(I->cond());
+    if (Failed)
+      return None;
+    bool Taken = truthy(Cond);
+    if (Failed)
+      return None;
+    if (Taken)
+      return execStmt(I->thenStmt());
+    if (I->elseStmt())
+      return execStmt(I->elseStmt());
+    return None;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    for (;;) {
+      if (!step())
+        return None;
+      Value Cond = evalExpr(W->cond());
+      if (Failed || !truthy(Cond) || Failed)
+        return None;
+      Signal Sig = execStmt(W->body());
+      if (Failed)
+        return None;
+      if (Sig.K == Signal::Break)
+        return None;
+      if (Sig.K == Signal::Return || Sig.K == Signal::Goto)
+        return Sig;
+    }
+  }
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    for (;;) {
+      if (!step())
+        return None;
+      Signal Sig = execStmt(D->body());
+      if (Failed)
+        return None;
+      if (Sig.K == Signal::Break)
+        return None;
+      if (Sig.K == Signal::Return || Sig.K == Signal::Goto)
+        return Sig;
+      Value Cond = evalExpr(D->cond());
+      if (Failed || !truthy(Cond) || Failed)
+        return None;
+    }
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    if (F->init()) {
+      execStmt(F->init());
+      if (Failed)
+        return None;
+    }
+    for (;;) {
+      if (!step())
+        return None;
+      if (F->cond()) {
+        Value Cond = evalExpr(F->cond());
+        if (Failed || !truthy(Cond) || Failed)
+          return None;
+      }
+      Signal Sig = execStmt(F->body());
+      if (Failed)
+        return None;
+      if (Sig.K == Signal::Break)
+        return None;
+      if (Sig.K == Signal::Return || Sig.K == Signal::Goto)
+        return Sig;
+      if (F->step()) {
+        evalExpr(F->step());
+        if (Failed)
+          return None;
+      }
+    }
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    Signal Sig;
+    Sig.K = Signal::Return;
+    if (R->value()) {
+      Sig.Ret = evalExpr(R->value());
+      if (Failed)
+        return None;
+    } else {
+      Sig.Ret.Uninit = true;
+      Sig.Ret.Ty = Ctx.types().int32Type();
+    }
+    return Sig;
+  }
+  case Stmt::Kind::Break: {
+    Signal Sig;
+    Sig.K = Signal::Break;
+    return Sig;
+  }
+  case Stmt::Kind::Continue: {
+    Signal Sig;
+    Sig.K = Signal::Continue;
+    return Sig;
+  }
+  case Stmt::Kind::Goto: {
+    Signal Sig;
+    Sig.K = Signal::Goto;
+    Sig.Label = cast<GotoStmt>(S)->label();
+    return Sig;
+  }
+  case Stmt::Kind::Label:
+    return execStmt(cast<LabelStmt>(S)->sub());
+  }
+  return None;
+}
+
+/// Seeks \p Label inside \p S without executing anything; once found,
+/// execution resumes normally from the label onward.
+Signal Interp::execSeek(const Stmt *S, const std::string &Label,
+                        bool &Found) {
+  Signal None;
+  if (Failed || !S)
+    return None;
+  switch (S->kind()) {
+  case Stmt::Kind::Compound: {
+    const auto *C = cast<CompoundStmt>(S);
+    for (size_t I = 0; I < C->body().size(); ++I) {
+      if (!Found) {
+        Signal Sig = execSeek(C->body()[I], Label, Found);
+        if (Failed || (Found && Sig.K != Signal::None))
+          return Sig;
+        continue;
+      }
+      Signal Sig = execStmt(C->body()[I]);
+      if (Failed || Sig.K != Signal::None)
+        return Sig;
+    }
+    return None;
+  }
+  case Stmt::Kind::Label: {
+    const auto *L = cast<LabelStmt>(S);
+    if (L->name() == Label) {
+      Found = true;
+      return execStmt(L->sub());
+    }
+    return execSeek(L->sub(), Label, Found);
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    Signal Sig = execSeek(I->thenStmt(), Label, Found);
+    if (Found || Failed)
+      return Sig;
+    if (I->elseStmt())
+      return execSeek(I->elseStmt(), Label, Found);
+    return None;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    Signal Sig = execSeek(W->body(), Label, Found);
+    if (!Found || Failed)
+      return None;
+    if (Sig.K == Signal::Break)
+      return None;
+    if (Sig.K == Signal::Return || Sig.K == Signal::Goto)
+      return Sig;
+    // Entered the loop mid-body; continue iterating normally.
+    return execStmt(S);
+  }
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    Signal Sig = execSeek(D->body(), Label, Found);
+    if (!Found || Failed)
+      return None;
+    if (Sig.K == Signal::Break)
+      return None;
+    if (Sig.K == Signal::Return || Sig.K == Signal::Goto)
+      return Sig;
+    Value Cond = evalExpr(D->cond());
+    if (Failed || !truthy(Cond) || Failed)
+      return None;
+    return execStmt(S);
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    Signal Sig = execSeek(F->body(), Label, Found);
+    if (!Found || Failed)
+      return None;
+    if (Sig.K == Signal::Break)
+      return None;
+    if (Sig.K == Signal::Return || Sig.K == Signal::Goto)
+      return Sig;
+    // Continue the loop from the step expression (no re-init).
+    for (;;) {
+      if (F->step()) {
+        evalExpr(F->step());
+        if (Failed)
+          return None;
+      }
+      if (!step())
+        return None;
+      if (F->cond()) {
+        Value Cond = evalExpr(F->cond());
+        if (Failed || !truthy(Cond) || Failed)
+          return None;
+      }
+      Signal Inner = execStmt(F->body());
+      if (Failed)
+        return None;
+      if (Inner.K == Signal::Break)
+        return None;
+      if (Inner.K == Signal::Return || Inner.K == Signal::Goto)
+        return Inner;
+    }
+  }
+  default:
+    return None;
+  }
+}
+
+Signal Interp::runBody(const CompoundStmt *Body) {
+  Signal Sig = execStmt(Body);
+  while (!Failed && Sig.K == Signal::Goto) {
+    bool Found = false;
+    Sig = execSeek(Body, Sig.Label, Found);
+    if (!Found && !Failed) {
+      fail(ExecStatus::Unsupported, "goto to unknown label");
+      break;
+    }
+  }
+  return Sig;
+}
+
+ExecResult Interp::run() {
+  const FunctionDecl *Main = Ctx.findFunction("main");
+  if (!Main || !Main->isDefinition()) {
+    Result.Status = ExecStatus::Unsupported;
+    Result.Message = "no main function";
+    return Result;
+  }
+  // Allocate all globals zero-initialized, then run initializers in order.
+  for (VarDecl *G : Ctx.globals()) {
+    uint64_t Size = G->type()->sizeInBytes();
+    if (Size == 0) {
+      Result.Status = ExecStatus::Unsupported;
+      Result.Message = "global of incomplete type '" + G->name() + "'";
+      return Result;
+    }
+    Globals[G] = allocate(G->name(), Size, true);
+  }
+  Frames.emplace_back(); // Pseudo-frame for initializer evaluation.
+  for (VarDecl *G : Ctx.globals()) {
+    if (G->init() && !Failed)
+      initializeObject(LValue{Globals[G], 0, G->type()}, G->init());
+  }
+  Frames.pop_back();
+  if (!Failed) {
+    Value Exit = callFunction(Main, {});
+    if (!Failed) {
+      Result.Status = ExecStatus::Ok;
+      // Falling off the end of main returns 0 (C99 5.1.2.2.3).
+      Result.ExitCode =
+          Exit.Uninit ? 0 : static_cast<int64_t>(static_cast<int32_t>(
+                                convert(Exit, Ctx.types().int32Type()).Bits));
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+ExecResult spe::interpret(ASTContext &Ctx, InterpOptions Opts) {
+  Interp I(Ctx, Opts);
+  return I.run();
+}

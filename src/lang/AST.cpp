@@ -1,0 +1,158 @@
+//===- lang/AST.cpp - Mini-C abstract syntax tree ------------------------===//
+
+#include "lang/AST.h"
+
+using namespace spe;
+
+// Out-of-line virtual anchors.
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+Decl::~Decl() = default;
+
+const char *spe::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::LT:
+    return "<";
+  case BinaryOp::GT:
+    return ">";
+  case BinaryOp::LE:
+    return "<=";
+  case BinaryOp::GE:
+    return ">=";
+  case BinaryOp::EQ:
+    return "==";
+  case BinaryOp::NE:
+    return "!=";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::LogicalAnd:
+    return "&&";
+  case BinaryOp::LogicalOr:
+    return "||";
+  case BinaryOp::Assign:
+    return "=";
+  case BinaryOp::MulAssign:
+    return "*=";
+  case BinaryOp::DivAssign:
+    return "/=";
+  case BinaryOp::RemAssign:
+    return "%=";
+  case BinaryOp::AddAssign:
+    return "+=";
+  case BinaryOp::SubAssign:
+    return "-=";
+  case BinaryOp::ShlAssign:
+    return "<<=";
+  case BinaryOp::ShrAssign:
+    return ">>=";
+  case BinaryOp::AndAssign:
+    return "&=";
+  case BinaryOp::XorAssign:
+    return "^=";
+  case BinaryOp::OrAssign:
+    return "|=";
+  case BinaryOp::Comma:
+    return ",";
+  }
+  return "?";
+}
+
+const char *spe::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Plus:
+    return "+";
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::LogicalNot:
+    return "!";
+  case UnaryOp::BitNot:
+    return "~";
+  case UnaryOp::Deref:
+    return "*";
+  case UnaryOp::AddrOf:
+    return "&";
+  case UnaryOp::PreInc:
+  case UnaryOp::PostInc:
+    return "++";
+  case UnaryOp::PreDec:
+  case UnaryOp::PostDec:
+    return "--";
+  }
+  return "?";
+}
+
+bool spe::isAssignmentOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Assign:
+  case BinaryOp::MulAssign:
+  case BinaryOp::DivAssign:
+  case BinaryOp::RemAssign:
+  case BinaryOp::AddAssign:
+  case BinaryOp::SubAssign:
+  case BinaryOp::ShlAssign:
+  case BinaryOp::ShrAssign:
+  case BinaryOp::AndAssign:
+  case BinaryOp::XorAssign:
+  case BinaryOp::OrAssign:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool spe::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::LT:
+  case BinaryOp::GT:
+  case BinaryOp::LE:
+  case BinaryOp::GE:
+  case BinaryOp::EQ:
+  case BinaryOp::NE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::vector<FunctionDecl *> ASTContext::functions() const {
+  std::vector<FunctionDecl *> Result;
+  for (Decl *D : TopLevel)
+    if (auto *F = dyn_cast<FunctionDecl>(D))
+      if (F->isDefinition())
+        Result.push_back(F);
+  return Result;
+}
+
+FunctionDecl *ASTContext::findFunction(const std::string &Name) const {
+  for (Decl *D : TopLevel)
+    if (auto *F = dyn_cast<FunctionDecl>(D))
+      if (F->name() == Name)
+        return F;
+  return nullptr;
+}
+
+std::vector<VarDecl *> ASTContext::globals() const {
+  std::vector<VarDecl *> Result;
+  for (Decl *D : TopLevel)
+    if (auto *V = dyn_cast<VarDecl>(D))
+      Result.push_back(V);
+  return Result;
+}

@@ -1,0 +1,381 @@
+//===- lang/AstPrinter.cpp - Mini-C source rendering ---------------------===//
+
+#include "lang/AstPrinter.h"
+
+#include <cassert>
+
+using namespace spe;
+
+namespace {
+
+/// C operator precedence levels used for minimal parenthesization.
+int binaryPrec(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Comma:
+    return 1;
+  case BinaryOp::Assign:
+  case BinaryOp::MulAssign:
+  case BinaryOp::DivAssign:
+  case BinaryOp::RemAssign:
+  case BinaryOp::AddAssign:
+  case BinaryOp::SubAssign:
+  case BinaryOp::ShlAssign:
+  case BinaryOp::ShrAssign:
+  case BinaryOp::AndAssign:
+  case BinaryOp::XorAssign:
+  case BinaryOp::OrAssign:
+    return 2;
+  case BinaryOp::LogicalOr:
+    return 4;
+  case BinaryOp::LogicalAnd:
+    return 5;
+  case BinaryOp::BitOr:
+    return 6;
+  case BinaryOp::BitXor:
+    return 7;
+  case BinaryOp::BitAnd:
+    return 8;
+  case BinaryOp::EQ:
+  case BinaryOp::NE:
+    return 9;
+  case BinaryOp::LT:
+  case BinaryOp::GT:
+  case BinaryOp::LE:
+  case BinaryOp::GE:
+    return 10;
+  case BinaryOp::Shl:
+  case BinaryOp::Shr:
+    return 11;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return 12;
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+    return 13;
+  }
+  return 0;
+}
+
+constexpr int CondPrec = 3;
+constexpr int UnaryPrec = 14;
+constexpr int PostfixPrec = 15;
+
+std::string indentOf(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+std::string escapeString(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\0':
+      Out += "\\0";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string AstPrinter::typePrefix(const Type *Ty) {
+  // Peel arrays to reach the element type for the prefix position.
+  const Type *Base = Ty;
+  while (Base->isArray())
+    Base = Base->elementType();
+  return Base->toString();
+}
+
+std::string AstPrinter::declaratorSuffix(const Type *Ty) {
+  std::string Suffix;
+  const Type *Base = Ty;
+  while (Base->isArray()) {
+    Suffix += "[" + std::to_string(Base->arraySize()) + "]";
+    Base = Base->elementType();
+  }
+  return Suffix;
+}
+
+std::string AstPrinter::printExpr(const Expr *E, int MinPrec) const {
+  std::string Out;
+  int Prec = 16; // Primary by default.
+  switch (E->kind()) {
+  case Expr::Kind::IntegerLiteral: {
+    const auto *Lit = cast<IntegerLiteral>(E);
+    Out = std::to_string(Lit->value());
+    if (Lit->type() && Lit->type()->isInteger()) {
+      if (!Lit->type()->isSigned())
+        Out += "u";
+      if (Lit->type()->intWidth() == 64)
+        Out += "l";
+    }
+    break;
+  }
+  case Expr::Kind::StringLiteral:
+    Out = "\"" + escapeString(cast<StringLiteral>(E)->value()) + "\"";
+    break;
+  case Expr::Kind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(E);
+    auto It = Subst.find(Ref);
+    Out = It != Subst.end() ? It->second : Ref->name();
+    break;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    bool Postfix =
+        U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec;
+    Prec = Postfix ? PostfixPrec : UnaryPrec;
+    if (Postfix) {
+      Out = printExpr(U->sub(), PostfixPrec) + unaryOpSpelling(U->op());
+    } else {
+      // Separate `- -x` and `+ +x` to avoid decrement/increment tokens.
+      std::string Sub = printExpr(U->sub(), UnaryPrec);
+      std::string Spell = unaryOpSpelling(U->op());
+      if (!Sub.empty() && (Spell == "-" || Spell == "+") && Sub[0] == Spell[0])
+        Spell += " ";
+      Out = Spell + Sub;
+    }
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Prec = binaryPrec(B->op());
+    bool RightAssoc = isAssignmentOp(B->op());
+    int LhsPrec = RightAssoc ? Prec + 1 : Prec;
+    int RhsPrec = RightAssoc ? Prec : Prec + 1;
+    if (B->op() == BinaryOp::Comma)
+      Out = printExpr(B->lhs(), Prec) + ", " + printExpr(B->rhs(), Prec + 1);
+    else
+      Out = printExpr(B->lhs(), LhsPrec) + " " + binaryOpSpelling(B->op()) +
+            " " + printExpr(B->rhs(), RhsPrec);
+    break;
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    Prec = CondPrec;
+    Out = printExpr(C->cond(), CondPrec + 1) + " ? " +
+          printExpr(C->trueExpr(), 0) + " : " +
+          printExpr(C->falseExpr(), CondPrec);
+    break;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Prec = PostfixPrec;
+    Out = printExpr(C->callee(), PostfixPrec) + "(";
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += printExpr(C->args()[I], 2);
+    }
+    Out += ")";
+    break;
+  }
+  case Expr::Kind::Index: {
+    const auto *Ix = cast<IndexExpr>(E);
+    Prec = PostfixPrec;
+    Out = printExpr(Ix->base(), PostfixPrec) + "[" +
+          printExpr(Ix->index(), 0) + "]";
+    break;
+  }
+  case Expr::Kind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    Prec = PostfixPrec;
+    Out = printExpr(M->base(), PostfixPrec) + (M->isArrow() ? "->" : ".") +
+          M->fieldName();
+    break;
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    Prec = UnaryPrec;
+    Out = "(" + C->toType()->toString() + ")" + printExpr(C->sub(), UnaryPrec);
+    break;
+  }
+  case Expr::Kind::SizeOf: {
+    const auto *S = cast<SizeOfExpr>(E);
+    Prec = UnaryPrec;
+    if (S->typeOperand())
+      Out = "sizeof(" + S->typeOperand()->toString() + ")";
+    else
+      Out = "sizeof " + printExpr(S->exprOperand(), UnaryPrec);
+    break;
+  }
+  case Expr::Kind::InitList: {
+    const auto *L = cast<InitListExpr>(E);
+    Out = "{";
+    for (size_t I = 0; I < L->elements().size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += printExpr(L->elements()[I], 2);
+    }
+    Out += "}";
+    break;
+  }
+  }
+  if (Prec < MinPrec)
+    return "(" + Out + ")";
+  return Out;
+}
+
+std::string AstPrinter::printVarDecl(const VarDecl *V) const {
+  std::string Out = typePrefix(V->type());
+  Out += " " + V->name() + declaratorSuffix(V->type());
+  if (V->init())
+    Out += " = " + printExpr(V->init(), 2);
+  return Out;
+}
+
+std::string AstPrinter::printStmt(const Stmt *S, unsigned Indent) const {
+  std::string Pad = indentOf(Indent);
+  if (S->stmtId() >= 0 && Deleted.count(S->stmtId()))
+    return Pad + ";\n";
+  switch (S->kind()) {
+  case Stmt::Kind::Compound: {
+    const auto *C = cast<CompoundStmt>(S);
+    std::string Out = Pad + "{\n";
+    for (const Stmt *Child : C->body())
+      Out += printStmt(Child, Indent + 1);
+    Out += Pad + "}\n";
+    return Out;
+  }
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    std::string Out;
+    for (const VarDecl *V : D->decls())
+      Out += Pad + printVarDecl(V) + ";\n";
+    return Out;
+  }
+  case Stmt::Kind::Expr: {
+    const auto *E = cast<ExprStmt>(S);
+    if (!E->expr())
+      return Pad + ";\n";
+    return Pad + printExpr(E->expr(), 0) + ";\n";
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    std::string Out = Pad + "if (" + printExpr(I->cond(), 0) + ")\n";
+    Out += printStmt(I->thenStmt(),
+                     Indent + (isa<CompoundStmt>(I->thenStmt()) ? 0 : 1));
+    if (I->elseStmt()) {
+      Out += Pad + "else\n";
+      Out += printStmt(I->elseStmt(),
+                       Indent + (isa<CompoundStmt>(I->elseStmt()) ? 0 : 1));
+    }
+    return Out;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    std::string Out = Pad + "while (" + printExpr(W->cond(), 0) + ")\n";
+    Out += printStmt(W->body(), Indent + (isa<CompoundStmt>(W->body()) ? 0 : 1));
+    return Out;
+  }
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    std::string Out = Pad + "do\n";
+    Out += printStmt(D->body(), Indent + (isa<CompoundStmt>(D->body()) ? 0 : 1));
+    Out += Pad + "while (" + printExpr(D->cond(), 0) + ");\n";
+    return Out;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    std::string Out = Pad + "for (";
+    if (const Stmt *Init = F->init()) {
+      // Render the init clause inline without its trailing newline.
+      if (const auto *DS = dyn_cast<DeclStmt>(Init)) {
+        for (size_t I = 0; I < DS->decls().size(); ++I) {
+          if (I != 0)
+            Out += ", ";
+          Out += printVarDecl(DS->decls()[I]);
+        }
+        Out += ";";
+      } else if (const auto *ES = dyn_cast<ExprStmt>(Init)) {
+        if (ES->expr())
+          Out += printExpr(ES->expr(), 0);
+        Out += ";";
+      }
+    } else {
+      Out += ";";
+    }
+    if (F->cond())
+      Out += " " + printExpr(F->cond(), 0);
+    Out += ";";
+    if (F->step())
+      Out += " " + printExpr(F->step(), 0);
+    Out += ")\n";
+    Out += printStmt(F->body(), Indent + (isa<CompoundStmt>(F->body()) ? 0 : 1));
+    return Out;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (!R->value())
+      return Pad + "return;\n";
+    return Pad + "return " + printExpr(R->value(), 0) + ";\n";
+  }
+  case Stmt::Kind::Break:
+    return Pad + "break;\n";
+  case Stmt::Kind::Continue:
+    return Pad + "continue;\n";
+  case Stmt::Kind::Goto:
+    return Pad + "goto " + cast<GotoStmt>(S)->label() + ";\n";
+  case Stmt::Kind::Label: {
+    const auto *L = cast<LabelStmt>(S);
+    return Pad + L->name() + ":\n" + printStmt(L->sub(), Indent);
+  }
+  }
+  return Pad + ";\n";
+}
+
+std::string AstPrinter::printFunction(const FunctionDecl *F) const {
+  std::string Out = F->returnType()->toString() + " " + F->name() + "(";
+  if (F->params().empty()) {
+    Out += "void";
+  } else {
+    for (size_t I = 0; I < F->params().size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      const VarDecl *P = F->params()[I];
+      Out += typePrefix(P->type()) + " " + P->name() +
+             declaratorSuffix(P->type());
+    }
+  }
+  Out += ")";
+  if (!F->isDefinition())
+    return Out + ";\n";
+  Out += "\n" + printStmt(F->body(), 0);
+  return Out;
+}
+
+std::string AstPrinter::print(const ASTContext &Ctx) const {
+  std::string Out;
+  for (const Decl *D : Ctx.TopLevel) {
+    if (const auto *R = dyn_cast<RecordDecl>(D)) {
+      Out += "struct " + R->name() + " {\n";
+      for (const Type::Field &F : R->type()->fields())
+        Out += "  " + typePrefix(F.Ty) + " " + F.Name +
+               declaratorSuffix(F.Ty) + ";\n";
+      Out += "};\n";
+      continue;
+    }
+    if (const auto *V = dyn_cast<VarDecl>(D)) {
+      Out += printVarDecl(V) + ";\n";
+      continue;
+    }
+    Out += printFunction(cast<FunctionDecl>(D));
+  }
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- lang/AstPrinter.h - Mini-C source rendering -----------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to compilable mini-C source with precedence-aware
+/// parenthesization. The printer accepts a substitution map from DeclRefExpr
+/// use sites to replacement variable names; this is how enumerated skeleton
+/// variants become concrete programs (skeleton/VariantRenderer.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_LANG_ASTPRINTER_H
+#define SPE_LANG_ASTPRINTER_H
+
+#include "lang/AST.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace spe {
+
+/// Pretty-prints ASTs as C source.
+class AstPrinter {
+public:
+  /// Optional map from a variable-use site to the name that should be
+  /// printed there instead of the referenced declaration's name.
+  using Substitution = std::map<const DeclRefExpr *, std::string>;
+
+  AstPrinter() = default;
+  explicit AstPrinter(Substitution Subst) : Subst(std::move(Subst)) {}
+
+  /// Statements whose Sema id is in this set are printed as the empty
+  /// statement `;` instead of their body. This is the mechanism behind the
+  /// Orion-style dead-statement deletion baseline (paper Section 5.2.3).
+  void setDeletedStmts(std::set<int> Ids) { Deleted = std::move(Ids); }
+
+  /// Renders the whole translation unit.
+  std::string print(const ASTContext &Ctx) const;
+
+  /// Renders one expression (mostly for tests and diagnostics).
+  std::string printExpr(const Expr *E) const { return printExpr(E, 0); }
+
+  /// Renders one statement at the given indent level.
+  std::string printStmt(const Stmt *S, unsigned Indent = 0) const;
+
+private:
+  std::string printExpr(const Expr *E, int MinPrec) const;
+  std::string printVarDecl(const VarDecl *V) const;
+  std::string printFunction(const FunctionDecl *F) const;
+  static std::string typePrefix(const Type *Ty);
+  static std::string declaratorSuffix(const Type *Ty);
+
+  Substitution Subst;
+  std::set<int> Deleted;
+};
+
+} // namespace spe
+
+#endif // SPE_LANG_ASTPRINTER_H

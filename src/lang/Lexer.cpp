@@ -1,0 +1,390 @@
+//===- lang/Lexer.cpp - Mini-C lexer --------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace spe;
+
+const char *spe::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntegerConstant:
+    return "integer constant";
+  case TokenKind::StringConstant:
+    return "string constant";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwShort:
+    return "'short'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwSigned:
+    return "'signed'";
+  case TokenKind::KwUnsigned:
+    return "'unsigned'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwGoto:
+    return "'goto'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  default:
+    return "punctuation";
+  }
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start = here();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = lexToken();
+    bool Done = T.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"void", TokenKind::KwVoid},         {"char", TokenKind::KwChar},
+      {"short", TokenKind::KwShort},       {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},         {"signed", TokenKind::KwSigned},
+      {"unsigned", TokenKind::KwUnsigned}, {"struct", TokenKind::KwStruct},
+      {"if", TokenKind::KwIf},             {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},       {"do", TokenKind::KwDo},
+      {"for", TokenKind::KwFor},           {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},       {"continue", TokenKind::KwContinue},
+      {"goto", TokenKind::KwGoto},         {"sizeof", TokenKind::KwSizeof},
+      {"static", TokenKind::KwStatic},     {"extern", TokenKind::KwExtern},
+      {"const", TokenKind::KwConst},
+  };
+  Token T;
+  T.Loc = here();
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+  auto It = Keywords.find(Text);
+  T.Kind = It != Keywords.end() ? It->second : TokenKind::Identifier;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  Token T;
+  T.Loc = here();
+  T.Kind = TokenKind::IntegerConstant;
+  uint64_t Value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      unsigned Digit = C <= '9' ? C - '0' : (C | 0x20) - 'a' + 10;
+      Value = Value * 16 + Digit;
+    }
+  } else if (peek() == '0') {
+    advance();
+    while (peek() >= '0' && peek() <= '7')
+      Value = Value * 8 + (advance() - '0');
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+  }
+  // Suffixes, in any order.
+  for (;;) {
+    char C = peek();
+    if (C == 'u' || C == 'U') {
+      T.IsUnsigned = true;
+      advance();
+    } else if (C == 'l' || C == 'L') {
+      T.IsLong = true;
+      advance();
+      if (peek() == 'l' || peek() == 'L')
+        advance();
+    } else {
+      break;
+    }
+  }
+  T.IntValue = Value;
+  return T;
+}
+
+int Lexer::decodeEscapedChar() {
+  char C = advance();
+  if (C != '\\')
+    return static_cast<unsigned char>(C);
+  char E = advance();
+  switch (E) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    Diags.warning(here(), std::string("unknown escape sequence '\\") + E +
+                              "'");
+    return static_cast<unsigned char>(E);
+  }
+}
+
+Token Lexer::lexCharConstant() {
+  Token T;
+  T.Loc = here();
+  T.Kind = TokenKind::IntegerConstant;
+  advance(); // Opening quote.
+  T.IntValue = static_cast<uint64_t>(decodeEscapedChar());
+  if (!match('\''))
+    Diags.error(T.Loc, "unterminated character constant");
+  return T;
+}
+
+Token Lexer::lexStringConstant() {
+  Token T;
+  T.Loc = here();
+  T.Kind = TokenKind::StringConstant;
+  advance(); // Opening quote.
+  while (peek() != '"') {
+    if (peek() == '\0' || peek() == '\n') {
+      Diags.error(T.Loc, "unterminated string constant");
+      return T;
+    }
+    T.Text += static_cast<char>(decodeEscapedChar());
+  }
+  advance(); // Closing quote.
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  Token T;
+  T.Loc = here();
+  char C = peek();
+  if (C == '\0') {
+    T.Kind = TokenKind::EndOfFile;
+    return T;
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '\'')
+    return lexCharConstant();
+  if (C == '"')
+    return lexStringConstant();
+
+  advance();
+  switch (C) {
+  case '(':
+    T.Kind = TokenKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    return T;
+  case '{':
+    T.Kind = TokenKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokenKind::RBrace;
+    return T;
+  case '[':
+    T.Kind = TokenKind::LBracket;
+    return T;
+  case ']':
+    T.Kind = TokenKind::RBracket;
+    return T;
+  case ';':
+    T.Kind = TokenKind::Semi;
+    return T;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    return T;
+  case ':':
+    T.Kind = TokenKind::Colon;
+    return T;
+  case '?':
+    T.Kind = TokenKind::Question;
+    return T;
+  case '.':
+    T.Kind = TokenKind::Dot;
+    return T;
+  case '~':
+    T.Kind = TokenKind::Tilde;
+    return T;
+  case '+':
+    T.Kind = match('+')   ? TokenKind::PlusPlus
+             : match('=') ? TokenKind::PlusEqual
+                          : TokenKind::Plus;
+    return T;
+  case '-':
+    T.Kind = match('-')   ? TokenKind::MinusMinus
+             : match('=') ? TokenKind::MinusEqual
+             : match('>') ? TokenKind::Arrow
+                          : TokenKind::Minus;
+    return T;
+  case '*':
+    T.Kind = match('=') ? TokenKind::StarEqual : TokenKind::Star;
+    return T;
+  case '/':
+    T.Kind = match('=') ? TokenKind::SlashEqual : TokenKind::Slash;
+    return T;
+  case '%':
+    T.Kind = match('=') ? TokenKind::PercentEqual : TokenKind::Percent;
+    return T;
+  case '&':
+    T.Kind = match('&')   ? TokenKind::AmpAmp
+             : match('=') ? TokenKind::AmpEqual
+                          : TokenKind::Amp;
+    return T;
+  case '|':
+    T.Kind = match('|')   ? TokenKind::PipePipe
+             : match('=') ? TokenKind::PipeEqual
+                          : TokenKind::Pipe;
+    return T;
+  case '^':
+    T.Kind = match('=') ? TokenKind::CaretEqual : TokenKind::Caret;
+    return T;
+  case '!':
+    T.Kind = match('=') ? TokenKind::ExclaimEqual : TokenKind::Exclaim;
+    return T;
+  case '=':
+    T.Kind = match('=') ? TokenKind::EqualEqual : TokenKind::Equal;
+    return T;
+  case '<':
+    if (match('<'))
+      T.Kind = match('=') ? TokenKind::LessLessEqual : TokenKind::LessLess;
+    else
+      T.Kind = match('=') ? TokenKind::LessEqual : TokenKind::Less;
+    return T;
+  case '>':
+    if (match('>'))
+      T.Kind =
+          match('=') ? TokenKind::GreaterGreaterEqual : TokenKind::GreaterGreater;
+    else
+      T.Kind = match('=') ? TokenKind::GreaterEqual : TokenKind::Greater;
+    return T;
+  default:
+    Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+    return lexToken();
+  }
+}

@@ -1,0 +1,151 @@
+//===- lang/Lexer.h - Mini-C lexer ---------------------------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the mini-C dialect: identifiers/keywords, integer
+/// and character literals (decimal/hex/octal with U/L suffixes), string
+/// literals with escapes, all C operators used by the grammar, and // and
+/// /* */ comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_LANG_LEXER_H
+#define SPE_LANG_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntegerConstant,
+  StringConstant,
+  // Keywords.
+  KwVoid,
+  KwChar,
+  KwShort,
+  KwInt,
+  KwLong,
+  KwSigned,
+  KwUnsigned,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwGoto,
+  KwSizeof,
+  KwStatic,
+  KwExtern,
+  KwConst,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Question,
+  Dot,
+  Arrow,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Exclaim,
+  Less,
+  Greater,
+  LessLess,
+  GreaterGreater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  ExclaimEqual,
+  AmpAmp,
+  PipePipe,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// \returns a printable name for \p Kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLocation Loc;
+  /// Identifier or string spelling.
+  std::string Text;
+  /// Integer constant value.
+  uint64_t IntValue = 0;
+  /// Integer constant carried an unsigned / long suffix.
+  bool IsUnsigned = false;
+  bool IsLong = false;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes a whole buffer eagerly.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the entire buffer. The returned vector always ends with an
+  /// EndOfFile token.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  SourceLocation here() const { return {Line, Column}; }
+  void skipWhitespaceAndComments();
+  Token lexToken();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharConstant();
+  Token lexStringConstant();
+  /// Decodes one (possibly escaped) character of a char/string literal.
+  int decodeEscapedChar();
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace spe
+
+#endif // SPE_LANG_LEXER_H

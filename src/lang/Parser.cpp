@@ -1,0 +1,786 @@
+//===- lang/Parser.cpp - Mini-C recursive-descent parser -----------------===//
+
+#include "lang/Parser.h"
+
+#include <cassert>
+
+using namespace spe;
+
+Parser::Parser(std::vector<Token> Tokens, ASTContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::EndOfFile) &&
+         "token stream must end with EOF");
+}
+
+bool Parser::parse(const std::string &Source, ASTContext &Ctx,
+                   DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Ctx, Diags);
+  return P.parseTranslationUnit();
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1;
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!at(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(K) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::skipToRecoveryPoint() {
+  unsigned Depth = 0;
+  while (!at(TokenKind::EndOfFile)) {
+    if (at(TokenKind::LBrace))
+      ++Depth;
+    if (at(TokenKind::RBrace)) {
+      if (Depth == 0) {
+        consume();
+        return;
+      }
+      --Depth;
+    }
+    if (at(TokenKind::Semi) && Depth == 0) {
+      consume();
+      return;
+    }
+    consume();
+  }
+}
+
+bool Parser::atTypeStart() const {
+  switch (current().Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwChar:
+  case TokenKind::KwShort:
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwSigned:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwStruct:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::atDeclarationStart() const {
+  switch (current().Kind) {
+  case TokenKind::KwStatic:
+  case TokenKind::KwExtern:
+  case TokenKind::KwConst:
+    return true;
+  default:
+    return atTypeStart();
+  }
+}
+
+const Type *Parser::parseDeclSpecifiers() {
+  // Storage classes and const are accepted and ignored semantically.
+  while (accept(TokenKind::KwStatic) || accept(TokenKind::KwExtern) ||
+         accept(TokenKind::KwConst)) {
+  }
+  TypeContext &Types = Ctx.types();
+  if (accept(TokenKind::KwVoid))
+    return Types.voidType();
+  if (at(TokenKind::KwStruct)) {
+    consume();
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected struct tag");
+      return nullptr;
+    }
+    std::string Tag = consume().Text;
+    return Types.getOrCreateStruct(Tag);
+  }
+
+  // Integer specifier combination.
+  bool SawSigned = false, SawUnsigned = false;
+  int Base = -1; // 0=char 1=short 2=int 3=long
+  bool Any = false;
+  for (;;) {
+    if (accept(TokenKind::KwSigned)) {
+      SawSigned = Any = true;
+    } else if (accept(TokenKind::KwUnsigned)) {
+      SawUnsigned = Any = true;
+    } else if (accept(TokenKind::KwChar)) {
+      Base = 0;
+      Any = true;
+    } else if (accept(TokenKind::KwShort)) {
+      Base = 1;
+      Any = true;
+    } else if (accept(TokenKind::KwInt)) {
+      if (Base == -1)
+        Base = 2;
+      Any = true;
+    } else if (accept(TokenKind::KwLong)) {
+      Base = 3;
+      Any = true;
+    } else {
+      break;
+    }
+  }
+  // Trailing const ("int const x").
+  while (accept(TokenKind::KwConst)) {
+  }
+  if (!Any) {
+    Diags.error(current().Loc, "expected type specifier, found " +
+                                   std::string(tokenKindName(current().Kind)));
+    return nullptr;
+  }
+  if (Base == -1)
+    Base = 2; // Bare signed/unsigned means int.
+  unsigned Width = Base == 0 ? 8 : Base == 1 ? 16 : Base == 2 ? 32 : 64;
+  bool Signed = !SawUnsigned;
+  (void)SawSigned;
+  return Types.intType(Width, Signed);
+}
+
+Parser::Declarator Parser::parseDeclarator(const Type *Base) {
+  Declarator D;
+  const Type *Ty = Base;
+  while (accept(TokenKind::Star)) {
+    Ty = Ctx.types().pointerTo(Ty);
+    while (accept(TokenKind::KwConst)) {
+    }
+  }
+  D.Loc = current().Loc;
+  if (at(TokenKind::Identifier))
+    D.Name = consume().Text;
+  else
+    Diags.error(current().Loc, "expected identifier in declarator");
+  // Array suffixes, innermost dimension last.
+  std::vector<uint64_t> Dims;
+  while (accept(TokenKind::LBracket)) {
+    uint64_t N = 0;
+    if (at(TokenKind::IntegerConstant))
+      N = consume().IntValue;
+    else
+      Diags.error(current().Loc, "expected constant array size");
+    expect(TokenKind::RBracket, "after array size");
+    Dims.push_back(N);
+  }
+  for (size_t I = Dims.size(); I-- > 0;)
+    Ty = Ctx.types().arrayOf(Ty, Dims[I]);
+  D.Ty = Ty;
+  return D;
+}
+
+bool Parser::parseTranslationUnit() {
+  while (!at(TokenKind::EndOfFile))
+    parseTopLevel();
+  return !Diags.hasErrors();
+}
+
+void Parser::parseTopLevel() {
+  // struct S { ... };
+  if (at(TokenKind::KwStruct) && peek(1).is(TokenKind::Identifier) &&
+      peek(2).is(TokenKind::LBrace)) {
+    parseRecordDecl();
+    return;
+  }
+  if (atDeclarationStart()) {
+    parseFunctionOrGlobal();
+    return;
+  }
+  Diags.error(current().Loc, "expected declaration at top level, found " +
+                                 std::string(tokenKindName(current().Kind)));
+  skipToRecoveryPoint();
+}
+
+void Parser::parseRecordDecl() {
+  SourceLocation Loc = current().Loc;
+  consume(); // struct
+  std::string Tag = consume().Text;
+  consume(); // {
+  Type *StructTy = Ctx.types().getOrCreateStruct(Tag);
+  std::vector<Type::Field> Fields;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+    const Type *Base = parseDeclSpecifiers();
+    if (!Base) {
+      skipToRecoveryPoint();
+      return;
+    }
+    do {
+      Declarator D = parseDeclarator(Base);
+      if (D.Ty)
+        Fields.push_back(Type::Field{D.Name, D.Ty, 0});
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::Semi, "after struct field");
+  }
+  expect(TokenKind::RBrace, "after struct fields");
+  expect(TokenKind::Semi, "after struct definition");
+  if (StructTy->isCompleteStruct())
+    Diags.error(Loc, "redefinition of struct " + Tag);
+  else
+    Ctx.types().completeStruct(StructTy, std::move(Fields));
+  Ctx.TopLevel.push_back(Ctx.createDecl<RecordDecl>(Tag, StructTy, Loc));
+}
+
+void Parser::parseFunctionOrGlobal() {
+  const Type *Base = parseDeclSpecifiers();
+  if (!Base) {
+    skipToRecoveryPoint();
+    return;
+  }
+  // `struct S;` style forward declaration.
+  if (Base->isStruct() && accept(TokenKind::Semi))
+    return;
+  Declarator D = parseDeclarator(Base);
+  if (D.Name.empty()) {
+    skipToRecoveryPoint();
+    return;
+  }
+  if (at(TokenKind::LParen)) {
+    parseFunctionRest(D.Ty, D.Name, D.Loc);
+    return;
+  }
+  // Global variable(s).
+  for (;;) {
+    auto *Var =
+        Ctx.createDecl<VarDecl>(D.Name, D.Ty, VarDecl::Storage::Global, D.Loc);
+    if (accept(TokenKind::Equal))
+      Var->setInit(parseInitializer());
+    Ctx.TopLevel.push_back(Var);
+    if (!accept(TokenKind::Comma))
+      break;
+    D = parseDeclarator(Base);
+    if (D.Name.empty())
+      break;
+  }
+  expect(TokenKind::Semi, "after global declaration");
+}
+
+std::vector<VarDecl *> Parser::parseParamList() {
+  std::vector<VarDecl *> Params;
+  if (at(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+    consume();
+    return Params;
+  }
+  if (at(TokenKind::RParen))
+    return Params;
+  do {
+    const Type *Base = parseDeclSpecifiers();
+    if (!Base)
+      break;
+    Declarator D = parseDeclarator(Base);
+    if (D.Name.empty())
+      break;
+    // Array parameters decay to pointers.
+    const Type *Ty = D.Ty;
+    if (Ty->isArray())
+      Ty = Ctx.types().pointerTo(Ty->elementType());
+    Params.push_back(
+        Ctx.createDecl<VarDecl>(D.Name, Ty, VarDecl::Storage::Param, D.Loc));
+  } while (accept(TokenKind::Comma));
+  return Params;
+}
+
+void Parser::parseFunctionRest(const Type *RetTy, const std::string &Name,
+                               SourceLocation Loc) {
+  consume(); // (
+  std::vector<VarDecl *> Params = parseParamList();
+  expect(TokenKind::RParen, "after parameter list");
+  std::vector<const Type *> ParamTys;
+  for (const VarDecl *P : Params)
+    ParamTys.push_back(P->type());
+  const Type *FnTy = Ctx.types().functionType(RetTy, std::move(ParamTys));
+  auto *Fn = Ctx.createDecl<FunctionDecl>(Name, FnTy, std::move(Params), Loc);
+  if (accept(TokenKind::Semi)) {
+    Ctx.TopLevel.push_back(Fn); // Prototype only.
+    return;
+  }
+  if (at(TokenKind::LBrace))
+    Fn->setBody(parseCompoundStmt());
+  else
+    Diags.error(current().Loc, "expected function body or ';'");
+  Ctx.TopLevel.push_back(Fn);
+}
+
+CompoundStmt *Parser::parseCompoundStmt() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::LBrace, "to start block");
+  std::vector<Stmt *> Body;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+    Stmt *S = parseStmt();
+    if (!S) {
+      skipToRecoveryPoint();
+      continue;
+    }
+    Body.push_back(S);
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Ctx.createStmt<CompoundStmt>(std::move(Body), Loc);
+}
+
+Stmt *Parser::parseDeclStmt() {
+  SourceLocation Loc = current().Loc;
+  const Type *Base = parseDeclSpecifiers();
+  if (!Base)
+    return nullptr;
+  std::vector<VarDecl *> Decls;
+  do {
+    Declarator D = parseDeclarator(Base);
+    if (D.Name.empty())
+      return nullptr;
+    auto *Var =
+        Ctx.createDecl<VarDecl>(D.Name, D.Ty, VarDecl::Storage::Local, D.Loc);
+    if (accept(TokenKind::Equal))
+      Var->setInit(parseInitializer());
+    Decls.push_back(Var);
+  } while (accept(TokenKind::Comma));
+  if (!expect(TokenKind::Semi, "after declaration"))
+    return nullptr;
+  return Ctx.createStmt<DeclStmt>(std::move(Decls), Loc);
+}
+
+Stmt *Parser::parseStmt() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseCompoundStmt();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDo();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn: {
+    consume();
+    Expr *Value = at(TokenKind::Semi) ? nullptr : parseExpr();
+    expect(TokenKind::Semi, "after return");
+    return Ctx.createStmt<ReturnStmt>(Value, Loc);
+  }
+  case TokenKind::KwBreak:
+    consume();
+    expect(TokenKind::Semi, "after break");
+    return Ctx.createStmt<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    expect(TokenKind::Semi, "after continue");
+    return Ctx.createStmt<ContinueStmt>(Loc);
+  case TokenKind::KwGoto: {
+    consume();
+    std::string Label;
+    if (at(TokenKind::Identifier))
+      Label = consume().Text;
+    else
+      Diags.error(current().Loc, "expected label after goto");
+    expect(TokenKind::Semi, "after goto");
+    return Ctx.createStmt<GotoStmt>(std::move(Label), Loc);
+  }
+  case TokenKind::Semi:
+    consume();
+    return Ctx.createStmt<ExprStmt>(nullptr, Loc);
+  default:
+    break;
+  }
+  // Label: `ident ':' stmt`.
+  if (at(TokenKind::Identifier) && peek(1).is(TokenKind::Colon)) {
+    std::string Name = consume().Text;
+    consume(); // :
+    // A label may be immediately followed by '}' in our dialect; treat it
+    // as labeling an empty statement.
+    Stmt *Sub = at(TokenKind::RBrace)
+                    ? Ctx.createStmt<ExprStmt>(nullptr, current().Loc)
+                    : parseStmt();
+    return Ctx.createStmt<LabelStmt>(std::move(Name), Sub, Loc);
+  }
+  if (atDeclarationStart())
+    return parseDeclStmt();
+  Expr *E = parseExpr();
+  if (!E)
+    return nullptr;
+  expect(TokenKind::Semi, "after expression");
+  return Ctx.createStmt<ExprStmt>(E, Loc);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLocation Loc = current().Loc;
+  consume();
+  expect(TokenKind::LParen, "after if");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStmt();
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse))
+    Else = parseStmt();
+  return Ctx.createStmt<IfStmt>(Cond, Then, Else, Loc);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLocation Loc = current().Loc;
+  consume();
+  expect(TokenKind::LParen, "after while");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStmt();
+  return Ctx.createStmt<WhileStmt>(Cond, Body, Loc);
+}
+
+Stmt *Parser::parseDo() {
+  SourceLocation Loc = current().Loc;
+  consume();
+  Stmt *Body = parseStmt();
+  expect(TokenKind::KwWhile, "after do body");
+  expect(TokenKind::LParen, "after while");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semi, "after do-while");
+  return Ctx.createStmt<DoStmt>(Body, Cond, Loc);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLocation Loc = current().Loc;
+  consume();
+  expect(TokenKind::LParen, "after for");
+  Stmt *Init = nullptr;
+  if (accept(TokenKind::Semi)) {
+    // No init.
+  } else if (atDeclarationStart()) {
+    Init = parseDeclStmt();
+  } else {
+    Expr *E = parseExpr();
+    expect(TokenKind::Semi, "after for initializer");
+    Init = Ctx.createStmt<ExprStmt>(E, Loc);
+  }
+  Expr *Cond = at(TokenKind::Semi) ? nullptr : parseExpr();
+  expect(TokenKind::Semi, "after for condition");
+  Expr *Step = at(TokenKind::RParen) ? nullptr : parseExpr();
+  expect(TokenKind::RParen, "after for step");
+  Stmt *Body = parseStmt();
+  return Ctx.createStmt<ForStmt>(Init, Cond, Step, Body, Loc);
+}
+
+Expr *Parser::parseInitializer() {
+  if (at(TokenKind::LBrace)) {
+    SourceLocation Loc = consume().Loc;
+    std::vector<Expr *> Elems;
+    if (!at(TokenKind::RBrace)) {
+      do {
+        Elems.push_back(parseInitializer());
+      } while (accept(TokenKind::Comma) && !at(TokenKind::RBrace));
+    }
+    expect(TokenKind::RBrace, "after initializer list");
+    return Ctx.createExpr<InitListExpr>(std::move(Elems), Loc);
+  }
+  return parseAssignment();
+}
+
+Expr *Parser::parseExpr() {
+  Expr *Lhs = parseAssignment();
+  while (at(TokenKind::Comma)) {
+    SourceLocation Loc = consume().Loc;
+    Expr *Rhs = parseAssignment();
+    Lhs = Ctx.createExpr<BinaryExpr>(BinaryOp::Comma, Lhs, Rhs, Loc);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseAssignment() {
+  Expr *Lhs = parseConditional();
+  BinaryOp Op;
+  switch (current().Kind) {
+  case TokenKind::Equal:
+    Op = BinaryOp::Assign;
+    break;
+  case TokenKind::PlusEqual:
+    Op = BinaryOp::AddAssign;
+    break;
+  case TokenKind::MinusEqual:
+    Op = BinaryOp::SubAssign;
+    break;
+  case TokenKind::StarEqual:
+    Op = BinaryOp::MulAssign;
+    break;
+  case TokenKind::SlashEqual:
+    Op = BinaryOp::DivAssign;
+    break;
+  case TokenKind::PercentEqual:
+    Op = BinaryOp::RemAssign;
+    break;
+  case TokenKind::AmpEqual:
+    Op = BinaryOp::AndAssign;
+    break;
+  case TokenKind::PipeEqual:
+    Op = BinaryOp::OrAssign;
+    break;
+  case TokenKind::CaretEqual:
+    Op = BinaryOp::XorAssign;
+    break;
+  case TokenKind::LessLessEqual:
+    Op = BinaryOp::ShlAssign;
+    break;
+  case TokenKind::GreaterGreaterEqual:
+    Op = BinaryOp::ShrAssign;
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLocation Loc = consume().Loc;
+  Expr *Rhs = parseAssignment(); // Right associative.
+  return Ctx.createExpr<BinaryExpr>(Op, Lhs, Rhs, Loc);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinary(1);
+  if (!at(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = consume().Loc;
+  Expr *TrueE = parseExpr();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *FalseE = parseConditional();
+  return Ctx.createExpr<ConditionalExpr>(Cond, TrueE, FalseE, Loc);
+}
+
+/// \returns the precedence of the binary operator starting at \p K, or 0.
+static int binaryPrecedence(TokenKind K, BinaryOp &Op) {
+  switch (K) {
+  case TokenKind::Star:
+    Op = BinaryOp::Mul;
+    return 10;
+  case TokenKind::Slash:
+    Op = BinaryOp::Div;
+    return 10;
+  case TokenKind::Percent:
+    Op = BinaryOp::Rem;
+    return 10;
+  case TokenKind::Plus:
+    Op = BinaryOp::Add;
+    return 9;
+  case TokenKind::Minus:
+    Op = BinaryOp::Sub;
+    return 9;
+  case TokenKind::LessLess:
+    Op = BinaryOp::Shl;
+    return 8;
+  case TokenKind::GreaterGreater:
+    Op = BinaryOp::Shr;
+    return 8;
+  case TokenKind::Less:
+    Op = BinaryOp::LT;
+    return 7;
+  case TokenKind::Greater:
+    Op = BinaryOp::GT;
+    return 7;
+  case TokenKind::LessEqual:
+    Op = BinaryOp::LE;
+    return 7;
+  case TokenKind::GreaterEqual:
+    Op = BinaryOp::GE;
+    return 7;
+  case TokenKind::EqualEqual:
+    Op = BinaryOp::EQ;
+    return 6;
+  case TokenKind::ExclaimEqual:
+    Op = BinaryOp::NE;
+    return 6;
+  case TokenKind::Amp:
+    Op = BinaryOp::BitAnd;
+    return 5;
+  case TokenKind::Caret:
+    Op = BinaryOp::BitXor;
+    return 4;
+  case TokenKind::Pipe:
+    Op = BinaryOp::BitOr;
+    return 3;
+  case TokenKind::AmpAmp:
+    Op = BinaryOp::LogicalAnd;
+    return 2;
+  case TokenKind::PipePipe:
+    Op = BinaryOp::LogicalOr;
+    return 1;
+  default:
+    return 0;
+  }
+}
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *Lhs = parseUnary();
+  for (;;) {
+    BinaryOp Op;
+    int Prec = binaryPrecedence(current().Kind, Op);
+    if (Prec < MinPrec || Prec == 0)
+      return Lhs;
+    SourceLocation Loc = consume().Loc;
+    Expr *Rhs = parseBinary(Prec + 1);
+    Lhs = Ctx.createExpr<BinaryExpr>(Op, Lhs, Rhs, Loc);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Plus:
+    consume();
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::Plus, parseUnary(), Loc);
+  case TokenKind::Minus:
+    consume();
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  case TokenKind::Exclaim:
+    consume();
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::LogicalNot, parseUnary(), Loc);
+  case TokenKind::Tilde:
+    consume();
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::BitNot, parseUnary(), Loc);
+  case TokenKind::Star:
+    consume();
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::Deref, parseUnary(), Loc);
+  case TokenKind::Amp:
+    consume();
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::AddrOf, parseUnary(), Loc);
+  case TokenKind::PlusPlus:
+    consume();
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::PreInc, parseUnary(), Loc);
+  case TokenKind::MinusMinus:
+    consume();
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::PreDec, parseUnary(), Loc);
+  case TokenKind::KwSizeof: {
+    consume();
+    if (at(TokenKind::LParen) && (peek(1).is(TokenKind::KwStruct) ||
+                                  peek(1).is(TokenKind::KwVoid) ||
+                                  peek(1).is(TokenKind::KwChar) ||
+                                  peek(1).is(TokenKind::KwShort) ||
+                                  peek(1).is(TokenKind::KwInt) ||
+                                  peek(1).is(TokenKind::KwLong) ||
+                                  peek(1).is(TokenKind::KwSigned) ||
+                                  peek(1).is(TokenKind::KwUnsigned))) {
+      consume(); // (
+      const Type *Ty = parseDeclSpecifiers();
+      while (Ty && accept(TokenKind::Star))
+        Ty = Ctx.types().pointerTo(Ty);
+      expect(TokenKind::RParen, "after sizeof type");
+      return Ctx.createExpr<SizeOfExpr>(Ty, Loc);
+    }
+    return Ctx.createExpr<SizeOfExpr>(parseUnary(), Loc);
+  }
+  case TokenKind::LParen: {
+    // Cast expression: '(' type ')' unary.
+    if (peek(1).is(TokenKind::KwStruct) || peek(1).is(TokenKind::KwVoid) ||
+        peek(1).is(TokenKind::KwChar) || peek(1).is(TokenKind::KwShort) ||
+        peek(1).is(TokenKind::KwInt) || peek(1).is(TokenKind::KwLong) ||
+        peek(1).is(TokenKind::KwSigned) || peek(1).is(TokenKind::KwUnsigned) ||
+        peek(1).is(TokenKind::KwConst)) {
+      consume(); // (
+      const Type *Ty = parseDeclSpecifiers();
+      while (Ty && accept(TokenKind::Star))
+        Ty = Ctx.types().pointerTo(Ty);
+      expect(TokenKind::RParen, "after cast type");
+      return Ctx.createExpr<CastExpr>(Ty, parseUnary(), Loc);
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  for (;;) {
+    SourceLocation Loc = current().Loc;
+    if (accept(TokenKind::LBracket)) {
+      Expr *Index = parseExpr();
+      expect(TokenKind::RBracket, "after subscript");
+      E = Ctx.createExpr<IndexExpr>(E, Index, Loc);
+      continue;
+    }
+    if (accept(TokenKind::LParen)) {
+      auto *Callee = dyn_cast<DeclRefExpr>(E);
+      if (!Callee)
+        Diags.error(Loc, "called object is not a function name");
+      std::vector<Expr *> Args;
+      if (!at(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseAssignment());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      E = Ctx.createExpr<CallExpr>(Callee, std::move(Args), Loc);
+      continue;
+    }
+    if (accept(TokenKind::Dot)) {
+      std::string Field =
+          at(TokenKind::Identifier) ? consume().Text : std::string();
+      if (Field.empty())
+        Diags.error(Loc, "expected field name after '.'");
+      E = Ctx.createExpr<MemberExpr>(E, std::move(Field), false, Loc);
+      continue;
+    }
+    if (accept(TokenKind::Arrow)) {
+      std::string Field =
+          at(TokenKind::Identifier) ? consume().Text : std::string();
+      if (Field.empty())
+        Diags.error(Loc, "expected field name after '->'");
+      E = Ctx.createExpr<MemberExpr>(E, std::move(Field), true, Loc);
+      continue;
+    }
+    if (accept(TokenKind::PlusPlus)) {
+      E = Ctx.createExpr<UnaryExpr>(UnaryOp::PostInc, E, Loc);
+      continue;
+    }
+    if (accept(TokenKind::MinusMinus)) {
+      E = Ctx.createExpr<UnaryExpr>(UnaryOp::PostDec, E, Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = current().Loc;
+  if (at(TokenKind::IntegerConstant)) {
+    Token T = consume();
+    auto *Lit = Ctx.createExpr<IntegerLiteral>(T.IntValue, Loc);
+    unsigned Width = T.IsLong ? 64 : 32;
+    // Widen when the value does not fit in a (signed) int.
+    if (!T.IsLong && T.IntValue > (T.IsUnsigned ? 0xffffffffull : 0x7fffffffull))
+      Width = 64;
+    Lit->setType(Ctx.types().intType(Width, !T.IsUnsigned));
+    return Lit;
+  }
+  if (at(TokenKind::StringConstant)) {
+    Token T = consume();
+    auto *S = Ctx.createExpr<StringLiteral>(T.Text, Loc);
+    S->setType(Ctx.types().pointerTo(Ctx.types().charType()));
+    return S;
+  }
+  if (at(TokenKind::Identifier)) {
+    Token T = consume();
+    return Ctx.createExpr<DeclRefExpr>(T.Text, Loc);
+  }
+  if (accept(TokenKind::LParen)) {
+    Expr *E = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  Diags.error(Loc, "expected expression, found " +
+                       std::string(tokenKindName(current().Kind)));
+  consume();
+  return Ctx.createExpr<IntegerLiteral>(0, Loc);
+}

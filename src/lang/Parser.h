@@ -1,0 +1,91 @@
+//===- lang/Parser.h - Mini-C recursive-descent parser -------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the mini-C dialect used by the testing
+/// corpus: struct definitions, globals with initializers, functions, the
+/// full statement grammar (including goto/label, which several of the
+/// paper's bug-triggering programs rely on), and the full C expression
+/// grammar with precedence climbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_LANG_PARSER_H
+#define SPE_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Lexer.h"
+
+namespace spe {
+
+/// Parses a token stream into an ASTContext.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, ASTContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Parses the whole unit into Ctx.TopLevel. \returns true on success
+  /// (no errors reported).
+  bool parseTranslationUnit();
+
+  /// Convenience: lex + parse \p Source into \p Ctx. \returns true on
+  /// success.
+  static bool parse(const std::string &Source, ASTContext &Ctx,
+                    DiagnosticEngine &Diags);
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool at(TokenKind K) const { return current().is(K); }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void skipToRecoveryPoint();
+
+  bool atTypeStart() const;
+  bool atDeclarationStart() const;
+  const Type *parseDeclSpecifiers();
+
+  struct Declarator {
+    const Type *Ty = nullptr;
+    std::string Name;
+    SourceLocation Loc;
+  };
+  Declarator parseDeclarator(const Type *Base);
+
+  void parseTopLevel();
+  void parseRecordDecl();
+  void parseFunctionOrGlobal();
+  void parseFunctionRest(const Type *RetTy, const std::string &Name,
+                         SourceLocation Loc);
+  std::vector<VarDecl *> parseParamList();
+
+  Stmt *parseStmt();
+  CompoundStmt *parseCompoundStmt();
+  Stmt *parseDeclStmt();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDo();
+  Stmt *parseFor();
+
+  Expr *parseExpr();
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  Expr *parseInitializer();
+
+  std::vector<Token> Tokens;
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace spe
+
+#endif // SPE_LANG_PARSER_H

@@ -1,0 +1,59 @@
+//===- skeleton/ProgramEnumerator.cpp - whole-program enumeration --------===//
+
+#include "skeleton/ProgramEnumerator.h"
+
+#include "core/NaiveEnumerator.h"
+
+using namespace spe;
+
+ProgramEnumerator::ProgramEnumerator(const std::vector<SkeletonUnit> &Units,
+                                     SpeMode Mode)
+    : Units(Units), Mode(Mode) {}
+
+BigInt ProgramEnumerator::countSpe() const {
+  BigInt Total(1);
+  for (const SkeletonUnit &Unit : Units) {
+    Total *= SpeEnumerator(Unit.Skeleton, Mode).count();
+    if (Total.isZero())
+      return Total;
+  }
+  return Total;
+}
+
+BigInt ProgramEnumerator::countNaive() const {
+  BigInt Total(1);
+  for (const SkeletonUnit &Unit : Units) {
+    Total *= NaiveEnumerator(Unit.Skeleton).count();
+    if (Total.isZero())
+      return Total;
+  }
+  return Total;
+}
+
+uint64_t ProgramEnumerator::enumerate(
+    const std::function<bool(const ProgramAssignment &)> &Callback,
+    uint64_t Limit) const {
+  ProgramAssignment Current(Units.size());
+  uint64_t Produced = 0;
+  bool Stop = false;
+
+  // Recursive Cartesian product across units, streaming.
+  std::function<void(size_t)> Recurse = [&](size_t UnitIndex) {
+    if (Stop)
+      return;
+    if (UnitIndex == Units.size()) {
+      ++Produced;
+      if (!Callback(Current) || (Limit != 0 && Produced >= Limit))
+        Stop = true;
+      return;
+    }
+    SpeEnumerator Spe(Units[UnitIndex].Skeleton, Mode);
+    Spe.enumerate([&](const Assignment &A) {
+      Current[UnitIndex] = A;
+      Recurse(UnitIndex + 1);
+      return !Stop;
+    });
+  };
+  Recurse(0);
+  return Produced;
+}

@@ -1,0 +1,56 @@
+//===- skeleton/ProgramEnumerator.h - whole-program enumeration ----------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program enumeration over a list of skeleton units: Algorithm 1
+/// line 7 of the paper ("the global solution of P is obtained by computing
+/// the Cartesian product of each function"). Counting multiplies per-unit
+/// counts; enumeration streams the Cartesian product with a limit. With
+/// inter-procedural extraction there is a single unit and this reduces to
+/// SpeEnumerator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_SKELETON_PROGRAMENUMERATOR_H
+#define SPE_SKELETON_PROGRAMENUMERATOR_H
+
+#include "core/SpeEnumerator.h"
+#include "skeleton/SkeletonExtractor.h"
+#include "support/BigInt.h"
+
+#include <functional>
+
+namespace spe {
+
+/// One variant of the whole program: one assignment per skeleton unit.
+using ProgramAssignment = std::vector<Assignment>;
+
+/// Enumerates and counts program variants across units.
+class ProgramEnumerator {
+public:
+  ProgramEnumerator(const std::vector<SkeletonUnit> &Units, SpeMode Mode);
+
+  /// \returns the product of the per-unit SPE counts.
+  BigInt countSpe() const;
+
+  /// \returns the product of the per-unit naive counts (prod |v_i|).
+  BigInt countNaive() const;
+
+  /// Streams program variants until the callback declines or \p Limit is
+  /// reached (0 = unlimited). \returns the number of variants produced.
+  uint64_t enumerate(
+      const std::function<bool(const ProgramAssignment &)> &Callback,
+      uint64_t Limit = 0) const;
+
+private:
+  const std::vector<SkeletonUnit> &Units;
+  SpeMode Mode;
+};
+
+} // namespace spe
+
+#endif // SPE_SKELETON_PROGRAMENUMERATOR_H

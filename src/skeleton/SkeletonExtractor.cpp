@@ -1,0 +1,235 @@
+//===- skeleton/SkeletonExtractor.cpp - AST to abstract skeletons --------===//
+
+#include "skeleton/SkeletonExtractor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace spe;
+
+SkeletonExtractor::SkeletonExtractor(const ASTContext &Ctx,
+                                     const Sema &Analysis,
+                                     ExtractorOptions Opts)
+    : Ctx(Ctx), Analysis(Analysis), Opts(Opts) {}
+
+namespace {
+
+/// Transient builder for one unit.
+class UnitBuilder {
+public:
+  UnitBuilder(const ASTContext &Ctx, const Sema &Analysis,
+              const ExtractorOptions &Opts, FunctionDecl *Fn)
+      : Ctx(Ctx), Analysis(Analysis), Opts(Opts), Fn(Fn) {
+    (void)this->Ctx;
+    Unit.Fn = Fn;
+    computeParticipation();
+    buildScopesAndVars();
+  }
+
+  SkeletonUnit take(const std::vector<DeclRefExpr *> &UnitUses) {
+    for (DeclRefExpr *Use : UnitUses) {
+      VarDecl *V = Use->decl();
+      assert(V && "unresolved use reached skeleton extraction");
+      ScopeId Scope = holeScope(Use);
+      Unit.Skeleton.addHole(Scope, V->type()->index());
+      Unit.HoleSites.push_back(Use);
+    }
+    return std::move(Unit);
+  }
+
+private:
+  /// True iff the sema scope belongs to this unit.
+  bool participates(int SemaScope) const {
+    if (SemaScope == 0)
+      return true;
+    const ScopeInfo &Info = Analysis.scopes()[SemaScope];
+    if (Opts.Gran == Granularity::InterProcedural)
+      return true;
+    return Info.EnclosingFn == Fn && Fn != nullptr;
+  }
+
+  void computeParticipation() {
+    const std::vector<ScopeInfo> &Scopes = Analysis.scopes();
+    Children.assign(Scopes.size(), {});
+    for (size_t S = 1; S < Scopes.size(); ++S)
+      if (participates(static_cast<int>(S)))
+        Children[Scopes[S].Parent].push_back(static_cast<int>(S));
+  }
+
+  /// The unique body-compound scope directly below a parameter scope.
+  int bodyScopeOf(int ParamScope) const {
+    return Children[ParamScope].empty() ? -1 : Children[ParamScope][0];
+  }
+
+  void buildScopesAndVars() {
+    if (Opts.Model == ScopeModel::DeclRegion) {
+      buildDeclRegion(0, AbstractSkeleton::rootScope());
+      return;
+    }
+    // Block-level models: assign each participating sema scope one skeleton
+    // scope, possibly merged with its parent.
+    mapBlockScope(0, AbstractSkeleton::rootScope());
+    // Add variables scope by scope in declaration order.
+    const std::vector<ScopeInfo> &Scopes = Analysis.scopes();
+    for (size_t S = 0; S < Scopes.size(); ++S) {
+      if (!participates(static_cast<int>(S)) ||
+          !ScopeMap.count(static_cast<int>(S)))
+        continue;
+      for (VarDecl *V : Scopes[S].Vars)
+        addVar(V, ScopeMap[static_cast<int>(S)]);
+    }
+  }
+
+  /// Recursively maps sema scope \p S (and participating descendants),
+  /// merging per the PaperMerged model.
+  void mapBlockScope(int S, ScopeId Mapped) {
+    ScopeMap[S] = Mapped;
+    for (int Child : Children[S]) {
+      ScopeId ChildMapped;
+      if (Opts.Model == ScopeModel::PaperMerged && isMergedWithParent(Child))
+        ChildMapped = Mapped;
+      else
+        ChildMapped = Unit.Skeleton.addScope(Mapped);
+      mapBlockScope(Child, ChildMapped);
+    }
+  }
+
+  /// PaperMerged: parameter scopes merge into the enclosing view, and the
+  /// body compound merges into the parameter scope. Intra-procedurally both
+  /// collapse into the root; inter-procedurally they collapse into one
+  /// function scope under the root.
+  bool isMergedWithParent(int S) const {
+    const ScopeInfo &Info = Analysis.scopes()[S];
+    FunctionDecl *F = Info.EnclosingFn;
+    if (!F)
+      return false;
+    int ParamScope = Analysis.paramScopeOf(F);
+    if (S == ParamScope)
+      return Opts.Gran == Granularity::IntraProcedural;
+    return S == bodyScopeOf(ParamScope);
+  }
+
+  /// DeclRegion: expand each sema scope into a chain of skeleton scopes,
+  /// one per declaration, so visibility follows C's declare-before-use rule.
+  void buildDeclRegion(int S, ScopeId Base) {
+    Chains[S].push_back({0, Base});
+    struct Event {
+      unsigned Seq;
+      VarDecl *Var;  // Null for child-scope events.
+      int Child = -1;
+    };
+    std::vector<Event> Events;
+    for (VarDecl *V : Analysis.scopes()[S].Vars)
+      Events.push_back({Analysis.declSeqOf(V), V, -1});
+    for (int Child : Children[S])
+      Events.push_back(
+          {Analysis.scopes()[Child].AnchorSeq, nullptr, Child});
+    std::sort(Events.begin(), Events.end(),
+              [](const Event &A, const Event &B) { return A.Seq < B.Seq; });
+    ScopeId Current = Base;
+    for (const Event &E : Events) {
+      if (E.Var) {
+        Current = Unit.Skeleton.addScope(Current);
+        addVar(E.Var, Current);
+        Chains[S].push_back({E.Seq, Current});
+        continue;
+      }
+      buildDeclRegion(E.Child, Current);
+    }
+  }
+
+  void addVar(VarDecl *V, ScopeId Scope) {
+    Unit.Skeleton.addVariable(V->name(), Scope, V->type()->index());
+    Unit.AstVars.push_back(V);
+  }
+
+  ScopeId holeScope(const DeclRefExpr *Use) const {
+    int SemaScope = Analysis.useScopeOf(Use);
+    assert(SemaScope >= 0 && "use without a scope");
+    if (Opts.Model != ScopeModel::DeclRegion) {
+      auto It = ScopeMap.find(SemaScope);
+      assert(It != ScopeMap.end() && "use scope outside the unit");
+      return It->second;
+    }
+    auto It = Chains.find(SemaScope);
+    assert(It != Chains.end() && "use scope outside the unit");
+    unsigned Seq = Analysis.useSeqOf(Use);
+    ScopeId Result = It->second.front().second;
+    for (const auto &[EntrySeq, Scope] : It->second) {
+      if (EntrySeq > Seq)
+        break;
+      Result = Scope;
+    }
+    return Result;
+  }
+
+  const ASTContext &Ctx;
+  const Sema &Analysis;
+  const ExtractorOptions &Opts;
+  FunctionDecl *Fn;
+  SkeletonUnit Unit;
+  std::vector<std::vector<int>> Children;
+  std::map<int, ScopeId> ScopeMap;
+  std::map<int, std::vector<std::pair<unsigned, ScopeId>>> Chains;
+};
+
+} // namespace
+
+std::vector<SkeletonUnit> SkeletonExtractor::extract() const {
+  std::vector<SkeletonUnit> Units;
+  const std::vector<DeclRefExpr *> &AllUses = Analysis.variableUses();
+
+  if (Opts.Gran == Granularity::InterProcedural) {
+    UnitBuilder B(Ctx, Analysis, Opts, nullptr);
+    Units.push_back(B.take(AllUses));
+    return Units;
+  }
+
+  // Intra-procedural: group uses by enclosing function.
+  std::map<const FunctionDecl *, std::vector<DeclRefExpr *>> ByFn;
+  for (DeclRefExpr *Use : AllUses) {
+    int S = Analysis.useScopeOf(Use);
+    const FunctionDecl *F = Analysis.scopes()[S].EnclosingFn;
+    ByFn[F].push_back(Use);
+  }
+  // Global-initializer unit first, when it has holes.
+  if (ByFn.count(nullptr) && !ByFn[nullptr].empty()) {
+    ExtractorOptions GlobalOpts = Opts;
+    UnitBuilder B(Ctx, Analysis, GlobalOpts, nullptr);
+    Units.push_back(B.take(ByFn[nullptr]));
+  }
+  for (FunctionDecl *F : Ctx.functions()) {
+    UnitBuilder B(Ctx, Analysis, Opts, F);
+    std::vector<DeclRefExpr *> Uses;
+    auto It = ByFn.find(F);
+    if (It != ByFn.end())
+      Uses = It->second;
+    Units.push_back(B.take(Uses));
+  }
+  return Units;
+}
+
+SkeletonStats spe::computeSkeletonStats(const ASTContext &Ctx,
+                                        const Sema &Analysis,
+                                        const std::vector<SkeletonUnit> &Units) {
+  SkeletonStats Stats;
+  Stats.NumFunctions = static_cast<unsigned>(Ctx.functions().size());
+  // Scopes that declare at least one variable, and distinct variable types.
+  std::set<const Type *> Types;
+  for (const ScopeInfo &Info : Analysis.scopes()) {
+    if (!Info.Vars.empty())
+      ++Stats.NumScopes;
+    for (const VarDecl *V : Info.Vars)
+      Types.insert(V->type());
+  }
+  Stats.NumTypes = static_cast<unsigned>(Types.size());
+  for (const SkeletonUnit &Unit : Units) {
+    Stats.NumHoles += Unit.Skeleton.numHoles();
+    for (unsigned H = 0; H < Unit.Skeleton.numHoles(); ++H)
+      Stats.TotalCandidates +=
+          static_cast<unsigned>(Unit.Skeleton.candidatesFor(H).size());
+  }
+  return Stats;
+}

@@ -1,0 +1,53 @@
+//===- skeleton/VariantRenderer.cpp - assignments back to C source -------===//
+
+#include "skeleton/VariantRenderer.h"
+
+#include <cassert>
+
+using namespace spe;
+
+AstPrinter::Substitution
+VariantRenderer::makeSubstitution(const ProgramAssignment &PA) const {
+  assert(PA.size() == Units.size() && "assignment/unit arity mismatch");
+  AstPrinter::Substitution Subst;
+  for (size_t U = 0; U < Units.size(); ++U) {
+    const SkeletonUnit &Unit = Units[U];
+    const Assignment &A = PA[U];
+    assert(A.size() == Unit.HoleSites.size() && "hole arity mismatch");
+    for (size_t H = 0; H < A.size(); ++H) {
+      const SkeletonVar &V = Unit.Skeleton.var(A[H]);
+      Subst[Unit.HoleSites[H]] = V.Name;
+    }
+  }
+  return Subst;
+}
+
+std::string VariantRenderer::render(const ProgramAssignment &PA) const {
+  AstPrinter Printer(makeSubstitution(PA));
+  return Printer.print(Ctx);
+}
+
+std::string VariantRenderer::renderOriginal() const {
+  return AstPrinter().print(Ctx);
+}
+
+ProgramAssignment VariantRenderer::identityAssignment() const {
+  ProgramAssignment PA;
+  for (const SkeletonUnit &Unit : Units) {
+    Assignment A(Unit.Skeleton.numHoles());
+    for (unsigned H = 0; H < Unit.Skeleton.numHoles(); ++H) {
+      const VarDecl *Original = Unit.HoleSites[H]->decl();
+      VarId Found = ~0u;
+      for (VarId V = 0; V < Unit.Skeleton.numVars(); ++V) {
+        if (Unit.AstVars[V] == Original) {
+          Found = V;
+          break;
+        }
+      }
+      assert(Found != ~0u && "original variable missing from skeleton");
+      A[H] = Found;
+    }
+    PA.push_back(std::move(A));
+  }
+  return PA;
+}

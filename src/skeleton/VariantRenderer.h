@@ -1,0 +1,54 @@
+//===- skeleton/VariantRenderer.h - assignments back to C source ---------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns enumerated assignments back into concrete C programs: each skeleton
+/// hole's use site is printed with the name of the variable the assignment
+/// chose for it. The original program is exactly the variant that assigns
+/// every hole its original variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_SKELETON_VARIANTRENDERER_H
+#define SPE_SKELETON_VARIANTRENDERER_H
+
+#include "lang/AstPrinter.h"
+#include "skeleton/ProgramEnumerator.h"
+
+#include <string>
+
+namespace spe {
+
+/// Renders program variants from skeleton assignments.
+class VariantRenderer {
+public:
+  VariantRenderer(const ASTContext &Ctx,
+                  const std::vector<SkeletonUnit> &Units)
+      : Ctx(Ctx), Units(Units) {}
+
+  /// Builds the use-site substitution for one program assignment.
+  AstPrinter::Substitution
+  makeSubstitution(const ProgramAssignment &PA) const;
+
+  /// Renders the full program variant as C source.
+  std::string render(const ProgramAssignment &PA) const;
+
+  /// Renders the unmodified program (no substitution).
+  std::string renderOriginal() const;
+
+  /// \returns the identity assignment (every hole keeps its original
+  /// variable), useful as a sanity baseline.
+  ProgramAssignment identityAssignment() const;
+
+private:
+  const ASTContext &Ctx;
+  const std::vector<SkeletonUnit> &Units;
+};
+
+} // namespace spe
+
+#endif // SPE_SKELETON_VARIANTRENDERER_H

@@ -1,0 +1,50 @@
+//===- support/Diagnostics.cpp - Diagnostic collection -------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace spe;
+
+static const char *severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::toString() const {
+  std::string Result;
+  if (Loc.isValid()) {
+    Result += Loc.toString();
+    Result += ": ";
+  }
+  Result += severityName(Severity);
+  Result += ": ";
+  Result += Message;
+  return Result;
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLocation Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back({Severity, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::toString() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    Result += D.toString();
+    Result += '\n';
+  }
+  return Result;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

@@ -1,0 +1,73 @@
+//===- support/Diagnostics.h - Diagnostic collection ---------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink shared by the mini-C frontend
+/// (lexer, parser, sema). Diagnostics are collected rather than printed so the
+/// testing harness can distinguish rejected seeds from compiler crashes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_SUPPORT_DIAGNOSTICS_H
+#define SPE_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// A 1-based line/column position in a source buffer.
+struct SourceLocation {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string toString() const {
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// Severity of a diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  std::string toString() const;
+};
+
+/// Collects diagnostics produced while processing one translation unit.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLocation Loc, std::string Message);
+  void error(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string toString() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace spe
+
+#endif // SPE_SUPPORT_DIAGNOSTICS_H

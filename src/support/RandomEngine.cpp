@@ -1,0 +1,71 @@
+//===- support/RandomEngine.cpp - Deterministic random numbers -----------===//
+
+#include "support/RandomEngine.h"
+
+using namespace spe;
+
+static uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void RandomEngine::reseed(uint64_t Seed) {
+  uint64_t Mix = Seed;
+  for (uint64_t &S : State)
+    S = splitMix64(Mix);
+}
+
+uint64_t RandomEngine::next() {
+  uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t RandomEngine::uniformBelow(uint64_t N) {
+  assert(N > 0 && "uniformBelow(0)");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -N % N;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % N;
+  }
+}
+
+int64_t RandomEngine::uniformInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(uniformBelow(Span));
+}
+
+double RandomEngine::uniformReal() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+size_t RandomEngine::pickWeighted(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "no weights");
+  double Total = 0.0;
+  for (double W : Weights)
+    Total += W;
+  double Target = uniformReal() * Total;
+  double Running = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Running += Weights[I];
+    if (Target < Running)
+      return I;
+  }
+  return Weights.size() - 1;
+}

@@ -1,0 +1,67 @@
+//===- support/RandomEngine.h - Deterministic random numbers -------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation (xoshiro256++) used by the
+/// corpus generator, the mutation baseline, and the bug-injection sampler.
+/// Every experiment in the benchmark harness is seeded so that the tables and
+/// figures regenerate bit-identically across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_SUPPORT_RANDOMENGINE_H
+#define SPE_SUPPORT_RANDOMENGINE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace spe {
+
+/// xoshiro256++ generator with SplitMix64 seeding.
+class RandomEngine {
+public:
+  explicit RandomEngine(uint64_t Seed = 0x5eed5eed5eed5eedULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64.
+  void reseed(uint64_t Seed);
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// \returns a uniform integer in [Lo, Hi] inclusive. Asserts Lo <= Hi.
+  int64_t uniformInt(int64_t Lo, int64_t Hi);
+
+  /// \returns a uniform value in [0, N). Asserts N > 0.
+  uint64_t uniformBelow(uint64_t N);
+
+  /// \returns a uniform double in [0, 1).
+  double uniformReal();
+
+  /// \returns true with probability \p P.
+  bool chance(double P) { return uniformReal() < P; }
+
+  /// \returns an index into \p Weights drawn proportionally to the weights.
+  size_t pickWeighted(const std::vector<double> &Weights);
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I) {
+      size_t J = uniformBelow(I);
+      std::swap(Items[I - 1], Items[J]);
+    }
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace spe
+
+#endif // SPE_SUPPORT_RANDOMENGINE_H

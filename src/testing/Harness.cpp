@@ -1,0 +1,190 @@
+//===- testing/Harness.cpp - differential testing campaign ---------------===//
+
+#include "testing/Harness.h"
+
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "skeleton/ProgramEnumerator.h"
+#include "skeleton/VariantRenderer.h"
+
+using namespace spe;
+
+std::vector<CompilerConfig> HarnessOptions::crashMatrix(Persona P,
+                                                        unsigned Version) {
+  std::vector<CompilerConfig> Configs;
+  for (unsigned Opt : {0u, 3u}) {
+    for (bool Mode64 : {true, false}) {
+      CompilerConfig C;
+      C.P = P;
+      C.Version = Version;
+      C.OptLevel = Opt;
+      C.Mode64 = Mode64;
+      Configs.push_back(C);
+    }
+  }
+  return Configs;
+}
+
+std::vector<CompilerConfig> HarnessOptions::optLevelSweep(Persona P,
+                                                          unsigned Version) {
+  std::vector<CompilerConfig> Configs;
+  for (unsigned Opt = 0; Opt <= 3; ++Opt) {
+    CompilerConfig C;
+    C.P = P;
+    C.Version = Version;
+    C.OptLevel = Opt;
+    Configs.push_back(C);
+  }
+  return Configs;
+}
+
+unsigned CampaignResult::bugCount(Persona P) const {
+  unsigned N = 0;
+  for (const auto &[Id, Bug] : UniqueBugs)
+    if (Bug.P == P)
+      ++N;
+  return N;
+}
+
+unsigned CampaignResult::bugCount(Persona P, BugEffect E) const {
+  unsigned N = 0;
+  for (const auto &[Id, Bug] : UniqueBugs)
+    if (Bug.P == P && Bug.Effect == E)
+      ++N;
+  return N;
+}
+
+namespace {
+
+/// Parses + analyzes; \returns null on any front-end failure.
+std::unique_ptr<ASTContext> analyzeSource(const std::string &Source) {
+  auto Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Source, *Ctx, Diags))
+    return nullptr;
+  Sema Analysis(*Ctx, Diags);
+  if (!Analysis.run())
+    return nullptr;
+  return Ctx;
+}
+
+} // namespace
+
+void DifferentialHarness::testProgram(const std::string &Source,
+                                      CampaignResult &Result) const {
+  std::unique_ptr<ASTContext> RefCtx = analyzeSource(Source);
+  if (!RefCtx)
+    return;
+  ExecResult Ref = interpret(*RefCtx);
+  if (!Ref.ok()) {
+    ++Result.VariantsOracleExcluded;
+    return;
+  }
+  ++Result.VariantsTested;
+
+  for (const CompilerConfig &Config : Opts.Configs) {
+    std::unique_ptr<ASTContext> Ctx = analyzeSource(Source);
+    if (!Ctx)
+      return;
+    MiniCompiler CC(Config, Opts.Cov, Opts.InjectBugs);
+    CompileResult R = CC.compile(*Ctx);
+    if (R.St == CompileResult::Status::Rejected)
+      continue;
+    if (R.crashed()) {
+      ++Result.CrashObservations;
+      FoundBug Bug;
+      Bug.BugId = R.CrashBugId;
+      Bug.P = Config.P;
+      Bug.Effect = BugEffect::Crash;
+      Bug.Signature = R.CrashSignature;
+      Bug.OptLevel = Config.OptLevel;
+      Bug.Mode64 = Config.Mode64;
+      Bug.WitnessProgram = Source;
+      Result.UniqueBugs.emplace(Bug.BugId, std::move(Bug));
+      continue;
+    }
+    // Performance anomaly: a fired Performance bug inflates compile cost.
+    if (R.CompileCost > 1'000'000) {
+      ++Result.PerformanceObservations;
+      for (int Id : R.FiredBugs) {
+        const InjectedBug &B = bugDatabase()[static_cast<size_t>(Id) - 1];
+        if (B.Effect != BugEffect::Performance)
+          continue;
+        FoundBug Bug;
+        Bug.BugId = Id;
+        Bug.P = Config.P;
+        Bug.Effect = BugEffect::Performance;
+        Bug.Signature = "pathological compile time";
+        Bug.OptLevel = Config.OptLevel;
+        Bug.Mode64 = Config.Mode64;
+        Bug.WitnessProgram = Source;
+        Result.UniqueBugs.emplace(Id, std::move(Bug));
+      }
+    }
+    VMResult V = executeModule(R.Module);
+    if (V.Status == VMStatus::Timeout)
+      continue;
+    bool Diverges = V.Status != VMStatus::Ok || V.ExitCode != Ref.ExitCode ||
+                    V.Output != Ref.Output;
+    if (!Diverges)
+      continue;
+    ++Result.WrongCodeObservations;
+    // Attribute the divergence to the fired wrong-code bug (ground truth).
+    for (int Id : R.FiredBugs) {
+      const InjectedBug &B = bugDatabase()[static_cast<size_t>(Id) - 1];
+      if (B.Effect != BugEffect::WrongCode)
+        continue;
+      FoundBug Bug;
+      Bug.BugId = Id;
+      Bug.P = Config.P;
+      Bug.Effect = BugEffect::WrongCode;
+      Bug.Signature = "miscompilation (exit " + std::to_string(V.ExitCode) +
+                      " != " + std::to_string(Ref.ExitCode) + ")";
+      Bug.OptLevel = Config.OptLevel;
+      Bug.Mode64 = Config.Mode64;
+      Bug.WitnessProgram = Source;
+      Result.UniqueBugs.emplace(Id, std::move(Bug));
+    }
+  }
+}
+
+void DifferentialHarness::runOnSeed(const std::string &Source,
+                                    CampaignResult &Result) const {
+  auto Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Source, *Ctx, Diags))
+    return;
+  Sema Analysis(*Ctx, Diags);
+  if (!Analysis.run())
+    return;
+  ++Result.SeedsProcessed;
+
+  SkeletonExtractor Extractor(*Ctx, Analysis, Opts.Extract);
+  std::vector<SkeletonUnit> Units = Extractor.extract();
+  ProgramEnumerator Enumerator(Units, Opts.Mode);
+
+  // The paper's threshold: skip skeletons with too many variants.
+  BigInt Count = Enumerator.countSpe();
+  if (Count > BigInt(Opts.VariantThreshold)) {
+    ++Result.SeedsSkippedByThreshold;
+    return;
+  }
+
+  VariantRenderer Renderer(*Ctx, Units);
+  Enumerator.enumerate(
+      [&](const ProgramAssignment &PA) {
+        ++Result.VariantsEnumerated;
+        testProgram(Renderer.render(PA), Result);
+        return true;
+      },
+      Opts.VariantBudget);
+}
+
+CampaignResult
+DifferentialHarness::runCampaign(const std::vector<std::string> &Seeds) const {
+  CampaignResult Result;
+  for (const std::string &Seed : Seeds)
+    runOnSeed(Seed, Result);
+  return Result;
+}

@@ -1,0 +1,36 @@
+//===- testing/Mutation.h - Orion-style mutation baseline ----------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program-mutation baseline of the paper's coverage comparison
+/// (Section 5.2.3, Figure 9): Orion deletes statements in *dead regions* --
+/// statements the reference execution never reached -- which preserves
+/// Equivalence Modulo Inputs. PM-X denotes deleting up to X statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_TESTING_MUTATION_H
+#define SPE_TESTING_MUTATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// Generates up to \p NumMutants EMI mutants of \p Source, each deleting up
+/// to \p MaxDeletions unexecuted statements chosen pseudo-randomly with
+/// \p Seed. Returns an empty vector when the seed fails the front end, the
+/// oracle rejects it, or it has no dead statements.
+std::vector<std::string> generateEmiMutants(const std::string &Source,
+                                            unsigned MaxDeletions,
+                                            unsigned NumMutants,
+                                            uint64_t Seed);
+
+} // namespace spe
+
+#endif // SPE_TESTING_MUTATION_H

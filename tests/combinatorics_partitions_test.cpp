@@ -1,0 +1,162 @@
+//===- tests/combinatorics_partitions_test.cpp - partition generators ----===//
+
+#include "combinatorics/SetPartitions.h"
+#include "combinatorics/Stirling.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace spe;
+
+TEST(RGSTest, ValidityPredicate) {
+  EXPECT_TRUE(isValidRGS({}));
+  EXPECT_TRUE(isValidRGS({0}));
+  EXPECT_TRUE(isValidRGS({0, 0, 1, 0, 2}));
+  EXPECT_FALSE(isValidRGS({1}));
+  EXPECT_FALSE(isValidRGS({0, 2}));
+  EXPECT_FALSE(isValidRGS({0, 1, 3}));
+}
+
+TEST(RGSTest, NumBlocks) {
+  EXPECT_EQ(numBlocks({}), 0u);
+  EXPECT_EQ(numBlocks({0, 0, 0}), 1u);
+  EXPECT_EQ(numBlocks({0, 1, 2, 1}), 3u);
+}
+
+TEST(RGSTest, CanonicalizeLabeling) {
+  // Labels 7,7,3,7,9 -> 0,0,1,0,2.
+  RestrictedGrowthString C = canonicalizeLabeling({7, 7, 3, 7, 9});
+  EXPECT_EQ(C, RestrictedGrowthString({0, 0, 1, 0, 2}));
+  EXPECT_TRUE(isValidRGS(C));
+  // Canonicalizing a valid RGS is the identity.
+  EXPECT_EQ(canonicalizeLabeling({0, 1, 0, 2}),
+            RestrictedGrowthString({0, 1, 0, 2}));
+}
+
+TEST(SetPartitionGeneratorTest, EmptySetHasOnePartition) {
+  SetPartitionGenerator Gen(0, 3);
+  EXPECT_TRUE(Gen.next());
+  EXPECT_TRUE(Gen.current().empty());
+  EXPECT_FALSE(Gen.next());
+}
+
+TEST(SetPartitionGeneratorTest, ZeroBlocksYieldsNothing) {
+  SetPartitionGenerator Gen(3, 0);
+  EXPECT_FALSE(Gen.next());
+}
+
+TEST(SetPartitionGeneratorTest, CountsMatchStirlingSums) {
+  StirlingTable T;
+  for (unsigned N = 1; N <= 8; ++N) {
+    for (unsigned K = 1; K <= N + 2; ++K) {
+      SetPartitionGenerator Gen(N, K);
+      uint64_t Count = 0;
+      while (Gen.next())
+        ++Count;
+      EXPECT_EQ(Count, T.partitionsUpTo(N, K).toUint64())
+          << "N=" << N << " K=" << K;
+    }
+  }
+}
+
+TEST(SetPartitionGeneratorTest, AllOutputsAreValidAndDistinct) {
+  SetPartitionGenerator Gen(7, 4);
+  std::set<RestrictedGrowthString> Seen;
+  while (Gen.next()) {
+    EXPECT_TRUE(isValidRGS(Gen.current()));
+    EXPECT_LE(numBlocks(Gen.current()), 4u);
+    EXPECT_TRUE(Seen.insert(Gen.current()).second) << "duplicate partition";
+  }
+}
+
+TEST(SetPartitionGeneratorTest, LexicographicOrder) {
+  SetPartitionGenerator Gen(5, 5);
+  RestrictedGrowthString Prev;
+  bool First = true;
+  while (Gen.next()) {
+    if (!First)
+      EXPECT_LT(Prev, Gen.current());
+    Prev = Gen.current();
+    First = false;
+  }
+}
+
+TEST(SetPartitionGeneratorTest, ResetRestartsStream) {
+  SetPartitionGenerator Gen(4, 2);
+  uint64_t CountA = 0, CountB = 0;
+  while (Gen.next())
+    ++CountA;
+  Gen.reset();
+  while (Gen.next())
+    ++CountB;
+  EXPECT_EQ(CountA, CountB);
+}
+
+TEST(ExactBlockPartitionGeneratorTest, CountsMatchStirlingNumbers) {
+  StirlingTable T;
+  for (unsigned N = 0; N <= 8; ++N) {
+    for (unsigned K = 0; K <= N + 1; ++K) {
+      ExactBlockPartitionGenerator Gen(N, K);
+      uint64_t Count = 0;
+      while (Gen.next()) {
+        EXPECT_EQ(numBlocks(Gen.current()), K);
+        ++Count;
+      }
+      EXPECT_EQ(Count, T.stirling2(N, K).toUint64())
+          << "N=" << N << " K=" << K;
+    }
+  }
+}
+
+TEST(CombinationGeneratorTest, CountsMatchBinomials) {
+  StirlingTable T;
+  for (unsigned N = 0; N <= 9; ++N) {
+    for (unsigned K = 0; K <= N + 1; ++K) {
+      CombinationGenerator Gen(N, K);
+      uint64_t Count = 0;
+      while (Gen.next()) {
+        EXPECT_EQ(Gen.current().size(), K);
+        ++Count;
+      }
+      EXPECT_EQ(Count, T.binomial(N, K).toUint64()) << "N=" << N << " K=" << K;
+    }
+  }
+}
+
+TEST(CombinationGeneratorTest, SubsetsAreSortedAndDistinct) {
+  CombinationGenerator Gen(6, 3);
+  std::set<std::vector<uint32_t>> Seen;
+  while (Gen.next()) {
+    const std::vector<uint32_t> &C = Gen.current();
+    for (size_t I = 1; I < C.size(); ++I)
+      EXPECT_LT(C[I - 1], C[I]);
+    EXPECT_LT(C.back(), 6u);
+    EXPECT_TRUE(Seen.insert(C).second);
+  }
+  EXPECT_EQ(Seen.size(), 20u);
+}
+
+// Property sweep: every (N, MaxBlocks) pairing in a grid produces only valid,
+// distinct RGS strings whose block count respects the bound.
+class PartitionSweepTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(PartitionSweepTest, StreamIsCanonicalAndComplete) {
+  auto [N, MaxBlocks] = GetParam();
+  StirlingTable T;
+  SetPartitionGenerator Gen(N, MaxBlocks);
+  std::set<RestrictedGrowthString> Seen;
+  while (Gen.next()) {
+    ASSERT_TRUE(isValidRGS(Gen.current()));
+    ASSERT_LE(numBlocks(Gen.current()),
+              MaxBlocks == 0 ? 0u : MaxBlocks);
+    ASSERT_TRUE(Seen.insert(Gen.current()).second);
+  }
+  EXPECT_EQ(Seen.size(), N == 0 ? 1 : T.partitionsUpTo(N, MaxBlocks).toUint64());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionSweepTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 6u, 9u),
+                       ::testing::Values(1u, 2u, 3u, 4u, 9u)));

@@ -1,0 +1,87 @@
+//===- tests/combinatorics_stirling_test.cpp - Stirling/Bell tests -------===//
+
+#include "combinatorics/Stirling.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+TEST(StirlingTest, BaseCases) {
+  StirlingTable T;
+  EXPECT_EQ(T.stirling2(0, 0).toUint64(), 1u);
+  EXPECT_EQ(T.stirling2(1, 0).toUint64(), 0u);
+  EXPECT_EQ(T.stirling2(1, 1).toUint64(), 1u);
+  EXPECT_EQ(T.stirling2(5, 6).toUint64(), 0u);
+}
+
+TEST(StirlingTest, KnownSmallValues) {
+  StirlingTable T;
+  // Values used by the paper's Example 6 arithmetic.
+  EXPECT_EQ(T.stirling2(5, 2).toUint64(), 15u);
+  EXPECT_EQ(T.stirling2(5, 1).toUint64(), 1u);
+  EXPECT_EQ(T.stirling2(4, 2).toUint64(), 7u);
+  EXPECT_EQ(T.stirling2(3, 2).toUint64(), 3u);
+  EXPECT_EQ(T.stirling2(2, 2).toUint64(), 1u);
+  EXPECT_EQ(T.stirling2(2, 1).toUint64(), 1u);
+  // A classic: {10,5} = 42525.
+  EXPECT_EQ(T.stirling2(10, 5).toUint64(), 42525u);
+}
+
+TEST(StirlingTest, RowSumsAreBellNumbers) {
+  StirlingTable T;
+  const uint64_t Bell[] = {1,   1,    2,    5,     15,    52,   203,
+                           877, 4140, 21147, 115975};
+  for (unsigned N = 0; N <= 10; ++N)
+    EXPECT_EQ(T.bell(N).toUint64(), Bell[N]) << "B(" << N << ")";
+}
+
+TEST(StirlingTest, Bell52IsFigure2Count) {
+  // The paper's Figure 2 program has 5 holes over 5 same-scope variables:
+  // naive 5^5 = 3125 programs, SPE 52 = B(5) programs.
+  StirlingTable T;
+  EXPECT_EQ(T.bell(5).toUint64(), 52u);
+}
+
+TEST(StirlingTest, PartitionsUpToTruncatesAtK) {
+  StirlingTable T;
+  // {5,1}+{5,2} = 16, the S'_f term of Example 6.
+  EXPECT_EQ(T.partitionsUpTo(5, 2).toUint64(), 16u);
+  EXPECT_EQ(T.partitionsUpTo(5, 5).toUint64(), 52u);
+  EXPECT_EQ(T.partitionsUpTo(5, 100).toUint64(), 52u);
+  EXPECT_EQ(T.partitionsUpTo(0, 3).toUint64(), 1u);
+  EXPECT_EQ(T.partitionsUpTo(3, 0).toUint64(), 0u);
+}
+
+TEST(StirlingTest, RecurrenceHoldsForLargeEntries) {
+  StirlingTable T;
+  // {n,k} = k*{n-1,k} + {n-1,k-1} on a big row.
+  for (unsigned K = 1; K <= 20; ++K) {
+    BigInt Expected = T.stirling2(39, K) * static_cast<uint64_t>(K);
+    Expected += T.stirling2(39, K - 1);
+    EXPECT_EQ(T.stirling2(40, K).toString(), Expected.toString());
+  }
+}
+
+TEST(StirlingTest, AsymptoticReductionFactor) {
+  // Section 4.1.1: S ~ O(k^n / k!), a (k-1)! reduction over k^n.
+  // Check the ratio k^n / S is within [k!/4, k!] for n = 20, k = 5.
+  StirlingTable T;
+  BigInt Naive = BigInt::pow(5, 20);
+  BigInt Ours = T.partitionsUpTo(20, 5);
+  double Ratio = Naive.toDouble() / Ours.toDouble();
+  EXPECT_GT(Ratio, 120.0 / 4);
+  EXPECT_LT(Ratio, 121.0);
+}
+
+TEST(StirlingTest, BinomialValues) {
+  StirlingTable T;
+  EXPECT_EQ(T.binomial(0, 0).toUint64(), 1u);
+  EXPECT_EQ(T.binomial(5, 2).toUint64(), 10u);
+  EXPECT_EQ(T.binomial(10, 10).toUint64(), 1u);
+  EXPECT_EQ(T.binomial(10, 11).toUint64(), 0u);
+  EXPECT_EQ(T.binomial(52, 5).toUint64(), 2598960u);
+  // Pascal identity on a larger entry.
+  BigInt Lhs = T.binomial(64, 32);
+  BigInt Rhs = T.binomial(63, 31) + T.binomial(63, 32);
+  EXPECT_EQ(Lhs.toString(), Rhs.toString());
+}

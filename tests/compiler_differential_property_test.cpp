@@ -1,0 +1,60 @@
+//===- tests/compiler_differential_property_test.cpp ---------------------===//
+//
+// The load-bearing property of the whole harness: with injected bugs
+// disabled, MiniCC at every optimization level behaves exactly like the
+// reference interpreter on every UB-free program. Random programs come from
+// the same generator the benchmarks use, so this doubles as a self-test of
+// the corpus (it must produce parseable, analyzable, mostly UB-free code).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "testing/Corpus.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+class DifferentialPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialPropertyTest, AllOptLevelsMatchOracle) {
+  CorpusOptions Opts;
+  std::string Source = generateCorpusProgram(GetParam(), Opts);
+
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Parser::parse(Source, Ctx, Diags))
+      << Diags.toString() << "\n"
+      << Source;
+  Sema Analysis(Ctx, Diags);
+  ASSERT_TRUE(Analysis.run()) << Diags.toString() << "\n" << Source;
+
+  ExecResult Ref = interpret(Ctx);
+  if (Ref.Status != ExecStatus::Ok)
+    GTEST_SKIP() << "oracle excluded: " << Ref.Message;
+
+  for (unsigned Opt = 0; Opt <= 3; ++Opt) {
+    ASTContext Ctx2;
+    DiagnosticEngine Diags2;
+    ASSERT_TRUE(Parser::parse(Source, Ctx2, Diags2));
+    Sema Analysis2(Ctx2, Diags2);
+    ASSERT_TRUE(Analysis2.run());
+    CompilerConfig Config;
+    Config.OptLevel = Opt;
+    MiniCompiler CC(Config, nullptr, /*InjectBugs=*/false);
+    CompileResult R = CC.compile(Ctx2);
+    ASSERT_TRUE(R.ok()) << R.Error << R.CrashSignature << "\n" << Source;
+    VMResult V = executeModule(R.Module);
+    ASSERT_EQ(V.Status, VMStatus::Ok)
+        << "O" << Opt << ": " << V.Message << "\n"
+        << Source;
+    EXPECT_EQ(V.ExitCode, Ref.ExitCode) << "O" << Opt << "\n" << Source;
+    EXPECT_EQ(V.Output, Ref.Output) << "O" << Opt << "\n" << Source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCorpus, DifferentialPropertyTest,
+                         ::testing::Range<uint64_t>(0, 150));

@@ -1,0 +1,372 @@
+//===- tests/compiler_test.cpp - MiniCC compiler tests -------------------===//
+
+#include "compiler/Compiler.h"
+#include "compiler/Passes.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+namespace {
+
+struct Compiled {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Sema> Analysis;
+};
+
+std::unique_ptr<Compiled> analyze(const std::string &Source) {
+  auto C = std::make_unique<Compiled>();
+  EXPECT_TRUE(Parser::parse(Source, C->Ctx, C->Diags)) << C->Diags.toString();
+  C->Analysis = std::make_unique<Sema>(C->Ctx, C->Diags);
+  EXPECT_TRUE(C->Analysis->run()) << C->Diags.toString();
+  return C;
+}
+
+/// Compiles at \p OptLevel with bugs disabled and runs the VM.
+VMResult compileAndRun(const std::string &Source, unsigned OptLevel) {
+  auto C = analyze(Source);
+  CompilerConfig Config;
+  Config.OptLevel = OptLevel;
+  MiniCompiler CC(Config, nullptr, /*InjectBugs=*/false);
+  CompileResult R = CC.compile(C->Ctx);
+  EXPECT_TRUE(R.ok()) << R.Error << R.CrashSignature;
+  if (!R.ok())
+    return {};
+  return executeModule(R.Module);
+}
+
+/// Runs the same source under the oracle and under MiniCC at every opt
+/// level (bugs off) and requires identical observable behavior.
+void expectAllLevelsMatchOracle(const std::string &Source) {
+  auto C = analyze(Source);
+  ExecResult Ref = interpret(C->Ctx);
+  ASSERT_EQ(Ref.Status, ExecStatus::Ok) << Ref.Message;
+  for (unsigned Opt = 0; Opt <= 3; ++Opt) {
+    VMResult R = compileAndRun(Source, Opt);
+    ASSERT_EQ(R.Status, VMStatus::Ok)
+        << "O" << Opt << ": " << R.Message << "\n"
+        << Source;
+    EXPECT_EQ(R.ExitCode, Ref.ExitCode) << "O" << Opt << "\n" << Source;
+    EXPECT_EQ(R.Output, Ref.Output) << "O" << Opt << "\n" << Source;
+  }
+}
+
+} // namespace
+
+TEST(CompilerTest, SimpleReturn) {
+  expectAllLevelsMatchOracle("int main(void) { return 42; }");
+}
+
+TEST(CompilerTest, ArithmeticAndConversions) {
+  expectAllLevelsMatchOracle(
+      "int main(void) {\n"
+      "  char c = 100; short s = -3; unsigned u = 40; long l = 1l << 33;\n"
+      "  int x = c + s * 2;\n"
+      "  unsigned y = u / 3 + (u % 7);\n"
+      "  long z = l + x - y;\n"
+      "  printf(\"%d %u %ld\\n\", x, y, z);\n"
+      "  return (int)(z & 255);\n"
+      "}");
+}
+
+TEST(CompilerTest, ControlFlowKitchenSink) {
+  expectAllLevelsMatchOracle(
+      "int main(void) {\n"
+      "  int sum = 0;\n"
+      "  for (int i = 0; i < 10; ++i) {\n"
+      "    if (i % 3 == 0) continue;\n"
+      "    sum += i;\n"
+      "    if (sum > 30) break;\n"
+      "  }\n"
+      "  int n = 0;\n"
+      "  while (n < 5) n++;\n"
+      "  do sum += n; while (sum < 40);\n"
+      "  return sum;\n"
+      "}");
+}
+
+TEST(CompilerTest, FunctionsAndRecursion) {
+  expectAllLevelsMatchOracle(
+      "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+      "int twice(int v) { return v + v; }\n"
+      "int main(void) { return twice(fib(9)); }");
+}
+
+TEST(CompilerTest, PointersArraysGlobals) {
+  expectAllLevelsMatchOracle(
+      "int arr[5] = {2, 4, 6, 8, 10};\n"
+      "int g = 3;\n"
+      "int main(void) {\n"
+      "  int *p = arr + 1;\n"
+      "  *p += g;\n"
+      "  p++;\n"
+      "  int sum = 0;\n"
+      "  for (int i = 0; i < 5; ++i) sum += arr[i];\n"
+      "  return sum + *p + (p - arr);\n"
+      "}");
+}
+
+TEST(CompilerTest, StructsAndConditionals) {
+  expectAllLevelsMatchOracle(
+      "struct s { int x; int y; };\n"
+      "struct s g = {3, 4};\n"
+      "int main(void) {\n"
+      "  struct s local;\n"
+      "  local = g;\n"
+      "  local.x = local.x + (local.y > 2 ? 10 : 20);\n"
+      "  struct s *p = &local;\n"
+      "  return p->x * 100 + p->y;\n"
+      "}");
+}
+
+TEST(CompilerTest, GotoAndLabels) {
+  expectAllLevelsMatchOracle(
+      "int main(void) {\n"
+      "  int i = 0, acc = 0;\n"
+      "again:\n"
+      "  acc += i;\n"
+      "  i++;\n"
+      "  if (i < 5) goto again;\n"
+      "  return acc;\n"
+      "}");
+}
+
+TEST(CompilerTest, ShortCircuitSideEffects) {
+  expectAllLevelsMatchOracle(
+      "int g = 0;\n"
+      "int bump(void) { g = g + 1; return 1; }\n"
+      "int main(void) {\n"
+      "  int a = (0 && bump()) + (1 && bump()) + (0 || bump()) + (1 || bump());\n"
+      "  return g * 10 + a;\n"
+      "}");
+}
+
+TEST(CompilerTest, Figure1OptimizationScenario) {
+  // The paper's Figure 1 P2: constant propagation of b = 1 folds the if
+  // condition; dead code elimination removes the branch. Behavior must be
+  // unchanged.
+  expectAllLevelsMatchOracle("int main(void) {\n"
+                             "  int a, b = 1;\n"
+                             "  a = b - b;\n"
+                             "  if (a)\n"
+                             "    a = a - b;\n"
+                             "  return a * 10 + b;\n"
+                             "}");
+}
+
+TEST(CompilerTest, OptimizationActuallyShrinksCode) {
+  auto C = analyze("int main(void) {\n"
+                   "  int a = 3, b = 4;\n"
+                   "  int c = a * b + a - a;\n"
+                   "  if (0) c = 99;\n"
+                   "  return c;\n"
+                   "}");
+  CompilerConfig O0, O3;
+  O3.OptLevel = 3;
+  MiniCompiler CC0(O0, nullptr, false), CC3(O3, nullptr, false);
+  CompileResult R0 = CC0.compile(C->Ctx);
+  CompileResult R3 = CC3.compile(C->Ctx);
+  ASSERT_TRUE(R0.ok() && R3.ok());
+  auto CountInstrs = [](const IRModule &M) {
+    size_t N = 0;
+    for (const IRFunction &F : M.Functions)
+      for (const IRBlock &B : F.Blocks)
+        N += B.Instrs.size();
+    return N;
+  };
+  EXPECT_LT(CountInstrs(R3.Module), CountInstrs(R0.Module));
+}
+
+TEST(CompilerTest, VerifierAcceptsGeneratedIR) {
+  auto C = analyze("int f(int n) { int s = 0; while (n) { s += n; n--; } "
+                   "return s; }\n"
+                   "int main(void) { return f(5); }");
+  IRGenResult R = generateIR(C->Ctx);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(verifyModule(R.Module), "");
+  // Each pass keeps the module well-formed.
+  for (unsigned Opt = 1; Opt <= 3; ++Opt) {
+    IRGenResult R2 = generateIR(C->Ctx);
+    runPipeline(R2.Module, Opt, nullptr);
+    EXPECT_EQ(verifyModule(R2.Module), "") << "O" << Opt;
+  }
+}
+
+TEST(CompilerTest, CoveragePointsAccumulate) {
+  CoverageRegistry Cov;
+  registerPassCoverageCatalog(Cov);
+  unsigned Total = Cov.totalPoints();
+  EXPECT_GT(Total, 20u);
+  EXPECT_EQ(Cov.hitPoints(), 0u);
+
+  auto C = analyze("int main(void) {\n"
+                   "  int a = 1, b = 1;\n"
+                   "  int c = a - a + (b * 0);\n"
+                   "  if (c) c = 7;\n"
+                   "  while (c) c--;\n"
+                   "  return c;\n"
+                   "}");
+  CompilerConfig Config;
+  Config.OptLevel = 3;
+  MiniCompiler CC(Config, &Cov, false);
+  CompileResult R = CC.compile(C->Ctx);
+  ASSERT_TRUE(R.ok());
+  EXPECT_GT(Cov.hitPoints(), 5u);
+  EXPECT_LE(Cov.hitPoints(), Total);
+  EXPECT_GT(Cov.functionCoverage(), 0.0);
+  Cov.resetHits();
+  EXPECT_EQ(Cov.hitPoints(), 0u);
+  EXPECT_EQ(Cov.totalPoints(), Total);
+}
+
+// --- injected bugs --------------------------------------------------------
+
+TEST(InjectedBugTest, Figure3CrashFiresOnIdenticalCondArms) {
+  // Enumerating e ? X : Y into e ? X : X (the paper's bug 69801 discovery).
+  auto C = analyze("struct s { char c[1]; };\n"
+                   "struct s a, b, c;\n"
+                   "int d; int e;\n"
+                   "int main(void) {\n"
+                   "  e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;\n"
+                   "  return 0;\n"
+                   "}");
+  CompilerConfig Config; // gcc-sim trunk -O0.
+  MiniCompiler CC(Config);
+  CompileResult R = CC.compile(C->Ctx);
+  ASSERT_TRUE(R.crashed());
+  EXPECT_NE(R.CrashSignature.find("operand_equal_p"), std::string::npos);
+}
+
+TEST(InjectedBugTest, OriginalFigure3ProgramDoesNotCrash) {
+  // With distinct arms (e == 0 vs d == 0) the trigger pattern is absent.
+  auto C = analyze("struct s { char c[1]; };\n"
+                   "struct s a, b, c;\n"
+                   "int d; int e;\n"
+                   "int main(void) {\n"
+                   "  e ? (e == 0 ? b : c).c : (d == 0 ? b : c).c;\n"
+                   "  return 0;\n"
+                   "}");
+  CompilerConfig Config;
+  MiniCompiler CC(Config);
+  CompileResult R = CC.compile(C->Ctx);
+  EXPECT_TRUE(R.ok()) << R.CrashSignature;
+}
+
+TEST(InjectedBugTest, Figure2AliasWrongCode) {
+  // Two pointers to one object; the buggy compiler drops the last store.
+  const char *Source = "int a = 0;\n"
+                       "int main(void) {\n"
+                       "  int *p = &a, *q = &a;\n"
+                       "  *p = 1;\n"
+                       "  *q = 2;\n"
+                       "  return a;\n"
+                       "}";
+  auto C = analyze(Source);
+  ExecResult Ref = interpret(C->Ctx);
+  ASSERT_EQ(Ref.Status, ExecStatus::Ok);
+  EXPECT_EQ(Ref.ExitCode, 2);
+
+  CompilerConfig Config;
+  Config.OptLevel = 2;
+  auto C2 = analyze(Source);
+  MiniCompiler Buggy(Config);
+  CompileResult R = Buggy.compile(C2->Ctx);
+  ASSERT_TRUE(R.ok()) << R.CrashSignature;
+  VMResult V = executeModule(R.Module);
+  ASSERT_TRUE(V.ok());
+  // Miscompiled: the program returns 1 instead of 2 (as in the paper).
+  EXPECT_NE(V.ExitCode, Ref.ExitCode);
+}
+
+TEST(InjectedBugTest, FixedVersionDoesNotFire) {
+  auto C = analyze("int main(void) {\n"
+                   "  int v = 5;\n"
+                   "  int r = v - v;\n"
+                   "  return r;\n"
+                   "}");
+  // Bug 4 (gcc-sim self-subtraction) is fixed in version 62.
+  CompilerConfig Old;
+  Old.Version = 61;
+  Old.OptLevel = 2;
+  CompilerConfig New;
+  New.Version = 62;
+  New.OptLevel = 2;
+  MiniCompiler OldCC(Old), NewCC(New);
+  auto C1 = analyze("int main(void) { int v = 5; return v - v; }");
+  auto C2 = analyze("int main(void) { int v = 5; return v - v; }");
+  CompileResult ROld = OldCC.compile(*&C1->Ctx);
+  CompileResult RNew = NewCC.compile(*&C2->Ctx);
+  ASSERT_TRUE(ROld.ok() && RNew.ok());
+  bool OldFired = !ROld.FiredBugs.empty();
+  bool NewFired = false;
+  for (int Id : RNew.FiredBugs)
+    if (Id == 4)
+      NewFired = true;
+  EXPECT_TRUE(OldFired);
+  EXPECT_FALSE(NewFired);
+  (void)C;
+}
+
+TEST(InjectedBugTest, OptLevelGatesBugs) {
+  // The v/v fold bug needs -O3.
+  const char *Source = "int main(void) { int v = 3; return v / v; }";
+  for (unsigned Opt = 0; Opt <= 3; ++Opt) {
+    auto C = analyze(Source);
+    CompilerConfig Config;
+    Config.OptLevel = Opt;
+    MiniCompiler CC(Config);
+    CompileResult R = CC.compile(C->Ctx);
+    ASSERT_TRUE(R.ok());
+    bool DivBugFired = false;
+    for (int Id : R.FiredBugs)
+      if (bugDatabase()[Id - 1].Mut == Mutilation::FoldSelfDivToOne)
+        DivBugFired = true;
+    EXPECT_EQ(DivBugFired, Opt >= 3) << "O" << Opt;
+  }
+}
+
+TEST(InjectedBugTest, PersonasHaveDistinctBugs) {
+  std::vector<const InjectedBug *> Gcc = bugsOf(Persona::GccSim);
+  std::vector<const InjectedBug *> Clang = bugsOf(Persona::ClangSim);
+  EXPECT_GE(Gcc.size(), 10u);
+  EXPECT_GE(Clang.size(), 8u);
+  for (const InjectedBug *B : Gcc)
+    EXPECT_EQ(B->P, Persona::GccSim);
+  // Ids are unique and dense.
+  EXPECT_EQ(Gcc.size() + Clang.size(), bugDatabase().size());
+  for (size_t I = 0; I < bugDatabase().size(); ++I)
+    EXPECT_EQ(bugDatabase()[I].Id, static_cast<int>(I) + 1);
+}
+
+TEST(InjectedBugTest, PerformanceBugInflatesCost) {
+  auto C = analyze("int main(void) {\n"
+                   "  int i = 0;\n"
+                   "  for (; i < i; ++i) ;\n"
+                   "  return i;\n"
+                   "}");
+  CompilerConfig Config;
+  Config.OptLevel = 2;
+  MiniCompiler CC(Config);
+  CompileResult R = CC.compile(C->Ctx);
+  ASSERT_TRUE(R.ok()) << R.CrashSignature;
+  EXPECT_GT(R.CompileCost, 1'000'000u);
+}
+
+TEST(InjectedBugTest, Mode32OnlyBugs) {
+  const char *Source = "int main(void) { int v = 3; return v << v; }";
+  auto C64 = analyze(Source);
+  auto C32 = analyze(Source);
+  CompilerConfig Cfg64;
+  Cfg64.OptLevel = 1;
+  CompilerConfig Cfg32 = Cfg64;
+  Cfg32.Mode64 = false;
+  CompileResult R64 = MiniCompiler(Cfg64).compile(C64->Ctx);
+  CompileResult R32 = MiniCompiler(Cfg32).compile(C32->Ctx);
+  EXPECT_TRUE(R64.ok());
+  EXPECT_TRUE(R32.crashed());
+  EXPECT_NE(R32.CrashSignature.find("lra-assigns"), std::string::npos);
+}

@@ -1,0 +1,136 @@
+//===- tests/core_alpha_equivalence_test.cpp - alpha-equivalence tests ---===//
+
+#include "core/AlphaEquivalence.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+namespace {
+
+/// The WHILE program of the paper's Figure 5: two global variables, six
+/// holes, no scopes, one type.
+AbstractSkeleton makeFigure5Skeleton() {
+  AbstractSkeleton Sk;
+  Sk.addVariable("a", AbstractSkeleton::rootScope(), 0);
+  Sk.addVariable("b", AbstractSkeleton::rootScope(), 0);
+  for (int I = 0; I < 6; ++I)
+    Sk.addHole(AbstractSkeleton::rootScope(), 0);
+  return Sk;
+}
+
+/// The C program of the paper's Figure 6: globals a, b; an if-scope with
+/// c, d; holes 0-2 and 8-9 global, holes 3-7 in the inner scope.
+AbstractSkeleton makeFigure6Skeleton() {
+  AbstractSkeleton Sk;
+  ScopeId Root = AbstractSkeleton::rootScope();
+  ScopeId Inner = Sk.addScope(Root);
+  Sk.addVariable("a", Root, 0);
+  Sk.addVariable("b", Root, 0);
+  Sk.addVariable("c", Inner, 0);
+  Sk.addVariable("d", Inner, 0);
+  for (int I = 0; I < 3; ++I)
+    Sk.addHole(Root, 0);
+  for (int I = 0; I < 5; ++I)
+    Sk.addHole(Inner, 0);
+  for (int I = 0; I < 2; ++I)
+    Sk.addHole(Root, 0);
+  return Sk;
+}
+
+} // namespace
+
+TEST(AlphaEquivalenceTest, Figure5PandP1AreEquivalent) {
+  AbstractSkeleton Sk = makeFigure5Skeleton();
+  AlphaCanonicalizer Canon(Sk);
+  // s_P = <a,b,a,a,a,b>, s_P1 = <b,a,b,b,b,a> (Example 2).
+  Assignment P = {0, 1, 0, 0, 0, 1};
+  Assignment P1 = {1, 0, 1, 1, 1, 0};
+  EXPECT_TRUE(Canon.areEquivalent(P, P1));
+  EXPECT_EQ(Canon.canonicalRepresentative(P1), P);
+}
+
+TEST(AlphaEquivalenceTest, Figure5PandP2AreNotEquivalent) {
+  AbstractSkeleton Sk = makeFigure5Skeleton();
+  AlphaCanonicalizer Canon(Sk);
+  // s_P2 = <a,b,b,b,a,b> (Example 2).
+  Assignment P = {0, 1, 0, 0, 0, 1};
+  Assignment P2 = {0, 1, 1, 1, 0, 1};
+  EXPECT_FALSE(Canon.areEquivalent(P, P2));
+}
+
+TEST(AlphaEquivalenceTest, CanonicalRepresentativeIsIdempotent) {
+  AbstractSkeleton Sk = makeFigure5Skeleton();
+  AlphaCanonicalizer Canon(Sk);
+  Assignment A = {1, 1, 0, 1, 0, 0};
+  Assignment Rep = Canon.canonicalRepresentative(A);
+  EXPECT_EQ(Canon.canonicalRepresentative(Rep), Rep);
+  EXPECT_TRUE(Canon.areEquivalent(A, Rep));
+}
+
+TEST(AlphaEquivalenceTest, Figure6CompactRenamings) {
+  AbstractSkeleton Sk = makeFigure6Skeleton();
+  AlphaCanonicalizer Canon(Sk);
+  // Original program P: <a,b,a, c,d,b,c,d, a,b> (Example 4). Variable ids:
+  // a=0,b=1,c=2,d=3.
+  Assignment P = {0, 1, 0, 2, 3, 1, 2, 3, 0, 1};
+  // P2 of Figure 6(d) applies the compact renaming (a b c d)->(b a d c).
+  Assignment P2 = {1, 0, 1, 3, 2, 0, 3, 2, 1, 0};
+  EXPECT_TRUE(Canon.areEquivalent(P, P2));
+}
+
+TEST(AlphaEquivalenceTest, ScopeRespectingRenamingOnly) {
+  AbstractSkeleton Sk = makeFigure6Skeleton();
+  AlphaCanonicalizer Canon(Sk);
+  // Swapping the global a with the local c is NOT a compact renaming: the
+  // assignments <a,a,a,c,...> and <a,a,a,a,...> differ even though a plain
+  // (scope-blind) renaming relates some such pairs.
+  Assignment UsesLocal = {0, 1, 0, 2, 2, 1, 2, 2, 0, 1};
+  Assignment UsesGlobalInstead = {0, 1, 0, 0, 0, 1, 0, 0, 0, 1};
+  EXPECT_FALSE(Canon.areEquivalent(UsesLocal, UsesGlobalInstead));
+}
+
+TEST(AlphaEquivalenceTest, TypeRespectingRenamingOnly) {
+  AbstractSkeleton Sk;
+  ScopeId Root = AbstractSkeleton::rootScope();
+  Sk.addVariable("i", Root, /*Type=*/0);
+  Sk.addVariable("j", Root, /*Type=*/0);
+  Sk.addVariable("p", Root, /*Type=*/1);
+  Sk.addHole(Root, 0);
+  Sk.addHole(Root, 0);
+  AlphaCanonicalizer Canon(Sk);
+  // <i,j> ~ <j,i> via renaming within type 0.
+  EXPECT_TRUE(Canon.areEquivalent({0, 1}, {1, 0}));
+  // <i,i> and <i,j> differ.
+  EXPECT_FALSE(Canon.areEquivalent({0, 0}, {0, 1}));
+}
+
+TEST(AlphaEquivalenceTest, EmptyAssignment) {
+  AbstractSkeleton Sk;
+  AlphaCanonicalizer Canon(Sk);
+  EXPECT_TRUE(Canon.areEquivalent({}, {}));
+  EXPECT_EQ(Canon.canonicalRepresentative({}), Assignment{});
+}
+
+TEST(AbstractSkeletonTest, CandidatesRespectScopeAndType) {
+  AbstractSkeleton Sk = makeFigure6Skeleton();
+  // Global hole 0 sees only a, b.
+  EXPECT_EQ(Sk.candidatesFor(0), (std::vector<VarId>{0, 1}));
+  // Inner hole 3 sees a, b, c, d.
+  EXPECT_EQ(Sk.candidatesFor(3), (std::vector<VarId>{0, 1, 2, 3}));
+}
+
+TEST(AbstractSkeletonTest, ScopeChainAndAncestry) {
+  AbstractSkeleton Sk;
+  ScopeId Root = AbstractSkeleton::rootScope();
+  ScopeId A = Sk.addScope(Root);
+  ScopeId B = Sk.addScope(A);
+  ScopeId C = Sk.addScope(Root);
+  EXPECT_EQ(Sk.scopeChain(B), (std::vector<ScopeId>{Root, A, B}));
+  EXPECT_TRUE(Sk.isAncestorOrSelf(Root, B));
+  EXPECT_TRUE(Sk.isAncestorOrSelf(A, B));
+  EXPECT_TRUE(Sk.isAncestorOrSelf(B, B));
+  EXPECT_FALSE(Sk.isAncestorOrSelf(B, A));
+  EXPECT_FALSE(Sk.isAncestorOrSelf(C, B));
+  EXPECT_EQ(Sk.childrenOf(Root), (std::vector<ScopeId>{A, C}));
+}

@@ -1,0 +1,139 @@
+//===- tests/core_spe_property_test.cpp - randomized SPE properties ------===//
+//
+// Property-based validation of the enumerators on randomly generated
+// skeletons (random scope trees, variables, hole placements, types):
+//
+//  P1. SpeMode::Exact count == brute-force number of alpha-classes.
+//  P2. SpeMode::Exact enumeration emits each class exactly once, as its
+//      canonical representative.
+//  P3. SpeMode::PaperFaithful enumeration agrees with its own closed-form
+//      count and emits a subset of the exact classes (the published
+//      algorithm never invents classes, it only misses some).
+//  P4. NaiveEnumerator count == product of candidate-set sizes and its
+//      enumeration covers every class.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AlphaEquivalence.h"
+#include "core/NaiveEnumerator.h"
+#include "core/SpeEnumerator.h"
+#include "support/RandomEngine.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <set>
+
+using namespace spe;
+
+namespace {
+
+/// Builds a random skeleton small enough for brute forcing: at most 4
+/// scopes, 5 variables, 6 holes, 2 types.
+AbstractSkeleton makeRandomSkeleton(uint64_t Seed) {
+  RandomEngine Rng(Seed);
+  AbstractSkeleton Sk;
+  unsigned NumScopes = static_cast<unsigned>(Rng.uniformInt(1, 4));
+  std::vector<ScopeId> Scopes{AbstractSkeleton::rootScope()};
+  for (unsigned I = 1; I < NumScopes; ++I) {
+    ScopeId Parent = Scopes[Rng.uniformBelow(Scopes.size())];
+    Scopes.push_back(Sk.addScope(Parent));
+  }
+  unsigned NumTypes = static_cast<unsigned>(Rng.uniformInt(1, 2));
+  unsigned NumVars = static_cast<unsigned>(Rng.uniformInt(1, 5));
+  for (unsigned I = 0; I < NumVars; ++I) {
+    ScopeId Scope = Scopes[Rng.uniformBelow(Scopes.size())];
+    TypeKey Type = static_cast<TypeKey>(Rng.uniformBelow(NumTypes));
+    Sk.addVariable("v" + std::to_string(I), Scope, Type);
+  }
+  unsigned NumHoles = static_cast<unsigned>(Rng.uniformInt(0, 6));
+  for (unsigned I = 0; I < NumHoles; ++I) {
+    ScopeId Scope = Scopes[Rng.uniformBelow(Scopes.size())];
+    TypeKey Type = static_cast<TypeKey>(Rng.uniformBelow(NumTypes));
+    Sk.addHole(Scope, Type);
+  }
+  return Sk;
+}
+
+struct BruteForceResult {
+  BigInt NaiveCount;
+  std::set<std::string> ClassKeys;
+  std::set<Assignment> CanonicalReps;
+};
+
+BruteForceResult bruteForce(const AbstractSkeleton &Sk) {
+  BruteForceResult Result;
+  NaiveEnumerator Naive(Sk);
+  AlphaCanonicalizer Canon(Sk);
+  Result.NaiveCount = Naive.count();
+  uint64_t Enumerated = Naive.enumerate([&](const Assignment &A) {
+    Result.ClassKeys.insert(Canon.canonicalKey(A));
+    Result.CanonicalReps.insert(Canon.canonicalRepresentative(A));
+    return true;
+  });
+  EXPECT_EQ(BigInt(Enumerated).toString(), Result.NaiveCount.toString());
+  return Result;
+}
+
+} // namespace
+
+class SpePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpePropertyTest, ExactCountMatchesBruteForce) {
+  AbstractSkeleton Sk = makeRandomSkeleton(GetParam());
+  BruteForceResult Truth = bruteForce(Sk);
+  SpeEnumerator Exact(Sk, SpeMode::Exact);
+  EXPECT_EQ(Exact.count().toUint64(), Truth.ClassKeys.size());
+}
+
+TEST_P(SpePropertyTest, ExactEnumerationIsCompleteAndCanonical) {
+  AbstractSkeleton Sk = makeRandomSkeleton(GetParam());
+  BruteForceResult Truth = bruteForce(Sk);
+  AlphaCanonicalizer Canon(Sk);
+  SpeEnumerator Exact(Sk, SpeMode::Exact);
+
+  std::set<std::string> Keys;
+  std::set<Assignment> Reps;
+  uint64_t Produced = Exact.enumerate([&](const Assignment &A) {
+    EXPECT_EQ(Canon.canonicalRepresentative(A), A)
+        << "non-canonical variant " << Sk.assignmentToString(A);
+    EXPECT_TRUE(Keys.insert(Canon.canonicalKey(A)).second)
+        << "duplicate class " << Sk.assignmentToString(A);
+    Reps.insert(A);
+    return true;
+  });
+  EXPECT_EQ(Produced, Truth.ClassKeys.size());
+  EXPECT_EQ(Keys, Truth.ClassKeys);
+  EXPECT_EQ(Reps, Truth.CanonicalReps);
+}
+
+TEST_P(SpePropertyTest, PaperModeIsConsistentAndSound) {
+  AbstractSkeleton Sk = makeRandomSkeleton(GetParam());
+  BruteForceResult Truth = bruteForce(Sk);
+  AlphaCanonicalizer Canon(Sk);
+  SpeEnumerator Paper(Sk, SpeMode::PaperFaithful);
+
+  std::set<std::string> Keys;
+  uint64_t Produced = Paper.enumerate([&](const Assignment &A) {
+    EXPECT_TRUE(Keys.insert(Canon.canonicalKey(A)).second)
+        << "duplicate class " << Sk.assignmentToString(A);
+    return true;
+  });
+  // Closed-form count agrees with enumeration.
+  EXPECT_EQ(BigInt(Produced).toString(), Paper.count().toString());
+  // Soundness: every emitted class is a real class.
+  for (const std::string &Key : Keys)
+    EXPECT_TRUE(Truth.ClassKeys.count(Key));
+  EXPECT_LE(Keys.size(), Truth.ClassKeys.size());
+}
+
+TEST_P(SpePropertyTest, NaiveCountIsCandidateProduct) {
+  AbstractSkeleton Sk = makeRandomSkeleton(GetParam());
+  BigInt Product(1);
+  for (unsigned H = 0; H < Sk.numHoles(); ++H)
+    Product *= static_cast<uint64_t>(Sk.candidatesFor(H).size());
+  EXPECT_EQ(NaiveEnumerator(Sk).count().toString(), Product.toString());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSkeletons, SpePropertyTest,
+                         ::testing::Range<uint64_t>(0, 60));

@@ -1,0 +1,367 @@
+//===- tests/interp_test.cpp - reference interpreter tests ---------------===//
+
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+namespace {
+
+ExecResult runProgram(const std::string &Source, InterpOptions Opts = {}) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Parser::parse(Source, Ctx, Diags)) << Diags.toString();
+  Sema Analysis(Ctx, Diags);
+  EXPECT_TRUE(Analysis.run()) << Diags.toString();
+  return interpret(Ctx, Opts);
+}
+
+} // namespace
+
+TEST(InterpTest, ReturnsExitCode) {
+  ExecResult R = runProgram("int main(void) { return 42; }");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(InterpTest, FallingOffMainReturnsZero) {
+  ExecResult R = runProgram("int main(void) { }");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(InterpTest, ArithmeticAndLocals) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  int a = 6, b = 7;\n"
+                            "  int c = a * b;\n"
+                            "  return c - 2 * (a + b) % 5;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 42 - (2 * 13) % 5);
+}
+
+TEST(InterpTest, GlobalsAreZeroInitialized) {
+  ExecResult R = runProgram("int g;\nint main(void) { return g; }");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(InterpTest, GlobalInitializersRunInOrder) {
+  ExecResult R = runProgram("int a = 3;\nint b = 4;\n"
+                            "int main(void) { return a * 10 + b; }");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 34);
+}
+
+TEST(InterpTest, PrintfOutput) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  int x = -5; unsigned u = 7; long l = 1l << 40;\n"
+                            "  printf(\"%d %u %ld %c!\\n\", x, u, l, 65);\n"
+                            "  return 0;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.Output, "-5 7 1099511627776 A!\n");
+}
+
+TEST(InterpTest, ControlFlow) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  int sum = 0;\n"
+                            "  for (int i = 1; i <= 10; ++i) {\n"
+                            "    if (i % 2 == 0) continue;\n"
+                            "    sum += i;\n"
+                            "    if (sum > 20) break;\n"
+                            "  }\n"
+                            "  int n = 0;\n"
+                            "  while (n < 3) n++;\n"
+                            "  do sum--; while (sum > 24);\n"
+                            "  return sum + n;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  // sum: 1+3+5+7+9 = 25 -> break at 25; do-while: 24; n = 3.
+  EXPECT_EQ(R.ExitCode, 27);
+}
+
+TEST(InterpTest, FunctionCallsAndRecursion) {
+  ExecResult R = runProgram("int fib(int n) {\n"
+                            "  if (n < 2) return n;\n"
+                            "  return fib(n - 1) + fib(n - 2);\n"
+                            "}\n"
+                            "int main(void) { return fib(10); }");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 55);
+}
+
+TEST(InterpTest, PointersAndArrays) {
+  ExecResult R = runProgram("int arr[4] = {10, 20, 30, 40};\n"
+                            "int main(void) {\n"
+                            "  int *p = arr + 1;\n"
+                            "  *p = *p + 5;\n"
+                            "  p++;\n"
+                            "  return arr[1] + *p;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 55);
+}
+
+TEST(InterpTest, StructsAndMembers) {
+  ExecResult R = runProgram("struct s { int x; int y; };\n"
+                            "struct s g = {3, 4};\n"
+                            "int main(void) {\n"
+                            "  struct s local;\n"
+                            "  local = g;\n"
+                            "  local.y = local.y + 1;\n"
+                            "  struct s *p = &local;\n"
+                            "  return p->x * 10 + p->y;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 35);
+}
+
+TEST(InterpTest, GotoForwardAndBackward) {
+  // The paper's Figure 11(d) program: expected exit code 0.
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  int *p = 0;\n"
+                            "trick:\n"
+                            "  if (p) return *p;\n"
+                            "  int x = 0;\n"
+                            "  p = &x;\n"
+                            "  goto trick;\n"
+                            "  return 1;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(InterpTest, GotoIntoLoopBody) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  int i = 0, sum = 100;\n"
+                            "  goto inside;\n"
+                            "  while (i < 3) {\n"
+                            "inside:\n"
+                            "    sum += 1;\n"
+                            "    i += 1;\n"
+                            "  }\n"
+                            "  return sum;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  // Entered mid-body: sum += 1, i = 1, then loop runs i = 1, 2 -> sum = 103.
+  EXPECT_EQ(R.ExitCode, 103);
+}
+
+TEST(InterpTest, ShortCircuitEvaluation) {
+  ExecResult R = runProgram("int g = 0;\n"
+                            "int bump(void) { g = g + 1; return 1; }\n"
+                            "int main(void) {\n"
+                            "  0 && bump();\n"
+                            "  1 || bump();\n"
+                            "  1 && bump();\n"
+                            "  return g;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+TEST(InterpTest, ConditionalExprWithStructs) {
+  // The shape of the paper's Figure 3 crash program executes cleanly here.
+  ExecResult R = runProgram("struct s { char c[1]; };\n"
+                            "struct s a, b, c;\n"
+                            "int d; int e;\n"
+                            "int main(void) {\n"
+                            "  e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;\n"
+                            "  return 0;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+}
+
+TEST(InterpTest, UnsignedWraparoundIsDefined) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  unsigned u = 4294967295u;\n"
+                            "  u = u + 1;\n"
+                            "  return u == 0;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+// --- UB oracle ----------------------------------------------------------
+
+TEST(InterpUBTest, UninitializedReadIsUB) {
+  ExecResult R = runProgram("int main(void) { int x; return x; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+  EXPECT_NE(R.Message.find("uninitialized"), std::string::npos);
+}
+
+TEST(InterpUBTest, SignedOverflowIsUB) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  int x = 2147483647;\n"
+                            "  x = x + 1;\n"
+                            "  return 0;\n"
+                            "}");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+  EXPECT_NE(R.Message.find("overflow"), std::string::npos);
+}
+
+TEST(InterpUBTest, DivisionByZeroIsUB) {
+  ExecResult R = runProgram("int z;\nint main(void) { return 5 / z; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+  ExecResult R2 = runProgram("int z;\nint main(void) { return 5 % z; }");
+  EXPECT_EQ(R2.Status, ExecStatus::UndefinedBehavior);
+}
+
+TEST(InterpUBTest, IntMinDivMinusOneIsUB) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  int a = 1; a = -2147483647 - a;\n"
+                            "  int b = -1;\n"
+                            "  return a / b;\n"
+                            "}");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+}
+
+TEST(InterpUBTest, OversizedShiftIsUB) {
+  ExecResult R = runProgram("int s = 32;\nint main(void) { return 1 << s; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+}
+
+TEST(InterpUBTest, NegativeLeftShiftIsUB) {
+  ExecResult R = runProgram("int v = -1;\nint main(void) { return v << 1; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+}
+
+TEST(InterpUBTest, NullDerefIsUB) {
+  ExecResult R = runProgram("int main(void) { int *p = 0; return *p; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+  EXPECT_NE(R.Message.find("null"), std::string::npos);
+}
+
+TEST(InterpUBTest, OutOfBoundsIndexIsUB) {
+  ExecResult R = runProgram("int arr[3];\n"
+                            "int main(void) { arr[0] = 1; return arr[3]; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+  EXPECT_NE(R.Message.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(InterpUBTest, PointerEscapeIsUB) {
+  ExecResult R = runProgram("int a;\n"
+                            "int main(void) { int *p = &a; p = p + 2; "
+                            "return 0; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+}
+
+TEST(InterpUBTest, OnePastEndPointerIsAllowed) {
+  ExecResult R = runProgram("int arr[3];\n"
+                            "int main(void) {\n"
+                            "  int *p = arr + 3;\n"
+                            "  return p - arr;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 3);
+}
+
+TEST(InterpUBTest, DanglingPointerUseIsUB) {
+  ExecResult R = runProgram("int *leak(void) { int x = 1; return &x; }\n"
+                            "int main(void) { int *p = leak(); return *p; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+  EXPECT_NE(R.Message.find("dangling"), std::string::npos);
+}
+
+TEST(InterpUBTest, CrossObjectRelationIsUB) {
+  ExecResult R = runProgram("int a; int b;\n"
+                            "int main(void) { return &a < &b; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+}
+
+TEST(InterpUBTest, CrossObjectEqualityIsDefined) {
+  ExecResult R = runProgram("int a; int b;\n"
+                            "int main(void) { return &a == &b; }");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(InterpUBTest, UnusedIndeterminateReturnIsNotUB) {
+  ExecResult R = runProgram("int noret(void) { }\n"
+                            "int main(void) { noret(); return 7; }");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(InterpUBTest, UsedIndeterminateReturnIsUB) {
+  ExecResult R = runProgram("int noret(void) { }\n"
+                            "int main(void) { return noret() + 1; }");
+  EXPECT_EQ(R.Status, ExecStatus::UndefinedBehavior);
+}
+
+TEST(InterpTest, InfiniteLoopTimesOut) {
+  InterpOptions Opts;
+  Opts.MaxSteps = 10000;
+  ExecResult R = runProgram("int main(void) { while (1) ; return 0; }", Opts);
+  EXPECT_EQ(R.Status, ExecStatus::Timeout);
+}
+
+TEST(InterpTest, DeepRecursionTimesOut) {
+  ExecResult R = runProgram("int f(int n) { return f(n + 0); }\n"
+                            "int main(void) { return f(1); }");
+  EXPECT_EQ(R.Status, ExecStatus::Timeout);
+}
+
+TEST(InterpTest, ExecutedStatementsAreTracked) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  int a = 1;\n"
+                            "  if (a) a = 2; else a = 3;\n"
+                            "  return a;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 2);
+  // Some statements ran; the else branch did not.
+  EXPECT_GE(R.ExecutedStmts.size(), 4u);
+}
+
+TEST(InterpTest, AliasingThroughPointers) {
+  // The essence of the paper's Figure 2 bug: two routes to one object; the
+  // last write must win.
+  ExecResult R = runProgram("int a = 0;\n"
+                            "int main(void) {\n"
+                            "  int *p = &a, *q = &a;\n"
+                            "  *p = 1;\n"
+                            "  *q = 2;\n"
+                            "  return a;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(InterpTest, CompoundAssignOnPointer) {
+  ExecResult R = runProgram("int arr[5] = {1, 2, 3, 4, 5};\n"
+                            "int main(void) {\n"
+                            "  int *p = arr;\n"
+                            "  p += 3;\n"
+                            "  p -= 1;\n"
+                            "  return *p;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 3);
+}
+
+TEST(InterpTest, CharAndShortPromotions) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  char c = 100;\n"
+                            "  char d = 100;\n"
+                            "  int x = c + d;\n"
+                            "  short s = -4;\n"
+                            "  return x + s;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 196);
+}
+
+TEST(InterpTest, TruncationOnNarrowStoreIsDefined) {
+  ExecResult R = runProgram("int main(void) {\n"
+                            "  char c = 300;\n" // 300 & 0xff = 44
+                            "  unsigned char u;\n"
+                            "  return c;\n"
+                            "}");
+  ASSERT_EQ(R.Status, ExecStatus::Ok) << R.Message;
+  EXPECT_EQ(R.ExitCode, 44);
+}

@@ -1,0 +1,110 @@
+//===- tests/lang_lexer_test.cpp - lexer unit tests ----------------------===//
+
+#include "lang/Lexer.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+namespace {
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return Tokens;
+}
+} // namespace
+
+TEST(LexerTest, EmptyInput) {
+  std::vector<Token> T = lex("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].is(TokenKind::EndOfFile));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  std::vector<Token> T = lex("int foo while whilex _bar2");
+  EXPECT_TRUE(T[0].is(TokenKind::KwInt));
+  EXPECT_TRUE(T[1].is(TokenKind::Identifier));
+  EXPECT_EQ(T[1].Text, "foo");
+  EXPECT_TRUE(T[2].is(TokenKind::KwWhile));
+  EXPECT_TRUE(T[3].is(TokenKind::Identifier));
+  EXPECT_EQ(T[3].Text, "whilex");
+  EXPECT_EQ(T[4].Text, "_bar2");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  std::vector<Token> T = lex("0 42 0x1F 017 123u 5L 7ull");
+  EXPECT_EQ(T[0].IntValue, 0u);
+  EXPECT_EQ(T[1].IntValue, 42u);
+  EXPECT_EQ(T[2].IntValue, 31u);
+  EXPECT_EQ(T[3].IntValue, 15u);
+  EXPECT_EQ(T[4].IntValue, 123u);
+  EXPECT_TRUE(T[4].IsUnsigned);
+  EXPECT_EQ(T[5].IntValue, 5u);
+  EXPECT_TRUE(T[5].IsLong);
+  EXPECT_TRUE(T[6].IsUnsigned);
+  EXPECT_TRUE(T[6].IsLong);
+}
+
+TEST(LexerTest, CharLiterals) {
+  std::vector<Token> T = lex("'a' '\\n' '\\0'");
+  EXPECT_EQ(T[0].IntValue, static_cast<uint64_t>('a'));
+  EXPECT_EQ(T[1].IntValue, static_cast<uint64_t>('\n'));
+  EXPECT_EQ(T[2].IntValue, 0u);
+}
+
+TEST(LexerTest, StringLiterals) {
+  std::vector<Token> T = lex("\"%d\\n\"");
+  EXPECT_TRUE(T[0].is(TokenKind::StringConstant));
+  EXPECT_EQ(T[0].Text, "%d\n");
+}
+
+TEST(LexerTest, CompoundOperators) {
+  std::vector<Token> T = lex("<<= >>= << >> <= >= == != && || ++ -- -> += &=");
+  TokenKind Expected[] = {
+      TokenKind::LessLessEqual,  TokenKind::GreaterGreaterEqual,
+      TokenKind::LessLess,       TokenKind::GreaterGreater,
+      TokenKind::LessEqual,      TokenKind::GreaterEqual,
+      TokenKind::EqualEqual,     TokenKind::ExclaimEqual,
+      TokenKind::AmpAmp,         TokenKind::PipePipe,
+      TokenKind::PlusPlus,       TokenKind::MinusMinus,
+      TokenKind::Arrow,          TokenKind::PlusEqual,
+      TokenKind::AmpEqual,
+  };
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_TRUE(T[I].is(Expected[I])) << "token " << I;
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  std::vector<Token> T = lex("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(LexerTest, SourceLocations) {
+  std::vector<Token> T = lex("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Column, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnterminatedCommentIsError) {
+  DiagnosticEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  DiagnosticEngine Diags;
+  Lexer L("a @ b", Diags);
+  std::vector<Token> T = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the bad character.
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[1].Text, "b");
+}

@@ -1,0 +1,215 @@
+//===- tests/lang_parser_test.cpp - parser unit tests --------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+namespace {
+/// Parses and returns success; on failure the diagnostics are attached.
+bool parses(const std::string &Source, ASTContext &Ctx) {
+  DiagnosticEngine Diags;
+  bool Ok = Parser::parse(Source, Ctx, Diags);
+  EXPECT_TRUE(Ok) << Diags.toString() << "\nsource:\n" << Source;
+  return Ok;
+}
+} // namespace
+
+TEST(ParserTest, GlobalsAndTypes) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int a; unsigned long b = 7; char c, d = 'x';\n"
+                     "short *p; int arr[4]; int m[2][3];",
+                     Ctx));
+  std::vector<VarDecl *> Gs = Ctx.globals();
+  ASSERT_EQ(Gs.size(), 7u);
+  EXPECT_EQ(Gs[0]->type()->toString(), "int");
+  EXPECT_EQ(Gs[1]->type()->toString(), "unsigned long");
+  ASSERT_NE(Gs[1]->init(), nullptr);
+  EXPECT_EQ(Gs[3]->name(), "d");
+  EXPECT_EQ(Gs[4]->type()->toString(), "short *");
+  EXPECT_EQ(Gs[5]->type()->toString(), "int [4]");
+  EXPECT_EQ(Gs[6]->type()->toString(), "int [2] [3]");
+  EXPECT_EQ(Gs[6]->type()->arraySize(), 2u);
+}
+
+TEST(ParserTest, StructDefinitionAndUse) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("struct s { char c[1]; int n; };\n"
+                     "struct s a, b;\n"
+                     "int d;",
+                     Ctx));
+  const Type *S = Ctx.types().getOrCreateStruct("s");
+  ASSERT_TRUE(S->isCompleteStruct());
+  ASSERT_EQ(S->fields().size(), 2u);
+  EXPECT_EQ(S->fields()[0].Name, "c");
+  EXPECT_EQ(S->fields()[1].Offset, 1u);
+  EXPECT_EQ(S->sizeInBytes(), 5u);
+}
+
+TEST(ParserTest, FunctionWithParamsAndBody) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int add(int a, int b) { return a + b; }", Ctx));
+  FunctionDecl *F = Ctx.findFunction("add");
+  ASSERT_NE(F, nullptr);
+  ASSERT_TRUE(F->isDefinition());
+  ASSERT_EQ(F->params().size(), 2u);
+  EXPECT_EQ(F->params()[0]->storage(), VarDecl::Storage::Param);
+  ASSERT_EQ(F->body()->body().size(), 1u);
+  EXPECT_TRUE(isa<ReturnStmt>(F->body()->body()[0]));
+}
+
+TEST(ParserTest, ArrayParamsDecayToPointers) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("void f(int a[4]) { }", Ctx));
+  FunctionDecl *F = Ctx.findFunction("f");
+  EXPECT_EQ(F->params()[0]->type()->toString(), "int *");
+}
+
+TEST(ParserTest, PrecedenceShapesTheTree) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int x; int y; int z;\n"
+                     "void f(void) { x = y + z * 2; }",
+                     Ctx));
+  auto *Body = Ctx.findFunction("f")->body();
+  auto *S = cast<ExprStmt>(Body->body()[0]);
+  auto *Assign = cast<BinaryExpr>(S->expr());
+  EXPECT_EQ(Assign->op(), BinaryOp::Assign);
+  auto *Add = cast<BinaryExpr>(Assign->rhs());
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  auto *Mul = cast<BinaryExpr>(Add->rhs());
+  EXPECT_EQ(Mul->op(), BinaryOp::Mul);
+}
+
+TEST(ParserTest, AssignmentIsRightAssociative) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int a; int b; void f(void) { a = b = 1; }", Ctx));
+  auto *S = cast<ExprStmt>(Ctx.findFunction("f")->body()->body()[0]);
+  auto *Outer = cast<BinaryExpr>(S->expr());
+  auto *Inner = cast<BinaryExpr>(Outer->rhs());
+  EXPECT_EQ(Inner->op(), BinaryOp::Assign);
+}
+
+TEST(ParserTest, ConditionalAndNestedConditional) {
+  // The shape from the paper's Figure 3 (GCC bug 69801).
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("struct s { char c[1]; };\n"
+                     "struct s a, b, c;\n"
+                     "int d; int e;\n"
+                     "void bar(void) {\n"
+                     "  e ? (d == 0 ? b : c).c : (d == 0 ? b : c).c;\n"
+                     "}",
+                     Ctx));
+  auto *S = cast<ExprStmt>(Ctx.findFunction("bar")->body()->body()[0]);
+  auto *Cond = cast<ConditionalExpr>(S->expr());
+  EXPECT_TRUE(isa<MemberExpr>(Cond->trueExpr()));
+  EXPECT_TRUE(isa<MemberExpr>(Cond->falseExpr()));
+}
+
+TEST(ParserTest, ControlFlowStatements) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses(
+      "int a; int b;\n"
+      "void f(void) {\n"
+      "  while (a) { a = a - 1; }\n"
+      "  do a = a + 1; while (a < 10);\n"
+      "  for (b = 0; b < 4; b = b + 1) continue;\n"
+      "  for (;;) break;\n"
+      "  if (a) b = 1; else b = 2;\n"
+      "}",
+      Ctx));
+  auto &Body = Ctx.findFunction("f")->body()->body();
+  ASSERT_EQ(Body.size(), 5u);
+  EXPECT_TRUE(isa<WhileStmt>(Body[0]));
+  EXPECT_TRUE(isa<DoStmt>(Body[1]));
+  EXPECT_TRUE(isa<ForStmt>(Body[2]));
+  EXPECT_TRUE(isa<ForStmt>(Body[3]));
+  EXPECT_TRUE(isa<IfStmt>(Body[4]));
+  EXPECT_EQ(cast<ForStmt>(Body[3])->cond(), nullptr);
+}
+
+TEST(ParserTest, GotoAndLabels) {
+  // The shape from the paper's Figure 11(d) (Clang bug 26994).
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int main(void) {\n"
+                     "  int *p = 0;\n"
+                     "trick:\n"
+                     "  if (p) return *p;\n"
+                     "  int x = 0;\n"
+                     "  p = &x;\n"
+                     "  goto trick;\n"
+                     "  return 0;\n"
+                     "}",
+                     Ctx));
+  auto &Body = Ctx.findFunction("main")->body()->body();
+  EXPECT_TRUE(isa<LabelStmt>(Body[1]));
+  EXPECT_EQ(cast<LabelStmt>(Body[1])->name(), "trick");
+}
+
+TEST(ParserTest, ForWithDeclInit) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("void f(void) { for (int i = 0; i < 3; ++i) ; }", Ctx));
+  auto *For = cast<ForStmt>(Ctx.findFunction("f")->body()->body()[0]);
+  ASSERT_NE(For->init(), nullptr);
+  EXPECT_TRUE(isa<DeclStmt>(For->init()));
+}
+
+TEST(ParserTest, PointerOperationsAndCasts) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int a; int *p;\n"
+                     "void f(void) {\n"
+                     "  p = &a;\n"
+                     "  *p = 1;\n"
+                     "  a = *p + 2;\n"
+                     "  a = (int)(long)p;\n"
+                     "  p = (int *)0;\n"
+                     "}",
+                     Ctx));
+}
+
+TEST(ParserTest, SizeofForms) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int a; long b;\n"
+                     "void f(void) { b = sizeof(int) + sizeof a + "
+                     "sizeof(struct s *); }\n"
+                     "struct s { int x; };",
+                     Ctx));
+}
+
+TEST(ParserTest, InitializerLists) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int c[3] = {0, 1, 2};\n"
+                     "struct s { int a; int b; };\n"
+                     "struct s v = {1, 2};\n"
+                     "void f(void) { int local[1] = {0}; }",
+                     Ctx));
+  auto *C = Ctx.globals()[0];
+  ASSERT_TRUE(isa<InitListExpr>(C->init()));
+  EXPECT_EQ(cast<InitListExpr>(C->init())->elements().size(), 3u);
+}
+
+TEST(ParserTest, CommaExpression) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int a; int b; void f(void) { a = 1, b = 2; }", Ctx));
+  auto *S = cast<ExprStmt>(Ctx.findFunction("f")->body()->body()[0]);
+  EXPECT_EQ(cast<BinaryExpr>(S->expr())->op(), BinaryOp::Comma);
+}
+
+TEST(ParserTest, ErrorRecoveryReportsAndContinues) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Parser::parse("int a = ;\nint b;", Ctx, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, MissingSemicolonIsError) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Parser::parse("int f(void) { return 0 }", Ctx, Diags));
+}
+
+TEST(ParserTest, PrototypesAreAccepted) {
+  ASTContext Ctx;
+  ASSERT_TRUE(parses("int f(int a);\nint f(int a) { return a; }", Ctx));
+}

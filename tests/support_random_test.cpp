@@ -1,0 +1,74 @@
+//===- tests/support_random_test.cpp - RandomEngine unit tests -----------===//
+
+#include "support/RandomEngine.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace spe;
+
+TEST(RandomEngineTest, DeterministicForSameSeed) {
+  RandomEngine A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomEngineTest, DifferentSeedsDiverge) {
+  RandomEngine A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 16 && !AnyDifferent; ++I)
+    AnyDifferent = A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(RandomEngineTest, UniformIntStaysInRange) {
+  RandomEngine Rng(7);
+  for (int I = 0; I < 10000; ++I) {
+    int64_t V = Rng.uniformInt(-5, 9);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 9);
+  }
+}
+
+TEST(RandomEngineTest, UniformIntCoversFullRange) {
+  RandomEngine Rng(11);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(Rng.uniformInt(0, 3));
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(RandomEngineTest, UniformRealInHalfOpenUnitInterval) {
+  RandomEngine Rng(13);
+  for (int I = 0; I < 10000; ++I) {
+    double V = Rng.uniformReal();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(RandomEngineTest, PickWeightedRespectsZeroWeight) {
+  RandomEngine Rng(17);
+  std::vector<double> Weights = {0.0, 1.0, 0.0};
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(Rng.pickWeighted(Weights), 1u);
+}
+
+TEST(RandomEngineTest, ShufflePreservesElements) {
+  RandomEngine Rng(19);
+  std::vector<int> Items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Shuffled = Items;
+  Rng.shuffle(Shuffled);
+  std::multiset<int> A(Items.begin(), Items.end());
+  std::multiset<int> B(Shuffled.begin(), Shuffled.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(RandomEngineTest, ReseedRestartsSequence) {
+  RandomEngine Rng(23);
+  uint64_t First = Rng.next();
+  Rng.next();
+  Rng.reseed(23);
+  EXPECT_EQ(Rng.next(), First);
+}
