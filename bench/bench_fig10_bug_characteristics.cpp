@@ -25,6 +25,8 @@ int main() {
   Seeds.insert(Seeds.end(), Generated.begin(), Generated.end());
 
   HarnessOptions Opts;
+  // Reproduction bench: opt into the literal published algorithm.
+  Opts.Mode = SpeMode::PaperFaithful;
   std::vector<CompilerConfig> Sweep =
       HarnessOptions::optLevelSweep(Persona::GccSim, 70);
   std::vector<CompilerConfig> M32 =

@@ -22,6 +22,8 @@ int main() {
   Seeds.insert(Seeds.end(), Generated.begin(), Generated.end());
 
   HarnessOptions Opts;
+  // Reproduction bench: opt into the literal published algorithm.
+  Opts.Mode = SpeMode::PaperFaithful;
   Opts.Configs = HarnessOptions::crashMatrix(Persona::GccSim, 48);
   std::vector<CompilerConfig> ClangConfigs =
       HarnessOptions::crashMatrix(Persona::ClangSim, 36);

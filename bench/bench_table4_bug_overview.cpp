@@ -24,6 +24,8 @@ int main() {
   Seeds.insert(Seeds.end(), Generated.begin(), Generated.end());
 
   HarnessOptions Opts;
+  // Reproduction bench: opt into the literal published algorithm.
+  Opts.Mode = SpeMode::PaperFaithful;
   for (Persona P : {Persona::GccSim, Persona::ClangSim}) {
     unsigned Trunk = P == Persona::GccSim ? 70 : 40;
     std::vector<CompilerConfig> Sweep =

@@ -101,6 +101,85 @@ bool SetPartitionGenerator::next() {
   return false;
 }
 
+void SetPartitionGenerator::seekTo(const RestrictedGrowthString &RGS) {
+  assert(RGS.size() == N && "seekTo length mismatch");
+  assert(isValidRGS(RGS) && "seekTo target is not a restricted growth string");
+  assert((N == 0 || numBlocks(RGS) <= MaxBlocks) &&
+         "seekTo target exceeds the block bound");
+  Current = RGS;
+  Maxima.assign(N, 0);
+  for (unsigned I = 1; I < N; ++I)
+    Maxima[I] = Current[I - 1] == Maxima[I - 1] ? Maxima[I - 1] + 1
+                                                : Maxima[I - 1];
+  Started = true;
+  // With N == 0 the single empty partition is now consumed.
+  Done = N == 0;
+}
+
+RgsRanker::RgsRanker(unsigned N, unsigned MaxBlocks) : N(N), MaxBlocks(MaxBlocks) {
+  if (N > 0 && this->MaxBlocks > N)
+    this->MaxBlocks = N;
+  unsigned K = this->MaxBlocks;
+  if (N == 0) {
+    Total = BigInt(1); // The single empty partition.
+    return;
+  }
+  if (K == 0) {
+    Total = BigInt(0);
+    return;
+  }
+  Suffixes.assign(N + 1, std::vector<BigInt>(K + 1, BigInt(0)));
+  for (unsigned M = 0; M <= K; ++M)
+    Suffixes[N][M] = BigInt(1);
+  for (unsigned I = N; I-- > 1;) {
+    for (unsigned M = 1; M <= K; ++M) {
+      Suffixes[I][M] = Suffixes[I + 1][M] * M;
+      if (M < K)
+        Suffixes[I][M] += Suffixes[I + 1][M + 1];
+    }
+  }
+  // Position 0 is forced to open the first block.
+  Total = Suffixes[1][1];
+}
+
+RestrictedGrowthString RgsRanker::unrank(const BigInt &Rank) const {
+  assert(Rank < Total && "RGS rank out of range");
+  RestrictedGrowthString RGS(N, 0);
+  if (N == 0)
+    return RGS;
+  BigInt Rest = Rank;
+  unsigned M = 1;
+  for (unsigned I = 1; I < N; ++I) {
+    // Values 0..M-1 reuse a block (weight Suffixes[I+1][M] each); value M
+    // opens a new one (weight Suffixes[I+1][M+1]).
+    BigInt Span = Suffixes[I + 1][M] * M;
+    if (Rest < Span) {
+      BigInt Digit, Rem;
+      BigInt::divmod(Rest, Suffixes[I + 1][M], Digit, Rem);
+      RGS[I] = static_cast<uint32_t>(Digit.toUint64());
+      Rest = Rem;
+    } else {
+      Rest -= Span;
+      RGS[I] = M;
+      ++M;
+    }
+  }
+  assert(Rest.isZero() && "rank decomposition did not terminate");
+  return RGS;
+}
+
+BigInt RgsRanker::rank(const RestrictedGrowthString &RGS) const {
+  assert(RGS.size() == N && "rank length mismatch");
+  BigInt Rank(0);
+  unsigned M = 1;
+  for (unsigned I = 1; I < N; ++I) {
+    Rank += Suffixes[I + 1][M] * RGS[I];
+    if (RGS[I] == M)
+      ++M;
+  }
+  return Rank;
+}
+
 ExactBlockPartitionGenerator::ExactBlockPartitionGenerator(unsigned N,
                                                            unsigned K)
     : Inner(N, K), N(N), K(K) {}

@@ -17,6 +17,8 @@
 #ifndef SPE_COMBINATORICS_SETPARTITIONS_H
 #define SPE_COMBINATORICS_SETPARTITIONS_H
 
+#include "support/BigInt.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -65,6 +67,13 @@ public:
   /// Restarts the generation from the first partition.
   void reset();
 
+  /// Positions the generator exactly on \p RGS, as if next() had just
+  /// returned it: current() equals \p RGS and next() yields its lexicographic
+  /// successor. \p RGS must be a valid restricted growth string of length N
+  /// with at most MaxBlocks blocks. This is how the enumeration cursors
+  /// resume a partition stream mid-way after an unranking seek.
+  void seekTo(const RestrictedGrowthString &RGS);
+
 private:
   unsigned N;
   unsigned MaxBlocks;
@@ -106,6 +115,35 @@ private:
   bool Started = false;
   bool Done = false;
   std::vector<uint32_t> Current;
+};
+
+/// Ranks and unranks restricted growth strings of length N with at most
+/// MaxBlocks blocks, in the same lexicographic order SetPartitionGenerator
+/// produces them. The rank space is the BigInt count partitionsUpTo(N,
+/// MaxBlocks), so Table-1-sized partition streams can be addressed directly
+/// without materialization; this is the core primitive behind
+/// AssignmentCursor::seek and shard (see DESIGN.md Section 5).
+class RgsRanker {
+public:
+  RgsRanker(unsigned N, unsigned MaxBlocks);
+
+  /// \returns the total number of strings (the rank space size).
+  const BigInt &count() const { return Total; }
+
+  /// \returns the string with lexicographic rank \p Rank. Asserts
+  /// Rank < count().
+  RestrictedGrowthString unrank(const BigInt &Rank) const;
+
+  /// \returns the lexicographic rank of \p RGS (the inverse of unrank).
+  BigInt rank(const RestrictedGrowthString &RGS) const;
+
+private:
+  unsigned N;
+  unsigned MaxBlocks;
+  /// Suffixes[I][M]: number of ways to complete positions I..N-1 of a string
+  /// whose prefix uses M blocks.
+  std::vector<std::vector<BigInt>> Suffixes;
+  BigInt Total;
 };
 
 /// Collects all partitions of an N-set into at most MaxBlocks blocks.

@@ -39,3 +39,8 @@ unsigned CoverageRegistry::hitFunctions() const {
     Fns.insert(functionOf(Name));
   return static_cast<unsigned>(Fns.size());
 }
+
+void CoverageRegistry::merge(const CoverageRegistry &Other) {
+  Catalog.insert(Other.Catalog.begin(), Other.Catalog.end());
+  Hits.insert(Other.Hits.begin(), Other.Hits.end());
+}

@@ -64,6 +64,11 @@ public:
   /// Restores a previously captured hit set.
   void setHits(std::set<std::string> NewHits) { Hits = std::move(NewHits); }
 
+  /// Folds \p Other into this registry: catalog and hit sets are unioned.
+  /// The parallel harness gives each worker its own registry copy and
+  /// merges them back deterministically after the join.
+  void merge(const CoverageRegistry &Other);
+
 private:
   static std::string functionOf(const std::string &PointName);
 

@@ -1,0 +1,328 @@
+//===- core/AssignmentCursor.cpp - Pull-based rankable enumeration -------===//
+
+#include "core/AssignmentCursor.h"
+
+#include "combinatorics/SetPartitions.h"
+#include "core/PaperAlgorithm.h"
+#include "core/ScopePartitionDP.h"
+
+#include <cassert>
+#include <map>
+
+using namespace spe;
+
+namespace {
+
+/// Paper-faithful pull adapter: a sliding window over the push driver.
+/// Refills restart the driver and skip to the window start; consecutive
+/// forward refills double the window so a full sequential scan stays
+/// O(N) amortized up to MaxChunk (DESIGN.md Section 5.3).
+constexpr uint64_t InitialChunk = 1024;
+constexpr uint64_t MaxChunk = 65536;
+
+} // namespace
+
+struct AssignmentCursor::Impl {
+  const AbstractSkeleton &Sk;
+  SpeMode Mode;
+  StirlingTable Table;
+
+  BigInt Size;
+  BigInt Pos;  ///< Rank of the assignment the next next() produces.
+  BigInt End;  ///< Exclusive bound of the active range.
+
+  // --- Exact mode: mixed-radix odometer with DP-backed unranking ---------
+
+  struct GroupState {
+    ScopeId Scope;
+    std::vector<unsigned> Holes; ///< Absolute hole indices.
+    std::vector<VarId> Vars;
+    SetPartitionGenerator Gen;
+    GroupState(ScopeId Scope, std::vector<unsigned> Holes,
+               std::vector<VarId> Vars)
+        : Scope(Scope), Holes(std::move(Holes)), Vars(std::move(Vars)),
+          Gen(static_cast<unsigned>(this->Holes.size()),
+              static_cast<unsigned>(this->Vars.size())) {}
+  };
+  struct TypeState {
+    std::vector<unsigned> LevelIdx; ///< Index into Problem.Domains[i].
+    std::vector<GroupState> Groups; ///< Ascending declaration scope.
+  };
+
+  std::vector<ExactTypeProblem> Problems;
+  std::vector<TypeState> Types;
+  std::vector<BigInt> TypeSuffix; ///< TypeSuffix[t] = prod counts of t..T-1.
+  Assignment Current;
+  BigInt OdoRank;       ///< Rank currently materialized in Current.
+  bool OdoValid = false;
+
+  // --- Paper-faithful mode: restartable window over the push driver ------
+
+  std::vector<Assignment> Buffer;
+  uint64_t BufferStart = 0;
+  uint64_t Chunk = InitialChunk;
+
+  Impl(const AbstractSkeleton &Sk, SpeMode Mode) : Sk(Sk), Mode(Mode) {
+    if (Mode == SpeMode::Exact) {
+      Problems = buildExactTypeProblems(Sk);
+      Types.resize(Problems.size());
+      TypeSuffix.assign(Problems.size() + 1, BigInt(1));
+      for (size_t T = Problems.size(); T-- > 0;) {
+        TypeSuffix[T] =
+            countExactType(Sk, Problems[T], Table) * TypeSuffix[T + 1];
+      }
+      Size = TypeSuffix[0];
+      Current.assign(Sk.numHoles(), 0);
+    } else {
+      Size = countPaperFaithful(Sk);
+    }
+    End = Size;
+  }
+
+  // --- Exact mode --------------------------------------------------------
+
+  void writeGroup(const GroupState &G) {
+    const RestrictedGrowthString &RGS = G.Gen.current();
+    for (size_t I = 0; I < G.Holes.size(); ++I)
+      Current[G.Holes[I]] = G.Vars[RGS[I]];
+  }
+
+  /// Rebuilds the per-scope groups of type \p T from its level choices.
+  /// Generators are left unstarted; the caller primes or seeks them.
+  void rebuildGroups(size_t T) {
+    const ExactTypeProblem &P = Problems[T];
+    TypeState &TS = Types[T];
+    std::map<ScopeId, std::vector<unsigned>> ByScope;
+    for (size_t I = 0; I < P.Holes.size(); ++I)
+      ByScope[P.Domains[I][TS.LevelIdx[I]]].push_back(P.Holes[I]);
+    TS.Groups.clear();
+    for (auto &[Scope, Holes] : ByScope)
+      TS.Groups.emplace_back(Scope, std::move(Holes),
+                             Sk.varsInScopeOfType(Scope, P.Type));
+  }
+
+  /// Resets type \p T to its first configuration and writes it.
+  void resetType(size_t T) {
+    TypeState &TS = Types[T];
+    TS.LevelIdx.assign(Problems[T].Holes.size(), 0);
+    rebuildGroups(T);
+    for (GroupState &G : TS.Groups) {
+      G.Gen.reset();
+      G.Gen.next();
+      writeGroup(G);
+    }
+  }
+
+  /// Advances type \p T to its next configuration in legacy enumeration
+  /// order (partitions vary fastest, then the level odometer). \returns
+  /// false when the type's space wrapped around.
+  bool advanceType(size_t T) {
+    TypeState &TS = Types[T];
+    for (size_t GI = TS.Groups.size(); GI-- > 0;) {
+      if (TS.Groups[GI].Gen.next()) {
+        writeGroup(TS.Groups[GI]);
+        for (size_t GJ = GI + 1; GJ < TS.Groups.size(); ++GJ) {
+          TS.Groups[GJ].Gen.reset();
+          TS.Groups[GJ].Gen.next();
+          writeGroup(TS.Groups[GJ]);
+        }
+        return true;
+      }
+    }
+    const ExactTypeProblem &P = Problems[T];
+    for (size_t HI = P.Holes.size(); HI-- > 0;) {
+      if (TS.LevelIdx[HI] + 1 < P.Domains[HI].size()) {
+        ++TS.LevelIdx[HI];
+        for (size_t HJ = HI + 1; HJ < P.Holes.size(); ++HJ)
+          TS.LevelIdx[HJ] = 0;
+        rebuildGroups(T);
+        for (GroupState &G : TS.Groups) {
+          G.Gen.next();
+          writeGroup(G);
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Advances the whole odometer by one rank. Types later in type order are
+  /// less significant, matching the legacy nesting.
+  void advanceExact() {
+    for (size_t T = Types.size(); T-- > 0;) {
+      if (advanceType(T)) {
+        for (size_t U = T + 1; U < Types.size(); ++U)
+          resetType(U);
+        OdoRank += BigInt(1);
+        return;
+      }
+    }
+    assert(false && "advanced past the end of the space");
+  }
+
+  /// Unranks type \p T's component \p Rank into level choices and partition
+  /// generator states, leaving Current holding the decoded assignment.
+  void materializeType(size_t T, const BigInt &Rank) {
+    const ExactTypeProblem &P = Problems[T];
+    TypeState &TS = Types[T];
+    size_t NumHoles = P.Holes.size();
+    TS.LevelIdx.assign(NumHoles, 0);
+
+    // Level map first: in lex order the level digits are more significant
+    // than every partition. Walk holes in order, charging each candidate
+    // level with the completion count of the remaining holes.
+    BigInt Rest = Rank;
+    std::vector<unsigned> PrefixCounts(Sk.numScopes(), 0);
+    for (size_t HI = 0; HI < NumHoles; ++HI) {
+      bool Found = false;
+      for (size_t D = 0; D < P.Domains[HI].size(); ++D) {
+        ScopeId S = P.Domains[HI][D];
+        ++PrefixCounts[S];
+        BigInt W = countExactCompletions(Sk, P, HI + 1, PrefixCounts, Table);
+        if (Rest < W) {
+          TS.LevelIdx[HI] = static_cast<unsigned>(D);
+          Found = true;
+          break;
+        }
+        Rest -= W;
+        --PrefixCounts[S];
+      }
+      assert(Found && "level unranking exhausted the domain");
+      (void)Found;
+    }
+
+    // Then the per-scope partitions, group-major with earlier scopes more
+    // significant, each group's restricted growth string in lex order.
+    rebuildGroups(T);
+    std::vector<BigInt> GroupSuffix(TS.Groups.size() + 1, BigInt(1));
+    for (size_t GI = TS.Groups.size(); GI-- > 0;) {
+      const GroupState &G = TS.Groups[GI];
+      GroupSuffix[GI] =
+          Table.partitionsUpTo(static_cast<unsigned>(G.Holes.size()),
+                               static_cast<unsigned>(G.Vars.size())) *
+          GroupSuffix[GI + 1];
+    }
+    for (size_t GI = 0; GI < TS.Groups.size(); ++GI) {
+      GroupState &G = TS.Groups[GI];
+      BigInt Q, Rem;
+      BigInt::divmod(Rest, GroupSuffix[GI + 1], Q, Rem);
+      RgsRanker Ranker(static_cast<unsigned>(G.Holes.size()),
+                       static_cast<unsigned>(G.Vars.size()));
+      G.Gen.seekTo(Ranker.unrank(Q));
+      writeGroup(G);
+      Rest = Rem;
+    }
+    assert(Rest.isZero() && "partition unranking did not terminate");
+  }
+
+  /// Positions the exact-mode odometer directly on \p Rank (< Size).
+  void materializeExact(const BigInt &Rank) {
+    BigInt Rest = Rank;
+    for (size_t T = 0; T < Types.size(); ++T) {
+      BigInt Q, Rem;
+      BigInt::divmod(Rest, TypeSuffix[T + 1], Q, Rem);
+      materializeType(T, Q);
+      Rest = Rem;
+    }
+    OdoRank = Rank;
+    OdoValid = true;
+  }
+
+  // --- Paper-faithful mode -----------------------------------------------
+
+  /// Refills the window so that it contains rank \p Target.
+  void refillPaper(uint64_t Target) {
+    if (Target == BufferStart + Buffer.size() && !Buffer.empty())
+      Chunk = std::min(Chunk * 2, MaxChunk);
+    else
+      Chunk = InitialChunk;
+    Buffer.clear();
+    BufferStart = Target;
+    uint64_t Seen = 0;
+    enumeratePaperFaithful(Sk, [&](const Assignment &A) {
+      if (Seen++ < Target)
+        return true;
+      Buffer.push_back(A);
+      return Buffer.size() < Chunk;
+    });
+  }
+
+  const Assignment *nextPaper() {
+    assert(Pos.fitsInUint64() &&
+           "paper-faithful cursor positions beyond 2^64 are unsupported");
+    uint64_t P64 = Pos.toUint64();
+    if (P64 < BufferStart || P64 >= BufferStart + Buffer.size())
+      refillPaper(P64);
+    assert(P64 - BufferStart < Buffer.size() && "paper window refill failed");
+    Pos += BigInt(1);
+    return &Buffer[P64 - BufferStart];
+  }
+
+  // --- Shared ------------------------------------------------------------
+
+  const Assignment *next() {
+    if (Pos >= End)
+      return nullptr;
+    if (Mode == SpeMode::PaperFaithful)
+      return nextPaper();
+    if (!OdoValid)
+      materializeExact(Pos);
+    else if (OdoRank < Pos)
+      advanceExact();
+    assert(OdoRank == Pos && "odometer out of sync with position");
+    Pos += BigInt(1);
+    return &Current;
+  }
+
+  void seek(const BigInt &Rank) {
+    Pos = Rank > Size ? Size : Rank;
+    if (Mode == SpeMode::PaperFaithful)
+      return; // nextPaper() refills lazily.
+    if (Pos < Size)
+      materializeExact(Pos);
+    else
+      OdoValid = false;
+  }
+
+  void reset() {
+    Pos = BigInt(0);
+    if (Mode == SpeMode::PaperFaithful || Size.isZero())
+      return; // The paper window refills lazily from rank 0.
+    for (size_t T = 0; T < Types.size(); ++T)
+      resetType(T);
+    OdoRank = BigInt(0);
+    OdoValid = true;
+  }
+};
+
+AssignmentCursor::AssignmentCursor(const AbstractSkeleton &Skeleton,
+                                   SpeMode Mode)
+    : I(std::make_unique<Impl>(Skeleton, Mode)) {}
+
+AssignmentCursor::~AssignmentCursor() = default;
+AssignmentCursor::AssignmentCursor(AssignmentCursor &&Other) noexcept = default;
+AssignmentCursor &
+AssignmentCursor::operator=(AssignmentCursor &&Other) noexcept = default;
+
+const BigInt &AssignmentCursor::size() const { return I->Size; }
+const BigInt &AssignmentCursor::position() const { return I->Pos; }
+const BigInt &AssignmentCursor::end() const { return I->End; }
+
+const Assignment *AssignmentCursor::next() { return I->next(); }
+
+void AssignmentCursor::seek(const BigInt &Rank) { I->seek(Rank); }
+
+void AssignmentCursor::reset() { I->reset(); }
+
+void AssignmentCursor::setEnd(const BigInt &Rank) {
+  I->End = Rank > I->Size ? I->Size : Rank;
+}
+
+void AssignmentCursor::shard(uint64_t Index, uint64_t Count) {
+  assert(Count > 0 && Index < Count && "invalid shard request");
+  BigInt Begin, NewEnd;
+  cursor_detail::shardRange(I->Pos, I->End, Index, Count, Begin, NewEnd);
+  I->End = NewEnd;
+  I->seek(Begin);
+}
+

@@ -1,0 +1,244 @@
+//===- core/PaperAlgorithm.cpp - Published Algorithm 1 + PartitionScope --===//
+
+#include "core/PaperAlgorithm.h"
+
+#include "combinatorics/SetPartitions.h"
+#include "combinatorics/Stirling.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace spe;
+
+namespace {
+
+/// Per-type working data: the paper's two-level projection of the scope
+/// tree (global variable set plus one entry per local use scope).
+struct PaperTypeProblem {
+  TypeKey Type = 0;
+  /// Absolute hole indices of this type, in hole order.
+  std::vector<unsigned> Holes;
+  /// Root-declared variables of this type, declaration order.
+  std::vector<VarId> RootVars;
+  /// Hole indices whose use scope is the root ("global holes" G).
+  std::vector<unsigned> GlobalHoles;
+  /// One entry per non-root use scope that has holes.
+  struct LocalScope {
+    ScopeId Scope;
+    std::vector<unsigned> Holes;
+    /// Variables on the scope chain strictly below the root, chain order.
+    std::vector<VarId> Vars;
+  };
+  std::vector<LocalScope> LocalScopes;
+};
+
+std::vector<PaperTypeProblem> buildPaperTypeProblems(const AbstractSkeleton &Sk) {
+  std::vector<PaperTypeProblem> Problems;
+  for (TypeKey T : Sk.holeTypes()) {
+    PaperTypeProblem P;
+    P.Type = T;
+    for (unsigned H = 0; H < Sk.numHoles(); ++H)
+      if (Sk.hole(H).Type == T)
+        P.Holes.push_back(H);
+    P.RootVars = Sk.varsInScopeOfType(AbstractSkeleton::rootScope(), T);
+    std::map<ScopeId, std::vector<unsigned>> LocalHoles;
+    for (unsigned H : P.Holes) {
+      ScopeId Use = Sk.hole(H).UseScope;
+      if (Use == AbstractSkeleton::rootScope())
+        P.GlobalHoles.push_back(H);
+      else
+        LocalHoles[Use].push_back(H);
+    }
+    for (auto &[Scope, Holes] : LocalHoles) {
+      PaperTypeProblem::LocalScope L;
+      L.Scope = Scope;
+      L.Holes = std::move(Holes);
+      for (ScopeId S : Sk.scopeChain(Scope)) {
+        if (S == AbstractSkeleton::rootScope())
+          continue;
+        std::vector<VarId> Here = Sk.varsInScopeOfType(S, T);
+        L.Vars.insert(L.Vars.end(), Here.begin(), Here.end());
+      }
+      P.LocalScopes.push_back(std::move(L));
+    }
+    Problems.push_back(std::move(P));
+  }
+  return Problems;
+}
+
+/// Streams Algorithm 1's assignments for all types, with early termination.
+class PaperDriver {
+public:
+  PaperDriver(const AbstractSkeleton &Sk,
+              const std::function<bool(const Assignment &)> &Callback,
+              uint64_t Limit)
+      : Callback(Callback), Limit(Limit), Problems(buildPaperTypeProblems(Sk)),
+        Current(Sk.numHoles(), 0) {}
+
+  uint64_t run() {
+    enumerateTypes(0);
+    return Produced;
+  }
+
+private:
+  /// Emits the fully built assignment. \returns false to stop enumeration.
+  bool emit() {
+    ++Produced;
+    if (!Callback(Current))
+      return false;
+    return Limit == 0 || Produced < Limit;
+  }
+
+  bool enumerateTypes(size_t TI) {
+    if (TI == Problems.size())
+      return emit();
+    return paperEnumerate(Problems[TI], TI);
+  }
+
+  bool paperEnumerate(PaperTypeProblem &P, size_t TI) {
+    // Algorithm 1 line 3: S'_f, all holes filled with root variables, at
+    // most |v_f| blocks.
+    unsigned NumRootVars = static_cast<unsigned>(P.RootVars.size());
+    SetPartitionGenerator AllGlobal(static_cast<unsigned>(P.Holes.size()),
+                                    NumRootVars);
+    while (AllGlobal.next()) {
+      const RestrictedGrowthString &RGS = AllGlobal.current();
+      for (size_t I = 0; I < P.Holes.size(); ++I)
+        Current[P.Holes[I]] = P.RootVars[RGS[I]];
+      if (!enumerateTypes(TI + 1))
+        return false;
+    }
+    // Lines 4-5: Procedure PartitionScope over the local scopes. When there
+    // are no local holes the S'_f term is already complete.
+    if (P.LocalScopes.empty())
+      return true;
+    std::vector<unsigned> Promoted;
+    return paperScopes(P, TI, 0, Promoted);
+  }
+
+  bool paperScopes(PaperTypeProblem &P, size_t TI, size_t SI,
+                   std::vector<unsigned> &Promoted) {
+    if (SI == P.LocalScopes.size())
+      return paperGlobalPartition(P, TI, Promoted);
+    const PaperTypeProblem::LocalScope &L = P.LocalScopes[SI];
+    unsigned U = static_cast<unsigned>(L.Holes.size());
+    unsigned V = static_cast<unsigned>(L.Vars.size());
+    // Line 2: promote k holes, k in [0, u-1].
+    for (unsigned K = 0; K < U; ++K) {
+      CombinationGenerator Combos(U, K);
+      while (Combos.next()) {
+        std::vector<bool> IsPromoted(U, false);
+        for (uint32_t Index : Combos.current())
+          IsPromoted[Index] = true;
+        std::vector<unsigned> Rest;
+        for (unsigned I = 0; I < U; ++I) {
+          if (IsPromoted[I])
+            Promoted.push_back(L.Holes[I]);
+          else
+            Rest.push_back(L.Holes[I]);
+        }
+        // Lines 7-8: partition the remaining local holes into exactly j
+        // non-empty blocks for every j in [1, v].
+        for (unsigned J = 1; J <= V && J <= Rest.size(); ++J) {
+          ExactBlockPartitionGenerator LocalGen(
+              static_cast<unsigned>(Rest.size()), J);
+          while (LocalGen.next()) {
+            const RestrictedGrowthString &RGS = LocalGen.current();
+            for (size_t I = 0; I < Rest.size(); ++I)
+              Current[Rest[I]] = L.Vars[RGS[I]];
+            if (!paperScopes(P, TI, SI + 1, Promoted))
+              return false;
+          }
+        }
+        Promoted.resize(Promoted.size() - K);
+      }
+    }
+    return true;
+  }
+
+  bool paperGlobalPartition(PaperTypeProblem &P, size_t TI,
+                            const std::vector<unsigned> &Promoted) {
+    // Line 14: partition G (global holes plus promoted holes) into exactly
+    // |v^g| non-empty blocks.
+    std::vector<unsigned> G = P.GlobalHoles;
+    G.insert(G.end(), Promoted.begin(), Promoted.end());
+    std::sort(G.begin(), G.end());
+    unsigned NumRootVars = static_cast<unsigned>(P.RootVars.size());
+    if (G.empty()) {
+      // Stirling {0 over k} is 1 only for k = 0.
+      if (NumRootVars != 0)
+        return true;
+      return enumerateTypes(TI + 1);
+    }
+    ExactBlockPartitionGenerator Gen(static_cast<unsigned>(G.size()),
+                                     NumRootVars);
+    while (Gen.next()) {
+      const RestrictedGrowthString &RGS = Gen.current();
+      for (size_t I = 0; I < G.size(); ++I)
+        Current[G[I]] = P.RootVars[RGS[I]];
+      if (!enumerateTypes(TI + 1))
+        return false;
+    }
+    return true;
+  }
+
+  const std::function<bool(const Assignment &)> &Callback;
+  uint64_t Limit;
+  std::vector<PaperTypeProblem> Problems;
+  Assignment Current;
+  uint64_t Produced = 0;
+};
+
+/// Paper-faithful count for one type: S'_f plus the PartitionScope sum.
+BigInt countTypePaper(const PaperTypeProblem &P, StirlingTable &Table) {
+  unsigned NumRootVars = static_cast<unsigned>(P.RootVars.size());
+  unsigned NumHoles = static_cast<unsigned>(P.Holes.size());
+  BigInt Total = Table.partitionsUpTo(NumHoles, NumRootVars);
+  if (P.LocalScopes.empty())
+    return Total;
+
+  unsigned NumGlobalHoles = static_cast<unsigned>(P.GlobalHoles.size());
+  std::function<void(size_t, unsigned, const BigInt &)> Recurse =
+      [&](size_t SI, unsigned PromotedCount, const BigInt &Product) {
+        if (SI == P.LocalScopes.size()) {
+          BigInt Term =
+              Table.stirling2(NumGlobalHoles + PromotedCount, NumRootVars);
+          Term *= Product;
+          Total += Term;
+          return;
+        }
+        const PaperTypeProblem::LocalScope &L = P.LocalScopes[SI];
+        unsigned U = static_cast<unsigned>(L.Holes.size());
+        unsigned V = static_cast<unsigned>(L.Vars.size());
+        for (unsigned K = 0; K < U; ++K) {
+          BigInt Ways = Table.binomial(U, K);
+          Ways *= Table.partitionsUpTo(U - K, V);
+          if (Ways.isZero())
+            continue;
+          Ways *= Product;
+          Recurse(SI + 1, PromotedCount + K, Ways);
+        }
+      };
+  Recurse(0, 0, BigInt(1));
+  return Total;
+}
+
+} // namespace
+
+BigInt spe::countPaperFaithful(const AbstractSkeleton &Sk) {
+  StirlingTable Table;
+  BigInt Total(1);
+  for (const PaperTypeProblem &P : buildPaperTypeProblems(Sk)) {
+    Total *= countTypePaper(P, Table);
+    if (Total.isZero())
+      return Total;
+  }
+  return Total;
+}
+
+uint64_t spe::enumeratePaperFaithful(
+    const AbstractSkeleton &Sk,
+    const std::function<bool(const Assignment &)> &Callback, uint64_t Limit) {
+  PaperDriver Driver(Sk, Callback, Limit);
+  return Driver.run();
+}

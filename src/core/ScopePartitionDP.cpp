@@ -1,0 +1,116 @@
+//===- core/ScopePartitionDP.cpp - Exact-mode counting tree DP -----------===//
+
+#include "core/ScopePartitionDP.h"
+
+#include <functional>
+
+using namespace spe;
+
+std::vector<ExactTypeProblem>
+spe::buildExactTypeProblems(const AbstractSkeleton &Sk) {
+  std::vector<ExactTypeProblem> Problems;
+  for (TypeKey T : Sk.holeTypes()) {
+    ExactTypeProblem P;
+    P.Type = T;
+    for (unsigned H = 0; H < Sk.numHoles(); ++H)
+      if (Sk.hole(H).Type == T)
+        P.Holes.push_back(H);
+    for (unsigned H : P.Holes) {
+      std::vector<ScopeId> Domain;
+      for (ScopeId S : Sk.scopeChain(Sk.hole(H).UseScope))
+        if (!Sk.varsInScopeOfType(S, T).empty())
+          Domain.push_back(S);
+      P.Domains.push_back(std::move(Domain));
+    }
+    Problems.push_back(std::move(P));
+  }
+  return Problems;
+}
+
+namespace {
+
+/// Convolves two polynomial-style count vectors.
+std::vector<BigInt> convolve(const std::vector<BigInt> &A,
+                             const std::vector<BigInt> &B) {
+  std::vector<BigInt> Result(A.size() + B.size() - 1, BigInt(0));
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (A[I].isZero())
+      continue;
+    for (size_t J = 0; J < B.size(); ++J)
+      Result[I + J] += A[I] * B[J];
+  }
+  return Result;
+}
+
+} // namespace
+
+/// g_s[j] = number of ways to fix stopping scopes and per-scope partitions
+/// for the free type-t holes in subtree(s) while forwarding j holes upwards.
+/// Pinned prefix holes do not travel through the pool; they only shift the
+/// partition factor of their pinned scope.
+BigInt spe::countExactCompletions(const AbstractSkeleton &Sk,
+                                  const ExactTypeProblem &P, size_t FromHole,
+                                  const std::vector<unsigned> &PrefixCounts,
+                                  StirlingTable &Table) {
+  std::vector<unsigned> UseCount(Sk.numScopes(), 0);
+  std::vector<unsigned> VarCount(Sk.numScopes(), 0);
+  for (size_t I = FromHole; I < P.Holes.size(); ++I)
+    ++UseCount[Sk.hole(P.Holes[I]).UseScope];
+  for (VarId V = 0; V < Sk.numVars(); ++V)
+    if (Sk.var(V).Type == P.Type)
+      ++VarCount[Sk.var(V).Scope];
+
+  std::function<std::vector<BigInt>(ScopeId)> Solve =
+      [&](ScopeId S) -> std::vector<BigInt> {
+    std::vector<BigInt> Pool{BigInt(1)};
+    for (ScopeId Child : Sk.childrenOf(S))
+      Pool = convolve(Pool, Solve(Child));
+    // The scope's own free holes always join the pool here.
+    unsigned Shift = UseCount[S];
+    if (Shift != 0) {
+      std::vector<BigInt> Shifted(Pool.size() + Shift, BigInt(0));
+      for (size_t I = 0; I < Pool.size(); ++I)
+        Shifted[I + Shift] = std::move(Pool[I]);
+      Pool = std::move(Shifted);
+    }
+    // Choose how many pool holes stop at this scope; the partition factor
+    // covers them together with the holes the prefix pinned here.
+    std::vector<BigInt> G(Pool.size(), BigInt(0));
+    for (size_t PoolSize = 0; PoolSize < Pool.size(); ++PoolSize) {
+      if (Pool[PoolSize].isZero())
+        continue;
+      for (size_t Stopped = 0; Stopped <= PoolSize; ++Stopped) {
+        BigInt Ways = Table.partitionsUpTo(
+            PrefixCounts[S] + static_cast<unsigned>(Stopped), VarCount[S]);
+        if (Ways.isZero())
+          continue;
+        Ways *= Table.binomial(static_cast<unsigned>(PoolSize),
+                               static_cast<unsigned>(Stopped));
+        Ways *= Pool[PoolSize];
+        G[PoolSize - Stopped] += Ways;
+      }
+    }
+    return G;
+  };
+
+  std::vector<BigInt> RootG = Solve(AbstractSkeleton::rootScope());
+  // No hole may be forwarded past the root.
+  return RootG.empty() ? BigInt(0) : RootG[0];
+}
+
+BigInt spe::countExactType(const AbstractSkeleton &Sk,
+                           const ExactTypeProblem &P, StirlingTable &Table) {
+  std::vector<unsigned> NoPrefix(Sk.numScopes(), 0);
+  return countExactCompletions(Sk, P, 0, NoPrefix, Table);
+}
+
+BigInt spe::countExactClasses(const AbstractSkeleton &Sk) {
+  StirlingTable Table;
+  BigInt Total(1);
+  for (const ExactTypeProblem &P : buildExactTypeProblems(Sk)) {
+    Total *= countExactType(Sk, P, Table);
+    if (Total.isZero())
+      return Total;
+  }
+  return Total;
+}

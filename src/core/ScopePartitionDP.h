@@ -1,0 +1,70 @@
+//===- core/ScopePartitionDP.h - Exact-mode counting tree DP -------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exact-mode combinatorial core shared by SpeEnumerator (counting) and
+/// AssignmentCursor (unranking). An exact-mode alpha-equivalence class of one
+/// type factorizes into a *level map* sending each hole to the ancestor scope
+/// declaring its variable plus one set partition per scope; the number of
+/// classes is a bottom-up tree DP over the scope tree with BigInt arithmetic
+/// (no materialization).
+///
+/// For the cursor's seek/shard the DP is generalized to *completion counting*:
+/// given a prefix of holes whose levels are already pinned, count the classes
+/// over the remaining holes. Unranking a level map then walks holes in order,
+/// subtracting completion counts per candidate level (DESIGN.md Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_CORE_SCOPEPARTITIONDP_H
+#define SPE_CORE_SCOPEPARTITIONDP_H
+
+#include "combinatorics/Stirling.h"
+#include "core/AbstractSkeleton.h"
+#include "support/BigInt.h"
+
+#include <vector>
+
+namespace spe {
+
+/// The exact-mode enumeration problem for one type class.
+struct ExactTypeProblem {
+  TypeKey Type = 0;
+  /// Absolute hole indices of this type, in hole order.
+  std::vector<unsigned> Holes;
+  /// Domains[i]: scopes on the chain of Holes[i] that declare at least one
+  /// variable of this type (the candidate declaration levels), in root-first
+  /// chain order.
+  std::vector<std::vector<ScopeId>> Domains;
+};
+
+/// Builds one problem per type key occurring among the holes, in
+/// AbstractSkeleton::holeTypes() order.
+std::vector<ExactTypeProblem>
+buildExactTypeProblems(const AbstractSkeleton &Sk);
+
+/// Counts the exact-mode classes over the free holes Holes[FromHole..] of
+/// \p P, given that PrefixCounts[s] holes were already pinned to scope s by
+/// the fixed prefix Holes[0..FromHole-1]. Each scope contributes a
+/// partitions-into-at-most-|vars| factor over all of its holes, pinned and
+/// free together. With FromHole = 0 and a zero prefix this is the plain
+/// per-type class count.
+BigInt countExactCompletions(const AbstractSkeleton &Sk,
+                             const ExactTypeProblem &P, size_t FromHole,
+                             const std::vector<unsigned> &PrefixCounts,
+                             StirlingTable &Table);
+
+/// The class count of one type (no prefix).
+BigInt countExactType(const AbstractSkeleton &Sk, const ExactTypeProblem &P,
+                      StirlingTable &Table);
+
+/// The exact-mode class count of the whole skeleton: the product over types.
+BigInt countExactClasses(const AbstractSkeleton &Sk);
+
+} // namespace spe
+
+#endif // SPE_CORE_SCOPEPARTITIONDP_H

@@ -2,12 +2,9 @@
 
 #include "core/SpeEnumerator.h"
 
-#include "combinatorics/SetPartitions.h"
-#include "combinatorics/Stirling.h"
-
-#include <algorithm>
-#include <cassert>
-#include <map>
+#include "core/AssignmentCursor.h"
+#include "core/PaperAlgorithm.h"
+#include "core/ScopePartitionDP.h"
 
 using namespace spe;
 
@@ -24,388 +21,26 @@ const char *spe::speModeName(SpeMode Mode) {
 SpeEnumerator::SpeEnumerator(const AbstractSkeleton &Skeleton, SpeMode Mode)
     : Skeleton(Skeleton), Mode(Mode) {}
 
-namespace {
-
-/// Per-type working data shared by both modes.
-struct TypeProblem {
-  TypeKey Type = 0;
-  /// Absolute hole indices of this type, in hole order.
-  std::vector<unsigned> Holes;
-
-  // --- Exact mode ---
-  /// DomainPerHole[i]: scopes on the chain of Holes[i] that declare at least
-  /// one variable of this type (the possible declaration levels).
-  std::vector<std::vector<ScopeId>> Domains;
-  /// Working vector: chosen declaration level per hole of this type. Owned
-  /// per type because per-type enumerations nest recursively.
-  std::vector<ScopeId> Levels;
-
-  // --- Paper-faithful mode (two-level projection) ---
-  /// Root-declared variables of this type, declaration order.
-  std::vector<VarId> RootVars;
-  /// Hole indices whose use scope is the root ("global holes" G).
-  std::vector<unsigned> GlobalHoles;
-  /// One entry per non-root use scope that has holes.
-  struct LocalScope {
-    ScopeId Scope;
-    std::vector<unsigned> Holes;
-    /// Variables on the scope chain strictly below the root, chain order.
-    std::vector<VarId> Vars;
-  };
-  std::vector<LocalScope> LocalScopes;
-};
-
-/// Builds the per-type problems for a skeleton.
-std::vector<TypeProblem> buildTypeProblems(const AbstractSkeleton &Sk) {
-  std::vector<TypeProblem> Problems;
-  for (TypeKey T : Sk.holeTypes()) {
-    TypeProblem P;
-    P.Type = T;
-    for (unsigned H = 0; H < Sk.numHoles(); ++H)
-      if (Sk.hole(H).Type == T)
-        P.Holes.push_back(H);
-
-    // Exact-mode domains.
-    for (unsigned H : P.Holes) {
-      std::vector<ScopeId> Domain;
-      for (ScopeId S : Sk.scopeChain(Sk.hole(H).UseScope))
-        if (!Sk.varsInScopeOfType(S, T).empty())
-          Domain.push_back(S);
-      P.Domains.push_back(std::move(Domain));
-    }
-
-    // Paper-mode projection.
-    P.RootVars = Sk.varsInScopeOfType(AbstractSkeleton::rootScope(), T);
-    std::map<ScopeId, std::vector<unsigned>> LocalHoles;
-    for (unsigned H : P.Holes) {
-      ScopeId Use = Sk.hole(H).UseScope;
-      if (Use == AbstractSkeleton::rootScope())
-        P.GlobalHoles.push_back(H);
-      else
-        LocalHoles[Use].push_back(H);
-    }
-    for (auto &[Scope, Holes] : LocalHoles) {
-      TypeProblem::LocalScope L;
-      L.Scope = Scope;
-      L.Holes = Holes;
-      for (ScopeId S : Sk.scopeChain(Scope)) {
-        if (S == AbstractSkeleton::rootScope())
-          continue;
-        std::vector<VarId> Here = Sk.varsInScopeOfType(S, T);
-        L.Vars.insert(L.Vars.end(), Here.begin(), Here.end());
-      }
-      P.LocalScopes.push_back(std::move(L));
-    }
-    Problems.push_back(std::move(P));
-  }
-  return Problems;
-}
-
-/// Streams canonical assignments for all types, with early termination.
-class EnumerationDriver {
-public:
-  EnumerationDriver(const AbstractSkeleton &Sk, SpeMode Mode,
-                    const std::function<bool(const Assignment &)> &Callback,
-                    uint64_t Limit)
-      : Sk(Sk), Mode(Mode), Callback(Callback), Limit(Limit),
-        Problems(buildTypeProblems(Sk)), Current(Sk.numHoles(), 0) {}
-
-  uint64_t run() {
-    enumerateTypes(0);
-    return Produced;
-  }
-
-private:
-  /// Emits the fully built assignment. \returns false to stop enumeration.
-  bool emit() {
-    ++Produced;
-    if (!Callback(Current))
-      return false;
-    return Limit == 0 || Produced < Limit;
-  }
-
-  bool enumerateTypes(size_t TI) {
-    if (TI == Problems.size())
-      return emit();
-    TypeProblem &P = Problems[TI];
-    if (Mode == SpeMode::Exact) {
-      P.Levels.assign(P.Holes.size(), 0);
-      return exactAssignLevels(P, TI, 0);
-    }
-    return paperEnumerate(P, TI);
-  }
-
-  // --- Exact mode -------------------------------------------------------
-
-  bool exactAssignLevels(TypeProblem &P, size_t TI, size_t HI) {
-    if (HI == P.Holes.size())
-      return exactPartitionGroups(P, TI);
-    for (ScopeId S : P.Domains[HI]) {
-      P.Levels[HI] = S;
-      if (!exactAssignLevels(P, TI, HI + 1))
-        return false;
-    }
-    return true;
-  }
-
-  struct Group {
-    std::vector<unsigned> Holes; // Absolute hole indices.
-    std::vector<VarId> Vars;
-  };
-
-  bool exactPartitionGroups(TypeProblem &P, size_t TI) {
-    // Group holes by chosen declaration level, in ascending scope order.
-    std::map<ScopeId, std::vector<unsigned>> ByScope;
-    for (size_t I = 0; I < P.Holes.size(); ++I)
-      ByScope[P.Levels[I]].push_back(P.Holes[I]);
-    std::vector<Group> Groups;
-    for (auto &[Scope, Holes] : ByScope) {
-      Group G;
-      G.Holes = Holes;
-      G.Vars = Sk.varsInScopeOfType(Scope, P.Type);
-      assert(!G.Vars.empty() && "level domain had no variables");
-      Groups.push_back(std::move(G));
-    }
-    return exactGroupProduct(Groups, 0, TI);
-  }
-
-  bool exactGroupProduct(const std::vector<Group> &Groups, size_t GI,
-                         size_t TI) {
-    if (GI == Groups.size())
-      return enumerateTypes(TI + 1);
-    const Group &G = Groups[GI];
-    SetPartitionGenerator Gen(static_cast<unsigned>(G.Holes.size()),
-                              static_cast<unsigned>(G.Vars.size()));
-    while (Gen.next()) {
-      const RestrictedGrowthString &RGS = Gen.current();
-      for (size_t I = 0; I < G.Holes.size(); ++I)
-        Current[G.Holes[I]] = G.Vars[RGS[I]];
-      if (!exactGroupProduct(Groups, GI + 1, TI))
-        return false;
-    }
-    return true;
-  }
-
-  // --- Paper-faithful mode ----------------------------------------------
-
-  bool paperEnumerate(TypeProblem &P, size_t TI) {
-    // Algorithm 1 line 3: S'_f, all holes filled with root variables, at
-    // most |v_f| blocks.
-    unsigned NumRootVars = static_cast<unsigned>(P.RootVars.size());
-    SetPartitionGenerator AllGlobal(static_cast<unsigned>(P.Holes.size()),
-                                    NumRootVars);
-    while (AllGlobal.next()) {
-      const RestrictedGrowthString &RGS = AllGlobal.current();
-      for (size_t I = 0; I < P.Holes.size(); ++I)
-        Current[P.Holes[I]] = P.RootVars[RGS[I]];
-      if (!enumerateTypes(TI + 1))
-        return false;
-    }
-    // Lines 4-5: Procedure PartitionScope over the local scopes. When there
-    // are no local holes the S'_f term is already complete.
-    if (P.LocalScopes.empty())
-      return true;
-    std::vector<unsigned> Promoted;
-    return paperScopes(P, TI, 0, Promoted);
-  }
-
-  bool paperScopes(TypeProblem &P, size_t TI, size_t SI,
-                   std::vector<unsigned> &Promoted) {
-    if (SI == P.LocalScopes.size())
-      return paperGlobalPartition(P, TI, Promoted);
-    const TypeProblem::LocalScope &L = P.LocalScopes[SI];
-    unsigned U = static_cast<unsigned>(L.Holes.size());
-    unsigned V = static_cast<unsigned>(L.Vars.size());
-    // Line 2: promote k holes, k in [0, u-1].
-    for (unsigned K = 0; K < U; ++K) {
-      CombinationGenerator Combos(U, K);
-      while (Combos.next()) {
-        std::vector<bool> IsPromoted(U, false);
-        for (uint32_t Index : Combos.current())
-          IsPromoted[Index] = true;
-        std::vector<unsigned> Rest;
-        for (unsigned I = 0; I < U; ++I) {
-          if (IsPromoted[I])
-            Promoted.push_back(L.Holes[I]);
-          else
-            Rest.push_back(L.Holes[I]);
-        }
-        // Lines 7-8: partition the remaining local holes into exactly j
-        // non-empty blocks for every j in [1, v].
-        for (unsigned J = 1; J <= V && J <= Rest.size(); ++J) {
-          ExactBlockPartitionGenerator LocalGen(
-              static_cast<unsigned>(Rest.size()), J);
-          while (LocalGen.next()) {
-            const RestrictedGrowthString &RGS = LocalGen.current();
-            for (size_t I = 0; I < Rest.size(); ++I)
-              Current[Rest[I]] = L.Vars[RGS[I]];
-            if (!paperScopes(P, TI, SI + 1, Promoted))
-              return false;
-          }
-        }
-        Promoted.resize(Promoted.size() - K);
-      }
-    }
-    return true;
-  }
-
-  bool paperGlobalPartition(TypeProblem &P, size_t TI,
-                            const std::vector<unsigned> &Promoted) {
-    // Line 14: partition G (global holes plus promoted holes) into exactly
-    // |v^g| non-empty blocks.
-    std::vector<unsigned> G = P.GlobalHoles;
-    G.insert(G.end(), Promoted.begin(), Promoted.end());
-    std::sort(G.begin(), G.end());
-    unsigned NumRootVars = static_cast<unsigned>(P.RootVars.size());
-    if (G.empty()) {
-      // Stirling {0 over k} is 1 only for k = 0.
-      if (NumRootVars != 0)
-        return true;
-      return enumerateTypes(TI + 1);
-    }
-    ExactBlockPartitionGenerator Gen(static_cast<unsigned>(G.size()),
-                                     NumRootVars);
-    while (Gen.next()) {
-      const RestrictedGrowthString &RGS = Gen.current();
-      for (size_t I = 0; I < G.size(); ++I)
-        Current[G[I]] = P.RootVars[RGS[I]];
-      if (!enumerateTypes(TI + 1))
-        return false;
-    }
-    return true;
-  }
-
-  const AbstractSkeleton &Sk;
-  SpeMode Mode;
-  const std::function<bool(const Assignment &)> &Callback;
-  uint64_t Limit;
-  std::vector<TypeProblem> Problems;
-  Assignment Current;
-  uint64_t Produced = 0;
-};
-
-/// Convolves two polynomial-style count vectors.
-std::vector<BigInt> convolve(const std::vector<BigInt> &A,
-                             const std::vector<BigInt> &B) {
-  std::vector<BigInt> Result(A.size() + B.size() - 1, BigInt(0));
-  for (size_t I = 0; I < A.size(); ++I) {
-    if (A[I].isZero())
-      continue;
-    for (size_t J = 0; J < B.size(); ++J)
-      Result[I + J] += A[I] * B[J];
-  }
-  return Result;
-}
-
-/// Exact-mode count for one type: bottom-up tree DP over the scope tree.
-/// g_s[j] = number of ways to fix stopping scopes and per-scope partitions
-/// for all type-t holes in subtree(s) while forwarding j holes upwards.
-BigInt countTypeExact(const AbstractSkeleton &Sk, const TypeProblem &P,
-                      StirlingTable &Table) {
-  // Holes used at each scope, and variables declared at each scope.
-  std::vector<unsigned> UseCount(Sk.numScopes(), 0);
-  std::vector<unsigned> VarCount(Sk.numScopes(), 0);
-  for (unsigned H : P.Holes)
-    ++UseCount[Sk.hole(H).UseScope];
-  for (VarId V = 0; V < Sk.numVars(); ++V)
-    if (Sk.var(V).Type == P.Type)
-      ++VarCount[Sk.var(V).Scope];
-
-  // Post-order DP via explicit recursion.
-  std::function<std::vector<BigInt>(ScopeId)> Solve =
-      [&](ScopeId S) -> std::vector<BigInt> {
-    std::vector<BigInt> Pool{BigInt(1)};
-    for (ScopeId Child : Sk.childrenOf(S)) {
-      std::vector<BigInt> ChildG = Solve(Child);
-      Pool = convolve(Pool, ChildG);
-    }
-    // The scope's own holes always join the pool here.
-    unsigned Shift = UseCount[S];
-    if (Shift != 0) {
-      std::vector<BigInt> Shifted(Pool.size() + Shift, BigInt(0));
-      for (size_t I = 0; I < Pool.size(); ++I)
-        Shifted[I + Shift] = std::move(Pool[I]);
-      Pool = std::move(Shifted);
-    }
-    // Choose how many pool holes stop at this scope.
-    std::vector<BigInt> G(Pool.size(), BigInt(0));
-    for (size_t PoolSize = 0; PoolSize < Pool.size(); ++PoolSize) {
-      if (Pool[PoolSize].isZero())
-        continue;
-      for (size_t Stopped = 0; Stopped <= PoolSize; ++Stopped) {
-        BigInt Ways = Table.partitionsUpTo(static_cast<unsigned>(Stopped),
-                                           VarCount[S]);
-        if (Ways.isZero())
-          continue;
-        Ways *= Table.binomial(static_cast<unsigned>(PoolSize),
-                               static_cast<unsigned>(Stopped));
-        Ways *= Pool[PoolSize];
-        G[PoolSize - Stopped] += Ways;
-      }
-    }
-    return G;
-  };
-
-  std::vector<BigInt> RootG = Solve(AbstractSkeleton::rootScope());
-  // No hole may be forwarded past the root.
-  return RootG.empty() ? BigInt(0) : RootG[0];
-}
-
-/// Paper-faithful count for one type: S'_f plus the PartitionScope sum.
-BigInt countTypePaper(const AbstractSkeleton &Sk, const TypeProblem &P,
-                      StirlingTable &Table) {
-  (void)Sk;
-  unsigned NumRootVars = static_cast<unsigned>(P.RootVars.size());
-  unsigned NumHoles = static_cast<unsigned>(P.Holes.size());
-  BigInt Total = Table.partitionsUpTo(NumHoles, NumRootVars);
-  if (P.LocalScopes.empty())
-    return Total;
-
-  unsigned NumGlobalHoles = static_cast<unsigned>(P.GlobalHoles.size());
-  std::function<void(size_t, unsigned, const BigInt &)> Recurse =
-      [&](size_t SI, unsigned PromotedCount, const BigInt &Product) {
-        if (SI == P.LocalScopes.size()) {
-          BigInt Term =
-              Table.stirling2(NumGlobalHoles + PromotedCount, NumRootVars);
-          Term *= Product;
-          Total += Term;
-          return;
-        }
-        const TypeProblem::LocalScope &L = P.LocalScopes[SI];
-        unsigned U = static_cast<unsigned>(L.Holes.size());
-        unsigned V = static_cast<unsigned>(L.Vars.size());
-        for (unsigned K = 0; K < U; ++K) {
-          BigInt Ways = Table.binomial(U, K);
-          Ways *= Table.partitionsUpTo(U - K, V);
-          if (Ways.isZero())
-            continue;
-          Ways *= Product;
-          Recurse(SI + 1, PromotedCount + K, Ways);
-        }
-      };
-  Recurse(0, 0, BigInt(1));
-  return Total;
-}
-
-} // namespace
-
 BigInt SpeEnumerator::count() const {
-  StirlingTable Table;
-  BigInt Total(1);
-  for (const TypeProblem &P : buildTypeProblems(Skeleton)) {
-    BigInt TypeCount = Mode == SpeMode::Exact
-                           ? countTypeExact(Skeleton, P, Table)
-                           : countTypePaper(Skeleton, P, Table);
-    Total *= TypeCount;
-    if (Total.isZero())
-      return Total;
-  }
-  return Total;
+  return Mode == SpeMode::Exact ? countExactClasses(Skeleton)
+                                : countPaperFaithful(Skeleton);
+}
+
+AssignmentCursor SpeEnumerator::cursor() const {
+  return AssignmentCursor(Skeleton, Mode);
 }
 
 uint64_t SpeEnumerator::enumerate(
     const std::function<bool(const Assignment &)> &Callback,
     uint64_t Limit) const {
-  EnumerationDriver Driver(Skeleton, Mode, Callback, Limit);
-  return Driver.run();
+  AssignmentCursor Cursor(Skeleton, Mode);
+  uint64_t Produced = 0;
+  while (const Assignment *A = Cursor.next()) {
+    ++Produced;
+    if (!Callback(*A))
+      break;
+    if (Limit != 0 && Produced >= Limit)
+      break;
+  }
+  return Produced;
 }

@@ -28,6 +28,12 @@
 /// (Section 4.3) is chosen by how the frontend slices programs into
 /// skeletons (see skeleton/SkeletonExtractor.h).
 ///
+/// SpeMode::Exact is the default throughout the codebase; PaperFaithful is
+/// opt-in for the paper-reproduction benches. Enumeration is pull-based:
+/// enumerate() is a thin wrapper over core/AssignmentCursor.h, which also
+/// exposes seek(rank) and shard(i, n) for direct addressing and parallel
+/// splitting of the variant space.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPE_CORE_SPEENUMERATOR_H
@@ -51,6 +57,8 @@ enum class SpeMode {
 /// \returns a human-readable name for \p Mode.
 const char *speModeName(SpeMode Mode);
 
+class AssignmentCursor;
+
 /// Enumerates and counts non-alpha-equivalent realizations of a skeleton.
 class SpeEnumerator {
 public:
@@ -60,9 +68,14 @@ public:
   /// enumeration.
   BigInt count() const;
 
+  /// \returns a pull-based cursor over the canonical representatives, in the
+  /// same order enumerate() produces them (see core/AssignmentCursor.h).
+  AssignmentCursor cursor() const;
+
   /// Invokes \p Callback on canonical representatives until it returns
   /// false or \p Limit assignments were produced (0 = unlimited).
-  /// \returns the number of assignments produced.
+  /// \returns the number of assignments produced. Thin wrapper over a
+  /// cursor.
   uint64_t
   enumerate(const std::function<bool(const Assignment &)> &Callback,
             uint64_t Limit = 0) const;

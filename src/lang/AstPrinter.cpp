@@ -61,10 +61,37 @@ constexpr int CondPrec = 3;
 constexpr int UnaryPrec = 14;
 constexpr int PostfixPrec = 15;
 
-std::string indentOf(unsigned Indent) { return std::string(Indent * 2, ' '); }
+/// The precedence an expression exposes to its context, known before any
+/// child is rendered -- this is what lets rendering stream into one buffer.
+int exprPrec(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    bool Postfix =
+        U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec;
+    return Postfix ? PostfixPrec : UnaryPrec;
+  }
+  case Expr::Kind::Binary:
+    return binaryPrec(cast<BinaryExpr>(E)->op());
+  case Expr::Kind::Conditional:
+    return CondPrec;
+  case Expr::Kind::Call:
+  case Expr::Kind::Index:
+  case Expr::Kind::Member:
+    return PostfixPrec;
+  case Expr::Kind::Cast:
+  case Expr::Kind::SizeOf:
+    return UnaryPrec;
+  default:
+    return 16; // Primary.
+  }
+}
 
-std::string escapeString(const std::string &S) {
-  std::string Out;
+void appendIndent(unsigned Indent, std::string &Out) {
+  Out.append(Indent * 2, ' ');
+}
+
+void appendEscaped(const std::string &S, std::string &Out) {
   for (char C : S) {
     switch (C) {
     case '\n':
@@ -89,36 +116,38 @@ std::string escapeString(const std::string &S) {
       Out += C;
     }
   }
-  return Out;
 }
 
 } // namespace
 
-std::string AstPrinter::typePrefix(const Type *Ty) {
+void AstPrinter::typePrefix(const Type *Ty, std::string &Out) {
   // Peel arrays to reach the element type for the prefix position.
   const Type *Base = Ty;
   while (Base->isArray())
     Base = Base->elementType();
-  return Base->toString();
+  Out += Base->toString();
 }
 
-std::string AstPrinter::declaratorSuffix(const Type *Ty) {
-  std::string Suffix;
+void AstPrinter::declaratorSuffix(const Type *Ty, std::string &Out) {
   const Type *Base = Ty;
   while (Base->isArray()) {
-    Suffix += "[" + std::to_string(Base->arraySize()) + "]";
+    Out += "[";
+    Out += std::to_string(Base->arraySize());
+    Out += "]";
     Base = Base->elementType();
   }
-  return Suffix;
 }
 
-std::string AstPrinter::printExpr(const Expr *E, int MinPrec) const {
-  std::string Out;
-  int Prec = 16; // Primary by default.
+void AstPrinter::printExpr(const Expr *E, int MinPrec,
+                           std::string &Out) const {
+  int Prec = exprPrec(E);
+  bool Paren = Prec < MinPrec;
+  if (Paren)
+    Out += "(";
   switch (E->kind()) {
   case Expr::Kind::IntegerLiteral: {
     const auto *Lit = cast<IntegerLiteral>(E);
-    Out = std::to_string(Lit->value());
+    Out += std::to_string(Lit->value());
     if (Lit->type() && Lit->type()->isInteger()) {
       if (!Lit->type()->isSigned())
         Out += "u";
@@ -128,220 +157,288 @@ std::string AstPrinter::printExpr(const Expr *E, int MinPrec) const {
     break;
   }
   case Expr::Kind::StringLiteral:
-    Out = "\"" + escapeString(cast<StringLiteral>(E)->value()) + "\"";
+    Out += "\"";
+    appendEscaped(cast<StringLiteral>(E)->value(), Out);
+    Out += "\"";
     break;
   case Expr::Kind::DeclRef: {
     const auto *Ref = cast<DeclRefExpr>(E);
-    auto It = Subst.find(Ref);
-    Out = It != Subst.end() ? It->second : Ref->name();
+    auto It = subst().find(Ref);
+    Out += It != subst().end() ? It->second : Ref->name();
     break;
   }
   case Expr::Kind::Unary: {
     const auto *U = cast<UnaryExpr>(E);
     bool Postfix =
         U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec;
-    Prec = Postfix ? PostfixPrec : UnaryPrec;
     if (Postfix) {
-      Out = printExpr(U->sub(), PostfixPrec) + unaryOpSpelling(U->op());
+      printExpr(U->sub(), PostfixPrec, Out);
+      Out += unaryOpSpelling(U->op());
     } else {
+      const char *Spell = unaryOpSpelling(U->op());
+      Out += Spell;
       // Separate `- -x` and `+ +x` to avoid decrement/increment tokens.
-      std::string Sub = printExpr(U->sub(), UnaryPrec);
-      std::string Spell = unaryOpSpelling(U->op());
-      if (!Sub.empty() && (Spell == "-" || Spell == "+") && Sub[0] == Spell[0])
-        Spell += " ";
-      Out = Spell + Sub;
+      size_t SubStart = Out.size();
+      printExpr(U->sub(), UnaryPrec, Out);
+      if ((Spell[0] == '-' || Spell[0] == '+') && Spell[1] == '\0' &&
+          SubStart < Out.size() && Out[SubStart] == Spell[0])
+        Out.insert(SubStart, 1, ' ');
     }
     break;
   }
   case Expr::Kind::Binary: {
     const auto *B = cast<BinaryExpr>(E);
-    Prec = binaryPrec(B->op());
     bool RightAssoc = isAssignmentOp(B->op());
     int LhsPrec = RightAssoc ? Prec + 1 : Prec;
     int RhsPrec = RightAssoc ? Prec : Prec + 1;
-    if (B->op() == BinaryOp::Comma)
-      Out = printExpr(B->lhs(), Prec) + ", " + printExpr(B->rhs(), Prec + 1);
-    else
-      Out = printExpr(B->lhs(), LhsPrec) + " " + binaryOpSpelling(B->op()) +
-            " " + printExpr(B->rhs(), RhsPrec);
+    if (B->op() == BinaryOp::Comma) {
+      printExpr(B->lhs(), Prec, Out);
+      Out += ", ";
+      printExpr(B->rhs(), Prec + 1, Out);
+    } else {
+      printExpr(B->lhs(), LhsPrec, Out);
+      Out += " ";
+      Out += binaryOpSpelling(B->op());
+      Out += " ";
+      printExpr(B->rhs(), RhsPrec, Out);
+    }
     break;
   }
   case Expr::Kind::Conditional: {
     const auto *C = cast<ConditionalExpr>(E);
-    Prec = CondPrec;
-    Out = printExpr(C->cond(), CondPrec + 1) + " ? " +
-          printExpr(C->trueExpr(), 0) + " : " +
-          printExpr(C->falseExpr(), CondPrec);
+    printExpr(C->cond(), CondPrec + 1, Out);
+    Out += " ? ";
+    printExpr(C->trueExpr(), 0, Out);
+    Out += " : ";
+    printExpr(C->falseExpr(), CondPrec, Out);
     break;
   }
   case Expr::Kind::Call: {
     const auto *C = cast<CallExpr>(E);
-    Prec = PostfixPrec;
-    Out = printExpr(C->callee(), PostfixPrec) + "(";
+    printExpr(C->callee(), PostfixPrec, Out);
+    Out += "(";
     for (size_t I = 0; I < C->args().size(); ++I) {
       if (I != 0)
         Out += ", ";
-      Out += printExpr(C->args()[I], 2);
+      printExpr(C->args()[I], 2, Out);
     }
     Out += ")";
     break;
   }
   case Expr::Kind::Index: {
     const auto *Ix = cast<IndexExpr>(E);
-    Prec = PostfixPrec;
-    Out = printExpr(Ix->base(), PostfixPrec) + "[" +
-          printExpr(Ix->index(), 0) + "]";
+    printExpr(Ix->base(), PostfixPrec, Out);
+    Out += "[";
+    printExpr(Ix->index(), 0, Out);
+    Out += "]";
     break;
   }
   case Expr::Kind::Member: {
     const auto *M = cast<MemberExpr>(E);
-    Prec = PostfixPrec;
-    Out = printExpr(M->base(), PostfixPrec) + (M->isArrow() ? "->" : ".") +
-          M->fieldName();
+    printExpr(M->base(), PostfixPrec, Out);
+    Out += M->isArrow() ? "->" : ".";
+    Out += M->fieldName();
     break;
   }
   case Expr::Kind::Cast: {
     const auto *C = cast<CastExpr>(E);
-    Prec = UnaryPrec;
-    Out = "(" + C->toType()->toString() + ")" + printExpr(C->sub(), UnaryPrec);
+    Out += "(";
+    Out += C->toType()->toString();
+    Out += ")";
+    printExpr(C->sub(), UnaryPrec, Out);
     break;
   }
   case Expr::Kind::SizeOf: {
     const auto *S = cast<SizeOfExpr>(E);
-    Prec = UnaryPrec;
-    if (S->typeOperand())
-      Out = "sizeof(" + S->typeOperand()->toString() + ")";
-    else
-      Out = "sizeof " + printExpr(S->exprOperand(), UnaryPrec);
+    if (S->typeOperand()) {
+      Out += "sizeof(";
+      Out += S->typeOperand()->toString();
+      Out += ")";
+    } else {
+      Out += "sizeof ";
+      printExpr(S->exprOperand(), UnaryPrec, Out);
+    }
     break;
   }
   case Expr::Kind::InitList: {
     const auto *L = cast<InitListExpr>(E);
-    Out = "{";
+    Out += "{";
     for (size_t I = 0; I < L->elements().size(); ++I) {
       if (I != 0)
         Out += ", ";
-      Out += printExpr(L->elements()[I], 2);
+      printExpr(L->elements()[I], 2, Out);
     }
     Out += "}";
     break;
   }
   }
-  if (Prec < MinPrec)
-    return "(" + Out + ")";
-  return Out;
+  if (Paren)
+    Out += ")";
 }
 
-std::string AstPrinter::printVarDecl(const VarDecl *V) const {
-  std::string Out = typePrefix(V->type());
-  Out += " " + V->name() + declaratorSuffix(V->type());
-  if (V->init())
-    Out += " = " + printExpr(V->init(), 2);
-  return Out;
+void AstPrinter::printVarDecl(const VarDecl *V, std::string &Out) const {
+  typePrefix(V->type(), Out);
+  Out += " ";
+  Out += V->name();
+  declaratorSuffix(V->type(), Out);
+  if (V->init()) {
+    Out += " = ";
+    printExpr(V->init(), 2, Out);
+  }
 }
 
-std::string AstPrinter::printStmt(const Stmt *S, unsigned Indent) const {
-  std::string Pad = indentOf(Indent);
-  if (S->stmtId() >= 0 && Deleted.count(S->stmtId()))
-    return Pad + ";\n";
+void AstPrinter::printStmt(const Stmt *S, unsigned Indent,
+                           std::string &Out) const {
+  if (S->stmtId() >= 0 && Deleted.count(S->stmtId())) {
+    appendIndent(Indent, Out);
+    Out += ";\n";
+    return;
+  }
   switch (S->kind()) {
   case Stmt::Kind::Compound: {
     const auto *C = cast<CompoundStmt>(S);
-    std::string Out = Pad + "{\n";
+    appendIndent(Indent, Out);
+    Out += "{\n";
     for (const Stmt *Child : C->body())
-      Out += printStmt(Child, Indent + 1);
-    Out += Pad + "}\n";
-    return Out;
+      printStmt(Child, Indent + 1, Out);
+    appendIndent(Indent, Out);
+    Out += "}\n";
+    return;
   }
   case Stmt::Kind::Decl: {
     const auto *D = cast<DeclStmt>(S);
-    std::string Out;
-    for (const VarDecl *V : D->decls())
-      Out += Pad + printVarDecl(V) + ";\n";
-    return Out;
+    for (const VarDecl *V : D->decls()) {
+      appendIndent(Indent, Out);
+      printVarDecl(V, Out);
+      Out += ";\n";
+    }
+    return;
   }
   case Stmt::Kind::Expr: {
     const auto *E = cast<ExprStmt>(S);
-    if (!E->expr())
-      return Pad + ";\n";
-    return Pad + printExpr(E->expr(), 0) + ";\n";
+    appendIndent(Indent, Out);
+    if (E->expr())
+      printExpr(E->expr(), 0, Out);
+    Out += ";\n";
+    return;
   }
   case Stmt::Kind::If: {
     const auto *I = cast<IfStmt>(S);
-    std::string Out = Pad + "if (" + printExpr(I->cond(), 0) + ")\n";
-    Out += printStmt(I->thenStmt(),
-                     Indent + (isa<CompoundStmt>(I->thenStmt()) ? 0 : 1));
+    appendIndent(Indent, Out);
+    Out += "if (";
+    printExpr(I->cond(), 0, Out);
+    Out += ")\n";
+    printStmt(I->thenStmt(),
+              Indent + (isa<CompoundStmt>(I->thenStmt()) ? 0 : 1), Out);
     if (I->elseStmt()) {
-      Out += Pad + "else\n";
-      Out += printStmt(I->elseStmt(),
-                       Indent + (isa<CompoundStmt>(I->elseStmt()) ? 0 : 1));
+      appendIndent(Indent, Out);
+      Out += "else\n";
+      printStmt(I->elseStmt(),
+                Indent + (isa<CompoundStmt>(I->elseStmt()) ? 0 : 1), Out);
     }
-    return Out;
+    return;
   }
   case Stmt::Kind::While: {
     const auto *W = cast<WhileStmt>(S);
-    std::string Out = Pad + "while (" + printExpr(W->cond(), 0) + ")\n";
-    Out += printStmt(W->body(), Indent + (isa<CompoundStmt>(W->body()) ? 0 : 1));
-    return Out;
+    appendIndent(Indent, Out);
+    Out += "while (";
+    printExpr(W->cond(), 0, Out);
+    Out += ")\n";
+    printStmt(W->body(), Indent + (isa<CompoundStmt>(W->body()) ? 0 : 1),
+              Out);
+    return;
   }
   case Stmt::Kind::Do: {
     const auto *D = cast<DoStmt>(S);
-    std::string Out = Pad + "do\n";
-    Out += printStmt(D->body(), Indent + (isa<CompoundStmt>(D->body()) ? 0 : 1));
-    Out += Pad + "while (" + printExpr(D->cond(), 0) + ");\n";
-    return Out;
+    appendIndent(Indent, Out);
+    Out += "do\n";
+    printStmt(D->body(), Indent + (isa<CompoundStmt>(D->body()) ? 0 : 1),
+              Out);
+    appendIndent(Indent, Out);
+    Out += "while (";
+    printExpr(D->cond(), 0, Out);
+    Out += ");\n";
+    return;
   }
   case Stmt::Kind::For: {
     const auto *F = cast<ForStmt>(S);
-    std::string Out = Pad + "for (";
+    appendIndent(Indent, Out);
+    Out += "for (";
     if (const Stmt *Init = F->init()) {
       // Render the init clause inline without its trailing newline.
       if (const auto *DS = dyn_cast<DeclStmt>(Init)) {
         for (size_t I = 0; I < DS->decls().size(); ++I) {
           if (I != 0)
             Out += ", ";
-          Out += printVarDecl(DS->decls()[I]);
+          printVarDecl(DS->decls()[I], Out);
         }
         Out += ";";
       } else if (const auto *ES = dyn_cast<ExprStmt>(Init)) {
         if (ES->expr())
-          Out += printExpr(ES->expr(), 0);
+          printExpr(ES->expr(), 0, Out);
         Out += ";";
       }
     } else {
       Out += ";";
     }
-    if (F->cond())
-      Out += " " + printExpr(F->cond(), 0);
+    if (F->cond()) {
+      Out += " ";
+      printExpr(F->cond(), 0, Out);
+    }
     Out += ";";
-    if (F->step())
-      Out += " " + printExpr(F->step(), 0);
+    if (F->step()) {
+      Out += " ";
+      printExpr(F->step(), 0, Out);
+    }
     Out += ")\n";
-    Out += printStmt(F->body(), Indent + (isa<CompoundStmt>(F->body()) ? 0 : 1));
-    return Out;
+    printStmt(F->body(), Indent + (isa<CompoundStmt>(F->body()) ? 0 : 1),
+              Out);
+    return;
   }
   case Stmt::Kind::Return: {
     const auto *R = cast<ReturnStmt>(S);
-    if (!R->value())
-      return Pad + "return;\n";
-    return Pad + "return " + printExpr(R->value(), 0) + ";\n";
+    appendIndent(Indent, Out);
+    if (R->value()) {
+      Out += "return ";
+      printExpr(R->value(), 0, Out);
+      Out += ";\n";
+    } else {
+      Out += "return;\n";
+    }
+    return;
   }
   case Stmt::Kind::Break:
-    return Pad + "break;\n";
+    appendIndent(Indent, Out);
+    Out += "break;\n";
+    return;
   case Stmt::Kind::Continue:
-    return Pad + "continue;\n";
+    appendIndent(Indent, Out);
+    Out += "continue;\n";
+    return;
   case Stmt::Kind::Goto:
-    return Pad + "goto " + cast<GotoStmt>(S)->label() + ";\n";
+    appendIndent(Indent, Out);
+    Out += "goto ";
+    Out += cast<GotoStmt>(S)->label();
+    Out += ";\n";
+    return;
   case Stmt::Kind::Label: {
     const auto *L = cast<LabelStmt>(S);
-    return Pad + L->name() + ":\n" + printStmt(L->sub(), Indent);
+    appendIndent(Indent, Out);
+    Out += L->name();
+    Out += ":\n";
+    printStmt(L->sub(), Indent, Out);
+    return;
   }
   }
-  return Pad + ";\n";
+  appendIndent(Indent, Out);
+  Out += ";\n";
 }
 
-std::string AstPrinter::printFunction(const FunctionDecl *F) const {
-  std::string Out = F->returnType()->toString() + " " + F->name() + "(";
+void AstPrinter::printFunction(const FunctionDecl *F, std::string &Out) const {
+  Out += F->returnType()->toString();
+  Out += " ";
+  Out += F->name();
+  Out += "(";
   if (F->params().empty()) {
     Out += "void";
   } else {
@@ -349,33 +446,62 @@ std::string AstPrinter::printFunction(const FunctionDecl *F) const {
       if (I != 0)
         Out += ", ";
       const VarDecl *P = F->params()[I];
-      Out += typePrefix(P->type()) + " " + P->name() +
-             declaratorSuffix(P->type());
+      typePrefix(P->type(), Out);
+      Out += " ";
+      Out += P->name();
+      declaratorSuffix(P->type(), Out);
     }
   }
   Out += ")";
-  if (!F->isDefinition())
-    return Out + ";\n";
-  Out += "\n" + printStmt(F->body(), 0);
-  return Out;
+  if (!F->isDefinition()) {
+    Out += ";\n";
+    return;
+  }
+  Out += "\n";
+  printStmt(F->body(), 0, Out);
 }
 
-std::string AstPrinter::print(const ASTContext &Ctx) const {
-  std::string Out;
+void AstPrinter::printTo(const ASTContext &Ctx, std::string &Out) const {
+  Out.clear();
   for (const Decl *D : Ctx.TopLevel) {
     if (const auto *R = dyn_cast<RecordDecl>(D)) {
-      Out += "struct " + R->name() + " {\n";
-      for (const Type::Field &F : R->type()->fields())
-        Out += "  " + typePrefix(F.Ty) + " " + F.Name +
-               declaratorSuffix(F.Ty) + ";\n";
+      Out += "struct ";
+      Out += R->name();
+      Out += " {\n";
+      for (const Type::Field &F : R->type()->fields()) {
+        Out += "  ";
+        typePrefix(F.Ty, Out);
+        Out += " ";
+        Out += F.Name;
+        declaratorSuffix(F.Ty, Out);
+        Out += ";\n";
+      }
       Out += "};\n";
       continue;
     }
     if (const auto *V = dyn_cast<VarDecl>(D)) {
-      Out += printVarDecl(V) + ";\n";
+      printVarDecl(V, Out);
+      Out += ";\n";
       continue;
     }
-    Out += printFunction(cast<FunctionDecl>(D));
+    printFunction(cast<FunctionDecl>(D), Out);
   }
+}
+
+std::string AstPrinter::print(const ASTContext &Ctx) const {
+  std::string Out;
+  printTo(Ctx, Out);
+  return Out;
+}
+
+std::string AstPrinter::printExpr(const Expr *E) const {
+  std::string Out;
+  printExpr(E, 0, Out);
+  return Out;
+}
+
+std::string AstPrinter::printStmt(const Stmt *S, unsigned Indent) const {
+  std::string Out;
+  printStmt(S, Indent, Out);
   return Out;
 }

@@ -11,6 +11,10 @@
 /// use sites to replacement variable names; this is how enumerated skeleton
 /// variants become concrete programs (skeleton/VariantRenderer.h).
 ///
+/// Rendering appends into a caller-provided buffer (printTo); the hot
+/// variant-rendering path reuses one buffer and one substitution map across
+/// an entire campaign, so per-variant work is free of map and string churn.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPE_LANG_ASTPRINTER_H
@@ -32,7 +36,13 @@ public:
   using Substitution = std::map<const DeclRefExpr *, std::string>;
 
   AstPrinter() = default;
-  explicit AstPrinter(Substitution Subst) : Subst(std::move(Subst)) {}
+  explicit AstPrinter(Substitution Subst) : Owned(std::move(Subst)) {}
+
+  /// Non-owning variant: the caller keeps \p Subst alive across print calls
+  /// and may update its mapped names in place between calls. This is the
+  /// allocation-free path VariantRenderer uses to batch-render variants.
+  explicit AstPrinter(const Substitution *SharedSubst)
+      : Shared(SharedSubst) {}
 
   /// Statements whose Sema id is in this set are printed as the empty
   /// statement `;` instead of their body. This is the mechanism behind the
@@ -42,20 +52,27 @@ public:
   /// Renders the whole translation unit.
   std::string print(const ASTContext &Ctx) const;
 
+  /// Renders the whole translation unit into \p Out, which is cleared first
+  /// and keeps its capacity across calls.
+  void printTo(const ASTContext &Ctx, std::string &Out) const;
+
   /// Renders one expression (mostly for tests and diagnostics).
-  std::string printExpr(const Expr *E) const { return printExpr(E, 0); }
+  std::string printExpr(const Expr *E) const;
 
   /// Renders one statement at the given indent level.
   std::string printStmt(const Stmt *S, unsigned Indent = 0) const;
 
 private:
-  std::string printExpr(const Expr *E, int MinPrec) const;
-  std::string printVarDecl(const VarDecl *V) const;
-  std::string printFunction(const FunctionDecl *F) const;
-  static std::string typePrefix(const Type *Ty);
-  static std::string declaratorSuffix(const Type *Ty);
+  const Substitution &subst() const { return Shared ? *Shared : Owned; }
+  void printExpr(const Expr *E, int MinPrec, std::string &Out) const;
+  void printVarDecl(const VarDecl *V, std::string &Out) const;
+  void printStmt(const Stmt *S, unsigned Indent, std::string &Out) const;
+  void printFunction(const FunctionDecl *F, std::string &Out) const;
+  static void typePrefix(const Type *Ty, std::string &Out);
+  static void declaratorSuffix(const Type *Ty, std::string &Out);
 
-  Substitution Subst;
+  Substitution Owned;
+  const Substitution *Shared = nullptr;
   std::set<int> Deleted;
 };
 

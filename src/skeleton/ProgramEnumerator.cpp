@@ -4,7 +4,88 @@
 
 #include "core/NaiveEnumerator.h"
 
+#include <cassert>
+
 using namespace spe;
+
+ProgramCursor::ProgramCursor(const std::vector<SkeletonUnit> &Units,
+                             SpeMode Mode) {
+  UnitCursors.reserve(Units.size());
+  for (const SkeletonUnit &Unit : Units)
+    UnitCursors.emplace_back(Unit.Skeleton, Mode);
+  UnitSuffix.assign(Units.size() + 1, BigInt(1));
+  for (size_t U = Units.size(); U-- > 0;)
+    UnitSuffix[U] = UnitCursors[U].size() * UnitSuffix[U + 1];
+  Size = UnitSuffix[0];
+  End = Size;
+  Current.resize(Units.size());
+}
+
+void ProgramCursor::materialize(const BigInt &Rank) {
+  // Mixed-radix decomposition, unit 0 most significant. Each unit cursor is
+  // left positioned one past its decoded rank, so a later carry pulls the
+  // successor with a plain next().
+  BigInt Rest = Rank;
+  for (size_t U = 0; U < UnitCursors.size(); ++U) {
+    BigInt Q, Rem;
+    BigInt::divmod(Rest, UnitSuffix[U + 1], Q, Rem);
+    UnitCursors[U].seek(Q);
+    const Assignment *A = UnitCursors[U].next();
+    assert(A && "unit rank out of range");
+    Current[U] = *A;
+    Rest = Rem;
+  }
+  OdoRank = Rank;
+  OdoValid = true;
+}
+
+const ProgramAssignment *ProgramCursor::next() {
+  if (Pos >= End)
+    return nullptr;
+  if (!OdoValid) {
+    materialize(Pos);
+  } else if (OdoRank < Pos) {
+    // Advance the mixed-radix odometer: the last unit varies fastest.
+    size_t U = UnitCursors.size();
+    while (U-- > 0) {
+      if (const Assignment *A = UnitCursors[U].next()) {
+        Current[U] = *A;
+        for (size_t V = U + 1; V < UnitCursors.size(); ++V) {
+          UnitCursors[V].reset();
+          const Assignment *First = UnitCursors[V].next();
+          assert(First && "unit space emptied mid-stream");
+          Current[V] = *First;
+        }
+        break;
+      }
+      assert(U > 0 && "advanced past the end of the program space");
+    }
+    OdoRank += BigInt(1);
+  }
+  assert(OdoRank == Pos && "odometer out of sync with position");
+  Pos += BigInt(1);
+  return &Current;
+}
+
+void ProgramCursor::seek(const BigInt &Rank) {
+  Pos = Rank > Size ? Size : Rank;
+  if (Pos < Size)
+    materialize(Pos);
+  else
+    OdoValid = false;
+}
+
+void ProgramCursor::setEnd(const BigInt &Rank) {
+  End = Rank > Size ? Size : Rank;
+}
+
+void ProgramCursor::shard(uint64_t Index, uint64_t Count) {
+  assert(Count > 0 && Index < Count && "invalid shard request");
+  BigInt Begin, NewEnd;
+  cursor_detail::shardRange(Pos, End, Index, Count, Begin, NewEnd);
+  End = NewEnd;
+  seek(Begin);
+}
 
 ProgramEnumerator::ProgramEnumerator(const std::vector<SkeletonUnit> &Units,
                                      SpeMode Mode)
@@ -30,30 +111,21 @@ BigInt ProgramEnumerator::countNaive() const {
   return Total;
 }
 
+ProgramCursor ProgramEnumerator::cursor() const {
+  return ProgramCursor(Units, Mode);
+}
+
 uint64_t ProgramEnumerator::enumerate(
     const std::function<bool(const ProgramAssignment &)> &Callback,
     uint64_t Limit) const {
-  ProgramAssignment Current(Units.size());
+  ProgramCursor Cursor(Units, Mode);
   uint64_t Produced = 0;
-  bool Stop = false;
-
-  // Recursive Cartesian product across units, streaming.
-  std::function<void(size_t)> Recurse = [&](size_t UnitIndex) {
-    if (Stop)
-      return;
-    if (UnitIndex == Units.size()) {
-      ++Produced;
-      if (!Callback(Current) || (Limit != 0 && Produced >= Limit))
-        Stop = true;
-      return;
-    }
-    SpeEnumerator Spe(Units[UnitIndex].Skeleton, Mode);
-    Spe.enumerate([&](const Assignment &A) {
-      Current[UnitIndex] = A;
-      Recurse(UnitIndex + 1);
-      return !Stop;
-    });
-  };
-  Recurse(0);
+  while (const ProgramAssignment *PA = Cursor.next()) {
+    ++Produced;
+    if (!Callback(*PA))
+      break;
+    if (Limit != 0 && Produced >= Limit)
+      break;
+  }
   return Produced;
 }

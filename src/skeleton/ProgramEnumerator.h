@@ -13,11 +13,19 @@
 /// inter-procedural extraction there is a single unit and this reduces to
 /// SpeEnumerator.
 ///
+/// ProgramCursor makes the product pull-based and rankable: per-unit
+/// AssignmentCursors compose into a mixed-radix cursor whose radices are the
+/// per-unit BigInt counts, so whole-program variant #k is addressable
+/// directly via seek(k) and the program space splits exactly across workers
+/// via shard(i, n) -- the primitive behind the parallel differential
+/// campaigns in testing/Harness.h.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPE_SKELETON_PROGRAMENUMERATOR_H
 #define SPE_SKELETON_PROGRAMENUMERATOR_H
 
+#include "core/AssignmentCursor.h"
 #include "core/SpeEnumerator.h"
 #include "skeleton/SkeletonExtractor.h"
 #include "support/BigInt.h"
@@ -28,6 +36,54 @@ namespace spe {
 
 /// One variant of the whole program: one assignment per skeleton unit.
 using ProgramAssignment = std::vector<Assignment>;
+
+/// Pull-based, rankable cursor over whole-program variants: the mixed-radix
+/// Cartesian product of per-unit cursors, unit 0 most significant. Rank
+/// order equals ProgramEnumerator::enumerate() order.
+class ProgramCursor {
+public:
+  ProgramCursor(const std::vector<SkeletonUnit> &Units, SpeMode Mode);
+
+  /// \returns the total number of program variants (the product of the
+  /// per-unit counts).
+  const BigInt &size() const { return Size; }
+
+  /// \returns the rank of the variant the next call to next() produces.
+  const BigInt &position() const { return Pos; }
+
+  /// \returns the exclusive upper bound of the active range.
+  const BigInt &end() const { return End; }
+
+  /// Produces the next program variant, or nullptr when the active range is
+  /// exhausted. The pointee is owned by the cursor and valid until the next
+  /// call to next(), seek() or shard().
+  const ProgramAssignment *next();
+
+  /// Repositions the cursor so the next call to next() produces the variant
+  /// with rank \p Rank (clamped to size()).
+  void seek(const BigInt &Rank);
+
+  /// Shrinks the active range's exclusive upper bound (clamped to size()).
+  void setEnd(const BigInt &Rank);
+
+  /// Restricts the cursor to shard \p Index of \p Count over the active
+  /// range [position(), end()): contiguous rank sub-ranges of near-equal
+  /// length whose union is exactly the original range.
+  void shard(uint64_t Index, uint64_t Count);
+
+private:
+  /// Decodes rank \p Rank into per-unit cursor positions and fills Current.
+  void materialize(const BigInt &Rank);
+
+  std::vector<AssignmentCursor> UnitCursors;
+  std::vector<BigInt> UnitSuffix; ///< UnitSuffix[u] = prod sizes of u..N-1.
+  BigInt Size;
+  BigInt Pos;
+  BigInt End;
+  ProgramAssignment Current;
+  BigInt OdoRank; ///< Rank currently materialized in Current.
+  bool OdoValid = false;
+};
 
 /// Enumerates and counts program variants across units.
 class ProgramEnumerator {
@@ -40,8 +96,13 @@ public:
   /// \returns the product of the per-unit naive counts (prod |v_i|).
   BigInt countNaive() const;
 
+  /// \returns a pull-based cursor over the program variants, in the same
+  /// order enumerate() produces them.
+  ProgramCursor cursor() const;
+
   /// Streams program variants until the callback declines or \p Limit is
   /// reached (0 = unlimited). \returns the number of variants produced.
+  /// Thin wrapper over a cursor.
   uint64_t enumerate(
       const std::function<bool(const ProgramAssignment &)> &Callback,
       uint64_t Limit = 0) const;

@@ -6,25 +6,46 @@
 
 using namespace spe;
 
-AstPrinter::Substitution
-VariantRenderer::makeSubstitution(const ProgramAssignment &PA) const {
+VariantRenderer::VariantRenderer(const ASTContext &Ctx,
+                                 const std::vector<SkeletonUnit> &Units)
+    : Ctx(Ctx), Units(Units), Printer(&Subst) {
+  // Build the substitution skeleton once: one node per hole site, with the
+  // per-variant names filled in by updateSubstitution.
+  SubstSlots.resize(Units.size());
+  for (size_t U = 0; U < Units.size(); ++U) {
+    SubstSlots[U].reserve(Units[U].HoleSites.size());
+    for (const DeclRefExpr *Site : Units[U].HoleSites)
+      SubstSlots[U].push_back(&Subst[Site]);
+  }
+}
+
+void VariantRenderer::updateSubstitution(const ProgramAssignment &PA) const {
   assert(PA.size() == Units.size() && "assignment/unit arity mismatch");
-  AstPrinter::Substitution Subst;
   for (size_t U = 0; U < Units.size(); ++U) {
     const SkeletonUnit &Unit = Units[U];
     const Assignment &A = PA[U];
     assert(A.size() == Unit.HoleSites.size() && "hole arity mismatch");
-    for (size_t H = 0; H < A.size(); ++H) {
-      const SkeletonVar &V = Unit.Skeleton.var(A[H]);
-      Subst[Unit.HoleSites[H]] = V.Name;
-    }
+    for (size_t H = 0; H < A.size(); ++H)
+      SubstSlots[U][H]->assign(Unit.Skeleton.var(A[H]).Name);
   }
+}
+
+AstPrinter::Substitution
+VariantRenderer::makeSubstitution(const ProgramAssignment &PA) const {
+  updateSubstitution(PA);
   return Subst;
 }
 
 std::string VariantRenderer::render(const ProgramAssignment &PA) const {
-  AstPrinter Printer(makeSubstitution(PA));
-  return Printer.print(Ctx);
+  std::string Out;
+  renderInto(PA, Out);
+  return Out;
+}
+
+void VariantRenderer::renderInto(const ProgramAssignment &PA,
+                                 std::string &Out) const {
+  updateSubstitution(PA);
+  Printer.printTo(Ctx, Out);
 }
 
 std::string VariantRenderer::renderOriginal() const {

@@ -11,6 +11,11 @@
 /// chose for it. The original program is exactly the variant that assigns
 /// every hole its original variable.
 ///
+/// The renderer is built for campaign-scale batches: the use-site
+/// substitution map is constructed once and only its mapped names change
+/// per variant, and renderInto() reuses the caller's output buffer, so the
+/// hot render path performs no per-variant map or buffer allocation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPE_SKELETON_VARIANTRENDERER_H
@@ -27,8 +32,12 @@ namespace spe {
 class VariantRenderer {
 public:
   VariantRenderer(const ASTContext &Ctx,
-                  const std::vector<SkeletonUnit> &Units)
-      : Ctx(Ctx), Units(Units) {}
+                  const std::vector<SkeletonUnit> &Units);
+
+  // Non-copyable: the printer and SubstSlots hold pointers into this
+  // renderer's own substitution map.
+  VariantRenderer(const VariantRenderer &) = delete;
+  VariantRenderer &operator=(const VariantRenderer &) = delete;
 
   /// Builds the use-site substitution for one program assignment.
   AstPrinter::Substitution
@@ -36,6 +45,11 @@ public:
 
   /// Renders the full program variant as C source.
   std::string render(const ProgramAssignment &PA) const;
+
+  /// Renders the variant into \p Out (cleared first, capacity kept). The
+  /// persistent substitution map is updated in place; repeated calls on the
+  /// same renderer allocate nothing once \p Out's capacity settles.
+  void renderInto(const ProgramAssignment &PA, std::string &Out) const;
 
   /// Renders the unmodified program (no substitution).
   std::string renderOriginal() const;
@@ -45,8 +59,16 @@ public:
   ProgramAssignment identityAssignment() const;
 
 private:
+  /// Points the persistent substitution's values at \p PA's variable names.
+  void updateSubstitution(const ProgramAssignment &PA) const;
+
   const ASTContext &Ctx;
   const std::vector<SkeletonUnit> &Units;
+  /// Persistent substitution: keys are all hole sites, values are rewritten
+  /// per variant. Entries[u][h] points at the map node of unit u's hole h.
+  mutable AstPrinter::Substitution Subst;
+  mutable std::vector<std::vector<std::string *>> SubstSlots;
+  AstPrinter Printer;
 };
 
 } // namespace spe

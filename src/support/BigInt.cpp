@@ -163,6 +163,63 @@ BigInt BigInt::divideBySmall(uint64_t Divisor, uint64_t *Remainder) const {
   return Quotient;
 }
 
+unsigned BigInt::numBits() const {
+  if (Limbs.empty())
+    return 0;
+  unsigned TopBits = 64 - static_cast<unsigned>(__builtin_clzll(Limbs.back()));
+  return static_cast<unsigned>((Limbs.size() - 1) * 64) + TopBits;
+}
+
+bool BigInt::bit(unsigned Index) const {
+  size_t Limb = Index / 64;
+  if (Limb >= Limbs.size())
+    return false;
+  return (Limbs[Limb] >> (Index % 64)) & 1;
+}
+
+void BigInt::divmod(const BigInt &Dividend, const BigInt &Divisor,
+                    BigInt &Quotient, BigInt &Remainder) {
+  assert(!Divisor.isZero() && "division by zero");
+  if (Divisor.Limbs.size() == 1) {
+    uint64_t Rem = 0;
+    Quotient = Dividend.divideBySmall(Divisor.Limbs[0], &Rem);
+    Remainder = BigInt(Rem);
+    return;
+  }
+  Quotient = BigInt();
+  Remainder = BigInt();
+  if (Dividend < Divisor) {
+    Remainder = Dividend;
+    return;
+  }
+  // Binary long division. Rank decompositions divide numbers of at most a
+  // few thousand bits, where the O(bits * limbs) cost is negligible.
+  unsigned Bits = Dividend.numBits();
+  Quotient.Limbs.assign((Bits + 63) / 64, 0);
+  for (unsigned I = Bits; I-- > 0;) {
+    Remainder *= 2;
+    if (Dividend.bit(I))
+      Remainder += BigInt(1);
+    if (Remainder >= Divisor) {
+      Remainder -= Divisor;
+      Quotient.Limbs[I / 64] |= uint64_t(1) << (I % 64);
+    }
+  }
+  Quotient.trim();
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  BigInt Quotient, Remainder;
+  divmod(*this, RHS, Quotient, Remainder);
+  return Quotient;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  BigInt Quotient, Remainder;
+  divmod(*this, RHS, Quotient, Remainder);
+  return Remainder;
+}
+
 BigInt BigInt::pow(uint64_t Base, unsigned Exponent) {
   BigInt Result(1);
   BigInt Factor(Base);

@@ -75,6 +75,22 @@ public:
   /// in \p Remainder if non-null. Asserts \p Divisor != 0.
   BigInt divideBySmall(uint64_t Divisor, uint64_t *Remainder = nullptr) const;
 
+  /// Full division: computes \p Quotient and \p Remainder such that
+  /// Dividend == Quotient * Divisor + Remainder with Remainder < Divisor.
+  /// Asserts \p Divisor != 0. Used by the enumeration cursors to decompose
+  /// mixed-radix ranks whose radices are themselves BigInt counts.
+  static void divmod(const BigInt &Dividend, const BigInt &Divisor,
+                     BigInt &Quotient, BigInt &Remainder);
+
+  BigInt operator/(const BigInt &RHS) const;
+  BigInt operator%(const BigInt &RHS) const;
+
+  /// \returns the number of significant bits (0 for zero).
+  unsigned numBits() const;
+
+  /// \returns bit \p Index (0 = least significant); false beyond numBits().
+  bool bit(unsigned Index) const;
+
   /// \returns *this raised to \p Exponent.
   static BigInt pow(uint64_t Base, unsigned Exponent);
 

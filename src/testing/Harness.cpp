@@ -8,6 +8,8 @@
 #include "skeleton/ProgramEnumerator.h"
 #include "skeleton/VariantRenderer.h"
 
+#include <thread>
+
 using namespace spe;
 
 std::vector<CompilerConfig> HarnessOptions::crashMatrix(Persona P,
@@ -55,6 +57,31 @@ unsigned CampaignResult::bugCount(Persona P, BugEffect E) const {
   return N;
 }
 
+void CampaignResult::merge(const CampaignResult &Other) {
+  for (const auto &[Id, Bug] : Other.UniqueBugs)
+    UniqueBugs.emplace(Id, Bug);
+  SeedsProcessed += Other.SeedsProcessed;
+  SeedsSkippedByThreshold += Other.SeedsSkippedByThreshold;
+  VariantsEnumerated += Other.VariantsEnumerated;
+  VariantsOracleExcluded += Other.VariantsOracleExcluded;
+  VariantsTested += Other.VariantsTested;
+  CrashObservations += Other.CrashObservations;
+  WrongCodeObservations += Other.WrongCodeObservations;
+  PerformanceObservations += Other.PerformanceObservations;
+}
+
+bool CampaignResult::operator==(const CampaignResult &Other) const {
+  return UniqueBugs == Other.UniqueBugs &&
+         SeedsProcessed == Other.SeedsProcessed &&
+         SeedsSkippedByThreshold == Other.SeedsSkippedByThreshold &&
+         VariantsEnumerated == Other.VariantsEnumerated &&
+         VariantsOracleExcluded == Other.VariantsOracleExcluded &&
+         VariantsTested == Other.VariantsTested &&
+         CrashObservations == Other.CrashObservations &&
+         WrongCodeObservations == Other.WrongCodeObservations &&
+         PerformanceObservations == Other.PerformanceObservations;
+}
+
 namespace {
 
 /// Parses + analyzes; \returns null on any front-end failure.
@@ -73,6 +100,12 @@ std::unique_ptr<ASTContext> analyzeSource(const std::string &Source) {
 
 void DifferentialHarness::testProgram(const std::string &Source,
                                       CampaignResult &Result) const {
+  testProgramWith(Source, Result, Opts.Cov);
+}
+
+void DifferentialHarness::testProgramWith(const std::string &Source,
+                                          CampaignResult &Result,
+                                          CoverageRegistry *Cov) const {
   std::unique_ptr<ASTContext> RefCtx = analyzeSource(Source);
   if (!RefCtx)
     return;
@@ -87,7 +120,7 @@ void DifferentialHarness::testProgram(const std::string &Source,
     std::unique_ptr<ASTContext> Ctx = analyzeSource(Source);
     if (!Ctx)
       return;
-    MiniCompiler CC(Config, Opts.Cov, Opts.InjectBugs);
+    MiniCompiler CC(Config, Cov, Opts.InjectBugs);
     CompileResult R = CC.compile(*Ctx);
     if (R.St == CompileResult::Status::Rejected)
       continue;
@@ -171,14 +204,62 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
     return;
   }
 
-  VariantRenderer Renderer(*Ctx, Units);
-  Enumerator.enumerate(
-      [&](const ProgramAssignment &PA) {
-        ++Result.VariantsEnumerated;
-        testProgram(Renderer.render(PA), Result);
-        return true;
-      },
-      Opts.VariantBudget);
+  // The budget caps the tested range to the first Budget ranks; the range
+  // [0, Budget) is identical for every thread count, which is what makes
+  // parallel campaigns deterministic.
+  BigInt Budget = Count;
+  if (Opts.VariantBudget != 0 && BigInt(Opts.VariantBudget) < Budget)
+    Budget = BigInt(Opts.VariantBudget);
+
+  unsigned Threads =
+      Opts.Threads != 0 ? Opts.Threads : std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  // No point spinning up more workers than budgeted variants.
+  if (Budget.fitsInUint64() && BigInt(Threads) > Budget)
+    Threads = Budget.isZero() ? 1 : static_cast<unsigned>(Budget.toUint64());
+
+  auto RunShard = [&](unsigned Index, unsigned Count_, CampaignResult &Out,
+                      CoverageRegistry *Cov) {
+    ProgramCursor Cursor(Units, Opts.Mode);
+    Cursor.setEnd(Budget);
+    Cursor.shard(Index, Count_);
+    VariantRenderer Renderer(*Ctx, Units);
+    std::string Buffer;
+    while (const ProgramAssignment *PA = Cursor.next()) {
+      ++Out.VariantsEnumerated;
+      Renderer.renderInto(*PA, Buffer);
+      testProgramWith(Buffer, Out, Cov);
+    }
+  };
+
+  if (Threads <= 1) {
+    RunShard(0, 1, Result, Opts.Cov);
+    return;
+  }
+
+  // One shard per worker over [0, Budget); each worker owns its partial
+  // result and (when requested) a private coverage registry copy. Merging
+  // in shard order reproduces the single-threaded result bit for bit.
+  std::vector<CampaignResult> Partials(Threads);
+  std::vector<CoverageRegistry> PartialCovs;
+  if (Opts.Cov)
+    PartialCovs.assign(Threads, *Opts.Cov);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned W = 0; W < Threads; ++W) {
+    Workers.emplace_back([&, W] {
+      RunShard(W, Threads, Partials[W],
+               Opts.Cov ? &PartialCovs[W] : nullptr);
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+  for (unsigned W = 0; W < Threads; ++W)
+    Result.merge(Partials[W]);
+  if (Opts.Cov)
+    for (const CoverageRegistry &Cov : PartialCovs)
+      Opts.Cov->merge(Cov);
 }
 
 CampaignResult

@@ -33,15 +33,23 @@ namespace spe {
 
 /// Harness configuration.
 struct HarnessOptions {
-  SpeMode Mode = SpeMode::PaperFaithful;
+  /// Enumeration mode; Exact is the default everywhere, PaperFaithful is
+  /// opt-in for the paper-reproduction benches.
+  SpeMode Mode = SpeMode::Exact;
   ExtractorOptions Extract;
   /// Skip seeds whose SPE count exceeds this (the paper's 10K threshold).
   uint64_t VariantThreshold = 10'000;
   /// Cap on variants actually executed per seed (testing budget).
   uint64_t VariantBudget = 400;
+  /// Worker threads per seed: the budgeted variant range is split into one
+  /// cursor shard per worker. 0 = one per hardware thread. Results are
+  /// deterministic and identical for any thread count.
+  unsigned Threads = 1;
   /// Compiler configurations to test.
   std::vector<CompilerConfig> Configs;
-  /// Optional coverage registry threaded into every compilation.
+  /// Optional coverage registry threaded into every compilation. With
+  /// Threads > 1 each worker records into a private copy; the copies are
+  /// merged back after the join.
   CoverageRegistry *Cov = nullptr;
   /// Ground-truth bug injection on/off.
   bool InjectBugs = true;
@@ -63,6 +71,12 @@ struct FoundBug {
   unsigned OptLevel = 0;
   bool Mode64 = true;
   std::string WitnessProgram;
+
+  bool operator==(const FoundBug &Other) const {
+    return BugId == Other.BugId && P == Other.P && Effect == Other.Effect &&
+           Signature == Other.Signature && OptLevel == Other.OptLevel &&
+           Mode64 == Other.Mode64 && WitnessProgram == Other.WitnessProgram;
+  }
 };
 
 /// Aggregate campaign statistics.
@@ -79,6 +93,13 @@ struct CampaignResult {
 
   unsigned bugCount(Persona P) const;
   unsigned bugCount(Persona P, BugEffect E) const;
+
+  /// Folds \p Other into this result: counters add, and bugs already seen
+  /// keep their existing (earlier-rank) witness. Merging per-shard results
+  /// in shard order reproduces the single-threaded result exactly.
+  void merge(const CampaignResult &Other);
+
+  bool operator==(const CampaignResult &Other) const;
 };
 
 /// Drives differential testing over seed programs.
@@ -98,6 +119,11 @@ public:
   void testProgram(const std::string &Source, CampaignResult &Result) const;
 
 private:
+  /// testProgram against an explicit coverage registry (per-worker copies
+  /// in parallel campaigns).
+  void testProgramWith(const std::string &Source, CampaignResult &Result,
+                       CoverageRegistry *Cov) const;
+
   HarnessOptions Opts;
 };
 

@@ -153,3 +153,23 @@ TEST(VariantRendererTest, RoundTripPrintParsePrintIsStable) {
   std::string Printed2 = VariantRenderer(P2->Ctx, P2->Units).renderOriginal();
   EXPECT_EQ(Printed1, Printed2);
 }
+
+TEST(VariantRendererTest, RenderIntoReusesBuffersAcrossVariants) {
+  // The batch path must agree with the one-shot path for every variant, and
+  // repeated renders into the same buffer must not leak previous content.
+  auto P = extract("int a, b;\nvoid f(void) { a = a - b; b = a + b; }\n");
+  VariantRenderer Batch(P->Ctx, P->Units);
+  VariantRenderer Fresh(P->Ctx, P->Units);
+  ProgramEnumerator Enum(P->Units, SpeMode::Exact);
+  std::string Buffer;
+  Enum.enumerate([&](const ProgramAssignment &PA) {
+    Batch.renderInto(PA, Buffer);
+    EXPECT_EQ(Buffer, Fresh.render(PA));
+    return true;
+  });
+  // After a long variant, a short one must not retain stale bytes.
+  ProgramAssignment Identity = Batch.identityAssignment();
+  std::string Once = Batch.render(Identity);
+  Batch.renderInto(Identity, Buffer);
+  EXPECT_EQ(Buffer, Once);
+}

@@ -123,3 +123,59 @@ TEST(BigIntTest, AccumulatedSumMatchesClosedForm) {
     Sum += BigInt(I);
   EXPECT_EQ(Sum.toUint64(), 499500u);
 }
+
+TEST(BigIntTest, NumBitsAndBitAccess) {
+  EXPECT_EQ(BigInt(0).numBits(), 0u);
+  EXPECT_EQ(BigInt(1).numBits(), 1u);
+  EXPECT_EQ(BigInt(255).numBits(), 8u);
+  EXPECT_EQ(BigInt::pow(2, 64).numBits(), 65u);
+  BigInt V = BigInt::pow(2, 100);
+  EXPECT_TRUE(V.bit(100));
+  EXPECT_FALSE(V.bit(99));
+  EXPECT_FALSE(V.bit(101));
+  EXPECT_FALSE(V.bit(500));
+}
+
+TEST(BigIntTest, DivmodSmallValues) {
+  BigInt Q, R;
+  BigInt::divmod(BigInt(17), BigInt(5), Q, R);
+  EXPECT_EQ(Q.toUint64(), 3u);
+  EXPECT_EQ(R.toUint64(), 2u);
+  BigInt::divmod(BigInt(4), BigInt(9), Q, R);
+  EXPECT_TRUE(Q.isZero());
+  EXPECT_EQ(R.toUint64(), 4u);
+  BigInt::divmod(BigInt(0), BigInt(3), Q, R);
+  EXPECT_TRUE(Q.isZero());
+  EXPECT_TRUE(R.isZero());
+}
+
+TEST(BigIntTest, DivmodLargeValuesRoundTrip) {
+  // Quotient * Divisor + Remainder must reconstruct the dividend exactly,
+  // across multi-limb dividends and divisors.
+  const BigInt Dividends[] = {
+      BigInt::pow(10, 163), BigInt::pow(2, 200) + BigInt(12345),
+      BigInt::fromDecimalString("987654321098765432109876543210"),
+  };
+  const BigInt Divisors[] = {
+      BigInt(7), BigInt::pow(2, 64), BigInt::pow(10, 50) + BigInt(3),
+      BigInt::fromDecimalString("18446744073709551629"),
+  };
+  for (const BigInt &A : Dividends) {
+    for (const BigInt &B : Divisors) {
+      BigInt Q, R;
+      BigInt::divmod(A, B, Q, R);
+      EXPECT_TRUE(R < B);
+      EXPECT_EQ(Q * B + R, A) << A.toString() << " / " << B.toString();
+    }
+  }
+}
+
+TEST(BigIntTest, DivisionOperators) {
+  BigInt A = BigInt::pow(3, 120);
+  BigInt B = BigInt::pow(3, 40);
+  EXPECT_EQ(A / B, BigInt::pow(3, 80));
+  EXPECT_TRUE((A % B).isZero());
+  EXPECT_EQ((A + BigInt(5)) % B, BigInt(5));
+  EXPECT_EQ(A / A, BigInt(1));
+  EXPECT_EQ(A / (A + BigInt(1)), BigInt(0));
+}

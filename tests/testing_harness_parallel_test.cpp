@@ -1,0 +1,126 @@
+//===- tests/testing_harness_parallel_test.cpp - parallel campaign tests -===//
+//
+// The load-bearing property of the worker-pool campaign: a campaign split
+// across N cursor shards must produce a CampaignResult identical to the
+// single-threaded run -- same counters, same unique bugs, same witness
+// programs -- and the merged coverage registry must match too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Corpus.h"
+#include "testing/Harness.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+namespace {
+
+HarnessOptions baseOptions() {
+  HarnessOptions Opts;
+  Opts.Configs = HarnessOptions::crashMatrix(Persona::GccSim, 48);
+  std::vector<CompilerConfig> Clang =
+      HarnessOptions::crashMatrix(Persona::ClangSim, 36);
+  Opts.Configs.insert(Opts.Configs.end(), Clang.begin(), Clang.end());
+  Opts.VariantBudget = 150;
+  return Opts;
+}
+
+std::vector<std::string> testSeeds() {
+  const std::vector<std::string> &Embedded = embeddedSeeds();
+  std::vector<std::string> Seeds(Embedded.begin(),
+                                 Embedded.begin() +
+                                     std::min<size_t>(Embedded.size(), 4));
+  return Seeds;
+}
+
+} // namespace
+
+TEST(HarnessParallelTest, MultiThreadedCampaignIsDeterministic) {
+  std::vector<std::string> Seeds = testSeeds();
+
+  HarnessOptions Serial = baseOptions();
+  Serial.Threads = 1;
+  CampaignResult Reference = DifferentialHarness(Serial).runCampaign(Seeds);
+  EXPECT_GT(Reference.VariantsEnumerated, 0u);
+
+  for (unsigned Threads : {2u, 3u, 4u}) {
+    HarnessOptions Parallel = baseOptions();
+    Parallel.Threads = Threads;
+    CampaignResult Result = DifferentialHarness(Parallel).runCampaign(Seeds);
+    EXPECT_TRUE(Result == Reference)
+        << "threads=" << Threads << ": " << Result.VariantsEnumerated << "/"
+        << Reference.VariantsEnumerated << " variants, "
+        << Result.UniqueBugs.size() << "/" << Reference.UniqueBugs.size()
+        << " bugs";
+  }
+}
+
+TEST(HarnessParallelTest, WitnessProgramsMatchAcrossThreadCounts) {
+  // Witnesses are the first finding in rank order; sharding must not change
+  // which variant gets credited.
+  std::vector<std::string> Seeds = testSeeds();
+  HarnessOptions Serial = baseOptions();
+  CampaignResult Reference = DifferentialHarness(Serial).runCampaign(Seeds);
+
+  HarnessOptions Parallel = baseOptions();
+  Parallel.Threads = 4;
+  CampaignResult Result = DifferentialHarness(Parallel).runCampaign(Seeds);
+
+  ASSERT_EQ(Result.UniqueBugs.size(), Reference.UniqueBugs.size());
+  for (const auto &[Id, Bug] : Reference.UniqueBugs) {
+    auto It = Result.UniqueBugs.find(Id);
+    ASSERT_NE(It, Result.UniqueBugs.end()) << "bug " << Id;
+    EXPECT_EQ(It->second.WitnessProgram, Bug.WitnessProgram) << "bug " << Id;
+  }
+}
+
+TEST(HarnessParallelTest, CoverageMergesDeterministically) {
+  std::vector<std::string> Seeds = testSeeds();
+
+  CoverageRegistry SerialCov;
+  HarnessOptions Serial = baseOptions();
+  Serial.Cov = &SerialCov;
+  DifferentialHarness(Serial).runCampaign(Seeds);
+
+  CoverageRegistry ParallelCov;
+  HarnessOptions Parallel = baseOptions();
+  Parallel.Threads = 4;
+  Parallel.Cov = &ParallelCov;
+  DifferentialHarness(Parallel).runCampaign(Seeds);
+
+  EXPECT_EQ(ParallelCov.hitSet(), SerialCov.hitSet());
+  EXPECT_EQ(ParallelCov.totalPoints(), SerialCov.totalPoints());
+  EXPECT_GT(ParallelCov.hitPoints(), 0u);
+}
+
+TEST(HarnessParallelTest, ZeroThreadsMeansHardwareConcurrency) {
+  // Threads = 0 must run (one worker per hardware thread) and still agree
+  // with the serial result.
+  std::vector<std::string> Seeds = testSeeds();
+  HarnessOptions Serial = baseOptions();
+  CampaignResult Reference = DifferentialHarness(Serial).runCampaign(Seeds);
+
+  HarnessOptions Auto = baseOptions();
+  Auto.Threads = 0;
+  CampaignResult Result = DifferentialHarness(Auto).runCampaign(Seeds);
+  EXPECT_TRUE(Result == Reference);
+}
+
+TEST(HarnessParallelTest, ThreadsBeyondBudgetAreHarmless) {
+  std::vector<std::string> Seeds = testSeeds();
+  HarnessOptions Tiny = baseOptions();
+  Tiny.VariantBudget = 3;
+  CampaignResult Reference = DifferentialHarness(Tiny).runCampaign(Seeds);
+
+  HarnessOptions Wide = baseOptions();
+  Wide.VariantBudget = 3;
+  Wide.Threads = 16;
+  CampaignResult Result = DifferentialHarness(Wide).runCampaign(Seeds);
+  EXPECT_TRUE(Result == Reference);
+  EXPECT_LE(Result.VariantsEnumerated, 3u * Seeds.size());
+}
+
+TEST(HarnessParallelTest, ExactModeIsTheDefault) {
+  EXPECT_EQ(HarnessOptions().Mode, SpeMode::Exact);
+}
