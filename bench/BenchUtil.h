@@ -20,6 +20,7 @@
 #include "skeleton/ProgramEnumerator.h"
 #include "skeleton/SkeletonExtractor.h"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -68,6 +69,62 @@ analyzeFile(const std::string &Source,
 inline void header(const char *Title) {
   std::printf("\n=== %s ===\n", Title);
 }
+
+/// Accumulates flat key/value metrics and writes them as
+/// BENCH_<name>.json in the working directory, so the perf trajectory
+/// (variants/sec, oracle executions, prune/cache hit rates, ...) is
+/// machine-readable across PRs instead of living only in stdout logs.
+class BenchJson {
+public:
+  explicit BenchJson(std::string Name) : Name(std::move(Name)) {}
+
+  void put(const std::string &Key, double Value) {
+    if (!std::isfinite(Value)) { // Bare nan/inf is not valid JSON.
+      Fields.emplace_back(Key, "null");
+      return;
+    }
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+    Fields.emplace_back(Key, Buf);
+  }
+  void put(const std::string &Key, uint64_t Value) {
+    Fields.emplace_back(Key, std::to_string(Value));
+  }
+  void put(const std::string &Key, int Value) {
+    Fields.emplace_back(Key, std::to_string(Value));
+  }
+  void put(const std::string &Key, const std::string &Value) {
+    std::string Escaped = "\"";
+    for (char C : Value) {
+      if (C == '"' || C == '\\')
+        Escaped += '\\';
+      Escaped += C;
+    }
+    Escaped += '"';
+    Fields.emplace_back(Key, Escaped);
+  }
+
+  /// Writes BENCH_<name>.json; \returns false (and warns) on I/O failure.
+  bool write() const {
+    std::string Path = "BENCH_" + Name + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::printf("!! could not write %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"%s\"", Name.c_str());
+    for (const auto &[Key, Value] : Fields)
+      std::fprintf(F, ",\n  \"%s\": %s", Key.c_str(), Value.c_str());
+    std::fprintf(F, "\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
 
 } // namespace bench
 } // namespace spe

@@ -51,6 +51,11 @@ void benchCampaignScaling() {
               std::thread::hardware_concurrency());
   std::vector<std::string> Seeds = campaignSeeds();
 
+  BenchJson Json("parallel_scaling");
+  Json.put("hardware_threads",
+           static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  Json.put("seeds", static_cast<uint64_t>(Seeds.size()));
+
   double BaselineRate = 0.0;
   uint64_t BaselineVariants = 0;
   std::printf("%-8s %-10s %-9s %-13s %s\n", "threads", "variants", "sec",
@@ -67,7 +72,13 @@ void benchCampaignScaling() {
     if (Threads == 1) {
       BaselineRate = Rate;
       BaselineVariants = Result.VariantsEnumerated;
+      Json.put("variants", Result.VariantsEnumerated);
+      Json.put("variants_pruned", Result.VariantsPruned);
+      Json.put("oracle_executions", Result.OracleExecutions);
+      Json.put("unique_bugs",
+               static_cast<uint64_t>(Result.UniqueBugs.size()));
     }
+    Json.put("variants_per_sec_t" + std::to_string(Threads), Rate);
     std::printf("%-8u %-10llu %-9.3f %-13.0f %.2fx\n", Threads,
                 static_cast<unsigned long long>(Result.VariantsEnumerated),
                 Sec, Rate, Rate / BaselineRate);
@@ -76,6 +87,7 @@ void benchCampaignScaling() {
                   static_cast<unsigned long long>(Result.VariantsEnumerated),
                   static_cast<unsigned long long>(BaselineVariants));
   }
+  Json.write();
 }
 
 /// A Table-1-shaped skeleton: several type classes, a scope chain with

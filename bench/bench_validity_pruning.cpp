@@ -1,0 +1,214 @@
+//===- bench/bench_validity_pruning.cpp - oracle-cost reduction bench ----===//
+//
+// Measures what the validity-pruning pipeline buys on the generated-corpus
+// campaign: reference-oracle executions per found bug with (a) neither
+// optimization, (b) stratum pruning only, (c) oracle memoization only, and
+// (d) both. The campaign is the version-sweep shape every table/figure
+// bench runs -- two personas over the same seeds -- which is exactly where
+// memoization pays. The FoundBug sets of all four runs are compared and
+// must be identical; coverage ratios likewise.
+//
+// Emits BENCH_validity_pruning.json with the headline numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "compiler/Passes.h"
+#include "core/ScopePartitionDP.h"
+#include "core/ValidityPruning.h"
+#include "skeleton/ValidityAnalysis.h"
+#include "testing/Corpus.h"
+#include "testing/Harness.h"
+#include "testing/OracleCache.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace spe;
+using namespace spe::bench;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+std::vector<std::string> campaignSeeds() {
+  CorpusOptions Opts;
+  Opts.UninitLocalProb = 0.6; // c-torture style `int z;` declarations.
+  std::vector<std::string> Seeds = embeddedSeeds();
+  std::vector<std::string> Generated = generateCorpus(2000, 40, Opts);
+  Seeds.insert(Seeds.end(), Generated.begin(), Generated.end());
+  return Seeds;
+}
+
+struct RunStats {
+  CampaignResult Result;
+  CoverageRegistry Cov;
+  double Seconds = 0;
+};
+
+RunStats runCampaign(const std::vector<std::string> &Seeds, bool Prune,
+                     bool UseCache) {
+  RunStats Stats;
+  registerPassCoverageCatalog(Stats.Cov);
+  OracleCache Cache;
+  auto Start = std::chrono::steady_clock::now();
+  for (Persona P : {Persona::GccSim, Persona::ClangSim}) {
+    HarnessOptions Opts;
+    Opts.Configs =
+        HarnessOptions::crashMatrix(P, P == Persona::GccSim ? 48 : 36);
+    Opts.VariantBudget = 200;
+    Opts.PruneInvalid = Prune;
+    Opts.Cache = UseCache ? &Cache : nullptr;
+    Opts.Cov = &Stats.Cov;
+    Stats.Result.merge(DifferentialHarness(Opts).runCampaign(Seeds));
+  }
+  Stats.Seconds = secondsSince(Start);
+  return Stats;
+}
+
+void printRow(const char *Label, const RunStats &S, uint64_t BaseExecs) {
+  const CampaignResult &R = S.Result;
+  double Reduction =
+      BaseExecs ? 100.0 * (1.0 - static_cast<double>(R.OracleExecutions) /
+                                     static_cast<double>(BaseExecs))
+                : 0.0;
+  std::printf("%-14s %-9llu %-8llu %-8llu %-7llu %-6zu %-8.2f %+.1f%%\n",
+              Label,
+              static_cast<unsigned long long>(R.OracleExecutions),
+              static_cast<unsigned long long>(R.VariantsPruned),
+              static_cast<unsigned long long>(R.OracleCacheHits),
+              static_cast<unsigned long long>(R.VariantsTested),
+              R.UniqueBugs.size(), S.Seconds, -Reduction);
+}
+
+/// Analysis-side statistics: how many (hole, var) pairs the def-before-use
+/// analysis forbids, and how the pruned-count DP shrinks the spaces.
+void benchAnalysisStats(const std::vector<std::string> &Seeds,
+                        BenchJson &Json) {
+  header("Forbidden-set analysis over the corpus");
+  uint64_t Pairs = 0, SeedsWithFacts = 0, Analyzed = 0;
+  BigInt SpaceAll(0), SpaceValid(0);
+  for (const std::string &Seed : Seeds) {
+    auto FA = analyzeFile(Seed);
+    if (!FA)
+      continue;
+    ++Analyzed;
+    std::vector<ValidityConstraints> Validity =
+        analyzeValidity(*FA->Ctx, *FA->Analysis, FA->Units);
+    uint64_t SeedPairs = 0;
+    BigInt All(1), Valid(1);
+    for (size_t U = 0; U < FA->Units.size(); ++U) {
+      SeedPairs += Validity[U].forbiddenPairs();
+      const AbstractSkeleton &Sk = FA->Units[U].Skeleton;
+      BigInt UnitAll = countExactClasses(Sk);
+      All *= UnitAll;
+      Valid *= Validity[U].empty() ? UnitAll
+                                   : countValidClasses(Sk, Validity[U]);
+    }
+    Pairs += SeedPairs;
+    if (SeedPairs)
+      ++SeedsWithFacts;
+    if (All.fitsInUint64()) { // Only aggregate threshold-sized spaces.
+      SpaceAll += All;
+      SpaceValid += Valid;
+    }
+  }
+  std::printf("seeds analyzed          : %llu\n",
+              static_cast<unsigned long long>(Analyzed));
+  std::printf("seeds with facts        : %llu\n",
+              static_cast<unsigned long long>(SeedsWithFacts));
+  std::printf("forbidden (hole,var)s   : %llu\n",
+              static_cast<unsigned long long>(Pairs));
+  std::printf("class space (bounded)   : %s -> %s valid by DP\n",
+              SpaceAll.toString().c_str(), SpaceValid.toString().c_str());
+  Json.put("seeds_with_facts", SeedsWithFacts);
+  Json.put("forbidden_pairs", Pairs);
+}
+
+} // namespace
+
+int main() {
+  std::vector<std::string> Seeds = campaignSeeds();
+  BenchJson Json("validity_pruning");
+  Json.put("seeds", static_cast<uint64_t>(Seeds.size()));
+
+  benchAnalysisStats(Seeds, Json);
+
+  header("Two-persona corpus campaign: oracle cost");
+  std::printf("%-14s %-9s %-8s %-8s %-7s %-6s %-8s %s\n", "config",
+              "oracle", "pruned", "cached", "tested", "bugs", "sec",
+              "execs");
+  RunStats Base = runCampaign(Seeds, false, false);
+  printRow("baseline", Base, Base.Result.OracleExecutions);
+  RunStats PruneOnly = runCampaign(Seeds, true, false);
+  printRow("prune", PruneOnly, Base.Result.OracleExecutions);
+  RunStats CacheOnly = runCampaign(Seeds, false, true);
+  printRow("memoize", CacheOnly, Base.Result.OracleExecutions);
+  RunStats Both = runCampaign(Seeds, true, true);
+  printRow("prune+memoize", Both, Base.Result.OracleExecutions);
+
+  bool BugsIdentical = Base.Result.UniqueBugs == PruneOnly.Result.UniqueBugs &&
+                       Base.Result.UniqueBugs == CacheOnly.Result.UniqueBugs &&
+                       Base.Result.UniqueBugs == Both.Result.UniqueBugs;
+  bool CoverageIdentical =
+      Base.Cov.hitSet() == PruneOnly.Cov.hitSet() &&
+      Base.Cov.hitSet() == CacheOnly.Cov.hitSet() &&
+      Base.Cov.hitSet() == Both.Cov.hitSet();
+  std::printf("FoundBug sets identical : %s\n",
+              BugsIdentical ? "yes" : "NO -- BUG");
+  std::printf("coverage identical      : %s\n",
+              CoverageIdentical ? "yes" : "NO -- BUG");
+
+  double Reduction =
+      Base.Result.OracleExecutions
+          ? 1.0 - static_cast<double>(Both.Result.OracleExecutions) /
+                      static_cast<double>(Base.Result.OracleExecutions)
+          : 0.0;
+  std::printf("oracle executions       : %llu -> %llu (-%.1f%%)\n",
+              static_cast<unsigned long long>(Base.Result.OracleExecutions),
+              static_cast<unsigned long long>(Both.Result.OracleExecutions),
+              100.0 * Reduction);
+  size_t Bugs = Base.Result.UniqueBugs.size();
+  if (Bugs) {
+    std::printf(
+        "oracle execs per bug    : %.1f -> %.1f\n",
+        static_cast<double>(Base.Result.OracleExecutions) / Bugs,
+        static_cast<double>(Both.Result.OracleExecutions) / Bugs);
+  }
+
+  Json.put("oracle_executions_baseline", Base.Result.OracleExecutions);
+  Json.put("oracle_executions_prune", PruneOnly.Result.OracleExecutions);
+  Json.put("oracle_executions_memoize", CacheOnly.Result.OracleExecutions);
+  Json.put("oracle_executions_both", Both.Result.OracleExecutions);
+  Json.put("variants_pruned", Both.Result.VariantsPruned);
+  Json.put("oracle_cache_hits", Both.Result.OracleCacheHits);
+  Json.put("cache_hit_rate",
+           Both.Result.OracleCacheHits + Both.Result.OracleExecutions
+               ? static_cast<double>(Both.Result.OracleCacheHits) /
+                     static_cast<double>(Both.Result.OracleCacheHits +
+                                         Both.Result.OracleExecutions)
+               : 0.0);
+  Json.put("reduction", Reduction);
+  Json.put("unique_bugs", static_cast<uint64_t>(Bugs));
+  Json.put("variants_per_sec_baseline",
+           Base.Seconds > 0
+               ? static_cast<double>(Base.Result.VariantsEnumerated) /
+                     Base.Seconds
+               : 0.0);
+  Json.put("variants_per_sec_both",
+           Both.Seconds > 0
+               ? static_cast<double>(Both.Result.VariantsEnumerated) /
+                     Both.Seconds
+               : 0.0);
+  Json.put("seconds_baseline", Base.Seconds);
+  Json.put("seconds_both", Both.Seconds);
+  Json.put("found_bugs_identical", BugsIdentical ? 1 : 0);
+  Json.put("coverage_identical", CoverageIdentical ? 1 : 0);
+  Json.write();
+
+  return BugsIdentical && CoverageIdentical ? 0 : 1;
+}

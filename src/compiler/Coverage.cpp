@@ -8,9 +8,18 @@ void CoverageRegistry::registerPoint(const std::string &Name) {
   Catalog.insert(Name);
 }
 
-void CoverageRegistry::hit(const std::string &Name) {
-  Catalog.insert(Name);
-  Hits.insert(Name);
+bool CoverageRegistry::hit(const std::string &Name) {
+  if (Catalog.count(Name)) {
+    Hits.insert(Name);
+    return true;
+  }
+  // Unregistered point: the old behavior silently registered the name,
+  // inflating totalPoints() per distinct unregistered string and making
+  // coverage ratios depend on which variants executed. Fold every such hit
+  // into one synthetic entry instead, identically in all build modes.
+  Catalog.insert(syntheticPoint());
+  Hits.insert(syntheticPoint());
+  return false;
 }
 
 void CoverageRegistry::resetHits() { Hits.clear(); }

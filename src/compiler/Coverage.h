@@ -28,15 +28,22 @@ namespace spe {
 ///
 /// Point names are "pass.detail"; the prefix before the first '.' is the
 /// pass ("function") name. Totals are fixed by the registered catalog;
-/// hit() on an unregistered name asserts in debug builds and is otherwise
-/// counted under a synthetic catalog entry so measurements stay sane.
+/// hit() on an unregistered name is routed -- identically in debug and
+/// release builds -- to the synthetic catalog entry syntheticPoint(), so an
+/// instrumentation point someone forgot to register can never silently
+/// grow the denominator per distinct name or diverge between build modes.
 class CoverageRegistry {
 public:
+  /// The catalog entry unregistered hit() names are folded into.
+  static const char *syntheticPoint() { return "uncatalogued.synthetic"; }
+
   /// Adds a point to the catalog (idempotent).
   void registerPoint(const std::string &Name);
 
-  /// Marks a point as executed.
-  void hit(const std::string &Name);
+  /// Marks a point as executed. Unregistered names are counted under
+  /// syntheticPoint() (registered on first use); \returns true when \p Name
+  /// itself was in the catalog.
+  bool hit(const std::string &Name);
 
   /// Clears hit marks but keeps the catalog.
   void resetHits();

@@ -31,6 +31,13 @@ struct AssignmentCursor::Impl {
   BigInt Pos;  ///< Rank of the assignment the next next() produces.
   BigInt End;  ///< Exclusive bound of the active range.
 
+  /// Validity pruning (see core/ValidityPruning.h). Null/empty = disabled.
+  const ValidityConstraints *Constraints = nullptr;
+  bool HasForbidden = false; ///< Cached !Constraints->empty().
+  BigInt Pruned;             ///< Ranks skipped as invalid by next().
+  /// Unranking tables for the group-digit validity walk, keyed by (N, K).
+  std::map<std::pair<unsigned, unsigned>, RgsRanker> Rankers;
+
   // --- Exact mode: mixed-radix odometer with DP-backed unranking ---------
 
   struct GroupState {
@@ -162,6 +169,8 @@ struct AssignmentCursor::Impl {
 
   /// Unranks type \p T's component \p Rank into level choices and partition
   /// generator states, leaving Current holding the decoded assignment.
+  /// NOTE: invalidSpanEnd below is a read-only twin of this decoder; keep
+  /// their digit orders in lockstep.
   void materializeType(size_t T, const BigInt &Rank) {
     const ExactTypeProblem &P = Problems[T];
     TypeState &TS = Types[T];
@@ -206,9 +215,9 @@ struct AssignmentCursor::Impl {
       GroupState &G = TS.Groups[GI];
       BigInt Q, Rem;
       BigInt::divmod(Rest, GroupSuffix[GI + 1], Q, Rem);
-      RgsRanker Ranker(static_cast<unsigned>(G.Holes.size()),
-                       static_cast<unsigned>(G.Vars.size()));
-      G.Gen.seekTo(Ranker.unrank(Q));
+      G.Gen.seekTo(ranker(static_cast<unsigned>(G.Holes.size()),
+                          static_cast<unsigned>(G.Vars.size()))
+                       .unrank(Q));
       writeGroup(G);
       Rest = Rem;
     }
@@ -260,7 +269,9 @@ struct AssignmentCursor::Impl {
 
   // --- Shared ------------------------------------------------------------
 
-  const Assignment *next() {
+  /// Produces the assignment at Pos with no validity filtering (the
+  /// pre-pruning next()).
+  const Assignment *produce() {
     if (Pos >= End)
       return nullptr;
     if (Mode == SpeMode::PaperFaithful)
@@ -272,6 +283,128 @@ struct AssignmentCursor::Impl {
     assert(OdoRank == Pos && "odometer out of sync with position");
     Pos += BigInt(1);
     return &Current;
+  }
+
+  const Assignment *next() {
+    if (!HasForbidden)
+      return produce();
+    for (;;) {
+      // Valid assignments stay on the O(1)-amortized odometer hot path: a
+      // produced assignment costs only an O(holes) byte-table scan. The
+      // digit-by-digit rank decode runs solely when a violation is found,
+      // to jump the rest of the invalid subrange in one step.
+      const Assignment *A = produce();
+      if (!A)
+        return nullptr;
+      if (!assignmentViolates(*A, *Constraints))
+        return A;
+      BigInt Bad = Pos - BigInt(1); // The rank produce() just consumed.
+      BigInt SpanEnd = invalidSpanEnd(Bad, *Constraints);
+      if (SpanEnd <= Bad) // Paper mode (no decode) degrades to span 1.
+        SpanEnd = Bad + BigInt(1);
+      BigInt Clipped = SpanEnd > End ? End : SpanEnd;
+      Pruned += Clipped - Bad;
+      if (Clipped > Pos) {
+        Pos = Clipped;
+        OdoValid = false;
+      }
+    }
+  }
+
+  RgsRanker &ranker(unsigned N, unsigned K) {
+    auto It = Rankers.find({N, K});
+    if (It == Rankers.end())
+      It = Rankers.try_emplace({N, K}, N, K).first;
+    return It->second;
+  }
+
+  /// See AssignmentCursor::invalidSpanEnd. Decodes \p Rank digit by digit,
+  /// most significant first (type, then level map, then per-scope
+  /// partition), and stops at the first digit whose choice alone is
+  /// forbidden; the returned span covers every rank sharing that digit.
+  ///
+  /// NOTE: this is a read-only twin of materializeType's decoder and must
+  /// decode the exact same digit order; any change to enumeration order
+  /// there must land here too. The lockstep is pinned by
+  /// tests/core_validity_pruning_test.cpp (InvalidSpanEndIsExact) and the
+  /// brute-force sweep in tests/testing_validity_property_test.cpp.
+  BigInt invalidSpanEnd(const BigInt &Rank, const ValidityConstraints &C) {
+    if (Mode != SpeMode::Exact || Rank >= Size)
+      return Rank;
+    BigInt Rest = Rank;
+    for (size_t T = 0; T < Problems.size(); ++T) {
+      BigInt R, Low;
+      BigInt::divmod(Rest, TypeSuffix[T + 1], R, Low);
+      const ExactTypeProblem &P = Problems[T];
+
+      // Level digits: walking holes in order, each candidate level is a
+      // digit of width countExactCompletions(remaining holes).
+      std::vector<unsigned> PrefixCounts(Sk.numScopes(), 0);
+      std::map<ScopeId, std::vector<unsigned>> ByScope;
+      for (size_t HI = 0; HI < P.Holes.size(); ++HI) {
+        bool Found = false;
+        for (size_t D = 0; D < P.Domains[HI].size(); ++D) {
+          ScopeId S = P.Domains[HI][D];
+          ++PrefixCounts[S];
+          BigInt W =
+              countExactCompletions(Sk, P, HI + 1, PrefixCounts, Table);
+          if (R < W) {
+            bool AllForbidden = true;
+            for (VarId V : Sk.varsInScopeOfType(S, P.Type)) {
+              if (!C.forbids(P.Holes[HI], V)) {
+                AllForbidden = false;
+                break;
+              }
+            }
+            if (AllForbidden)
+              return Rank + (W - R) * TypeSuffix[T + 1] - Low;
+            ByScope[S].push_back(P.Holes[HI]);
+            Found = true;
+            break;
+          }
+          R -= W;
+          --PrefixCounts[S];
+        }
+        assert(Found && "level decoding exhausted the domain");
+        (void)Found;
+      }
+
+      // Partition digits: group-major in ascending scope order, each
+      // group's restricted growth string one digit.
+      struct GroupRef {
+        const std::vector<unsigned> *Holes;
+        std::vector<VarId> Vars;
+      };
+      std::vector<GroupRef> Groups;
+      Groups.reserve(ByScope.size());
+      for (auto &[Scope, Holes] : ByScope)
+        Groups.push_back({&Holes, Sk.varsInScopeOfType(Scope, P.Type)});
+      std::vector<BigInt> GroupSuffix(Groups.size() + 1, BigInt(1));
+      for (size_t GI = Groups.size(); GI-- > 0;) {
+        GroupSuffix[GI] =
+            Table.partitionsUpTo(
+                static_cast<unsigned>(Groups[GI].Holes->size()),
+                static_cast<unsigned>(Groups[GI].Vars.size())) *
+            GroupSuffix[GI + 1];
+      }
+      for (size_t GI = 0; GI < Groups.size(); ++GI) {
+        BigInt QG, Rem;
+        BigInt::divmod(R, GroupSuffix[GI + 1], QG, Rem);
+        const GroupRef &G = Groups[GI];
+        RestrictedGrowthString RGS =
+            ranker(static_cast<unsigned>(G.Holes->size()),
+                   static_cast<unsigned>(G.Vars.size()))
+                .unrank(QG);
+        for (size_t I = 0; I < RGS.size(); ++I) {
+          if (C.forbids((*G.Holes)[I], G.Vars[RGS[I]]))
+            return Rank + (GroupSuffix[GI + 1] - Rem) * TypeSuffix[T + 1] -
+                   Low;
+        }
+        R = Rem;
+      }
+      Rest = Low;
+    }
+    return Rank;
   }
 
   void seek(const BigInt &Rank) {
@@ -324,5 +457,17 @@ void AssignmentCursor::shard(uint64_t Index, uint64_t Count) {
   cursor_detail::shardRange(I->Pos, I->End, Index, Count, Begin, NewEnd);
   I->End = NewEnd;
   I->seek(Begin);
+}
+
+void AssignmentCursor::setConstraints(const ValidityConstraints *C) {
+  I->Constraints = C;
+  I->HasForbidden = C != nullptr && !C->empty();
+}
+
+const BigInt &AssignmentCursor::pruned() const { return I->Pruned; }
+
+BigInt AssignmentCursor::invalidSpanEnd(const BigInt &Rank,
+                                        const ValidityConstraints &C) const {
+  return I->invalidSpanEnd(Rank, C);
 }
 

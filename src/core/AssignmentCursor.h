@@ -34,6 +34,7 @@
 
 #include "core/AbstractSkeleton.h"
 #include "core/SpeEnumerator.h"
+#include "core/ValidityPruning.h"
 #include "support/BigInt.h"
 
 #include <memory>
@@ -80,6 +81,28 @@ public:
   /// range [position(), end()): contiguous rank sub-ranges of near-equal
   /// length whose union is exactly the original range.
   void shard(uint64_t Index, uint64_t Count);
+
+  /// Enables validity pruning: next() silently skips every assignment that
+  /// violates \p C (see core/ValidityPruning.h), in exact mode by jumping
+  /// over whole subranges that share the offending digit. Ranks are not
+  /// renumbered -- position(), seek() and shard() keep their unpruned
+  /// semantics. \p C must outlive the cursor; pass nullptr to disable.
+  void setConstraints(const ValidityConstraints *C);
+
+  /// \returns the total number of ranks next() skipped as invalid since
+  /// construction.
+  const BigInt &pruned() const;
+
+  /// Exact mode: \returns the exclusive end of the maximal invalid-under-\p
+  /// C subrange starting at \p Rank, or \p Rank itself when the assignment
+  /// with that rank violates nothing. Every rank in [Rank, result) shares
+  /// the most significant forbidden digit and is invalid. Pure rank
+  /// arithmetic -- the cursor's position and odometer are untouched. In
+  /// paper-faithful mode there is no closed digit decomposition and the
+  /// result is always \p Rank (callers filter produced assignments
+  /// instead).
+  BigInt invalidSpanEnd(const BigInt &Rank,
+                        const ValidityConstraints &C) const;
 
 private:
   struct Impl;

@@ -9,7 +9,8 @@
 using namespace spe;
 
 ProgramCursor::ProgramCursor(const std::vector<SkeletonUnit> &Units,
-                             SpeMode Mode) {
+                             SpeMode Mode)
+    : Mode(Mode) {
   UnitCursors.reserve(Units.size());
   for (const SkeletonUnit &Unit : Units)
     UnitCursors.emplace_back(Unit.Skeleton, Mode);
@@ -19,6 +20,37 @@ ProgramCursor::ProgramCursor(const std::vector<SkeletonUnit> &Units,
   Size = UnitSuffix[0];
   End = Size;
   Current.resize(Units.size());
+}
+
+void ProgramCursor::setConstraints(
+    std::vector<const ValidityConstraints *> PerUnit) {
+  assert(PerUnit.size() == UnitCursors.size() &&
+         "one constraint table per unit");
+  Constraints = std::move(PerUnit);
+  HasForbidden = false;
+  for (const ValidityConstraints *C : Constraints)
+    if (C && !C->empty())
+      HasForbidden = true;
+}
+
+BigInt ProgramCursor::invalidSpanEnd(const BigInt &Rank) const {
+  BigInt Rest = Rank;
+  for (size_t U = 0; U < UnitCursors.size(); ++U) {
+    // Divide into fresh temporaries: BigInt::divmod clears its output
+    // parameters before reading, so aliasing Rest would zero the dividend.
+    BigInt Q, Lower;
+    BigInt::divmod(Rest, UnitSuffix[U + 1], Q, Lower);
+    Rest = Lower;
+    if (!Constraints[U] || Constraints[U]->empty())
+      continue;
+    BigInt SpanEnd = UnitCursors[U].invalidSpanEnd(Q, *Constraints[U]);
+    if (SpanEnd > Q) {
+      // Unit U's component is invalid for all of [Q, SpanEnd); every
+      // program rank sharing this prefix is invalid too.
+      return Rank - Rest + (SpanEnd - Q) * UnitSuffix[U + 1];
+    }
+  }
+  return Rank;
 }
 
 void ProgramCursor::materialize(const BigInt &Rank) {
@@ -40,6 +72,36 @@ void ProgramCursor::materialize(const BigInt &Rank) {
 }
 
 const ProgramAssignment *ProgramCursor::next() {
+  if (!HasForbidden)
+    return produce();
+  for (;;) {
+    // Valid variants stay on the O(1)-amortized odometer hot path; the
+    // mixed-radix rank decode runs only when a produced variant violates,
+    // to jump the rest of the invalid subrange in one step.
+    const ProgramAssignment *PA = produce();
+    if (!PA)
+      return nullptr;
+    bool Violates = false;
+    for (size_t U = 0; U < PA->size() && !Violates; ++U)
+      Violates =
+          Constraints[U] && assignmentViolates((*PA)[U], *Constraints[U]);
+    if (!Violates)
+      return PA;
+    BigInt Bad = Pos - BigInt(1); // The rank produce() just consumed.
+    BigInt SpanEnd =
+        Mode == SpeMode::Exact ? invalidSpanEnd(Bad) : Bad + BigInt(1);
+    if (SpanEnd <= Bad)
+      SpanEnd = Bad + BigInt(1);
+    BigInt Clipped = SpanEnd > End ? End : SpanEnd;
+    Pruned += Clipped - Bad;
+    if (Clipped > Pos) {
+      Pos = Clipped;
+      OdoValid = false;
+    }
+  }
+}
+
+const ProgramAssignment *ProgramCursor::produce() {
   if (Pos >= End)
     return nullptr;
   if (!OdoValid) {

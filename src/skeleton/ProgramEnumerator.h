@@ -71,18 +71,44 @@ public:
   /// length whose union is exactly the original range.
   void shard(uint64_t Index, uint64_t Count);
 
+  /// Enables validity pruning: next() skips program variants in which some
+  /// unit's assignment violates that unit's constraints, in exact mode by
+  /// jumping whole mixed-radix subranges (all combinations of the
+  /// less-significant units below an offending digit are skipped at once).
+  /// \p PerUnit must have one entry per unit (nullptr entries disable
+  /// pruning for that unit) and outlive the cursor. Ranks are not
+  /// renumbered, so seek/shard/budget semantics and shard-merge determinism
+  /// are unchanged.
+  void setConstraints(std::vector<const ValidityConstraints *> PerUnit);
+
+  /// \returns the total number of ranks next() skipped as invalid.
+  const BigInt &pruned() const { return Pruned; }
+
 private:
   /// Decodes rank \p Rank into per-unit cursor positions and fills Current.
   void materialize(const BigInt &Rank);
 
+  /// Produces the variant at Pos with no validity filtering.
+  const ProgramAssignment *produce();
+
+  /// \returns the exclusive end of the maximal invalid subrange starting at
+  /// \p Rank (== \p Rank when the variant is valid). Exact mode only; in
+  /// paper-faithful mode produced variants are filtered instead.
+  BigInt invalidSpanEnd(const BigInt &Rank) const;
+
   std::vector<AssignmentCursor> UnitCursors;
   std::vector<BigInt> UnitSuffix; ///< UnitSuffix[u] = prod sizes of u..N-1.
+  SpeMode Mode;
   BigInt Size;
   BigInt Pos;
   BigInt End;
   ProgramAssignment Current;
   BigInt OdoRank; ///< Rank currently materialized in Current.
   bool OdoValid = false;
+  /// Per-unit validity constraints; empty vector = pruning disabled.
+  std::vector<const ValidityConstraints *> Constraints;
+  bool HasForbidden = false;
+  BigInt Pruned;
 };
 
 /// Enumerates and counts program variants across units.

@@ -1,0 +1,361 @@
+//===- skeleton/ValidityAnalysis.cpp - def-before-use forbidden sets -----===//
+
+#include "skeleton/ValidityAnalysis.h"
+
+#include "support/Casting.h"
+
+#include <map>
+#include <set>
+
+using namespace spe;
+
+namespace {
+
+/// \returns the names declared by more than one variable anywhere in the
+/// translation unit. Rendering such a name at a hole could rebind to a
+/// different declaration, so both layers skip those variables.
+std::set<std::string> ambiguousNames(const Sema &Analysis) {
+  std::map<std::string, unsigned> Counts;
+  for (const ScopeInfo &Info : Analysis.scopes())
+    for (const VarDecl *V : Info.Vars)
+      ++Counts[V->name()];
+  std::set<std::string> Dup;
+  for (const auto &[Name, N] : Counts)
+    if (N > 1)
+      Dup.insert(Name);
+  return Dup;
+}
+
+/// \returns true when \p S (or a descendant) may transfer control past the
+/// end of the statement it syntactically belongs to: a return leaves the
+/// function, a goto can land anywhere. break/continue stay within the
+/// enclosing loop and do not count.
+bool mayDivert(const Stmt *S) {
+  if (!S)
+    return false;
+  switch (S->kind()) {
+  case Stmt::Kind::Return:
+  case Stmt::Kind::Goto:
+    return true;
+  case Stmt::Kind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      if (mayDivert(Child))
+        return true;
+    return false;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return mayDivert(I->thenStmt()) || mayDivert(I->elseStmt());
+  }
+  case Stmt::Kind::While:
+    return mayDivert(cast<WhileStmt>(S)->body());
+  case Stmt::Kind::Do:
+    return mayDivert(cast<DoStmt>(S)->body());
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    return mayDivert(F->init()) || mayDivert(F->body());
+  }
+  case Stmt::Kind::Label:
+    return mayDivert(cast<LabelStmt>(S)->sub());
+  default:
+    return false;
+  }
+}
+
+/// Walks main's body in the interpreter's evaluation order, forbidding
+/// (hole, variable) pairs where the hole definitely loads before any
+/// possible store to the variable.
+class DefBeforeUseWalker {
+public:
+  DefBeforeUseWalker(const SkeletonUnit &Unit, ValidityConstraints &C,
+                     const std::vector<uint8_t> &Eligible,
+                     const std::map<const DeclRefExpr *, unsigned> &SiteToHole,
+                     const std::map<const VarDecl *, VarId> &DeclToVar)
+      : Unit(Unit), C(C), Eligible(Eligible), SiteToHole(SiteToHole),
+        DeclToVar(DeclToVar) {
+    PossiblyWritten.assign(Unit.Skeleton.numVars(), 0);
+    DeclaredDefinitely.assign(Unit.Skeleton.numVars(), 0);
+    Candidates.resize(Unit.Skeleton.numHoles());
+    for (unsigned H = 0; H < Unit.Skeleton.numHoles(); ++H)
+      Candidates[H] = Unit.Skeleton.candidatesFor(H);
+  }
+
+  void run(const CompoundStmt *Body) { walkStmt(Body, true); }
+
+private:
+  /// A load of the hole's variable that definitely executes: forbid every
+  /// eligible candidate that no earlier event could have stored to.
+  void readEvent(const DeclRefExpr *Site, bool Definite) {
+    auto It = SiteToHole.find(Site);
+    if (It == SiteToHole.end() || !Definite)
+      return;
+    unsigned Hole = It->second;
+    for (VarId V : Candidates[Hole])
+      if (Eligible[V] && !PossiblyWritten[V] && DeclaredDefinitely[V])
+        C.forbid(Hole, V);
+  }
+
+  /// A store (or address-taking) that may target any of the hole's
+  /// candidates, whether or not it definitely executes.
+  void writeEvent(const DeclRefExpr *Site) {
+    auto It = SiteToHole.find(Site);
+    if (It == SiteToHole.end())
+      return;
+    for (VarId V : Candidates[It->second])
+      PossiblyWritten[V] = 1;
+  }
+
+  static const DeclRefExpr *bareVarRef(const Expr *E) {
+    const auto *DR = dyn_cast<DeclRefExpr>(E);
+    return DR && DR->decl() ? DR : nullptr;
+  }
+
+  void walkExpr(const Expr *E, bool Definite) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case Expr::Kind::DeclRef:
+      if (const DeclRefExpr *DR = bareVarRef(E))
+        readEvent(DR, Definite);
+      return;
+    case Expr::Kind::IntegerLiteral:
+    case Expr::Kind::StringLiteral:
+    case Expr::Kind::SizeOf: // The operand is not evaluated.
+      return;
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->op() == UnaryOp::AddrOf) {
+        if (const DeclRefExpr *DR = bareVarRef(U->sub())) {
+          writeEvent(DR); // The address escapes: anything may store here.
+          return;
+        }
+        walkExpr(U->sub(), Definite);
+        return;
+      }
+      if (U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PreDec ||
+          U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec) {
+        if (const DeclRefExpr *DR = bareVarRef(U->sub())) {
+          readEvent(DR, Definite); // ++v loads v before storing.
+          writeEvent(DR);
+          return;
+        }
+      }
+      walkExpr(U->sub(), Definite);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      if (isAssignmentOp(B->op())) {
+        const DeclRefExpr *Lhs = bareVarRef(B->lhs());
+        if (!Lhs)
+          walkExpr(B->lhs(), Definite); // *p / a[i] / s.x: subreads happen.
+        walkExpr(B->rhs(), Definite);
+        if (Lhs) {
+          // Compound assignment loads the target after the RHS; a plain
+          // store never loads it.
+          if (B->op() != BinaryOp::Assign)
+            readEvent(Lhs, Definite);
+          writeEvent(Lhs);
+        }
+        return;
+      }
+      if (B->op() == BinaryOp::LogicalAnd ||
+          B->op() == BinaryOp::LogicalOr) {
+        walkExpr(B->lhs(), Definite);
+        walkExpr(B->rhs(), false); // Short-circuit: RHS may not run.
+        return;
+      }
+      walkExpr(B->lhs(), Definite);
+      walkExpr(B->rhs(), Definite);
+      return;
+    }
+    case Expr::Kind::Conditional: {
+      const auto *Cond = cast<ConditionalExpr>(E);
+      walkExpr(Cond->cond(), Definite);
+      walkExpr(Cond->trueExpr(), false);
+      walkExpr(Cond->falseExpr(), false);
+      return;
+    }
+    case Expr::Kind::Call:
+      // Arguments evaluate left to right; the callee body cannot name
+      // main's locals, and any store through a pointer argument requires a
+      // prior address-taking event, which writeEvent already recorded.
+      for (const Expr *Arg : cast<CallExpr>(E)->args())
+        walkExpr(Arg, Definite);
+      return;
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      walkExpr(I->base(), Definite);
+      walkExpr(I->index(), Definite);
+      return;
+    }
+    case Expr::Kind::Member:
+      walkExpr(cast<MemberExpr>(E)->base(), Definite);
+      return;
+    case Expr::Kind::Cast:
+      walkExpr(cast<CastExpr>(E)->sub(), Definite);
+      return;
+    case Expr::Kind::InitList:
+      for (const Expr *Elem : cast<InitListExpr>(E)->elements())
+        walkExpr(Elem, Definite);
+      return;
+    }
+  }
+
+  /// \returns whether execution still definitely continues after \p S.
+  bool walkStmt(const Stmt *S, bool Definite) {
+    if (!S)
+      return Definite;
+    switch (S->kind()) {
+    case Stmt::Kind::Compound: {
+      bool D = Definite;
+      for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+        D = walkStmt(Child, D);
+      return D;
+    }
+    case Stmt::Kind::Decl:
+      for (const VarDecl *V : cast<DeclStmt>(S)->decls()) {
+        if (V->init())
+          walkExpr(V->init(), Definite);
+        auto It = DeclToVar.find(V);
+        if (It != DeclToVar.end() && Definite)
+          DeclaredDefinitely[It->second] = 1;
+      }
+      return Definite;
+    case Stmt::Kind::Expr:
+      walkExpr(cast<ExprStmt>(S)->expr(), Definite);
+      return Definite;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      walkExpr(I->cond(), Definite);
+      walkStmt(I->thenStmt(), false);
+      walkStmt(I->elseStmt(), false);
+      return Definite && !mayDivert(I->thenStmt()) &&
+             !mayDivert(I->elseStmt());
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      walkExpr(W->cond(), Definite); // First evaluation is unconditional.
+      walkStmt(W->body(), false);
+      return Definite && !mayDivert(W->body());
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      walkStmt(D->body(), false); // Conservative: treat like a loop body.
+      walkExpr(D->cond(), false);
+      return Definite && !mayDivert(D->body());
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      bool D = walkStmt(F->init(), Definite);
+      walkExpr(F->cond(), D); // First evaluation is unconditional.
+      walkStmt(F->body(), false);
+      walkExpr(F->step(), false);
+      return Definite && !mayDivert(F->body());
+    }
+    case Stmt::Kind::Return:
+      walkExpr(cast<ReturnStmt>(S)->value(), Definite);
+      return false;
+    case Stmt::Kind::Goto:
+      return false; // A forward jump may skip everything that follows.
+    case Stmt::Kind::Label:
+      // Falling into a label is unconditional; an earlier *forward* goto
+      // would already have cleared Definite, and a later backward goto only
+      // re-executes statements whose first execution already happened.
+      return walkStmt(cast<LabelStmt>(S)->sub(), Definite);
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      return false; // Within a loop body, which is never definite here.
+    }
+    return Definite;
+  }
+
+  const SkeletonUnit &Unit;
+  ValidityConstraints &C;
+  const std::vector<uint8_t> &Eligible;
+  const std::map<const DeclRefExpr *, unsigned> &SiteToHole;
+  const std::map<const VarDecl *, VarId> &DeclToVar;
+  std::vector<uint8_t> PossiblyWritten;
+  std::vector<uint8_t> DeclaredDefinitely;
+  std::vector<std::vector<VarId>> Candidates;
+};
+
+} // namespace
+
+std::vector<ValidityConstraints>
+spe::analyzeValidity(const ASTContext &Ctx, const Sema &Analysis,
+                     const std::vector<SkeletonUnit> &Units) {
+  std::vector<ValidityConstraints> Result(Units.size());
+  std::set<std::string> Dup = ambiguousNames(Analysis);
+  const FunctionDecl *Main = Ctx.findFunction("main");
+
+  for (size_t UI = 0; UI < Units.size(); ++UI) {
+    const SkeletonUnit &Unit = Units[UI];
+    ValidityConstraints &C = Result[UI];
+    C.reset(Unit.Skeleton);
+
+    // Layer 1: declare-before-use. Filling a hole with a uniquely-named
+    // variable declared later in source order renders a use of an
+    // undeclared name, which the variant frontend rejects.
+    for (unsigned H = 0; H < Unit.Skeleton.numHoles(); ++H) {
+      unsigned UseSeq = Analysis.useSeqOf(Unit.HoleSites[H]);
+      for (VarId V : Unit.Skeleton.candidatesFor(H)) {
+        const VarDecl *VD = Unit.AstVars[V];
+        if (Analysis.declSeqOf(VD) > UseSeq && !Dup.count(VD->name()))
+          C.forbid(H, V);
+      }
+    }
+
+    // Layer 2: def-before-use over main's body. Only main's first
+    // execution is unconditional, so only its unit (or the whole-program
+    // unit) can contribute facts.
+    if (!Main || !Main->body())
+      continue;
+    if (Unit.Fn != Main && Unit.Fn != nullptr)
+      continue;
+    if (Unit.Fn == nullptr) {
+      // Fn == null is either the whole-program unit of inter-procedural
+      // extraction (walkable: it contains main's sites) or the pure
+      // global-initializer unit, whose holes all live at file scope where
+      // zero-initialization makes layer 2 moot.
+      bool AllFileScope = true;
+      for (const DeclRefExpr *Site : Unit.HoleSites) {
+        int S = Analysis.useScopeOf(Site);
+        if (S >= 0 && Analysis.scopes()[static_cast<size_t>(S)].EnclosingFn)
+          AllFileScope = false;
+      }
+      if (AllFileScope)
+        continue;
+    }
+
+    // A variable is eligible for layer-2 forbidding iff reading it before
+    // any store is guaranteed UB: an uninitialized scalar local of main
+    // whose rendered name cannot rebind elsewhere.
+    std::vector<uint8_t> Eligible(Unit.Skeleton.numVars(), 0);
+    std::map<const VarDecl *, VarId> DeclToVar;
+    for (VarId V = 0; V < Unit.Skeleton.numVars(); ++V) {
+      const VarDecl *VD = Unit.AstVars[V];
+      DeclToVar[VD] = V;
+      if (VD->storage() != VarDecl::Storage::Local || VD->init() ||
+          !VD->type()->isScalar() || Dup.count(VD->name()))
+        continue;
+      int Scope = VD->scopeId();
+      if (Scope < 0 ||
+          Analysis.scopes()[static_cast<size_t>(Scope)].EnclosingFn != Main)
+        continue;
+      Eligible[V] = 1;
+    }
+    bool AnyEligible = false;
+    for (uint8_t E : Eligible)
+      AnyEligible = AnyEligible || E != 0;
+    if (!AnyEligible)
+      continue;
+
+    std::map<const DeclRefExpr *, unsigned> SiteToHole;
+    for (unsigned H = 0; H < Unit.Skeleton.numHoles(); ++H)
+      SiteToHole[Unit.HoleSites[H]] = H;
+
+    DefBeforeUseWalker Walker(Unit, C, Eligible, SiteToHole, DeclToVar);
+    Walker.run(Main->body());
+  }
+  return Result;
+}

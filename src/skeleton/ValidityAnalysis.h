@@ -1,0 +1,54 @@
+//===- skeleton/ValidityAnalysis.h - def-before-use forbidden sets -------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes per-hole forbidden variable sets (core/ValidityPruning.h) from
+/// the analyzed seed program, so the cursors can skip invalid variants
+/// *by construction* instead of the harness paying a render + oracle run to
+/// reject them post-hoc (Section 5.4 of the paper). Two layers, both of
+/// which must be sound: a (hole, variable) pair may only be forbidden when
+/// every variant making that choice is rejected by the variant frontend or
+/// by the reference oracle, so pruning provably preserves the set of
+/// oracle-valid variants, the deduplicated FoundBug set, and coverage.
+///
+/// Layer 1 -- declare-before-use: filling a hole with a variable whose
+/// declaration comes later in source order renders a use of an undeclared
+/// name, which the variant's own Sema rejects. Applied only when the
+/// variable's name is unique program-wide (otherwise the rendered name
+/// could rebind to a different declaration and the variant might be valid).
+///
+/// Layer 2 -- def-before-use: a hole that is *definitely executed* before
+/// any statement that could store to variable v -- on the straight-line
+/// prefix of main, before any possibly-diverting control flow -- and that
+/// loads its variable's value must not be filled with an uninitialized
+/// local, because the reference interpreter flags the read of an
+/// indeterminate value as undefined behavior the moment it executes. The
+/// walk mirrors the interpreter's evaluation order; stores through pointers
+/// are over-approximated by treating every address-taking hole as a
+/// potential store to each of its candidates from that point on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_SKELETON_VALIDITYANALYSIS_H
+#define SPE_SKELETON_VALIDITYANALYSIS_H
+
+#include "core/ValidityPruning.h"
+#include "skeleton/SkeletonExtractor.h"
+
+#include <vector>
+
+namespace spe {
+
+/// Computes forbidden sets for every unit of \p Units (empty tables when
+/// nothing can be proven). The returned vector is parallel to \p Units.
+std::vector<ValidityConstraints>
+analyzeValidity(const ASTContext &Ctx, const Sema &Analysis,
+                const std::vector<SkeletonUnit> &Units);
+
+} // namespace spe
+
+#endif // SPE_SKELETON_VALIDITYANALYSIS_H

@@ -281,6 +281,26 @@ std::string ProgramGenerator::generate() {
     std::string V = freshName("a");
     line("int " + V + " = " + constant() + ";");
     IntVars.push_back(V);
+    // Optional c-torture-style uninitialized declaration, placed right
+    // after the first local so its variable index is small enough for
+    // early holes to reach under canonical (restricted-growth) ordering.
+    // The guard keeps the RNG stream untouched when the knob is off, so
+    // the historical corpus is reproduced bit for bit. The variable is
+    // deliberately never used by the seed (the seed stays UB-free); it
+    // only widens the candidate sets, and the expression-initialized
+    // locals after it give the enumeration definite reads that can land
+    // on it -- which the oracle rejects and the def-before-use pruning
+    // layer skips without execution.
+    if (I == 0 && Opts.UninitLocalProb > 0.0 &&
+        Rng.chance(Opts.UninitLocalProb)) {
+      line("int " + freshName("z") + ";");
+      unsigned NumExprLocals = static_cast<unsigned>(Rng.uniformInt(1, 2));
+      for (unsigned J = 0; J < NumExprLocals; ++J) {
+        std::string E = freshName("e");
+        line("int " + E + " = " + expr(1) + ";");
+        IntVars.push_back(E);
+      }
+    }
   }
   if (Rng.chance(Opts.ExtraTypeProb)) {
     std::string V = freshName("u");

@@ -34,6 +34,15 @@ struct CorpusOptions {
   double StructProb = 0.15;
   double GotoProb = 0.15;
   double ExtraTypeProb = 0.30;
+  /// Probability of declaring one *uninitialized* scalar local that the
+  /// seed itself never touches, plus a couple of expression-initialized
+  /// locals after it (c-torture style `int z;` declarations). The seed
+  /// stays UB-free, but enumeration variants that retarget a read onto the
+  /// uninitialized local are rejected by the oracle -- exactly the
+  /// read-before-write pattern the def-before-use pruning layer
+  /// (skeleton/ValidityAnalysis.h) proves invalid without execution.
+  /// Default 0 preserves the historical program stream bit for bit.
+  double UninitLocalProb = 0.0;
   unsigned MinStmts = 2;
   unsigned MaxStmts = 3;
 };

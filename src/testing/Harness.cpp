@@ -6,7 +6,9 @@
 #include "lang/Parser.h"
 #include "sema/Sema.h"
 #include "skeleton/ProgramEnumerator.h"
+#include "skeleton/ValidityAnalysis.h"
 #include "skeleton/VariantRenderer.h"
+#include "testing/OracleCache.h"
 
 #include <thread>
 
@@ -65,6 +67,9 @@ void CampaignResult::merge(const CampaignResult &Other) {
   VariantsEnumerated += Other.VariantsEnumerated;
   VariantsOracleExcluded += Other.VariantsOracleExcluded;
   VariantsTested += Other.VariantsTested;
+  VariantsPruned += Other.VariantsPruned;
+  OracleExecutions += Other.OracleExecutions;
+  OracleCacheHits += Other.OracleCacheHits;
   CrashObservations += Other.CrashObservations;
   WrongCodeObservations += Other.WrongCodeObservations;
   PerformanceObservations += Other.PerformanceObservations;
@@ -77,6 +82,9 @@ bool CampaignResult::operator==(const CampaignResult &Other) const {
          VariantsEnumerated == Other.VariantsEnumerated &&
          VariantsOracleExcluded == Other.VariantsOracleExcluded &&
          VariantsTested == Other.VariantsTested &&
+         VariantsPruned == Other.VariantsPruned &&
+         OracleExecutions == Other.OracleExecutions &&
+         OracleCacheHits == Other.OracleCacheHits &&
          CrashObservations == Other.CrashObservations &&
          WrongCodeObservations == Other.WrongCodeObservations &&
          PerformanceObservations == Other.PerformanceObservations;
@@ -106,11 +114,28 @@ void DifferentialHarness::testProgram(const std::string &Source,
 void DifferentialHarness::testProgramWith(const std::string &Source,
                                           CampaignResult &Result,
                                           CoverageRegistry *Cov) const {
-  std::unique_ptr<ASTContext> RefCtx = analyzeSource(Source);
-  if (!RefCtx)
+  // The oracle verdict: replayed from the shared cache when available,
+  // computed (and memoized) otherwise. All downstream counters behave
+  // identically on a hit and on a miss.
+  OracleCache::Entry Verdict;
+  if (Opts.Cache && Opts.Cache->lookup(Source, Verdict)) {
+    ++Result.OracleCacheHits;
+  } else {
+    std::unique_ptr<ASTContext> RefCtx = analyzeSource(Source);
+    Verdict.FrontendOk = RefCtx != nullptr;
+    if (RefCtx) {
+      ExecResult Ref = interpret(*RefCtx);
+      ++Result.OracleExecutions;
+      Verdict.Status = Ref.Status;
+      Verdict.ExitCode = Ref.ExitCode;
+      Verdict.Output = std::move(Ref.Output);
+    }
+    if (Opts.Cache)
+      Opts.Cache->insert(Source, Verdict);
+  }
+  if (!Verdict.FrontendOk)
     return;
-  ExecResult Ref = interpret(*RefCtx);
-  if (!Ref.ok()) {
+  if (Verdict.Status != ExecStatus::Ok) {
     ++Result.VariantsOracleExcluded;
     return;
   }
@@ -158,8 +183,9 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
     VMResult V = executeModule(R.Module);
     if (V.Status == VMStatus::Timeout)
       continue;
-    bool Diverges = V.Status != VMStatus::Ok || V.ExitCode != Ref.ExitCode ||
-                    V.Output != Ref.Output;
+    bool Diverges = V.Status != VMStatus::Ok ||
+                    V.ExitCode != Verdict.ExitCode ||
+                    V.Output != Verdict.Output;
     if (!Diverges)
       continue;
     ++Result.WrongCodeObservations;
@@ -173,7 +199,7 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
       Bug.P = Config.P;
       Bug.Effect = BugEffect::WrongCode;
       Bug.Signature = "miscompilation (exit " + std::to_string(V.ExitCode) +
-                      " != " + std::to_string(Ref.ExitCode) + ")";
+                      " != " + std::to_string(Verdict.ExitCode) + ")";
       Bug.OptLevel = Config.OptLevel;
       Bug.Mode64 = Config.Mode64;
       Bug.WitnessProgram = Source;
@@ -219,9 +245,23 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
   if (Budget.fitsInUint64() && BigInt(Threads) > Budget)
     Threads = Budget.isZero() ? 1 : static_cast<unsigned>(Budget.toUint64());
 
+  // Validity constraints: computed once per seed, shared read-only by every
+  // shard worker. Pruned ranks are skipped inside the cursor, so they are
+  // never rendered or interpreted.
+  std::vector<ValidityConstraints> Validity;
+  std::vector<const ValidityConstraints *> ValidityPtrs;
+  if (Opts.PruneInvalid) {
+    Validity = analyzeValidity(*Ctx, Analysis, Units);
+    ValidityPtrs.reserve(Validity.size());
+    for (const ValidityConstraints &C : Validity)
+      ValidityPtrs.push_back(&C);
+  }
+
   auto RunShard = [&](unsigned Index, unsigned Count_, CampaignResult &Out,
                       CoverageRegistry *Cov) {
     ProgramCursor Cursor(Units, Opts.Mode);
+    if (!ValidityPtrs.empty())
+      Cursor.setConstraints(ValidityPtrs);
     Cursor.setEnd(Budget);
     Cursor.shard(Index, Count_);
     VariantRenderer Renderer(*Ctx, Units);
@@ -231,6 +271,9 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
       Renderer.renderInto(*PA, Buffer);
       testProgramWith(Buffer, Out, Cov);
     }
+    const BigInt &Pruned = Cursor.pruned();
+    Out.VariantsPruned +=
+        Pruned.fitsInUint64() ? Pruned.toUint64() : ~uint64_t(0);
   };
 
   if (Threads <= 1) {

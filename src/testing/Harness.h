@@ -31,6 +31,8 @@
 
 namespace spe {
 
+class OracleCache;
+
 /// Harness configuration.
 struct HarnessOptions {
   /// Enumeration mode; Exact is the default everywhere, PaperFaithful is
@@ -53,6 +55,19 @@ struct HarnessOptions {
   CoverageRegistry *Cov = nullptr;
   /// Ground-truth bug injection on/off.
   bool InjectBugs = true;
+  /// Validity pruning (skeleton/ValidityAnalysis.h): skip variants that are
+  /// provably frontend- or oracle-rejected without rendering or
+  /// interpreting them. Sound by construction -- bugs, coverage and
+  /// VariantsTested are bit-identical with pruning off; only
+  /// VariantsEnumerated / VariantsPruned / oracle-cost counters change.
+  bool PruneInvalid = true;
+  /// Optional shared oracle memoization (testing/OracleCache.h). Repeat
+  /// variants -- across configs, shards, seeds, and whole campaigns --
+  /// replay the memoized verdict instead of re-running parse + Sema +
+  /// interpretation. Bugs, coverage, and every oracle-visible counter are
+  /// bit-identical with and without it; only OracleExecutions and
+  /// OracleCacheHits move.
+  OracleCache *Cache = nullptr;
 
   /// The paper's crash-hunting matrix: -O0/-O3 x -m32/-m64 for a persona
   /// at a version.
@@ -87,6 +102,14 @@ struct CampaignResult {
   uint64_t VariantsEnumerated = 0;
   uint64_t VariantsOracleExcluded = 0;
   uint64_t VariantsTested = 0;
+  /// Budgeted ranks skipped by validity pruning without being rendered;
+  /// VariantsEnumerated + VariantsPruned equals the unpruned enumeration
+  /// count of the same budget.
+  uint64_t VariantsPruned = 0;
+  /// Reference-oracle interpretations actually performed.
+  uint64_t OracleExecutions = 0;
+  /// Oracle verdicts replayed from the shared OracleCache.
+  uint64_t OracleCacheHits = 0;
   uint64_t CrashObservations = 0;
   uint64_t WrongCodeObservations = 0;
   uint64_t PerformanceObservations = 0;

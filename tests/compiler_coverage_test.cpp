@@ -1,0 +1,73 @@
+//===- tests/compiler_coverage_test.cpp - coverage registry tests --------===//
+//
+// CoverageRegistry behavior, in particular the release-mode-safe handling
+// of hit() on unregistered names: instead of silently growing the catalog
+// per distinct name (the old behavior, which skewed every ratio and only
+// "worked" because nothing checked it), unknown hits fold into one
+// synthetic catalog entry, identically in debug and release builds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Coverage.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+TEST(CoverageRegistryTest, RegisteredHitsAreCounted) {
+  CoverageRegistry Cov;
+  Cov.registerPoint("pass.a");
+  Cov.registerPoint("pass.b");
+  Cov.registerPoint("other.c");
+  EXPECT_EQ(Cov.totalPoints(), 3u);
+  EXPECT_EQ(Cov.hitPoints(), 0u);
+
+  EXPECT_TRUE(Cov.hit("pass.a"));
+  EXPECT_TRUE(Cov.hit("pass.a")); // Idempotent.
+  EXPECT_EQ(Cov.hitPoints(), 1u);
+  EXPECT_DOUBLE_EQ(Cov.pointCoverage(), 1.0 / 3.0);
+}
+
+TEST(CoverageRegistryTest, UnregisteredHitFoldsIntoSyntheticEntry) {
+  CoverageRegistry Cov;
+  Cov.registerPoint("pass.a");
+
+  // Unregistered names must not grow the catalog per distinct string; both
+  // land in the one synthetic entry, and hit() reports the fallback.
+  EXPECT_FALSE(Cov.hit("typo.point"));
+  EXPECT_FALSE(Cov.hit("another.unregistered"));
+  EXPECT_EQ(Cov.totalPoints(), 2u); // pass.a + the synthetic entry.
+  EXPECT_EQ(Cov.hitPoints(), 1u);
+  EXPECT_EQ(Cov.hitSet().count(CoverageRegistry::syntheticPoint()), 1u);
+  EXPECT_EQ(Cov.hitSet().count("typo.point"), 0u);
+
+  // resetHits keeps the synthetic catalog entry, like any other point.
+  Cov.resetHits();
+  EXPECT_EQ(Cov.hitPoints(), 0u);
+  EXPECT_EQ(Cov.totalPoints(), 2u);
+}
+
+TEST(CoverageRegistryTest, SyntheticEntryMergesLikeAnyPoint) {
+  CoverageRegistry A, B;
+  A.registerPoint("pass.a");
+  A.hit("pass.a");
+  B.registerPoint("pass.a");
+  EXPECT_FALSE(B.hit("not.registered"));
+
+  A.merge(B);
+  EXPECT_EQ(A.totalPoints(), 2u);
+  EXPECT_EQ(A.hitPoints(), 2u);
+  EXPECT_EQ(A.hitSet().count(CoverageRegistry::syntheticPoint()), 1u);
+}
+
+TEST(CoverageRegistryTest, FunctionCoverageGroupsByRuleFamily) {
+  CoverageRegistry Cov;
+  Cov.registerPoint("algebra.selfcancel.-");
+  Cov.registerPoint("algebra.selfcancel.^");
+  Cov.registerPoint("dce.removed");
+  EXPECT_EQ(Cov.totalFunctions(), 2u); // algebra.selfcancel and dce.removed.
+
+  Cov.hit("algebra.selfcancel.-");
+  EXPECT_EQ(Cov.hitFunctions(), 1u);
+  EXPECT_DOUBLE_EQ(Cov.functionCoverage(), 0.5);
+}

@@ -1,0 +1,324 @@
+//===- tests/core_validity_pruning_test.cpp - stratum pruning tests ------===//
+//
+// The contract of core/ValidityPruning.h and the cursor integration: a
+// pruned cursor visits exactly the unpruned sequence minus the assignments
+// that violate the constraints, in the same order and at the same ranks;
+// the skipped count is exact; sharding still partitions the space; and the
+// pruned-count DP (countValidClasses) agrees with brute-force filtering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AssignmentCursor.h"
+#include "core/ValidityPruning.h"
+#include "combinatorics/Stirling.h"
+#include "skeleton/ProgramEnumerator.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+namespace {
+
+/// Two scopes, two types, enough holes for multi-digit strata:
+///   root: a0 a1 a2 : type0, p0 p1 : type1
+///   child: b0 : type0
+/// Holes: four of type0 (two in root, two in child), two of type1 in root.
+AbstractSkeleton testSkeleton() {
+  AbstractSkeleton Sk;
+  ScopeId Root = AbstractSkeleton::rootScope();
+  ScopeId Child = Sk.addScope(Root);
+  Sk.addVariable("a0", Root, 0);
+  Sk.addVariable("a1", Root, 0);
+  Sk.addVariable("a2", Root, 0);
+  Sk.addVariable("p0", Root, 1);
+  Sk.addVariable("p1", Root, 1);
+  Sk.addVariable("b0", Child, 0);
+  Sk.addHole(Root, 0);
+  Sk.addHole(Root, 0);
+  Sk.addHole(Child, 0);
+  Sk.addHole(Child, 0);
+  Sk.addHole(Root, 1);
+  Sk.addHole(Root, 1);
+  return Sk;
+}
+
+std::vector<Assignment> collect(const AbstractSkeleton &Sk, SpeMode Mode,
+                                const ValidityConstraints *C) {
+  AssignmentCursor Cursor(Sk, Mode);
+  if (C)
+    Cursor.setConstraints(C);
+  std::vector<Assignment> Out;
+  while (const Assignment *A = Cursor.next())
+    Out.push_back(*A);
+  return Out;
+}
+
+/// A constraint set exercising every stratum: a level digit (hole 2 may not
+/// use any root variable... impossible to forbid wholesale here, so instead
+/// forbid concrete (hole, var) pairs across types and scopes).
+ValidityConstraints someConstraints(const AbstractSkeleton &Sk) {
+  ValidityConstraints C;
+  C.reset(Sk);
+  C.forbid(0, 1); // hole 0 (type0, root) may not take a1.
+  C.forbid(2, 5); // hole 2 (type0, child) may not take the child-local b0.
+  C.forbid(3, 0); // hole 3 may not take a0.
+  C.forbid(5, 4); // hole 5 (type1) may not take p1.
+  return C;
+}
+
+} // namespace
+
+TEST(ValidityPruningTest, PrunedCursorEqualsBruteForceFilter) {
+  AbstractSkeleton Sk = testSkeleton();
+  ValidityConstraints C = someConstraints(Sk);
+
+  std::vector<Assignment> All = collect(Sk, SpeMode::Exact, nullptr);
+  std::vector<Assignment> Expected;
+  for (const Assignment &A : All)
+    if (!assignmentViolates(A, C))
+      Expected.push_back(A);
+
+  std::vector<Assignment> Pruned = collect(Sk, SpeMode::Exact, &C);
+  EXPECT_EQ(Pruned, Expected);
+  EXPECT_LT(Pruned.size(), All.size()) << "constraints should bite";
+
+  AssignmentCursor Counter(Sk, SpeMode::Exact);
+  Counter.setConstraints(&C);
+  uint64_t Valid = 0;
+  while (Counter.next())
+    ++Valid;
+  EXPECT_EQ(Counter.pruned(), BigInt(All.size() - Expected.size()));
+  EXPECT_EQ(Valid, Expected.size());
+}
+
+TEST(ValidityPruningTest, PaperFaithfulModeFiltersIdentically) {
+  AbstractSkeleton Sk = testSkeleton();
+  ValidityConstraints C = someConstraints(Sk);
+
+  std::vector<Assignment> All = collect(Sk, SpeMode::PaperFaithful, nullptr);
+  std::vector<Assignment> Expected;
+  for (const Assignment &A : All)
+    if (!assignmentViolates(A, C))
+      Expected.push_back(A);
+  EXPECT_EQ(collect(Sk, SpeMode::PaperFaithful, &C), Expected);
+}
+
+TEST(ValidityPruningTest, InvalidSpanEndIsExact) {
+  AbstractSkeleton Sk = testSkeleton();
+  ValidityConstraints C = someConstraints(Sk);
+  std::vector<Assignment> All = collect(Sk, SpeMode::Exact, nullptr);
+
+  AssignmentCursor Cursor(Sk, SpeMode::Exact);
+  ASSERT_TRUE(Cursor.size().fitsInUint64());
+  uint64_t N = Cursor.size().toUint64();
+  ASSERT_EQ(N, All.size());
+  for (uint64_t R = 0; R < N; ++R) {
+    BigInt SpanEnd = Cursor.invalidSpanEnd(BigInt(R), C);
+    if (assignmentViolates(All[R], C)) {
+      // The whole reported span must be invalid, and it must not be empty.
+      ASSERT_GT(SpanEnd, BigInt(R)) << "rank " << R;
+      ASSERT_TRUE(SpanEnd.fitsInUint64());
+      for (uint64_t S = R; S < SpanEnd.toUint64(); ++S)
+        EXPECT_TRUE(assignmentViolates(All[S], C)) << "rank " << S;
+    } else {
+      EXPECT_EQ(SpanEnd, BigInt(R)) << "rank " << R;
+    }
+  }
+}
+
+TEST(ValidityPruningTest, ShardsPartitionThePrunedSequence) {
+  AbstractSkeleton Sk = testSkeleton();
+  ValidityConstraints C = someConstraints(Sk);
+  std::vector<Assignment> Expected = collect(Sk, SpeMode::Exact, &C);
+
+  for (uint64_t Shards : {2u, 3u, 4u, 7u}) {
+    std::vector<Assignment> Union;
+    BigInt TotalPruned(0);
+    for (uint64_t S = 0; S < Shards; ++S) {
+      AssignmentCursor Cursor(Sk, SpeMode::Exact);
+      Cursor.setConstraints(&C);
+      Cursor.shard(S, Shards);
+      while (const Assignment *A = Cursor.next())
+        Union.push_back(*A);
+      TotalPruned += Cursor.pruned();
+    }
+    EXPECT_EQ(Union, Expected) << Shards << " shards";
+    AssignmentCursor Full(Sk, SpeMode::Exact);
+    EXPECT_EQ(TotalPruned + BigInt(Expected.size()), Full.size());
+  }
+}
+
+TEST(ValidityPruningTest, CountValidPartitionsMatchesUnconstrained) {
+  // With nothing forbidden the DP must reproduce partitionsUpTo(N, K).
+  StirlingTable Table;
+  AbstractSkeleton Sk = testSkeleton();
+  ValidityConstraints None;
+  None.reset(Sk);
+  for (unsigned N = 0; N <= 5; ++N) {
+    std::vector<unsigned> Holes(N);
+    for (unsigned I = 0; I < N; ++I)
+      Holes[I] = I;
+    for (unsigned K = 1; K <= 4; ++K) {
+      std::vector<VarId> Vars(K);
+      for (unsigned I = 0; I < K; ++I)
+        Vars[I] = I;
+      EXPECT_EQ(countValidPartitions(Holes, Vars, None),
+                Table.partitionsUpTo(N, K))
+          << "N=" << N << " K=" << K;
+    }
+  }
+}
+
+TEST(ValidityPruningTest, CountValidClassesMatchesEnumeration) {
+  AbstractSkeleton Sk = testSkeleton();
+  ValidityConstraints C = someConstraints(Sk);
+  EXPECT_EQ(countValidClasses(Sk, C),
+            BigInt(collect(Sk, SpeMode::Exact, &C).size()));
+
+  ValidityConstraints None;
+  None.reset(Sk);
+  AssignmentCursor Cursor(Sk, SpeMode::Exact);
+  EXPECT_EQ(countValidClasses(Sk, None), Cursor.size());
+}
+
+TEST(ValidityPruningTest, FullyForbiddenHoleEmptiesTheSpace) {
+  AbstractSkeleton Sk = testSkeleton();
+  ValidityConstraints C;
+  C.reset(Sk);
+  // Hole 4 (type1, root) loses both p0 and p1: nothing survives.
+  C.forbid(4, 3);
+  C.forbid(4, 4);
+  EXPECT_TRUE(collect(Sk, SpeMode::Exact, &C).empty());
+  EXPECT_EQ(countValidClasses(Sk, C), BigInt(0));
+  AssignmentCursor Cursor(Sk, SpeMode::Exact);
+  Cursor.setConstraints(&C);
+  EXPECT_EQ(Cursor.next(), nullptr);
+  EXPECT_EQ(Cursor.pruned(), Cursor.size());
+}
+
+TEST(ValidityPruningTest, ProgramSpanDecodeSurvivesHugeUnitSuffixes) {
+  // Regression: ProgramCursor's rank decode must divide by multi-limb
+  // (>= 2^64) unit suffixes correctly -- an earlier draft aliased the
+  // divmod remainder with its dividend, which BigInt zeroes first, so the
+  // less-significant units all decoded as rank 0 and invalid variants
+  // slipped through. Unit 1 is a ~10^82 space, putting every suffix to its
+  // left far beyond one limb.
+  SkeletonUnit Small;
+  Small.Skeleton.addVariable("s0", AbstractSkeleton::rootScope(), 0);
+  Small.Skeleton.addVariable("s1", AbstractSkeleton::rootScope(), 0);
+  Small.Skeleton.addHole(AbstractSkeleton::rootScope(), 0);
+  Small.Skeleton.addHole(AbstractSkeleton::rootScope(), 0);
+
+  SkeletonUnit Huge;
+  {
+    AbstractSkeleton &Sk = Huge.Skeleton;
+    ScopeId Scope = AbstractSkeleton::rootScope();
+    std::vector<ScopeId> Chain{Scope};
+    for (unsigned Depth = 0; Depth < 4; ++Depth) {
+      Scope = Sk.addScope(Scope);
+      Chain.push_back(Scope);
+    }
+    for (TypeKey T = 0; T < 3; ++T) {
+      for (ScopeId S : Chain) {
+        Sk.addVariable("v", S, T);
+        Sk.addVariable("w", S, T);
+      }
+      for (ScopeId S : Chain)
+        for (unsigned H = 0; H < 8; ++H)
+          Sk.addHole(S, T);
+    }
+  }
+
+  SkeletonUnit Tail;
+  Tail.Skeleton.addVariable("t0", AbstractSkeleton::rootScope(), 0);
+  Tail.Skeleton.addVariable("t1", AbstractSkeleton::rootScope(), 0);
+  Tail.Skeleton.addHole(AbstractSkeleton::rootScope(), 0);
+  Tail.Skeleton.addHole(AbstractSkeleton::rootScope(), 0);
+
+  std::vector<SkeletonUnit> Units;
+  Units.push_back(std::move(Small));
+  Units.push_back(std::move(Huge));
+  Units.push_back(std::move(Tail));
+
+  // Forbid the tail unit's second assignment (hole 1 -> var 1), leaving
+  // one valid tail rank out of two: the pruned stream over the first few
+  // program ranks must be exactly the even ranks.
+  ValidityConstraints TailC;
+  TailC.reset(Units[2].Skeleton);
+  TailC.forbid(1, 1);
+
+  ProgramCursor Pruned(Units, SpeMode::Exact);
+  ASSERT_FALSE(Pruned.size().fitsInUint64()) << "suffixes must be multi-limb";
+  Pruned.setConstraints({nullptr, nullptr, &TailC});
+  Pruned.setEnd(BigInt(8));
+  ProgramCursor All(Units, SpeMode::Exact);
+  All.setEnd(BigInt(8));
+
+  std::vector<ProgramAssignment> Expected, Got;
+  while (const ProgramAssignment *PA = All.next())
+    if (!assignmentViolates((*PA)[2], TailC))
+      Expected.push_back(*PA);
+  while (const ProgramAssignment *PA = Pruned.next()) {
+    EXPECT_FALSE(assignmentViolates((*PA)[2], TailC))
+        << "pruned cursor emitted a forbidden tail assignment";
+    Got.push_back(*PA);
+  }
+  EXPECT_EQ(Got, Expected);
+  EXPECT_EQ(Pruned.pruned(), BigInt(4)); // Ranks 1, 3, 5, 7.
+
+  // Deep seek: beyond the first multi-limb block the decode's dividend
+  // exceeds 2^64, the exact case the aliasing bug corrupted. Forbid the
+  // *first* unit's rank-0 assignment too (hole 1 -> var 0), so a decode
+  // that misreads the leading digit as 0 fabricates a huge bogus span and
+  // silently swallows the valid variants that follow.
+  ValidityConstraints HeadC;
+  HeadC.reset(Units[0].Skeleton);
+  HeadC.forbid(1, 0);
+
+  BigInt H = AssignmentCursor(Units[1].Skeleton, SpeMode::Exact).size();
+  BigInt BlockStart = H * 2; // Start of head-unit rank 1 (the valid head).
+  ProgramCursor Deep(Units, SpeMode::Exact);
+  Deep.setConstraints({&HeadC, nullptr, &TailC});
+  Deep.seek(BlockStart + BigInt(5)); // Odd rank: tail invalid.
+  Deep.setEnd(BlockStart + BigInt(10));
+  std::vector<ProgramAssignment> DeepGot;
+  while (const ProgramAssignment *PA = Deep.next())
+    DeepGot.push_back(*PA);
+  // Valid ranks in [start+5, start+10) are the even ones: +6 and +8.
+  ASSERT_EQ(DeepGot.size(), 2u)
+      << "span decode overshot past valid deep ranks";
+  for (const ProgramAssignment &PA : DeepGot) {
+    EXPECT_FALSE(assignmentViolates(PA[0], HeadC));
+    EXPECT_FALSE(assignmentViolates(PA[2], TailC));
+  }
+  EXPECT_EQ(Deep.pruned(), BigInt(3)); // Ranks +5, +7, +9.
+}
+
+TEST(ValidityPruningTest, SeekLandsOnUnprunedRanks) {
+  // Ranks are not renumbered: seeking to rank R then pulling must yield the
+  // first *valid* assignment at rank >= R, exactly like filtering the
+  // unpruned stream from R.
+  AbstractSkeleton Sk = testSkeleton();
+  ValidityConstraints C = someConstraints(Sk);
+  std::vector<Assignment> All = collect(Sk, SpeMode::Exact, nullptr);
+
+  for (uint64_t R = 0; R < All.size(); R += 7) {
+    AssignmentCursor Cursor(Sk, SpeMode::Exact);
+    Cursor.setConstraints(&C);
+    Cursor.seek(BigInt(R));
+    const Assignment *A = Cursor.next();
+    const Assignment *Want = nullptr;
+    for (uint64_t S = R; S < All.size(); ++S) {
+      if (!assignmentViolates(All[S], C)) {
+        Want = &All[S];
+        break;
+      }
+    }
+    if (!Want) {
+      EXPECT_EQ(A, nullptr) << "seek " << R;
+    } else {
+      ASSERT_NE(A, nullptr) << "seek " << R;
+      EXPECT_EQ(*A, *Want) << "seek " << R;
+    }
+  }
+}

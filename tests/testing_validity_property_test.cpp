@@ -1,0 +1,236 @@
+//===- tests/testing_validity_property_test.cpp - pruning soundness ------===//
+//
+// End-to-end soundness of the validity-pruning pipeline over real seeds:
+//
+//   * Pruned enumeration must yield exactly the same set of oracle-valid
+//     variants as brute-force filtering the unpruned cursor -- every variant
+//     pruning drops must be rejected by the variant frontend or by the
+//     reference oracle. Checked for all embedded handwritten seeds plus 50
+//     generated corpus programs (with the uninitialized-local knob on, so
+//     the def-before-use layer actually fires).
+//
+//   * A pruned + memoized campaign must produce the bit-identical deduped
+//     FoundBug set, identical coverage, and identical VariantsTested at 1,
+//     2, and 4 worker threads -- and reduce reference-oracle executions by
+//     at least 30% on the two-persona corpus campaign (the acceptance bar).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "skeleton/ProgramEnumerator.h"
+#include "skeleton/SkeletonExtractor.h"
+#include "skeleton/ValidityAnalysis.h"
+#include "skeleton/VariantRenderer.h"
+#include "testing/Corpus.h"
+#include "testing/Harness.h"
+#include "testing/OracleCache.h"
+
+#include "gtest/gtest.h"
+
+using namespace spe;
+
+namespace {
+
+std::vector<std::string> propertySeeds(unsigned CorpusCount) {
+  CorpusOptions Opts;
+  Opts.UninitLocalProb = 0.6;
+  std::vector<std::string> Seeds = embeddedSeeds();
+  std::vector<std::string> Gen = generateCorpus(3000, CorpusCount, Opts);
+  Seeds.insert(Seeds.end(), Gen.begin(), Gen.end());
+  return Seeds;
+}
+
+/// \returns true when the variant parses, passes Sema, and the reference
+/// oracle accepts it -- i.e. it would reach differential testing.
+bool oracleAccepts(const std::string &Source) {
+  auto Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Source, *Ctx, Diags))
+    return false;
+  Sema Analysis(*Ctx, Diags);
+  if (!Analysis.run())
+    return false;
+  return interpret(*Ctx).ok();
+}
+
+/// The two-persona crash-hunting campaign the acceptance criterion is
+/// measured on; both personas share \p Cache when non-null.
+CampaignResult twoPersonaCampaign(const std::vector<std::string> &Seeds,
+                                  bool Prune, OracleCache *Cache,
+                                  CoverageRegistry *Cov, unsigned Threads) {
+  // Register the real pass catalog so the coverage comparisons below are
+  // over genuine per-point hit sets, not the synthetic-fallback entry.
+  if (Cov)
+    registerPassCoverageCatalog(*Cov);
+  CampaignResult Total;
+  for (Persona P : {Persona::GccSim, Persona::ClangSim}) {
+    HarnessOptions Opts;
+    Opts.Configs =
+        HarnessOptions::crashMatrix(P, P == Persona::GccSim ? 48 : 36);
+    Opts.VariantBudget = 150;
+    Opts.PruneInvalid = Prune;
+    Opts.Cache = Cache;
+    Opts.Cov = Cov;
+    Opts.Threads = Threads;
+    Total.merge(DifferentialHarness(Opts).runCampaign(Seeds));
+  }
+  return Total;
+}
+
+} // namespace
+
+TEST(ValidityPropertyTest, PrunedEnumerationKeepsExactlyTheOracleValidSet) {
+  const uint64_t RankCap = 1200; // Per-seed enumeration cap (keeps CI fast).
+  uint64_t TotalVariants = 0, TotalDropped = 0;
+  unsigned SeedsWithFacts = 0;
+
+  for (const std::string &Seed : propertySeeds(50)) {
+    auto Ctx = std::make_unique<ASTContext>();
+    DiagnosticEngine Diags;
+    ASSERT_TRUE(Parser::parse(Seed, *Ctx, Diags)) << Seed;
+    Sema Analysis(*Ctx, Diags);
+    ASSERT_TRUE(Analysis.run()) << Seed;
+    SkeletonExtractor Extractor(*Ctx, Analysis, {});
+    std::vector<SkeletonUnit> Units = Extractor.extract();
+
+    std::vector<ValidityConstraints> Validity =
+        analyzeValidity(*Ctx, Analysis, Units);
+    std::vector<const ValidityConstraints *> Ptrs;
+    uint64_t Facts = 0;
+    for (const ValidityConstraints &C : Validity) {
+      Ptrs.push_back(&C);
+      Facts += C.forbiddenPairs();
+    }
+    if (Facts)
+      ++SeedsWithFacts;
+
+    ProgramCursor All(Units, SpeMode::Exact);
+    ProgramCursor Pruned(Units, SpeMode::Exact);
+    Pruned.setConstraints(Ptrs);
+    All.setEnd(BigInt(RankCap));
+    Pruned.setEnd(BigInt(RankCap));
+
+    VariantRenderer Renderer(*Ctx, Units);
+    std::vector<std::string> AllTexts, PrunedTexts;
+    std::string Buffer;
+    while (const ProgramAssignment *PA = All.next()) {
+      Renderer.renderInto(*PA, Buffer);
+      AllTexts.push_back(Buffer);
+    }
+    while (const ProgramAssignment *PA = Pruned.next()) {
+      Renderer.renderInto(*PA, Buffer);
+      PrunedTexts.push_back(Buffer);
+    }
+    TotalVariants += AllTexts.size();
+
+    // The pruned stream must be an ordered subsequence of the unpruned one,
+    // the arithmetic must balance, and -- the soundness core -- everything
+    // dropped must be frontend- or oracle-rejected.
+    ASSERT_TRUE(Pruned.pruned().fitsInUint64());
+    EXPECT_EQ(PrunedTexts.size() + Pruned.pruned().toUint64(),
+              AllTexts.size())
+        << Seed;
+    size_t PI = 0;
+    for (const std::string &Text : AllTexts) {
+      if (PI < PrunedTexts.size() && PrunedTexts[PI] == Text) {
+        ++PI;
+        continue;
+      }
+      ++TotalDropped;
+      EXPECT_FALSE(oracleAccepts(Text))
+          << "pruning dropped an oracle-valid variant of seed:\n"
+          << Seed << "\nvariant:\n"
+          << Text;
+    }
+    EXPECT_EQ(PI, PrunedTexts.size())
+        << "pruned stream is not a subsequence for seed:\n"
+        << Seed;
+  }
+
+  // The analysis must actually bite on this corpus, not vacuously pass.
+  EXPECT_GE(SeedsWithFacts, 20u);
+  EXPECT_GT(TotalDropped, 0u);
+  EXPECT_GT(TotalVariants, 1000u);
+}
+
+TEST(ValidityPropertyTest, PrunedCampaignMatchesUnprunedAtAllThreadCounts) {
+  std::vector<std::string> Seeds = propertySeeds(8);
+
+  CoverageRegistry UnprunedCov;
+  CampaignResult Unpruned =
+      twoPersonaCampaign(Seeds, /*Prune=*/false, nullptr, &UnprunedCov, 1);
+  ASSERT_GT(Unpruned.VariantsTested, 0u);
+  ASSERT_FALSE(Unpruned.UniqueBugs.empty());
+
+  CampaignResult PrunedAtOne;
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    CoverageRegistry Cov;
+    CampaignResult Pruned =
+        twoPersonaCampaign(Seeds, /*Prune=*/true, nullptr, &Cov, Threads);
+
+    // The deduped FoundBug set (ids, personas, signatures, witnesses) and
+    // every oracle-visible counter must be bit-identical to the unpruned
+    // run; only enumeration-cost counters may differ.
+    EXPECT_TRUE(Pruned.UniqueBugs == Unpruned.UniqueBugs)
+        << "threads=" << Threads;
+    EXPECT_EQ(Pruned.VariantsTested, Unpruned.VariantsTested);
+    EXPECT_EQ(Pruned.CrashObservations, Unpruned.CrashObservations);
+    EXPECT_EQ(Pruned.WrongCodeObservations, Unpruned.WrongCodeObservations);
+    EXPECT_EQ(Pruned.VariantsEnumerated + Pruned.VariantsPruned,
+              Unpruned.VariantsEnumerated);
+    EXPECT_EQ(Cov.hitSet(), UnprunedCov.hitSet()) << "threads=" << Threads;
+    EXPECT_EQ(Cov.totalPoints(), UnprunedCov.totalPoints());
+
+    // And the pruned campaign itself must be thread-count invariant.
+    if (Threads == 1)
+      PrunedAtOne = Pruned;
+    else
+      EXPECT_TRUE(Pruned == PrunedAtOne) << "threads=" << Threads;
+  }
+}
+
+TEST(ValidityPropertyTest, PruningPlusMemoizationCutsOracleExecutions) {
+  // The acceptance bar: on the generated-corpus campaign (two personas over
+  // the same seeds, the shape every version-sweep bench runs), pruning plus
+  // oracle memoization must cut reference-oracle executions by >= 30% while
+  // leaving bugs, coverage, and tested-variant counts bit-identical.
+  std::vector<std::string> Seeds = propertySeeds(16);
+
+  CoverageRegistry BaseCov;
+  CampaignResult Base =
+      twoPersonaCampaign(Seeds, /*Prune=*/false, nullptr, &BaseCov, 1);
+  ASSERT_GT(Base.OracleExecutions, 0u);
+  EXPECT_EQ(Base.OracleCacheHits, 0u);
+  EXPECT_EQ(Base.VariantsPruned, 0u);
+
+  OracleCache Cache;
+  CoverageRegistry OptCov;
+  CampaignResult Opt =
+      twoPersonaCampaign(Seeds, /*Prune=*/true, &Cache, &OptCov, 1);
+
+  EXPECT_TRUE(Opt.UniqueBugs == Base.UniqueBugs);
+  EXPECT_EQ(Opt.VariantsTested, Base.VariantsTested);
+  EXPECT_EQ(Opt.VariantsEnumerated + Opt.VariantsPruned,
+            Base.VariantsEnumerated);
+  EXPECT_LE(Opt.VariantsOracleExcluded, Base.VariantsOracleExcluded)
+      << "pruned variants can only come out of the oracle-rejected pool";
+  EXPECT_EQ(OptCov.hitSet(), BaseCov.hitSet());
+  EXPECT_EQ(Opt.OracleCacheHits, Cache.hits());
+
+  double Reduction =
+      1.0 - static_cast<double>(Opt.OracleExecutions) /
+                static_cast<double>(Base.OracleExecutions);
+  EXPECT_GE(Reduction, 0.30)
+      << Opt.OracleExecutions << " vs " << Base.OracleExecutions
+      << " oracle executions";
+
+  // The cached campaign must also stay deterministic across thread counts.
+  OracleCache Cache4;
+  CoverageRegistry Cov4;
+  CampaignResult Opt4 = twoPersonaCampaign(Seeds, true, &Cache4, &Cov4, 4);
+  EXPECT_TRUE(Opt4 == Opt);
+  EXPECT_EQ(Cov4.hitSet(), OptCov.hitSet());
+}
