@@ -80,6 +80,19 @@ struct ValidityConstraints {
 /// \returns true iff \p A assigns some hole a variable \p C forbids.
 bool assignmentViolates(const Assignment &A, const ValidityConstraints &C);
 
+/// Borrows a per-unit pointer view of \p Tables, the shape
+/// ProgramCursor::setConstraints consumes. \p Tables must outlive the view;
+/// shared by the harness shard workers, the variant-rank minimizer, and the
+/// pruning tests.
+inline std::vector<const ValidityConstraints *>
+constraintPtrs(const std::vector<ValidityConstraints> &Tables) {
+  std::vector<const ValidityConstraints *> Ptrs;
+  Ptrs.reserve(Tables.size());
+  for (const ValidityConstraints &C : Tables)
+    Ptrs.push_back(&C);
+  return Ptrs;
+}
+
 /// Counts the restricted growth strings over \p Holes (filled from \p Vars,
 /// block i bound to Vars[i]) in which no hole receives a variable its
 /// forbidden set excludes. With an empty constraint set this equals

@@ -3,6 +3,7 @@
 #include "lang/AstPrinter.h"
 
 #include <cassert>
+#include <cctype>
 
 using namespace spe;
 
@@ -140,6 +141,27 @@ void AstPrinter::declaratorSuffix(const Type *Ty, std::string &Out) {
 
 void AstPrinter::printExpr(const Expr *E, int MinPrec,
                            std::string &Out) const {
+  if (!Replaced.empty()) {
+    auto It = Replaced.find(E);
+    if (It != Replaced.end()) {
+      // Replacement text prints as a primary: identifier/literal texts go
+      // bare, anything else is parenthesized so it composes safely with any
+      // surrounding precedence context.
+      const std::string &R = It->second;
+      bool Bare = !R.empty();
+      for (char C : R)
+        Bare = Bare && (std::isalnum(static_cast<unsigned char>(C)) ||
+                        C == '_');
+      if (Bare) {
+        Out += R;
+      } else {
+        Out += "(";
+        Out += R;
+        Out += ")";
+      }
+      return;
+    }
+  }
   int Prec = exprPrec(E);
   bool Paren = Prec < MinPrec;
   if (Paren)
@@ -299,8 +321,13 @@ void AstPrinter::printStmt(const Stmt *S, unsigned Indent,
     const auto *C = cast<CompoundStmt>(S);
     appendIndent(Indent, Out);
     Out += "{\n";
-    for (const Stmt *Child : C->body())
+    for (const Stmt *Child : C->body()) {
+      // A compound body needs no placeholder for a deleted child.
+      if (ElideDeleted && Child->stmtId() >= 0 &&
+          Deleted.count(Child->stmtId()))
+        continue;
       printStmt(Child, Indent + 1, Out);
+    }
     appendIndent(Indent, Out);
     Out += "}\n";
     return;
@@ -464,6 +491,8 @@ void AstPrinter::printFunction(const FunctionDecl *F, std::string &Out) const {
 void AstPrinter::printTo(const ASTContext &Ctx, std::string &Out) const {
   Out.clear();
   for (const Decl *D : Ctx.TopLevel) {
+    if (!DeletedDecls.empty() && DeletedDecls.count(D))
+      continue;
     if (const auto *R = dyn_cast<RecordDecl>(D)) {
       Out += "struct ";
       Out += R->name();

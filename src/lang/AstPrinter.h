@@ -46,8 +46,31 @@ public:
 
   /// Statements whose Sema id is in this set are printed as the empty
   /// statement `;` instead of their body. This is the mechanism behind the
-  /// Orion-style dead-statement deletion baseline (paper Section 5.2.3).
+  /// Orion-style dead-statement deletion baseline (paper Section 5.2.3) and
+  /// the triage pipeline's ddmin statement reduction.
   void setDeletedStmts(std::set<int> Ids) { Deleted = std::move(Ids); }
+
+  /// When set, deleted statements that sit directly in a compound body are
+  /// omitted entirely instead of printing `;` (positions that syntactically
+  /// require a statement, e.g. a non-compound if-branch, still print `;`).
+  /// The triage reducer enables this so deletions actually shrink the token
+  /// count; the Orion baseline keeps the historical `;` form.
+  void setElideDeletedStmts(bool Elide) { ElideDeleted = Elide; }
+
+  /// Top-level declarations in this set are skipped entirely. The triage
+  /// reducer uses this to drop globals and helper functions a reproducer no
+  /// longer needs (validity is re-checked by re-parsing the result).
+  void setDeletedDecls(std::set<const Decl *> Decls) {
+    DeletedDecls = std::move(Decls);
+  }
+
+  /// Expressions in this map are printed as their mapped replacement text (a
+  /// parenthesized primary) instead of their subtree -- the mechanism behind
+  /// the triage reducer's expression simplification and loop shrinking.
+  using ExprReplacement = std::map<const Expr *, std::string>;
+  void setReplacedExprs(ExprReplacement Repl) {
+    Replaced = std::move(Repl);
+  }
 
   /// Renders the whole translation unit.
   std::string print(const ASTContext &Ctx) const;
@@ -74,6 +97,9 @@ private:
   Substitution Owned;
   const Substitution *Shared = nullptr;
   std::set<int> Deleted;
+  bool ElideDeleted = false;
+  std::set<const Decl *> DeletedDecls;
+  ExprReplacement Replaced;
 };
 
 } // namespace spe

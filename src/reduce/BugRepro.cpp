@@ -1,0 +1,109 @@
+//===- reduce/BugRepro.cpp - signature-preservation oracle ---------------===//
+
+#include "reduce/BugRepro.h"
+
+#include "compiler/Compiler.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "testing/OracleCache.h"
+#include "triage/BugSignature.h"
+
+#include <memory>
+
+using namespace spe;
+
+namespace {
+
+std::unique_ptr<ASTContext> analyzeSource(const std::string &Source) {
+  auto Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Source, *Ctx, Diags))
+    return nullptr;
+  Sema Analysis(*Ctx, Diags);
+  if (!Analysis.run())
+    return nullptr;
+  return Ctx;
+}
+
+} // namespace
+
+bool ReproOracle::reproduces(const std::string &Source) {
+  ++Stats.Probes;
+  auto It = Memo.find(Source);
+  if (It != Memo.end()) {
+    ++Stats.MemoHits;
+    return It->second;
+  }
+  bool Result = evaluate(Source);
+  Memo.emplace(Source, Result);
+  return Result;
+}
+
+bool ReproOracle::evaluate(const std::string &Source) {
+  // The candidate's own oracle verdict, replayed from the campaign-shared
+  // cache when available (identical flow to the harness, so a variant the
+  // campaign already interpreted is never re-run here).
+  OracleCache::Entry Verdict;
+  std::unique_ptr<ASTContext> Ctx;
+  if (Cache && Cache->lookup(Source, Verdict)) {
+    ++Stats.OracleCacheHits;
+  } else {
+    Ctx = analyzeSource(Source);
+    Verdict.FrontendOk = Ctx != nullptr;
+    if (Ctx) {
+      ExecResult Ref = interpret(*Ctx);
+      ++Stats.OracleRuns;
+      Verdict.Status = Ref.Status;
+      Verdict.ExitCode = Ref.ExitCode;
+      Verdict.Output = std::move(Ref.Output);
+    }
+    if (Cache)
+      Cache->insert(Source, Verdict);
+  }
+  if (!Verdict.FrontendOk || Verdict.Status != ExecStatus::Ok)
+    return false;
+
+  // Compile under the finding's configuration. On a cache hit the AST was
+  // never built; build it now (FrontendOk guarantees this succeeds).
+  if (!Ctx)
+    Ctx = analyzeSource(Source);
+  if (!Ctx)
+    return false;
+  MiniCompiler CC(Spec.Config, /*Cov=*/nullptr, Spec.InjectBugs);
+  CompileResult R = CC.compile(*Ctx);
+  if (R.St == CompileResult::Status::Rejected)
+    return false;
+
+  switch (Spec.Effect) {
+  case BugEffect::Crash:
+    return R.crashed() &&
+           normalizeSignature(BugEffect::Crash, R.CrashSignature) ==
+               Spec.SignatureKey;
+  case BugEffect::Performance:
+    return !R.crashed() && R.CompileCost > 1'000'000;
+  case BugEffect::WrongCode: {
+    if (!R.ok())
+      return false;
+    VMResult V = executeModule(R.Module);
+    if (V.Status == VMStatus::Timeout)
+      return false;
+    // Reconstruct the divergence kind the campaign would report for this
+    // candidate and compare normalized keys, so e.g. an exit-code
+    // miscompilation cannot silently degrade into a mere output diff.
+    std::string Raw;
+    if (V.Status != VMStatus::Ok)
+      Raw = "miscompilation (trap)";
+    else if (V.ExitCode != Verdict.ExitCode)
+      Raw = "miscompilation (exit " + std::to_string(V.ExitCode) +
+            " != " + std::to_string(Verdict.ExitCode) + ")";
+    else if (V.Output != Verdict.Output)
+      Raw = "miscompilation (output)";
+    else
+      return false;
+    return normalizeSignature(BugEffect::WrongCode, Raw) ==
+           Spec.SignatureKey;
+  }
+  }
+  return false;
+}

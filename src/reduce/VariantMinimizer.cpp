@@ -1,0 +1,70 @@
+//===- reduce/VariantMinimizer.cpp - minimal-rank canonical reproducers --===//
+
+#include "reduce/VariantMinimizer.h"
+
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "skeleton/ProgramEnumerator.h"
+#include "skeleton/ValidityAnalysis.h"
+#include "skeleton/VariantRenderer.h"
+
+#include <memory>
+
+using namespace spe;
+
+MinimizeOutcome VariantMinimizer::minimize(const std::string &Witness,
+                                           const ReproSpec &Spec) const {
+  MinimizeOutcome Out;
+  Out.Minimized = Witness;
+
+  auto Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Witness, *Ctx, Diags))
+    return Out;
+  Sema Analysis(*Ctx, Diags);
+  if (!Analysis.run())
+    return Out;
+
+  SkeletonExtractor Extractor(*Ctx, Analysis, Opts.Extract);
+  std::vector<SkeletonUnit> Units = Extractor.extract();
+
+  ProgramCursor Cursor(Units, Opts.Mode);
+  if (Cursor.size() > BigInt(Opts.RankBudget))
+    Cursor.setEnd(BigInt(Opts.RankBudget));
+  std::vector<ValidityConstraints> Validity;
+  if (Opts.PruneInvalid) {
+    Validity = analyzeValidity(*Ctx, Analysis, Units);
+    Cursor.setConstraints(constraintPtrs(Validity));
+  }
+
+  VariantRenderer Renderer(*Ctx, Units);
+  ReproOracle Oracle(Spec, Cache);
+  std::string Buffer;
+  while (Out.Probes < Opts.ProbeBudget) {
+    // position() is the rank of the variant next() is about to produce; read
+    // it before the call advances the cursor.
+    const BigInt &Pos = Cursor.position();
+    uint64_t Rank = Pos.fitsInUint64() ? Pos.toUint64() : ~uint64_t(0);
+    const ProgramAssignment *PA = Cursor.next();
+    if (!PA)
+      break;
+    Renderer.renderInto(*PA, Buffer);
+    ++Out.Probes;
+    if (Buffer == Witness) {
+      // Reached the witness itself: nothing below its rank triggers, so it
+      // already is the canonical reproducer.
+      Out.FoundAtRank = true;
+      Out.Rank = Rank;
+      break;
+    }
+    if (Oracle.reproduces(Buffer)) {
+      Out.Minimized = Buffer;
+      Out.FoundAtRank = true;
+      Out.Rank = Rank;
+      Out.Improved = true;
+      break;
+    }
+  }
+  Out.Oracle = Oracle.stats();
+  return Out;
+}

@@ -9,6 +9,7 @@
 #include "skeleton/ValidityAnalysis.h"
 #include "skeleton/VariantRenderer.h"
 #include "testing/OracleCache.h"
+#include "triage/Deduper.h"
 
 #include <thread>
 
@@ -62,6 +63,8 @@ unsigned CampaignResult::bugCount(Persona P, BugEffect E) const {
 void CampaignResult::merge(const CampaignResult &Other) {
   for (const auto &[Id, Bug] : Other.UniqueBugs)
     UniqueBugs.emplace(Id, Bug);
+  for (const auto &[Key, Bug] : Other.RawFindings)
+    RawFindings.emplace(Key, Bug);
   SeedsProcessed += Other.SeedsProcessed;
   SeedsSkippedByThreshold += Other.SeedsSkippedByThreshold;
   VariantsEnumerated += Other.VariantsEnumerated;
@@ -77,6 +80,7 @@ void CampaignResult::merge(const CampaignResult &Other) {
 
 bool CampaignResult::operator==(const CampaignResult &Other) const {
   return UniqueBugs == Other.UniqueBugs &&
+         RawFindings == Other.RawFindings &&
          SeedsProcessed == Other.SeedsProcessed &&
          SeedsSkippedByThreshold == Other.SeedsSkippedByThreshold &&
          VariantsEnumerated == Other.VariantsEnumerated &&
@@ -87,7 +91,8 @@ bool CampaignResult::operator==(const CampaignResult &Other) const {
          OracleCacheHits == Other.OracleCacheHits &&
          CrashObservations == Other.CrashObservations &&
          WrongCodeObservations == Other.WrongCodeObservations &&
-         PerformanceObservations == Other.PerformanceObservations;
+         PerformanceObservations == Other.PerformanceObservations &&
+         Triaged == Other.Triaged && Reduction == Other.Reduction;
 }
 
 namespace {
@@ -156,9 +161,12 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
       Bug.P = Config.P;
       Bug.Effect = BugEffect::Crash;
       Bug.Signature = R.CrashSignature;
+      Bug.Version = Config.Version;
       Bug.OptLevel = Config.OptLevel;
       Bug.Mode64 = Config.Mode64;
       Bug.WitnessProgram = Source;
+      Result.RawFindings.emplace(
+          FindingKey{Bug.BugId, Bug.P, Bug.Version, Bug.OptLevel, Bug.Mode64}, Bug);
       Result.UniqueBugs.emplace(Bug.BugId, std::move(Bug));
       continue;
     }
@@ -174,9 +182,12 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
         Bug.P = Config.P;
         Bug.Effect = BugEffect::Performance;
         Bug.Signature = "pathological compile time";
+        Bug.Version = Config.Version;
         Bug.OptLevel = Config.OptLevel;
         Bug.Mode64 = Config.Mode64;
         Bug.WitnessProgram = Source;
+        Result.RawFindings.emplace(
+            FindingKey{Id, Bug.P, Bug.Version, Bug.OptLevel, Bug.Mode64}, Bug);
         Result.UniqueBugs.emplace(Id, std::move(Bug));
       }
     }
@@ -189,6 +200,16 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
     if (!Diverges)
       continue;
     ++Result.WrongCodeObservations;
+    // The divergence *kind* is the stable part of a wrong-code signature
+    // (triage/BugSignature.h normalizes away the concrete values).
+    std::string WrongCodeSig;
+    if (V.Status != VMStatus::Ok)
+      WrongCodeSig = "miscompilation (trap)";
+    else if (V.ExitCode != Verdict.ExitCode)
+      WrongCodeSig = "miscompilation (exit " + std::to_string(V.ExitCode) +
+                     " != " + std::to_string(Verdict.ExitCode) + ")";
+    else
+      WrongCodeSig = "miscompilation (output)";
     // Attribute the divergence to the fired wrong-code bug (ground truth).
     for (int Id : R.FiredBugs) {
       const InjectedBug &B = bugDatabase()[static_cast<size_t>(Id) - 1];
@@ -198,11 +219,13 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
       Bug.BugId = Id;
       Bug.P = Config.P;
       Bug.Effect = BugEffect::WrongCode;
-      Bug.Signature = "miscompilation (exit " + std::to_string(V.ExitCode) +
-                      " != " + std::to_string(Verdict.ExitCode) + ")";
+      Bug.Signature = WrongCodeSig;
+      Bug.Version = Config.Version;
       Bug.OptLevel = Config.OptLevel;
       Bug.Mode64 = Config.Mode64;
       Bug.WitnessProgram = Source;
+      Result.RawFindings.emplace(
+          FindingKey{Id, Bug.P, Bug.Version, Bug.OptLevel, Bug.Mode64}, Bug);
       Result.UniqueBugs.emplace(Id, std::move(Bug));
     }
   }
@@ -252,9 +275,7 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
   std::vector<const ValidityConstraints *> ValidityPtrs;
   if (Opts.PruneInvalid) {
     Validity = analyzeValidity(*Ctx, Analysis, Units);
-    ValidityPtrs.reserve(Validity.size());
-    for (const ValidityConstraints &C : Validity)
-      ValidityPtrs.push_back(&C);
+    ValidityPtrs = constraintPtrs(Validity);
   }
 
   auto RunShard = [&](unsigned Index, unsigned Count_, CampaignResult &Out,
@@ -310,5 +331,13 @@ DifferentialHarness::runCampaign(const std::vector<std::string> &Seeds) const {
   CampaignResult Result;
   for (const std::string &Seed : Seeds)
     runOnSeed(Seed, Result);
+  if (Opts.Triage) {
+    // Post-merge and single-threaded, so the triaged report is identical
+    // for every Opts.Threads value.
+    TriageOptions T;
+    T.Cache = Opts.Cache;
+    T.InjectBugs = Opts.InjectBugs;
+    triageCampaign(Result, T);
+  }
   return Result;
 }

@@ -23,6 +23,7 @@
 #include "compiler/Compiler.h"
 #include "core/SpeEnumerator.h"
 #include "skeleton/SkeletonExtractor.h"
+#include "triage/BugSignature.h"
 
 #include <map>
 #include <set>
@@ -68,6 +69,15 @@ struct HarnessOptions {
   /// bit-identical with and without it; only OracleExecutions and
   /// OracleCacheHits move.
   OracleCache *Cache = nullptr;
+  /// Opt-in post-campaign triage (triage/Deduper.h): cluster the raw
+  /// findings by behavioral signature, reduce each cluster's representative
+  /// witness (statement ddmin + decl dropping + expression simplification,
+  /// reduce/SkeletonReducer.h), and canonicalize it to the minimal-rank
+  /// triggering variant of its own skeleton (reduce/VariantMinimizer.h).
+  /// Runs single-threaded on the merged result, so the triaged output is
+  /// deterministic and identical for any Threads value; reduction re-probes
+  /// share this options struct's Cache when set.
+  bool Triage = false;
 
   /// The paper's crash-hunting matrix: -O0/-O3 x -m32/-m64 for a persona
   /// at a version.
@@ -83,20 +93,128 @@ struct FoundBug {
   Persona P = Persona::GccSim;
   BugEffect Effect = BugEffect::Crash;
   std::string Signature;
+  unsigned Version = 0; ///< Compiler version the finding manifested under.
   unsigned OptLevel = 0;
   bool Mode64 = true;
   std::string WitnessProgram;
 
   bool operator==(const FoundBug &Other) const {
     return BugId == Other.BugId && P == Other.P && Effect == Other.Effect &&
-           Signature == Other.Signature && OptLevel == Other.OptLevel &&
-           Mode64 == Other.Mode64 && WitnessProgram == Other.WitnessProgram;
+           Signature == Other.Signature && Version == Other.Version &&
+           OptLevel == Other.OptLevel && Mode64 == Other.Mode64 &&
+           WitnessProgram == Other.WitnessProgram;
+  }
+};
+
+/// Identity of one raw finding: the ground-truth bug and the exact compiler
+/// configuration it manifested under. The raw finding stream is what triage
+/// consumes -- the same bug observed under four configurations is four raw
+/// findings and, without ground truth, four candidate reports.
+struct FindingKey {
+  int BugId = 0;
+  /// Redundant with BugId under the current bugDatabase() convention
+  /// (ids are unique across personas), but kept in the key so the identity
+  /// stays exact if that convention ever changes.
+  Persona P = Persona::GccSim;
+  unsigned Version = 0;
+  unsigned OptLevel = 0;
+  bool Mode64 = true;
+
+  friend bool operator<(const FindingKey &A, const FindingKey &B) {
+    if (A.BugId != B.BugId)
+      return A.BugId < B.BugId;
+    if (A.P != B.P)
+      return A.P < B.P;
+    if (A.Version != B.Version)
+      return A.Version < B.Version;
+    if (A.OptLevel != B.OptLevel)
+      return A.OptLevel < B.OptLevel;
+    return A.Mode64 < B.Mode64;
+  }
+  friend bool operator==(const FindingKey &A, const FindingKey &B) {
+    return A.BugId == B.BugId && A.P == B.P && A.Version == B.Version &&
+           A.OptLevel == B.OptLevel && A.Mode64 == B.Mode64;
+  }
+};
+
+/// One signature cluster of the triaged report: duplicates collapsed, the
+/// representative witness reduced and rank-canonicalized.
+struct TriagedBug {
+  BugSignature Sig;
+  /// The cluster representative; WitnessProgram holds the reduced,
+  /// minimal-rank reproducer.
+  FoundBug Representative;
+  /// Ground-truth ids collapsed into this cluster (ascending, unique).
+  /// Signature triage has no access to these for clustering; they are kept
+  /// so benches and tests can measure conflation against the injected
+  /// ground truth.
+  std::vector<int> MemberIds;
+  /// Raw findings (id x config observations) collapsed into this cluster.
+  uint64_t RawCount = 0;
+  /// Token counts of the representative witness before and after reduction.
+  uint64_t TokensBefore = 0;
+  uint64_t TokensAfter = 0;
+
+  bool operator==(const TriagedBug &Other) const {
+    return Sig == Other.Sig && Representative == Other.Representative &&
+           MemberIds == Other.MemberIds && RawCount == Other.RawCount &&
+           TokensBefore == Other.TokensBefore &&
+           TokensAfter == Other.TokensAfter;
+  }
+};
+
+/// Aggregate cost/benefit accounting of one triage pass.
+struct ReductionStats {
+  uint64_t RawBugs = 0;   ///< Findings before signature dedup.
+  uint64_t Clusters = 0;  ///< Signature clusters after dedup.
+  uint64_t TokensBefore = 0; ///< Sum over representatives, pre-reduction.
+  uint64_t TokensAfter = 0;  ///< Sum over representatives, post-reduction.
+  uint64_t StatementsDeleted = 0;
+  uint64_t DeclsDropped = 0;
+  uint64_t ExprsSimplified = 0;
+  uint64_t RankMinimized = 0; ///< Representatives improved by rank search.
+  uint64_t ReductionProbes = 0;   ///< Signature-preservation probes issued.
+  uint64_t OracleRuns = 0;        ///< Reference interpretations spent.
+  uint64_t OracleCacheHits = 0;   ///< Verdicts replayed from the cache.
+
+  /// Raw findings per reported cluster (1.0 = no duplicates existed).
+  double dedupRatio() const {
+    return Clusters == 0 ? 1.0
+                         : static_cast<double>(RawBugs) /
+                               static_cast<double>(Clusters);
+  }
+  /// Mean fractional token shrink across representatives.
+  double tokenReduction() const {
+    return TokensBefore == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(TokensAfter) /
+                           static_cast<double>(TokensBefore);
+  }
+
+  bool operator==(const ReductionStats &Other) const {
+    return RawBugs == Other.RawBugs && Clusters == Other.Clusters &&
+           TokensBefore == Other.TokensBefore &&
+           TokensAfter == Other.TokensAfter &&
+           StatementsDeleted == Other.StatementsDeleted &&
+           DeclsDropped == Other.DeclsDropped &&
+           ExprsSimplified == Other.ExprsSimplified &&
+           RankMinimized == Other.RankMinimized &&
+           ReductionProbes == Other.ReductionProbes &&
+           OracleRuns == Other.OracleRuns &&
+           OracleCacheHits == Other.OracleCacheHits;
   }
 };
 
 /// Aggregate campaign statistics.
 struct CampaignResult {
   std::map<int, FoundBug> UniqueBugs; ///< Keyed by ground-truth bug id.
+  /// The raw finding stream triage consumes: the first witness per (bug,
+  /// configuration) pair. Where UniqueBugs collapses by ground-truth id --
+  /// information real campaigns do not have -- this keeps the per-config
+  /// duplication a signature-based deduper must resolve. Bounded by
+  /// #bugs x #configs; first-in-rank-order witness wins, so the map is
+  /// deterministic across thread counts like UniqueBugs.
+  std::map<FindingKey, FoundBug> RawFindings;
   uint64_t SeedsProcessed = 0;
   uint64_t SeedsSkippedByThreshold = 0;
   uint64_t VariantsEnumerated = 0;
@@ -113,6 +231,14 @@ struct CampaignResult {
   uint64_t CrashObservations = 0;
   uint64_t WrongCodeObservations = 0;
   uint64_t PerformanceObservations = 0;
+  /// The triaged report (empty unless a triage pass ran): signature
+  /// clusters sorted by signature, each holding a reduced, rank-minimized
+  /// representative. Filled post-merge, so it is deterministic across
+  /// thread counts; merge() deliberately leaves it untouched -- triage a
+  /// merged result via triageCampaign (triage/Deduper.h).
+  std::vector<TriagedBug> Triaged;
+  /// Cost/benefit accounting of the triage pass (zeros when none ran).
+  ReductionStats Reduction;
 
   unsigned bugCount(Persona P) const;
   unsigned bugCount(Persona P, BugEffect E) const;

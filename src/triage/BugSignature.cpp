@@ -1,0 +1,26 @@
+//===- triage/BugSignature.cpp - behavioral bug signatures ---------------===//
+
+#include "triage/BugSignature.h"
+
+using namespace spe;
+
+std::string spe::normalizeSignature(BugEffect Effect,
+                                    const std::string &Raw) {
+  if (Effect != BugEffect::WrongCode)
+    return Raw;
+  // Wrong-code observations embed variant-specific payload after the
+  // divergence kind: "miscompilation (exit 3 != 7)" -> "miscompilation
+  // (exit)". The kind tag is the first word inside the parentheses.
+  size_t Open = Raw.find('(');
+  if (Open == std::string::npos)
+    return Raw;
+  size_t KindEnd = Raw.find_first_of(" )", Open + 1);
+  if (KindEnd == std::string::npos)
+    return Raw;
+  return Raw.substr(0, KindEnd) + ")";
+}
+
+std::string BugSignature::str() const {
+  return std::string(personaName(P)) + "/" + bugEffectName(Effect) + "/" +
+         Key;
+}

@@ -1,0 +1,73 @@
+//===- triage/BugSignature.h - behavioral bug signatures -----------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The signature a triage pipeline can compute *without* ground truth: what
+/// a human reporting the paper's bugs had -- the persona, the effect class,
+/// and a normalized behavioral key (the crashing pass's assertion text for
+/// ICEs, the divergence kind for miscompilations, "pathological compile
+/// time" for compile-time blowups). Campaign findings with equal signatures
+/// are considered duplicates of one bug and collapse into a single cluster
+/// (triage/Deduper.h).
+///
+/// Normalization strips variant-specific payload -- the concrete exit codes
+/// of a wrong-code divergence vary per reproducer while the underlying bug
+/// does not -- and keeps the stable part. This makes signature equality
+/// reduction-invariant: the reduction predicate (reduce/BugRepro.h) checks
+/// the normalized key, so a reducer can never drift a finding into a
+/// different cluster. Like real-world signature triage it under-approximates
+/// distinctness: two genuinely different wrong-code bugs with the same
+/// divergence kind conflate. TriagedBug::MemberIds keeps the ground-truth
+/// ids per cluster so the benches can *measure* that conflation instead of
+/// hiding it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_TRIAGE_BUGSIGNATURE_H
+#define SPE_TRIAGE_BUGSIGNATURE_H
+
+#include "compiler/Bugs.h"
+
+#include <string>
+#include <tuple>
+
+namespace spe {
+
+/// Normalizes a raw per-observation signature string to its stable,
+/// reduction-invariant key. Crash signatures (the assertion/pass text) and
+/// performance signatures are already stable; wrong-code signatures keep
+/// the divergence kind ("miscompilation (exit)", "(output)", "(trap)") and
+/// drop the concrete values.
+std::string normalizeSignature(BugEffect Effect, const std::string &Raw);
+
+/// What distinguishes one triaged bug from another: persona, effect class,
+/// and the normalized behavioral key.
+struct BugSignature {
+  Persona P = Persona::GccSim;
+  BugEffect Effect = BugEffect::Crash;
+  std::string Key;
+
+  /// Renders "gcc-sim/crash/<key>" for reports and test diagnostics.
+  std::string str() const;
+
+  friend bool operator==(const BugSignature &A, const BugSignature &B) {
+    return A.P == B.P && A.Effect == B.Effect && A.Key == B.Key;
+  }
+  friend bool operator!=(const BugSignature &A, const BugSignature &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const BugSignature &A, const BugSignature &B) {
+    return std::make_tuple(static_cast<int>(A.P), static_cast<int>(A.Effect),
+                           std::cref(A.Key)) <
+           std::make_tuple(static_cast<int>(B.P), static_cast<int>(B.Effect),
+                           std::cref(B.Key));
+  }
+};
+
+} // namespace spe
+
+#endif // SPE_TRIAGE_BUGSIGNATURE_H

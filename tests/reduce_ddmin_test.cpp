@@ -1,0 +1,105 @@
+//===- tests/reduce_ddmin_test.cpp - generic ddmin properties ------------===//
+//
+// The reduction pipeline rests on ddmin's contract: given a predicate that
+// holds on the full index set, it returns a 1-minimal subset on which it
+// still holds, deterministically. These tests pin that contract directly,
+// including the brute-force check that no single element of the result can
+// be dropped.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reduce/DeltaDebug.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace spe;
+
+namespace {
+
+/// Predicate: the kept set contains all of \p Needed.
+DdminPredicate needsAll(std::set<size_t> Needed) {
+  return [Needed = std::move(Needed)](const std::vector<size_t> &Keep) {
+    for (size_t N : Needed)
+      if (std::find(Keep.begin(), Keep.end(), N) == Keep.end())
+        return false;
+    return true;
+  };
+}
+
+} // namespace
+
+TEST(DdminTest, FindsExactCore) {
+  for (size_t N : {2u, 5u, 16u, 37u}) {
+    std::set<size_t> Core = {1, N - 1};
+    std::vector<size_t> Result = ddmin(N, needsAll(Core));
+    EXPECT_EQ(std::set<size_t>(Result.begin(), Result.end()), Core)
+        << "N=" << N;
+  }
+}
+
+TEST(DdminTest, SingletonAndScatteredCores) {
+  EXPECT_EQ(ddmin(20, needsAll({7})), std::vector<size_t>({7}));
+  std::vector<size_t> R = ddmin(30, needsAll({0, 13, 29}));
+  EXPECT_EQ(std::set<size_t>(R.begin(), R.end()),
+            (std::set<size_t>{0, 13, 29}));
+}
+
+TEST(DdminTest, EmptyCoreShrinksToNothing) {
+  // Predicate that always holds: everything can go.
+  std::vector<size_t> R =
+      ddmin(12, [](const std::vector<size_t> &) { return true; });
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(DdminTest, FullSetNeededStaysFull) {
+  // Predicate holds only on the complete set.
+  std::vector<size_t> R = ddmin(9, [](const std::vector<size_t> &Keep) {
+    return Keep.size() == 9;
+  });
+  ASSERT_EQ(R.size(), 9u);
+  for (size_t I = 0; I < 9; ++I)
+    EXPECT_EQ(R[I], I);
+}
+
+TEST(DdminTest, TrivialSizes) {
+  EXPECT_TRUE(ddmin(0, needsAll({})).empty());
+  EXPECT_EQ(ddmin(1, needsAll({0})), std::vector<size_t>({0}));
+  EXPECT_TRUE(ddmin(1, needsAll({})).empty());
+}
+
+TEST(DdminTest, ResultIsOneMinimal) {
+  // A non-monotone predicate: needs {2, 5} and an even number of elements
+  // from {8..15}. ddmin's result must still be 1-minimal.
+  auto Test = [](const std::vector<size_t> &Keep) {
+    size_t Tail = 0;
+    bool Has2 = false, Has5 = false;
+    for (size_t K : Keep) {
+      Has2 |= K == 2;
+      Has5 |= K == 5;
+      Tail += K >= 8 ? 1 : 0;
+    }
+    return Has2 && Has5 && Tail % 2 == 0;
+  };
+  std::vector<size_t> R = ddmin(16, Test);
+  ASSERT_TRUE(Test(R));
+  for (size_t I = 0; I < R.size(); ++I) {
+    std::vector<size_t> Less = R;
+    Less.erase(Less.begin() + static_cast<ptrdiff_t>(I));
+    EXPECT_FALSE(Test(Less)) << "element " << R[I] << " is removable";
+  }
+}
+
+TEST(DdminTest, DeterministicAndCountsProbes) {
+  DdminStats A, B;
+  std::vector<size_t> R1 = ddmin(24, needsAll({3, 17, 20}), &A);
+  std::vector<size_t> R2 = ddmin(24, needsAll({3, 17, 20}), &B);
+  EXPECT_EQ(R1, R2);
+  EXPECT_EQ(A.Probes, B.Probes);
+  EXPECT_EQ(A.Reductions, B.Reductions);
+  EXPECT_GT(A.Probes, 0u);
+  EXPECT_GT(A.Reductions, 0u);
+  EXPECT_GE(A.Probes, A.Reductions);
+}

@@ -1,0 +1,136 @@
+//===- tests/testing_mutation_test.cpp - Orion-style EMI baseline --------===//
+//
+// Dedicated coverage for testing/Mutation.cpp: the EMI guarantee (mutants
+// delete only statements the reference execution never reached, so behavior
+// is preserved), determinism, bounds, and the rejection paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "testing/Corpus.h"
+#include "testing/Mutation.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <set>
+
+using namespace spe;
+
+namespace {
+
+const char *DeadCodeSeed = "int main(void)\n"
+                           "{\n"
+                           "  int x = 3;\n"
+                           "  int y = 4;\n"
+                           "  if (x > 10)\n"
+                           "  {\n"
+                           "    y = 99;\n"
+                           "    x = y + 1;\n"
+                           "  }\n"
+                           "  while (x > 100)\n"
+                           "    x = x - 1;\n"
+                           "  return x + y;\n"
+                           "}\n";
+
+/// Interprets \p Source; \returns nullopt-style failure via Status.
+ExecResult run(const std::string &Source) {
+  auto Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  ExecResult Fail;
+  if (!Parser::parse(Source, *Ctx, Diags))
+    return Fail;
+  Sema Analysis(*Ctx, Diags);
+  if (!Analysis.run())
+    return Fail;
+  return interpret(*Ctx);
+}
+
+} // namespace
+
+TEST(MutationTest, MutantsDeleteOnlyDeadCodeAndPreserveBehavior) {
+  ExecResult Ref = run(DeadCodeSeed);
+  ASSERT_TRUE(Ref.ok());
+
+  std::vector<std::string> Mutants =
+      generateEmiMutants(DeadCodeSeed, /*MaxDeletions=*/2, /*NumMutants=*/8,
+                         /*Seed=*/42);
+  ASSERT_FALSE(Mutants.empty());
+  for (const std::string &Mutant : Mutants) {
+    EXPECT_NE(Mutant, DeadCodeSeed);
+    ExecResult Mut = run(Mutant);
+    ASSERT_TRUE(Mut.ok()) << Mutant;
+    // EMI: only never-executed statements were deleted, so the observable
+    // behavior is identical to the seed's.
+    EXPECT_EQ(Mut.ExitCode, Ref.ExitCode) << Mutant;
+    EXPECT_EQ(Mut.Output, Ref.Output) << Mutant;
+  }
+}
+
+TEST(MutationTest, DeterministicAndDeduplicated) {
+  std::vector<std::string> A = generateEmiMutants(DeadCodeSeed, 2, 6, 7);
+  std::vector<std::string> B = generateEmiMutants(DeadCodeSeed, 2, 6, 7);
+  EXPECT_EQ(A, B);
+  std::set<std::string> Unique(A.begin(), A.end());
+  EXPECT_EQ(Unique.size(), A.size()) << "duplicate mutants returned";
+
+  std::vector<std::string> C = generateEmiMutants(DeadCodeSeed, 2, 6, 8);
+  EXPECT_NE(A, C) << "different RNG seeds should explore different subsets";
+}
+
+TEST(MutationTest, RespectsNumMutantsBound) {
+  for (unsigned N : {1u, 3u, 10u}) {
+    std::vector<std::string> Mutants =
+        generateEmiMutants(DeadCodeSeed, 2, N, 3);
+    EXPECT_LE(Mutants.size(), N);
+    EXPECT_GE(Mutants.size(), 1u);
+  }
+}
+
+TEST(MutationTest, SingleDeletionMutantsRemoveExactlyOneStatement) {
+  // With MaxDeletions=1, each mutant differs from the seed by one deleted
+  // statement: re-running it still matches the reference behavior, and its
+  // source is strictly shorter.
+  std::vector<std::string> Mutants = generateEmiMutants(DeadCodeSeed, 1, 8, 5);
+  ASSERT_FALSE(Mutants.empty());
+  for (const std::string &Mutant : Mutants)
+    EXPECT_LT(Mutant.size(), std::string(DeadCodeSeed).size());
+}
+
+TEST(MutationTest, RejectionPaths) {
+  // Unparseable input.
+  EXPECT_TRUE(generateEmiMutants("int main( {", 2, 4, 1).empty());
+  // Oracle-rejected input (uninitialized read is UB).
+  EXPECT_TRUE(
+      generateEmiMutants("int main(void)\n{\n  int z;\n  return z;\n}\n", 2,
+                         4, 1)
+          .empty());
+  // Fully-executed program: no dead statements to delete.
+  EXPECT_TRUE(
+      generateEmiMutants("int main(void)\n{\n  int x = 1;\n  x = x + 1;\n"
+                         "  return x;\n}\n",
+                         2, 4, 1)
+          .empty());
+}
+
+TEST(MutationTest, WorksAcrossTheGeneratedCorpus) {
+  // The generator's programs must round-trip through the mutator without
+  // ever producing a behavior-changing mutant.
+  unsigned WithMutants = 0;
+  for (const std::string &Seed : generateCorpus(500, 12, {})) {
+    ExecResult Ref = run(Seed);
+    if (!Ref.ok())
+      continue;
+    std::vector<std::string> Mutants = generateEmiMutants(Seed, 3, 4, 11);
+    WithMutants += Mutants.empty() ? 0 : 1;
+    for (const std::string &Mutant : Mutants) {
+      ExecResult Mut = run(Mutant);
+      ASSERT_TRUE(Mut.ok()) << Mutant;
+      EXPECT_EQ(Mut.ExitCode, Ref.ExitCode);
+      EXPECT_EQ(Mut.Output, Ref.Output);
+    }
+  }
+  EXPECT_GT(WithMutants, 0u);
+}
