@@ -466,6 +466,24 @@ void AssignmentCursor::setConstraints(const ValidityConstraints *C) {
 
 const BigInt &AssignmentCursor::pruned() const { return I->Pruned; }
 
+CursorState AssignmentCursor::saveState() const {
+  return {I->Pos.toString(), I->End.toString(), I->Pruned.toString()};
+}
+
+bool AssignmentCursor::restoreState(const CursorState &State) {
+  BigInt Pos, End, Pruned;
+  if (!cursor_detail::parseDecimal(State.Position, Pos) ||
+      !cursor_detail::parseDecimal(State.End, End) ||
+      !cursor_detail::parseDecimal(State.Pruned, Pruned))
+    return false;
+  if (Pos > End || End > I->Size)
+    return false;
+  I->End = End;
+  I->seek(Pos);
+  I->Pruned = Pruned;
+  return true;
+}
+
 BigInt AssignmentCursor::invalidSpanEnd(const BigInt &Rank,
                                         const ValidityConstraints &C) const {
   return I->invalidSpanEnd(Rank, C);

@@ -38,8 +38,27 @@
 #include "support/BigInt.h"
 
 #include <memory>
+#include <string>
 
 namespace spe {
+
+/// Serializable cursor position, the unit of state the persistence layer
+/// (src/persist/) snapshots per worker. All three fields are decimal BigInt
+/// strings, so the format is stable across word sizes and the rank space
+/// may exceed 2^64. Restoring is pure rank arithmetic: because cursors make
+/// every assignment addressable by rank, a restored cursor re-derives its
+/// odometer by unranking -- positions are never renumbered, in exact or
+/// paper-faithful mode.
+struct CursorState {
+  std::string Position; ///< Rank the next next() will produce.
+  std::string End;      ///< Exclusive upper bound of the active range.
+  std::string Pruned;   ///< Ranks skipped as invalid so far.
+
+  bool operator==(const CursorState &Other) const {
+    return Position == Other.Position && End == Other.End &&
+           Pruned == Other.Pruned;
+  }
+};
 
 /// Pull-based, rankable cursor over the canonical assignments of a skeleton.
 class AssignmentCursor {
@@ -93,6 +112,17 @@ public:
   /// construction.
   const BigInt &pruned() const;
 
+  /// Snapshots the cursor's position for persistence. Constraints are not
+  /// part of the state -- the caller re-derives and re-attaches them on
+  /// restore (validated by fingerprint in src/persist/Checkpoint.h).
+  CursorState saveState() const;
+
+  /// Repositions the cursor from a saved state: equivalent to setEnd(End)
+  /// + seek(Position) with the pruned counter restored. \returns false
+  /// (cursor untouched) when a field is not a decimal integer or the
+  /// range is inconsistent (Position > End or End > size()).
+  bool restoreState(const CursorState &State);
+
   /// Exact mode: \returns the exclusive end of the maximal invalid-under-\p
   /// C subrange starting at \p Rank, or \p Rank itself when the assignment
   /// with that rank violates nothing. Every rank in [Rank, result) shares
@@ -110,6 +140,19 @@ private:
 };
 
 namespace cursor_detail {
+
+/// Strict decimal parse for restoreState: \returns false unless \p Text is
+/// a non-empty all-digit string (BigInt::fromDecimalString asserts on
+/// malformed input, which is wrong for data read from disk).
+inline bool parseDecimal(const std::string &Text, BigInt &Out) {
+  if (Text.empty())
+    return false;
+  for (char C : Text)
+    if (C < '0' || C > '9')
+      return false;
+  Out = BigInt::fromDecimalString(Text);
+  return true;
+}
 
 /// Splits [Pos, End) into \p Count contiguous near-equal rank ranges and
 /// stores the \p Index-th as [Begin, NewEnd). Shared by the per-skeleton and

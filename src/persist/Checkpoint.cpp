@@ -1,0 +1,544 @@
+//===- persist/Checkpoint.cpp - campaign snapshot format -----------------===//
+
+#include "persist/Checkpoint.h"
+
+#include "persist/OracleStore.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace spe;
+
+//===----------------------------------------------------------------------===//
+// Shared low-level pieces: FNV-1a, token escaping, strict number parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char Magic[] = "SPE-CHECKPOINT v1";
+
+/// Incremental FNV-1a over decimal-text renderings, so fingerprints and the
+/// file checksum are independent of host endianness and word size.
+struct Fnv {
+  uint64_t H = 1469598103934665603ull;
+  void bytes(const char *P, size_t N) {
+    for (size_t I = 0; I < N; ++I) {
+      H ^= static_cast<unsigned char>(P[I]);
+      H *= 1099511628211ull;
+    }
+  }
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+  void u64(uint64_t V) {
+    std::string T = std::to_string(V);
+    bytes(T.data(), T.size());
+    bytes("|", 1);
+  }
+};
+
+/// Escapes \p S into a whitespace-free token ("\e" for the empty string).
+std::string escapeToken(const std::string &S) {
+  if (S.empty())
+    return "\\e";
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\': Out += "\\\\"; break;
+    case ' ':  Out += "\\s";  break;
+    case '\n': Out += "\\n";  break;
+    case '\t': Out += "\\t";  break;
+    case '\r': Out += "\\r";  break;
+    default:   Out += C;      break;
+    }
+  }
+  return Out;
+}
+
+bool unescapeToken(const std::string &T, std::string &Out) {
+  Out.clear();
+  if (T == "\\e")
+    return true;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I] != '\\') {
+      Out += T[I];
+      continue;
+    }
+    if (++I >= T.size())
+      return false;
+    switch (T[I]) {
+    case '\\': Out += '\\'; break;
+    case 's':  Out += ' ';  break;
+    case 'n':  Out += '\n'; break;
+    case 't':  Out += '\t'; break;
+    case 'r':  Out += '\r'; break;
+    default:   return false;
+    }
+  }
+  return true;
+}
+
+bool parseU64(const std::string &T, uint64_t &Out) {
+  if (T.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(T.c_str(), &End, 10);
+  if (errno != 0 || End != T.c_str() + T.size() || T[0] == '-')
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseI64(const std::string &T, int64_t &Out) {
+  if (T.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  long long V = std::strtoll(T.c_str(), &End, 10);
+  if (errno != 0 || End != T.c_str() + T.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void writeBugFields(std::ostringstream &Out, const FoundBug &Bug) {
+  Out << Bug.BugId << ' ' << static_cast<int>(Bug.P) << ' '
+      << static_cast<int>(Bug.Effect) << ' ' << Bug.Version << ' '
+      << Bug.OptLevel << ' ' << (Bug.Mode64 ? 1 : 0) << ' '
+      << escapeToken(Bug.Signature) << ' '
+      << escapeToken(Bug.WitnessProgram);
+}
+
+/// Serializes the checkpointed portion of a CampaignResult: the 11 campaign
+/// counters plus both finding maps. Triaged/Reduction are deliberately not
+/// part of the format -- triage runs post-campaign from the final snapshot
+/// and is deterministic, so persisting its output would only duplicate
+/// state (DESIGN.md Section 11). The cache-lifetime snapshot fields
+/// (OracleCacheEvictions, OracleStoreBytes) are re-derived at campaign end.
+void writeResult(std::ostringstream &Out, const CampaignResult &R) {
+  Out << "counters " << R.SeedsProcessed << ' ' << R.SeedsSkippedByThreshold
+      << ' ' << R.VariantsEnumerated << ' ' << R.VariantsOracleExcluded
+      << ' ' << R.VariantsTested << ' ' << R.VariantsPruned << ' '
+      << R.OracleExecutions << ' ' << R.OracleCacheHits << ' '
+      << R.CrashObservations << ' ' << R.WrongCodeObservations << ' '
+      << R.PerformanceObservations << '\n';
+  Out << "bugs " << R.UniqueBugs.size() << '\n';
+  for (const auto &[Id, Bug] : R.UniqueBugs) {
+    (void)Id;
+    Out << "bug ";
+    writeBugFields(Out, Bug);
+    Out << '\n';
+  }
+  Out << "findings " << R.RawFindings.size() << '\n';
+  for (const auto &[Key, Bug] : R.RawFindings) {
+    Out << "finding " << Key.BugId << ' ' << static_cast<int>(Key.P) << ' '
+        << Key.Version << ' ' << Key.OptLevel << ' '
+        << (Key.Mode64 ? 1 : 0) << ' ';
+    writeBugFields(Out, Bug);
+    Out << '\n';
+  }
+}
+
+void writeCov(std::ostringstream &Out, const std::set<std::string> &Hits) {
+  Out << "cov " << Hits.size() << '\n';
+  for (const std::string &Name : Hits)
+    Out << "covhit " << escapeToken(Name) << '\n';
+}
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+/// Tokenized line reader with sticky first-error diagnostics.
+struct Reader {
+  std::vector<std::vector<std::string>> Lines;
+  size_t At = 0;
+  std::string Err;
+
+  explicit Reader(const std::string &Text) {
+    size_t Start = 0;
+    while (Start <= Text.size()) {
+      size_t NL = Text.find('\n', Start);
+      if (NL == std::string::npos)
+        NL = Text.size();
+      std::vector<std::string> Tokens;
+      size_t P = Start;
+      while (P < NL) {
+        size_t Space = Text.find(' ', P);
+        if (Space == std::string::npos || Space > NL)
+          Space = NL;
+        if (Space > P)
+          Tokens.push_back(Text.substr(P, Space - P));
+        P = Space + 1;
+      }
+      if (!Tokens.empty())
+        Lines.push_back(std::move(Tokens));
+      Start = NL + 1;
+    }
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = "line " + std::to_string(At + 1) + ": " + Msg;
+    return false;
+  }
+
+  /// Consumes the next line, requiring keyword \p Kw and exactly \p NTokens
+  /// tokens (keyword included). \returns null after recording an error.
+  const std::vector<std::string> *line(const char *Kw, size_t NTokens) {
+    if (At >= Lines.size()) {
+      fail(std::string("unexpected end of file, wanted '") + Kw + "'");
+      return nullptr;
+    }
+    const std::vector<std::string> &L = Lines[At];
+    if (L[0] != Kw) {
+      fail(std::string("expected '") + Kw + "', got '" + L[0] + "'");
+      return nullptr;
+    }
+    if (L.size() != NTokens) {
+      fail(std::string("'") + Kw + "' wants " + std::to_string(NTokens) +
+           " tokens, got " + std::to_string(L.size()));
+      return nullptr;
+    }
+    ++At;
+    return &L;
+  }
+
+  bool u64(const std::string &T, uint64_t &Out) {
+    return parseU64(T, Out) || fail("bad unsigned integer '" + T + "'");
+  }
+  bool i64(const std::string &T, int64_t &Out) {
+    return parseI64(T, Out) || fail("bad integer '" + T + "'");
+  }
+  bool strTok(const std::string &T, std::string &Out) {
+    return unescapeToken(T, Out) || fail("bad escaped string");
+  }
+  bool boolTok(const std::string &T, bool &Out) {
+    uint64_t V;
+    if (!parseU64(T, V) || V > 1)
+      return fail("bad flag '" + T + "'");
+    Out = V != 0;
+    return true;
+  }
+};
+
+bool readBugFields(Reader &R, const std::vector<std::string> &L, size_t At,
+                   FoundBug &Bug) {
+  int64_t Id = 0;
+  uint64_t P = 0, E = 0, Ver = 0, Opt = 0;
+  bool M64 = false;
+  if (!R.i64(L[At], Id) || !R.u64(L[At + 1], P) || !R.u64(L[At + 2], E) ||
+      !R.u64(L[At + 3], Ver) || !R.u64(L[At + 4], Opt) ||
+      !R.boolTok(L[At + 5], M64) || !R.strTok(L[At + 6], Bug.Signature) ||
+      !R.strTok(L[At + 7], Bug.WitnessProgram))
+    return false;
+  if (P > 1 || E > 2)
+    return R.fail("enum value out of range");
+  Bug.BugId = static_cast<int>(Id);
+  Bug.P = static_cast<Persona>(P);
+  Bug.Effect = static_cast<BugEffect>(E);
+  Bug.Version = static_cast<unsigned>(Ver);
+  Bug.OptLevel = static_cast<unsigned>(Opt);
+  Bug.Mode64 = M64;
+  return true;
+}
+
+bool readResult(Reader &R, CampaignResult &Out) {
+  const auto *L = R.line("counters", 12);
+  if (!L)
+    return false;
+  uint64_t *Slots[11] = {
+      &Out.SeedsProcessed,     &Out.SeedsSkippedByThreshold,
+      &Out.VariantsEnumerated, &Out.VariantsOracleExcluded,
+      &Out.VariantsTested,     &Out.VariantsPruned,
+      &Out.OracleExecutions,   &Out.OracleCacheHits,
+      &Out.CrashObservations,  &Out.WrongCodeObservations,
+      &Out.PerformanceObservations};
+  for (size_t I = 0; I < 11; ++I)
+    if (!R.u64((*L)[I + 1], *Slots[I]))
+      return false;
+
+  uint64_t N = 0;
+  L = R.line("bugs", 2);
+  if (!L || !R.u64((*L)[1], N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    const auto *BL = R.line("bug", 9);
+    FoundBug Bug;
+    if (!BL || !readBugFields(R, *BL, 1, Bug))
+      return false;
+    if (!Out.UniqueBugs.emplace(Bug.BugId, std::move(Bug)).second)
+      return R.fail("duplicate bug id");
+  }
+
+  L = R.line("findings", 2);
+  if (!L || !R.u64((*L)[1], N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    const auto *FL = R.line("finding", 14);
+    if (!FL)
+      return false;
+    int64_t Id = 0;
+    uint64_t P = 0, Ver = 0, Opt = 0;
+    FindingKey Key;
+    FoundBug Bug;
+    if (!R.i64((*FL)[1], Id) || !R.u64((*FL)[2], P) ||
+        !R.u64((*FL)[3], Ver) || !R.u64((*FL)[4], Opt) ||
+        !R.boolTok((*FL)[5], Key.Mode64) || !readBugFields(R, *FL, 6, Bug))
+      return false;
+    if (P > 1)
+      return R.fail("enum value out of range");
+    Key.BugId = static_cast<int>(Id);
+    Key.P = static_cast<Persona>(P);
+    Key.Version = static_cast<unsigned>(Ver);
+    Key.OptLevel = static_cast<unsigned>(Opt);
+    if (!Out.RawFindings.emplace(Key, std::move(Bug)).second)
+      return R.fail("duplicate finding key");
+  }
+  return true;
+}
+
+bool readCov(Reader &R, std::set<std::string> &Out) {
+  const auto *L = R.line("cov", 2);
+  uint64_t N = 0;
+  if (!L || !R.u64((*L)[1], N))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    const auto *HL = R.line("covhit", 2);
+    std::string Name;
+    if (!HL || !R.strTok((*HL)[1], Name))
+      return false;
+    Out.insert(std::move(Name));
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CampaignCheckpoint
+//===----------------------------------------------------------------------===//
+
+std::string CampaignCheckpoint::serialize() const {
+  std::ostringstream Out;
+  Out << Magic << '\n';
+  Out << "options_fp " << OptionsFingerprint << '\n';
+  Out << "seeds_fp " << SeedsFingerprint << '\n';
+  Out << "store_bytes " << StoreBytes << '\n';
+  Out << "complete " << (Complete ? 1 : 0) << '\n';
+  Out << "next_seed " << NextSeed << '\n';
+  Out << "merged\n";
+  writeResult(Out, Merged);
+  writeCov(Out, CovHits);
+  Out << "inflight " << (InFlight ? 1 : 0) << '\n';
+  if (InFlight) {
+    Out << "constraints_fp " << ConstraintsFingerprint << '\n';
+    Out << "header\n";
+    writeResult(Out, SeedHeader);
+    Out << "workers " << Workers.size() << '\n';
+    for (const WorkerCheckpoint &W : Workers) {
+      Out << "worker " << (W.Finished ? 1 : 0) << ' ' << W.Cursor.Position
+          << ' ' << W.Cursor.End << ' ' << W.Cursor.Pruned << '\n';
+      writeResult(Out, W.Partial);
+      writeCov(Out, W.CovHits);
+    }
+  }
+  std::string Body = Out.str();
+  Fnv Sum;
+  Sum.bytes(Body.data(), Body.size());
+  return Body + "checksum " + std::to_string(Sum.H) + "\n";
+}
+
+bool CampaignCheckpoint::deserialize(const std::string &Text,
+                                     CampaignCheckpoint &Out,
+                                     std::string &Err) {
+  Out = CampaignCheckpoint();
+
+  // The checksum guards the exact byte body, so verify it before any
+  // structural parsing: truncation and single-byte corruption both die
+  // here with a precise message.
+  size_t Tail = Text.rfind("checksum ");
+  if (Tail == std::string::npos || (Tail != 0 && Text[Tail - 1] != '\n')) {
+    Err = "missing checksum trailer (truncated file?)";
+    return false;
+  }
+  std::string SumText = Text.substr(Tail + 9);
+  while (!SumText.empty() &&
+         (SumText.back() == '\n' || SumText.back() == '\r'))
+    SumText.pop_back();
+  uint64_t Expected;
+  if (!parseU64(SumText, Expected)) {
+    Err = "malformed checksum trailer";
+    return false;
+  }
+  Fnv Sum;
+  Sum.bytes(Text.data(), Tail);
+  if (Sum.H != Expected) {
+    Err = "checksum mismatch (corrupt or truncated file)";
+    return false;
+  }
+
+  Reader R(Text.substr(0, Tail));
+  if (R.Lines.empty() || R.Lines[0].size() != 2 ||
+      R.Lines[0][0] + " " + R.Lines[0][1] != Magic) {
+    Err = "bad magic or unsupported format version";
+    return false;
+  }
+  R.At = 1;
+
+  const std::vector<std::string> *L;
+  bool Ok =
+      (L = R.line("options_fp", 2)) && R.u64((*L)[1], Out.OptionsFingerprint) &&
+      (L = R.line("seeds_fp", 2)) && R.u64((*L)[1], Out.SeedsFingerprint) &&
+      (L = R.line("store_bytes", 2)) && R.u64((*L)[1], Out.StoreBytes) &&
+      (L = R.line("complete", 2)) && R.boolTok((*L)[1], Out.Complete) &&
+      (L = R.line("next_seed", 2)) && R.u64((*L)[1], Out.NextSeed) &&
+      R.line("merged", 1) && readResult(R, Out.Merged) &&
+      readCov(R, Out.CovHits) && (L = R.line("inflight", 2)) &&
+      R.boolTok((*L)[1], Out.InFlight);
+  if (Ok && Out.InFlight) {
+    uint64_t NWorkers = 0;
+    Ok = (L = R.line("constraints_fp", 2)) &&
+         R.u64((*L)[1], Out.ConstraintsFingerprint) &&
+         R.line("header", 1) && readResult(R, Out.SeedHeader) &&
+         (L = R.line("workers", 2)) && R.u64((*L)[1], NWorkers);
+    for (uint64_t I = 0; Ok && I < NWorkers; ++I) {
+      WorkerCheckpoint W;
+      const auto *WL = R.line("worker", 5);
+      Ok = WL && R.boolTok((*WL)[1], W.Finished);
+      if (Ok) {
+        W.Cursor.Position = (*WL)[2];
+        W.Cursor.End = (*WL)[3];
+        W.Cursor.Pruned = (*WL)[4];
+        Ok = readResult(R, W.Partial) && readCov(R, W.CovHits);
+      }
+      if (Ok)
+        Out.Workers.push_back(std::move(W));
+    }
+  }
+  if (Ok && R.At != R.Lines.size())
+    Ok = R.fail("trailing data after snapshot body");
+  if (!Ok) {
+    Err = R.Err.empty() ? "malformed snapshot" : R.Err;
+    return false;
+  }
+  return true;
+}
+
+bool spe::atomicWriteFile(const std::string &Path, const std::string &Text,
+                          std::string *Err) {
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Tmp;
+    return false;
+  }
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  // fsync before the rename: without it, power loss can leave the rename
+  // durable but the contents not, replacing a good snapshot with an
+  // empty/partial one. (Losing the rename itself is harmless -- the
+  // previous snapshot survives.)
+  Ok = Ok && ::fsync(fileno(F)) == 0;
+  std::fclose(F);
+  if (!Ok || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Err)
+      *Err = "write/rename failed for " + Path;
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  // And the directory entry: a rename that is not durable yet would
+  // resurrect the previous snapshot after power loss -- harmless -- but
+  // pairing this with OracleStore's directory sync keeps the snapshot
+  // and the log it references from surviving independently.
+  fsyncParentDir(Path);
+  return true;
+}
+
+bool CampaignCheckpoint::saveTo(const std::string &Path,
+                                std::string *Err) const {
+  return atomicWriteFile(Path, serialize(), Err);
+}
+
+bool CampaignCheckpoint::loadFrom(const std::string &Path,
+                                  CampaignCheckpoint &Out,
+                                  std::string &Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Err = "cannot open " + Path;
+    return false;
+  }
+  std::string Text;
+  char Buf[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(F);
+  return deserialize(Text, Out, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprints
+//===----------------------------------------------------------------------===//
+
+uint64_t spe::fingerprintOptions(const HarnessOptions &Opts) {
+  Fnv F;
+  F.u64(static_cast<uint64_t>(Opts.Mode));
+  F.u64(static_cast<uint64_t>(Opts.Extract.Gran));
+  F.u64(static_cast<uint64_t>(Opts.Extract.Model));
+  F.u64(Opts.VariantThreshold);
+  F.u64(Opts.VariantBudget);
+  F.u64(Opts.Threads);
+  F.u64(Opts.Configs.size());
+  for (const CompilerConfig &C : Opts.Configs) {
+    F.u64(static_cast<uint64_t>(C.P));
+    F.u64(C.Version);
+    F.u64(C.OptLevel);
+    F.u64(C.Mode64 ? 1 : 0);
+  }
+  F.u64(Opts.InjectBugs ? 1 : 0);
+  F.u64(Opts.PruneInvalid ? 1 : 0);
+  // Presence bits only: cache contents live in the oracle store, and the
+  // counters a resume reproduces depend on whether memoization ran at all;
+  // likewise coverage is only recorded into snapshots when a registry is
+  // attached, so resuming with the opposite setting would silently skew
+  // the final hit set.
+  F.u64(Opts.Cache != nullptr ? 1 : 0);
+  F.u64(Opts.OracleStorePath.empty() ? 0 : 1);
+  F.u64(Opts.Cov != nullptr ? 1 : 0);
+  return F.H;
+}
+
+uint64_t spe::fingerprintSeeds(const std::vector<std::string> &Seeds) {
+  Fnv F;
+  F.u64(Seeds.size());
+  for (const std::string &S : Seeds)
+    F.str(S);
+  return F.H;
+}
+
+uint64_t
+spe::fingerprintConstraints(const std::vector<ValidityConstraints> &Tables) {
+  Fnv F;
+  F.u64(Tables.size());
+  for (const ValidityConstraints &C : Tables) {
+    F.u64(C.Forbidden.size());
+    for (const auto &Row : C.Forbidden) {
+      F.u64(Row.size());
+      for (uint8_t B : Row)
+        F.u64(B);
+    }
+  }
+  return F.H;
+}

@@ -1,0 +1,88 @@
+//===- persist/OracleStore.h - on-disk oracle-verdict log ----------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An append-only on-disk backing log for testing/OracleCache.h: one
+/// length-prefixed record per memoized verdict, content-keyed by the
+/// rendered variant text. The log survives process death and is shared
+/// across campaign generations -- a later campaign over overlapping seeds
+/// starts with every previously computed verdict warm.
+///
+/// Consistency with checkpoints (DESIGN.md Section 11): records are only
+/// appended as part of a checkpoint publish, and the checkpoint file stores
+/// the log's valid byte length at that instant. A crash can therefore leave
+/// only *extra* bytes past the recorded length (a torn append, or a flush
+/// whose checkpoint rename never happened); resume truncates the log back
+/// to the recorded length, restoring the exact cache state the checkpoint
+/// describes. Loading tolerates a torn tail by stopping at the first
+/// incomplete record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_PERSIST_ORACLESTORE_H
+#define SPE_PERSIST_ORACLESTORE_H
+
+#include "testing/OracleCache.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spe {
+
+/// Append-only on-disk log of (variant text, oracle verdict) records.
+class OracleStore {
+public:
+  /// One record: the cache key (rendered variant text) and its verdict.
+  using Record = std::pair<std::string, OracleCache::Entry>;
+
+  /// Opens (or creates) the log at \p Path. No I/O happens until load or
+  /// append.
+  explicit OracleStore(std::string Path) : Path(std::move(Path)) {}
+
+  const std::string &path() const { return Path; }
+
+  /// Replays the log's valid prefix into \p Cache (insert per record;
+  /// first-writer-wins semantics make replay idempotent). Reads at most
+  /// \p MaxBytes bytes -- pass a checkpoint's recorded length to
+  /// reconstruct the exact state that checkpoint saw -- and stops early at
+  /// a torn record. \returns the number of records loaded; \p ValidBytes,
+  /// when non-null, receives the valid prefix length in bytes (0 for a
+  /// missing or foreign file) so callers can truncate a torn tail before
+  /// appending. A missing file loads zero records (a cold store is not an
+  /// error).
+  uint64_t loadInto(OracleCache &Cache, uint64_t MaxBytes = ~uint64_t(0),
+                    uint64_t *ValidBytes = nullptr) const;
+
+  /// Appends \p Batch and flushes. \returns false on I/O failure. Callers
+  /// sequence appends with checkpoint writes (append first, then publish
+  /// the new length in the checkpoint) so a crash between the two only
+  /// ever strands ignorable bytes past the last published length.
+  bool append(const std::vector<Record> &Batch);
+
+  /// \returns the current on-disk size in bytes (0 when missing).
+  uint64_t bytesOnDisk() const;
+
+  /// Truncates the log to \p Bytes (a checkpoint's recorded valid length),
+  /// discarding any bytes a crash stranded past it. No-op when the file is
+  /// already at most \p Bytes long. \returns false on I/O failure.
+  bool truncateTo(uint64_t Bytes) const;
+
+private:
+  std::string Path;
+};
+
+/// fsyncs the directory containing \p Path, making recent create/rename
+/// entries durable against power loss. Best-effort; \returns false when
+/// the directory cannot be opened or synced. Shared by the store (log
+/// creation) and the checkpoint writer (snapshot rename).
+bool fsyncParentDir(const std::string &Path);
+
+} // namespace spe
+
+#endif // SPE_PERSIST_ORACLESTORE_H

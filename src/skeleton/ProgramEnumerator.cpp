@@ -141,6 +141,24 @@ void ProgramCursor::setEnd(const BigInt &Rank) {
   End = Rank > Size ? Size : Rank;
 }
 
+CursorState ProgramCursor::saveState() const {
+  return {Pos.toString(), End.toString(), Pruned.toString()};
+}
+
+bool ProgramCursor::restoreState(const CursorState &State) {
+  BigInt NewPos, NewEnd, NewPruned;
+  if (!cursor_detail::parseDecimal(State.Position, NewPos) ||
+      !cursor_detail::parseDecimal(State.End, NewEnd) ||
+      !cursor_detail::parseDecimal(State.Pruned, NewPruned))
+    return false;
+  if (NewPos > NewEnd || NewEnd > Size)
+    return false;
+  End = NewEnd;
+  seek(NewPos);
+  Pruned = NewPruned;
+  return true;
+}
+
 void ProgramCursor::shard(uint64_t Index, uint64_t Count) {
   assert(Count > 0 && Index < Count && "invalid shard request");
   BigInt Begin, NewEnd;

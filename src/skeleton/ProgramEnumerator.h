@@ -84,6 +84,16 @@ public:
   /// \returns the total number of ranks next() skipped as invalid.
   const BigInt &pruned() const { return Pruned; }
 
+  /// Snapshots the cursor's position for persistence (core/AssignmentCursor.h
+  /// CursorState). Per-unit cursor states need not be captured: the program
+  /// rank alone addresses the whole mixed-radix configuration.
+  CursorState saveState() const;
+
+  /// Repositions the cursor from a saved state: setEnd(End) + seek(Position)
+  /// with the pruned counter restored. \returns false (cursor untouched) on
+  /// malformed fields or an inconsistent range.
+  bool restoreState(const CursorState &State);
+
 private:
   /// Decodes rank \p Rank into per-unit cursor positions and fills Current.
   void materialize(const BigInt &Rank);

@@ -4,6 +4,8 @@
 
 #include "interp/Interpreter.h"
 #include "lang/Parser.h"
+#include "persist/Checkpoint.h"
+#include "persist/OracleStore.h"
 #include "sema/Sema.h"
 #include "skeleton/ProgramEnumerator.h"
 #include "skeleton/ValidityAnalysis.h"
@@ -11,6 +13,9 @@
 #include "testing/OracleCache.h"
 #include "triage/Deduper.h"
 
+#include <atomic>
+#include <cstdio>
+#include <mutex>
 #include <thread>
 
 using namespace spe;
@@ -109,7 +114,576 @@ std::unique_ptr<ASTContext> analyzeSource(const std::string &Source) {
   return Ctx;
 }
 
+/// Everything the per-seed enumeration loop needs, shared by the plain and
+/// the checkpointed seed runners so the two cannot drift.
+struct SeedPlan {
+  std::unique_ptr<ASTContext> Ctx;
+  std::vector<SkeletonUnit> Units;
+  BigInt Budget;
+  unsigned Threads = 1;
+  std::vector<ValidityConstraints> Validity;
+  std::vector<const ValidityConstraints *> ValidityPtrs;
+  /// False when the seed contributes nothing to enumerate: front-end
+  /// rejection or the paper's variant threshold.
+  bool Ready = false;
+};
+
+/// Front-end + extraction + budgeting for one seed. Header counters
+/// (SeedsProcessed / SeedsSkippedByThreshold) accrue into \p Header.
+SeedPlan buildSeedPlan(const HarnessOptions &Opts, const std::string &Source,
+                       CampaignResult &Header) {
+  SeedPlan Plan;
+  Plan.Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Source, *Plan.Ctx, Diags))
+    return Plan;
+  Sema Analysis(*Plan.Ctx, Diags);
+  if (!Analysis.run())
+    return Plan;
+  ++Header.SeedsProcessed;
+
+  SkeletonExtractor Extractor(*Plan.Ctx, Analysis, Opts.Extract);
+  Plan.Units = Extractor.extract();
+  ProgramEnumerator Enumerator(Plan.Units, Opts.Mode);
+
+  // The paper's threshold: skip skeletons with too many variants.
+  BigInt Count = Enumerator.countSpe();
+  if (Count > BigInt(Opts.VariantThreshold)) {
+    ++Header.SeedsSkippedByThreshold;
+    return Plan;
+  }
+
+  // The budget caps the tested range to the first Budget ranks; the range
+  // [0, Budget) is identical for every thread count, which is what makes
+  // parallel campaigns deterministic.
+  Plan.Budget = Count;
+  if (Opts.VariantBudget != 0 && BigInt(Opts.VariantBudget) < Plan.Budget)
+    Plan.Budget = BigInt(Opts.VariantBudget);
+
+  unsigned Threads =
+      Opts.Threads != 0 ? Opts.Threads : std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  // No point spinning up more workers than budgeted variants.
+  if (Plan.Budget.fitsInUint64() && BigInt(Threads) > Plan.Budget)
+    Threads = Plan.Budget.isZero()
+                  ? 1
+                  : static_cast<unsigned>(Plan.Budget.toUint64());
+  Plan.Threads = Threads;
+
+  // Validity constraints: computed once per seed, shared read-only by every
+  // shard worker. Pruned ranks are skipped inside the cursor, so they are
+  // never rendered or interpreted.
+  if (Opts.PruneInvalid) {
+    Plan.Validity = analyzeValidity(*Plan.Ctx, Analysis, Plan.Units);
+    Plan.ValidityPtrs = constraintPtrs(Plan.Validity);
+  }
+  Plan.Ready = true;
+  return Plan;
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Checkpointed campaigns (persist/Checkpoint.h, DESIGN.md Section 11)
+//===----------------------------------------------------------------------===//
+
+namespace spe {
+
+/// Shared state of one checkpointed campaign run: the live snapshot, the
+/// oracle backing store, and the simulated-crash trigger. The state mutex
+/// M guards snapshot mutation and store flushes; the snapshot *file*
+/// write happens outside M (serialization pins the state under M, then a
+/// sequence-guarded second mutex orders the disk writes) so workers do
+/// not stall behind the largest I/O. Store drains do run under M -- the
+/// recorded StoreBytes must be consistent with the snapshot serialized
+/// in the same critical section -- but only at cadence-due events, so
+/// the fsync cost is amortized over CheckpointEveryN variants.
+struct CheckpointContext {
+  std::mutex M;
+  CampaignCheckpoint Snap;
+  OracleStore *Store = nullptr; ///< Null when no backing store is active.
+  std::string Path;
+  uint64_t EveryN = 0;
+  uint64_t CrashAfter = 0; ///< 0 = no simulated crash.
+  std::atomic<uint64_t> Variants{0};
+  std::atomic<bool> Crashed{false};
+  /// Variants enumerated since the snapshot file was last written (guarded
+  /// by M). Seed commits skip the file write until the CheckpointEveryN
+  /// cadence is due, so campaigns over many small seeds are not taxed one
+  /// write per seed; a crash redoes at most ~EveryN variants either way.
+  uint64_t SinceWrite = 0;
+  /// Monotonic snapshot generation (guarded by M) and the latest
+  /// generation actually on disk (guarded by IOMutex): concurrent
+  /// publishes may serialize in one order and reach the write lock in
+  /// another, and an older state must never overwrite a newer one.
+  uint64_t PublishSeq = 0;
+  std::mutex IOMutex;
+  uint64_t WrittenSeq = 0;
+  bool WriteWarned = false; ///< One warning per failure streak (IOMutex).
+
+  /// Writes \p Text (snapshot generation \p Seq, serialized under M) to
+  /// the snapshot file unless a newer generation already landed. Called
+  /// WITHOUT M held. Write failures are non-fatal -- persistence is
+  /// best-effort and never blocks the campaign itself -- but a campaign
+  /// silently running without the crash protection it was asked for is a
+  /// misconfiguration worth one loud line.
+  void writeSnapshot(const std::string &Text, uint64_t Seq) {
+    std::lock_guard<std::mutex> Lock(IOMutex);
+    if (Seq <= WrittenSeq)
+      return;
+    std::string Err;
+    if (atomicWriteFile(Path, Text, &Err)) {
+      WrittenSeq = Seq;
+      WriteWarned = false;
+    } else if (!WriteWarned) {
+      std::fprintf(stderr,
+                   "spe: checkpoint snapshot write failed (%s); the "
+                   "campaign continues WITHOUT crash protection until a "
+                   "write succeeds\n",
+                   Err.c_str());
+      WriteWarned = true;
+    }
+  }
+
+  /// Counts one produced variant toward the simulated crash. \returns true
+  /// when the "process" just died: the caller abandons its unpublished
+  /// work, which is exactly what SIGKILL would strand.
+  bool countVariant() {
+    if (CrashAfter == 0)
+      return false;
+    if (Variants.fetch_add(1, std::memory_order_relaxed) >= CrashAfter) {
+      Crashed.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Verdicts accepted from worker publishes but not yet appended to the
+  /// store (guarded by M). Draining -- with its fsync -- happens only when
+  /// a snapshot file write is actually due: a snapshot that never reaches
+  /// disk never references the bytes, so buffering costs nothing but
+  /// redone work after a crash.
+  std::vector<std::pair<std::string, OracleCache::Entry>> Pending;
+  /// Consecutive failed drains; past a small streak the store is disabled
+  /// (with a warning) so Pending cannot grow without bound.
+  unsigned DrainFailures = 0;
+  /// Set (never cleared) when persistent append failure disables the
+  /// store. Atomic because shard workers poll it outside M to decide
+  /// whether staging is still worthwhile; Store itself stays non-null so
+  /// no pointer is ever read and written concurrently.
+  std::atomic<bool> StoreDead{false};
+
+  /// Appends Pending to the backing store and records the new durable
+  /// length. Must precede serializing a snapshot that is about to be
+  /// written: the recorded StoreBytes must always be covered by bytes
+  /// actually on disk, so a crash between the two strands only ignorable
+  /// tail bytes (persist/OracleStore.h). A failed append (disk full,
+  /// foreign file at the store path) RETAINS Pending for retry at the
+  /// next drain -- silently dropping verdicts would let a later resume
+  /// replay less than the uninterrupted run cached, skewing the oracle
+  /// counters off the bit-identical contract. Persistent failure disables
+  /// the store loudly rather than leaking memory forever.
+  void drainPendingLocked() {
+    if (!Store || Pending.empty() ||
+        StoreDead.load(std::memory_order_relaxed))
+      return;
+    if (Store->append(Pending)) {
+      Snap.StoreBytes = Store->bytesOnDisk();
+      Pending.clear();
+      DrainFailures = 0;
+      return;
+    }
+    if (++DrainFailures >= 8) {
+      std::fprintf(stderr,
+                   "spe: oracle store '%s' failed %u consecutive appends; "
+                   "disabling it for the rest of the campaign (resume will "
+                   "recompute the unpersisted verdicts)\n",
+                   Store->path().c_str(), DrainFailures);
+      StoreDead.store(true, std::memory_order_relaxed);
+      Pending.clear();
+    }
+  }
+
+  /// Publishes worker \p W's progress; \p WriteFile additionally rewrites
+  /// the snapshot file. Mid-run publishes write (they are the only
+  /// persistence a long gap gets); the final publish of an exhausting
+  /// shard does not -- the seed-commit write follows immediately after
+  /// the join, and a crash in that window merely redoes the tail since
+  /// the last mid-run publish.
+  void publish(unsigned W, bool Finished, CursorState Cursor,
+               const CampaignResult &Partial, CoverageRegistry *Cov,
+               std::vector<std::pair<std::string, OracleCache::Entry>>
+                   &Staged,
+               uint64_t DeltaVariants, bool WriteFile) {
+    std::string Text;
+    uint64_t Seq = 0;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Crashed.load(std::memory_order_relaxed))
+        return; // The "process" is already dead; nothing more reaches disk.
+      if (!StoreDead.load(std::memory_order_relaxed))
+        Pending.insert(Pending.end(),
+                       std::make_move_iterator(Staged.begin()),
+                       std::make_move_iterator(Staged.end()));
+      Staged.clear();
+      WorkerCheckpoint &Slot = Snap.Workers[W];
+      Slot.Finished = Finished;
+      Slot.Cursor = std::move(Cursor);
+      Slot.Partial = Partial;
+      if (Cov)
+        Slot.CovHits = Cov->hitSet();
+      // Cadence accounting: \p DeltaVariants is this worker's work since
+      // its previous publish, so SinceWrite counts exactly the variants
+      // not yet covered by a file write -- no double counting between
+      // mid-run publishes and seed commits.
+      SinceWrite += DeltaVariants;
+      if (!WriteFile)
+        return;
+      drainPendingLocked();
+      Text = Snap.serialize();
+      Seq = ++PublishSeq;
+      SinceWrite = 0;
+    }
+    // Disk I/O happens outside the state mutex: other workers may keep
+    // enumerating and publishing while this snapshot reaches disk.
+    writeSnapshot(Text, Seq);
+  }
+};
+
+} // namespace spe
+
+bool DifferentialHarness::runOnSeedCheckpointed(
+    const std::string &Source, CampaignResult &Merged, CheckpointContext &Ck,
+    const std::vector<WorkerCheckpoint> *Resume, uint64_t ResumeCFp,
+    const CampaignResult *ResumeHeader, std::string &Err) const {
+  CampaignResult Header;
+  SeedPlan Plan = buildSeedPlan(Opts, Source, Header);
+
+  // Folds the finished seed into the snapshot: seeds [0, NextSeed) are now
+  // fully accounted for by Merged and the user registry's hit set. The
+  // file write is amortized on the CheckpointEveryN cadence (worker
+  // publishes accumulate their uncovered variants into SinceWrite) so
+  // campaigns over many small seeds do not pay one write per seed;
+  // EveryN == 0 means every seed boundary writes.
+  auto CommitSeed = [&]() {
+    std::string Text;
+    uint64_t Seq = 0;
+    {
+      std::lock_guard<std::mutex> Lock(Ck.M);
+      Ck.Snap.InFlight = false;
+      Ck.Snap.ConstraintsFingerprint = 0;
+      Ck.Snap.SeedHeader = CampaignResult();
+      Ck.Snap.Workers.clear();
+      ++Ck.Snap.NextSeed;
+      Ck.Snap.Merged = Merged;
+      if (Opts.Cov)
+        Ck.Snap.CovHits = Opts.Cov->hitSet();
+      if (Ck.EveryN != 0 && Ck.SinceWrite < Ck.EveryN)
+        return;
+      Ck.drainPendingLocked();
+      Text = Ck.Snap.serialize();
+      Seq = ++Ck.PublishSeq;
+      Ck.SinceWrite = 0;
+    }
+    Ck.writeSnapshot(Text, Seq);
+  };
+
+  if (!Plan.Ready) {
+    if (Resume) {
+      Err = "snapshot is mid-seed but the seed re-analyzes as rejected or "
+            "threshold-skipped (corpus or analysis skew)";
+      return false;
+    }
+    Merged.merge(Header);
+    CommitSeed();
+    return true;
+  }
+
+  uint64_t CFp = fingerprintConstraints(Plan.Validity);
+  unsigned Threads = Plan.Threads;
+  if (Resume) {
+    if (Resume->size() != Threads) {
+      Err = "snapshot has " + std::to_string(Resume->size()) +
+            " workers but the seed resolves to " + std::to_string(Threads) +
+            " (Threads option or hardware changed?)";
+      return false;
+    }
+    if (ResumeCFp != CFp) {
+      Err = "validity-constraints fingerprint mismatch (analysis skew)";
+      return false;
+    }
+    if (ResumeHeader && !(*ResumeHeader == Header)) {
+      Err = "snapshot seed header does not match the re-analyzed seed "
+            "(front-end skew)";
+      return false;
+    }
+  }
+
+  // Seat the in-flight snapshot before any worker runs, so a crash landing
+  // before the first publish resumes from the seed's start.
+  {
+    std::lock_guard<std::mutex> Lock(Ck.M);
+    Ck.Snap.InFlight = true;
+    Ck.Snap.ConstraintsFingerprint = CFp;
+    Ck.Snap.SeedHeader = Header;
+    Ck.Snap.Workers.clear();
+    if (Resume) {
+      Ck.Snap.Workers = *Resume;
+    } else {
+      Ck.Snap.Workers.resize(Threads);
+      for (unsigned W = 0; W < Threads; ++W) {
+        BigInt Begin, End;
+        cursor_detail::shardRange(BigInt(0), Plan.Budget, W, Threads, Begin,
+                                  End);
+        WorkerCheckpoint &Slot = Ck.Snap.Workers[W];
+        Slot.Cursor = {Begin.toString(), End.toString(), "0"};
+        if (Opts.Cov)
+          Slot.CovHits = Opts.Cov->hitSet();
+      }
+    }
+    // In-memory only: the on-disk file still shows the previous seed
+    // commit, from which a resume correctly re-runs this seed's prefix.
+  }
+  // Pre-spawn copy: publishes overwrite Snap.Workers while workers read
+  // their own starting states.
+  std::vector<WorkerCheckpoint> Init = Ck.Snap.Workers;
+
+  std::vector<CampaignResult> Partials(Threads);
+  std::vector<CoverageRegistry> PartialCovs;
+  if (Opts.Cov)
+    PartialCovs.assign(Threads, *Opts.Cov);
+  std::atomic<bool> BadRestore{false};
+
+  auto RunWorker = [&](unsigned W) {
+    CampaignResult &Out = Partials[W];
+    CoverageRegistry *Cov = Opts.Cov ? &PartialCovs[W] : nullptr;
+    const WorkerCheckpoint &From = Init[W];
+    Out = From.Partial;
+    if (Cov && Resume)
+      Cov->setHits(From.CovHits);
+    if (From.Finished)
+      return; // Shard fully folded pre-crash; restored verbatim.
+    ProgramCursor Cursor(Plan.Units, Opts.Mode);
+    if (!Plan.ValidityPtrs.empty())
+      Cursor.setConstraints(Plan.ValidityPtrs);
+    if (!Cursor.restoreState(From.Cursor)) {
+      BadRestore.store(true, std::memory_order_relaxed);
+      return;
+    }
+    VariantRenderer Renderer(*Plan.Ctx, Plan.Units);
+    std::string Buffer;
+    StagedVerdicts Staged;
+    uint64_t SincePublish = 0;
+    while (!Ck.Crashed.load(std::memory_order_relaxed)) {
+      const ProgramAssignment *PA = Cursor.next();
+      if (!PA)
+        break;
+      if (Ck.countVariant())
+        return; // Simulated kill: unpublished work dies with the process.
+      ++Out.VariantsEnumerated;
+      Renderer.renderInto(*PA, Buffer);
+      bool Stage = Ck.Store != nullptr &&
+                   !Ck.StoreDead.load(std::memory_order_relaxed);
+      testProgramWith(Buffer, Out, Cov, Stage ? &Staged : nullptr);
+      if (Ck.EveryN != 0 && ++SincePublish >= Ck.EveryN) {
+        Ck.publish(W, false, Cursor.saveState(), Out, Cov, Staged,
+                   SincePublish, /*WriteFile=*/true);
+        SincePublish = 0;
+      }
+    }
+    if (Ck.Crashed.load(std::memory_order_relaxed))
+      return;
+    const BigInt &Pruned = Cursor.pruned();
+    Out.VariantsPruned +=
+        Pruned.fitsInUint64() ? Pruned.toUint64() : ~uint64_t(0);
+    // The final publish folds the pruned counter and marks the shard
+    // finished; a resume restores it verbatim instead of re-running it.
+    // No file write: the seed commit right after the join persists it.
+    Ck.publish(W, true, Cursor.saveState(), Out, Cov, Staged, SincePublish,
+               /*WriteFile=*/false);
+  };
+
+  if (Threads <= 1) {
+    RunWorker(0);
+  } else {
+    std::vector<std::thread> Workers;
+    Workers.reserve(Threads);
+    for (unsigned W = 0; W < Threads; ++W)
+      Workers.emplace_back([&RunWorker, W] { RunWorker(W); });
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  if (BadRestore.load(std::memory_order_relaxed)) {
+    Err = "snapshot cursor state does not fit the seed's rank space";
+    return false;
+  }
+  if (Ck.Crashed.load(std::memory_order_relaxed))
+    return true; // Campaign aborts; the caller discards the partial result.
+
+  // Merging per-shard results in shard order reproduces the
+  // single-threaded result bit for bit.
+  Merged.merge(Header);
+  for (unsigned W = 0; W < Threads; ++W)
+    Merged.merge(Partials[W]);
+  if (Opts.Cov)
+    for (const CoverageRegistry &Cov : PartialCovs)
+      Opts.Cov->merge(Cov);
+  CommitSeed();
+  return true;
+}
+
+bool DifferentialHarness::runCheckpointed(
+    const std::vector<std::string> &Seeds, const CampaignCheckpoint *From,
+    CampaignResult &Result, std::string &Err) const {
+  CheckpointContext Ck;
+  Ck.Path = Opts.CheckpointPath;
+  Ck.EveryN = Opts.CheckpointEveryN;
+  Ck.CrashAfter = Opts.SimulateCrashAfter;
+  OracleStore Store(Opts.OracleStorePath);
+  if (!Opts.OracleStorePath.empty() && Opts.Cache)
+    Ck.Store = &Store;
+
+  size_t StartSeed = 0;
+  if (From) {
+    Result = From->Merged;
+    StartSeed = static_cast<size_t>(From->NextSeed);
+    if (Opts.Cov)
+      Opts.Cov->setHits(From->CovHits);
+    if (Ck.Store) {
+      // Restore the exact cache state the snapshot describes: drop any
+      // bytes a crash stranded past the recorded valid length, then warm
+      // the in-memory cache from the surviving prefix.
+      Store.truncateTo(From->StoreBytes);
+      Store.loadInto(*Opts.Cache, From->StoreBytes);
+    }
+  } else if (Ck.Store) {
+    // Fresh campaign, possibly warm store from an earlier generation: load
+    // its valid prefix and trim any torn tail so future appends extend a
+    // well-formed log.
+    uint64_t Valid = 0;
+    Store.loadInto(*Opts.Cache, ~uint64_t(0), &Valid);
+    if (Valid > 0)
+      Store.truncateTo(Valid);
+  }
+
+  Ck.Snap.OptionsFingerprint = fingerprintOptions(Opts);
+  Ck.Snap.SeedsFingerprint = fingerprintSeeds(Seeds);
+  Ck.Snap.StoreBytes = Ck.Store ? Store.bytesOnDisk() : 0;
+  Ck.Snap.NextSeed = StartSeed;
+  Ck.Snap.Merged = Result;
+  if (Opts.Cov)
+    Ck.Snap.CovHits = Opts.Cov->hitSet();
+  // Fresh campaigns seed the snapshot file immediately (a crash before
+  // the first publish then resumes from scratch). A *resume* must not:
+  // the on-disk file still holds the richer in-flight state we are about
+  // to re-validate, and overwriting it early would destroy exactly the
+  // progress a rejected or re-crashed resume needs to fall back on. The
+  // first publish or commit replaces it once the resume is past
+  // validation.
+  if (!From)
+    Ck.writeSnapshot(Ck.Snap.serialize(), ++Ck.PublishSeq);
+
+  for (size_t S = StartSeed; S < Seeds.size(); ++S) {
+    const std::vector<WorkerCheckpoint> *Resume =
+        (From && From->InFlight && S == StartSeed) ? &From->Workers
+                                                   : nullptr;
+    if (!runOnSeedCheckpointed(Seeds[S], Result, Ck, Resume,
+                               Resume ? From->ConstraintsFingerprint : 0,
+                               Resume ? &From->SeedHeader : nullptr, Err))
+      return false;
+    if (Ck.Crashed.load(std::memory_order_relaxed))
+      return true; // Simulated death: the caller resumes from disk.
+  }
+
+  {
+    // The Complete snapshot always writes, whatever the cadence owes, and
+    // drains any verdicts the amortized commits left buffered. Workers
+    // have joined, but keep the protocol uniform: serialize under M,
+    // write outside it.
+    std::string Text;
+    uint64_t Seq;
+    {
+      std::lock_guard<std::mutex> Lock(Ck.M);
+      Ck.drainPendingLocked();
+      Ck.Snap.Complete = true;
+      Text = Ck.Snap.serialize();
+      Seq = ++Ck.PublishSeq;
+    }
+    Ck.writeSnapshot(Text, Seq);
+  }
+
+  if (Opts.Cache)
+    Result.OracleCacheEvictions = Opts.Cache->evictions();
+  if (Ck.Store)
+    Result.OracleStoreBytes = Store.bytesOnDisk();
+  if (Opts.Triage) {
+    // Post-merge and single-threaded, so the triaged report is identical
+    // for every Opts.Threads value. Triage runs *after* the Complete
+    // snapshot: it is deterministic given the merged result plus the
+    // campaign's cache state, so a crash during triage resumes from the
+    // Complete snapshot and simply re-runs it.
+    TriageOptions T;
+    T.Cache = Opts.Cache;
+    T.InjectBugs = Opts.InjectBugs;
+    triageCampaign(Result, T);
+  }
+  return true;
+}
+
+bool DifferentialHarness::resumeCampaign(const std::vector<std::string> &Seeds,
+                                         CampaignResult &Result,
+                                         std::string &Err) const {
+  if (Opts.CheckpointPath.empty()) {
+    Err = "resumeCampaign requires HarnessOptions::CheckpointPath";
+    return false;
+  }
+  CampaignCheckpoint CP;
+  if (!CampaignCheckpoint::loadFrom(Opts.CheckpointPath, CP, Err))
+    return false;
+  if (CP.OptionsFingerprint != fingerprintOptions(Opts)) {
+    Err = "options fingerprint mismatch: the snapshot was written under "
+          "different campaign-shaping options";
+    return false;
+  }
+  if (CP.SeedsFingerprint != fingerprintSeeds(Seeds)) {
+    Err = "seed-list fingerprint mismatch: the snapshot was written for a "
+          "different corpus";
+    return false;
+  }
+  if (CP.NextSeed > Seeds.size() ||
+      (CP.InFlight && CP.NextSeed >= Seeds.size())) {
+    Err = "snapshot indexes past the seed list";
+    return false;
+  }
+
+  if (CP.Complete) {
+    // Nothing left to enumerate; reconstitute the final state (result,
+    // coverage, cache) and run the deterministic post-campaign passes.
+    Result = CP.Merged;
+    if (Opts.Cov)
+      Opts.Cov->setHits(CP.CovHits);
+    if (!Opts.OracleStorePath.empty() && Opts.Cache) {
+      OracleStore Store(Opts.OracleStorePath);
+      Store.truncateTo(CP.StoreBytes);
+      Store.loadInto(*Opts.Cache, CP.StoreBytes);
+      Result.OracleStoreBytes = Store.bytesOnDisk();
+    }
+    if (Opts.Cache)
+      Result.OracleCacheEvictions = Opts.Cache->evictions();
+    if (Opts.Triage) {
+      TriageOptions T;
+      T.Cache = Opts.Cache;
+      T.InjectBugs = Opts.InjectBugs;
+      triageCampaign(Result, T);
+    }
+    return true;
+  }
+
+  Result = CampaignResult();
+  return runCheckpointed(Seeds, &CP, Result, Err);
+}
 
 void DifferentialHarness::testProgram(const std::string &Source,
                                       CampaignResult &Result) const {
@@ -118,7 +692,8 @@ void DifferentialHarness::testProgram(const std::string &Source,
 
 void DifferentialHarness::testProgramWith(const std::string &Source,
                                           CampaignResult &Result,
-                                          CoverageRegistry *Cov) const {
+                                          CoverageRegistry *Cov,
+                                          StagedVerdicts *Staged) const {
   // The oracle verdict: replayed from the shared cache when available,
   // computed (and memoized) otherwise. All downstream counters behave
   // identically on a hit and on a miss.
@@ -135,8 +710,11 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
       Verdict.ExitCode = Ref.ExitCode;
       Verdict.Output = std::move(Ref.Output);
     }
-    if (Opts.Cache)
+    if (Opts.Cache) {
       Opts.Cache->insert(Source, Verdict);
+      if (Staged)
+        Staged->push_back({Source, Verdict});
+    }
   }
   if (!Verdict.FrontendOk)
     return;
@@ -233,59 +811,19 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
 
 void DifferentialHarness::runOnSeed(const std::string &Source,
                                     CampaignResult &Result) const {
-  auto Ctx = std::make_unique<ASTContext>();
-  DiagnosticEngine Diags;
-  if (!Parser::parse(Source, *Ctx, Diags))
+  SeedPlan Plan = buildSeedPlan(Opts, Source, Result);
+  if (!Plan.Ready)
     return;
-  Sema Analysis(*Ctx, Diags);
-  if (!Analysis.run())
-    return;
-  ++Result.SeedsProcessed;
-
-  SkeletonExtractor Extractor(*Ctx, Analysis, Opts.Extract);
-  std::vector<SkeletonUnit> Units = Extractor.extract();
-  ProgramEnumerator Enumerator(Units, Opts.Mode);
-
-  // The paper's threshold: skip skeletons with too many variants.
-  BigInt Count = Enumerator.countSpe();
-  if (Count > BigInt(Opts.VariantThreshold)) {
-    ++Result.SeedsSkippedByThreshold;
-    return;
-  }
-
-  // The budget caps the tested range to the first Budget ranks; the range
-  // [0, Budget) is identical for every thread count, which is what makes
-  // parallel campaigns deterministic.
-  BigInt Budget = Count;
-  if (Opts.VariantBudget != 0 && BigInt(Opts.VariantBudget) < Budget)
-    Budget = BigInt(Opts.VariantBudget);
-
-  unsigned Threads =
-      Opts.Threads != 0 ? Opts.Threads : std::thread::hardware_concurrency();
-  if (Threads == 0)
-    Threads = 1;
-  // No point spinning up more workers than budgeted variants.
-  if (Budget.fitsInUint64() && BigInt(Threads) > Budget)
-    Threads = Budget.isZero() ? 1 : static_cast<unsigned>(Budget.toUint64());
-
-  // Validity constraints: computed once per seed, shared read-only by every
-  // shard worker. Pruned ranks are skipped inside the cursor, so they are
-  // never rendered or interpreted.
-  std::vector<ValidityConstraints> Validity;
-  std::vector<const ValidityConstraints *> ValidityPtrs;
-  if (Opts.PruneInvalid) {
-    Validity = analyzeValidity(*Ctx, Analysis, Units);
-    ValidityPtrs = constraintPtrs(Validity);
-  }
+  unsigned Threads = Plan.Threads;
 
   auto RunShard = [&](unsigned Index, unsigned Count_, CampaignResult &Out,
                       CoverageRegistry *Cov) {
-    ProgramCursor Cursor(Units, Opts.Mode);
-    if (!ValidityPtrs.empty())
-      Cursor.setConstraints(ValidityPtrs);
-    Cursor.setEnd(Budget);
+    ProgramCursor Cursor(Plan.Units, Opts.Mode);
+    if (!Plan.ValidityPtrs.empty())
+      Cursor.setConstraints(Plan.ValidityPtrs);
+    Cursor.setEnd(Plan.Budget);
     Cursor.shard(Index, Count_);
-    VariantRenderer Renderer(*Ctx, Units);
+    VariantRenderer Renderer(*Plan.Ctx, Plan.Units);
     std::string Buffer;
     while (const ProgramAssignment *PA = Cursor.next()) {
       ++Out.VariantsEnumerated;
@@ -329,8 +867,18 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
 CampaignResult
 DifferentialHarness::runCampaign(const std::vector<std::string> &Seeds) const {
   CampaignResult Result;
+  if (!Opts.CheckpointPath.empty()) {
+    // Snapshot write failures are non-fatal (best-effort persistence) and
+    // a fresh run has no snapshot to mis-validate, so the error channel is
+    // unused here; resumeCampaign is where validation can reject.
+    std::string Err;
+    runCheckpointed(Seeds, nullptr, Result, Err);
+    return Result;
+  }
   for (const std::string &Seed : Seeds)
     runOnSeed(Seed, Result);
+  if (Opts.Cache)
+    Result.OracleCacheEvictions = Opts.Cache->evictions();
   if (Opts.Triage) {
     // Post-merge and single-threaded, so the triaged report is identical
     // for every Opts.Threads value.

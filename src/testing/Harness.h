@@ -23,16 +23,20 @@
 #include "compiler/Compiler.h"
 #include "core/SpeEnumerator.h"
 #include "skeleton/SkeletonExtractor.h"
+#include "testing/OracleCache.h"
 #include "triage/BugSignature.h"
 
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace spe {
 
-class OracleCache;
+struct CheckpointContext;
+struct WorkerCheckpoint;
+struct CampaignCheckpoint;
 
 /// Harness configuration.
 struct HarnessOptions {
@@ -78,6 +82,38 @@ struct HarnessOptions {
   /// deterministic and identical for any Threads value; reduction re-probes
   /// share this options struct's Cache when set.
   bool Triage = false;
+
+  //===--- Long-haul persistence (src/persist/, DESIGN.md Section 11) ---===//
+
+  /// When non-empty, runCampaign periodically snapshots campaign state to
+  /// this file (atomic write-then-rename) and resumeCampaign() restarts
+  /// from it. Resume is *exact*: the resumed campaign's CampaignResult and
+  /// coverage are bit-identical to the uninterrupted run's, for any thread
+  /// count -- including the oracle-cost counters, provided Cache is either
+  /// unset or backed by OracleStorePath.
+  std::string CheckpointPath;
+  /// Snapshot cadence in variants: each shard worker republishes (and
+  /// rewrites the snapshot file) after this many variants it enumerated,
+  /// and seed-boundary commits write once at least this many new variants
+  /// accumulated since the last write -- so a campaign over many small
+  /// seeds is not taxed one file write per seed, and a crash redoes at
+  /// most ~N variants per worker either way. 0 = write at every seed
+  /// boundary and never mid-seed.
+  uint64_t CheckpointEveryN = 1000;
+  /// Optional append-only on-disk backing log for Cache
+  /// (persist/OracleStore.h). Loaded at campaign start -- so a later
+  /// campaign generation over overlapping seeds starts warm -- and
+  /// flushed in lockstep with checkpoint publishes so a crash can never
+  /// leave the log ahead of the snapshot. Ignored unless CheckpointPath
+  /// is set.
+  std::string OracleStorePath;
+  /// Test hook for the kill-point battery: simulate a hard crash after
+  /// this many variants have been enumerated campaign-wide (0 = off).
+  /// Workers abandon their unpublished work with no final snapshot --
+  /// exactly what SIGKILL leaves behind -- and runCampaign returns a
+  /// partial result the caller should discard in favor of resuming from
+  /// the last on-disk checkpoint.
+  uint64_t SimulateCrashAfter = 0;
 
   /// The paper's crash-hunting matrix: -O0/-O3 x -m32/-m64 for a persona
   /// at a version.
@@ -231,6 +267,14 @@ struct CampaignResult {
   uint64_t CrashObservations = 0;
   uint64_t WrongCodeObservations = 0;
   uint64_t PerformanceObservations = 0;
+  /// Cache-lifetime snapshots, filled at campaign end from the shared
+  /// OracleCache / OracleStore when present: entries the size cap evicted,
+  /// and the backing log's on-disk size. Excluded from merge() and
+  /// operator== -- they describe the cache/store *object's* lifetime
+  /// (which may span campaign generations and depends on wall-clock
+  /// interleaving under a cap), not this campaign's deterministic work.
+  uint64_t OracleCacheEvictions = 0;
+  uint64_t OracleStoreBytes = 0;
   /// The triaged report (empty unless a triage pass ran): signature
   /// clusters sorted by signature, each holding a reduced, rank-minimized
   /// representative. Filled post-merge, so it is deterministic across
@@ -260,18 +304,63 @@ public:
   /// Enumerates one seed and tests every (variant, config) pair.
   void runOnSeed(const std::string &Source, CampaignResult &Result) const;
 
-  /// Convenience: run a whole corpus.
+  /// Convenience: run a whole corpus. With CheckpointPath set the campaign
+  /// snapshots its progress as it goes (see HarnessOptions above).
   CampaignResult runCampaign(const std::vector<std::string> &Seeds) const;
+
+  /// Restarts a checkpointed campaign from Opts.CheckpointPath: validates
+  /// the snapshot (format version, checksum, options / seed-list /
+  /// constraints fingerprints, worker-count consistency), truncates the
+  /// oracle store back to the snapshot's recorded length, reconstitutes
+  /// every in-flight shard cursor mid-prefix via restoreState, and runs
+  /// the campaign to completion. The returned result -- bugs, raw
+  /// findings, coverage, triage, and every counter -- is bit-identical to
+  /// what the uninterrupted run would have produced. \returns false with
+  /// a diagnostic in \p Err (and \p Result untouched beyond partial
+  /// clears) when the snapshot is missing, corrupt, version-skewed, or
+  /// inconsistent with \p Seeds / the options.
+  bool resumeCampaign(const std::vector<std::string> &Seeds,
+                      CampaignResult &Result, std::string &Err) const;
 
   /// Tests a single concrete program (no enumeration); used by the
   /// mutation baseline and by examples.
   void testProgram(const std::string &Source, CampaignResult &Result) const;
 
 private:
+  /// One staged oracle verdict: computed this interval, not yet flushed to
+  /// the on-disk store (flushes ride checkpoint publishes).
+  using StagedVerdicts =
+      std::vector<std::pair<std::string, OracleCache::Entry>>;
+
   /// testProgram against an explicit coverage registry (per-worker copies
-  /// in parallel campaigns).
+  /// in parallel campaigns). Freshly computed oracle verdicts are appended
+  /// to \p Staged when given, so checkpoint publishes can flush exactly
+  /// the verdicts their cursor positions account for.
   void testProgramWith(const std::string &Source, CampaignResult &Result,
-                       CoverageRegistry *Cov) const;
+                       CoverageRegistry *Cov,
+                       StagedVerdicts *Staged = nullptr) const;
+
+  /// The checkpointed campaign loop behind runCampaign/resumeCampaign;
+  /// \p From is null for a fresh campaign. \returns false with \p Err set
+  /// when a resume snapshot is inconsistent with the recomputed state.
+  bool runCheckpointed(const std::vector<std::string> &Seeds,
+                       const CampaignCheckpoint *From,
+                       CampaignResult &Result, std::string &Err) const;
+
+  /// Enumerates one seed under checkpointing: per-worker partial results
+  /// published into \p Ck every CheckpointEveryN variants. \p Resume, when
+  /// non-null, holds the snapshot worker states (with \p ResumeCFp the
+  /// snapshot's constraints fingerprint) to reconstitute instead of
+  /// sharding afresh.
+  /// \p ResumeHeader, when resuming, is the snapshot's recorded
+  /// pre-enumeration header, cross-checked against the recomputed one as
+  /// an extra skew detector.
+  bool runOnSeedCheckpointed(const std::string &Source,
+                             CampaignResult &Merged, CheckpointContext &Ck,
+                             const std::vector<WorkerCheckpoint> *Resume,
+                             uint64_t ResumeCFp,
+                             const CampaignResult *ResumeHeader,
+                             std::string &Err) const;
 
   HarnessOptions Opts;
 };

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lang/Parser.h"
+#include "persist/Checkpoint.h"
 #include "sema/Sema.h"
 #include "skeleton/ProgramEnumerator.h"
 #include "skeleton/SkeletonExtractor.h"
@@ -18,6 +19,9 @@
 #include "testing/Corpus.h"
 
 #include "gtest/gtest.h"
+
+#include <fstream>
+#include <sstream>
 
 using namespace spe;
 
@@ -141,6 +145,89 @@ TEST(GoldenSnapshotTest, SeekAddressesTheSameSequence) {
       EXPECT_EQ(Buffer, Sequential[K]) << "seed " << SI << " rank " << K;
     }
   }
+}
+
+namespace {
+
+/// A fixed, fully populated snapshot whose serialization is pinned byte
+/// for byte by tests/golden/campaign_checkpoint_v1.golden. Touch nothing
+/// here (and nothing in the serializer) without consciously regenerating
+/// the golden file AND bumping CampaignCheckpoint::FormatVersion -- an
+/// accidental layout change would strand every long-haul campaign's
+/// resume.
+CampaignCheckpoint goldenCheckpoint() {
+  CampaignCheckpoint CP;
+  CP.OptionsFingerprint = 1234567890123456789ull;
+  CP.SeedsFingerprint = 987654321098765432ull;
+  CP.StoreBytes = 2048;
+  CP.NextSeed = 2;
+
+  FoundBug Crash;
+  Crash.BugId = 3;
+  Crash.P = Persona::GccSim;
+  Crash.Effect = BugEffect::Crash;
+  Crash.Signature = "ICE: segfault in reassoc, at tree-ssa-reassoc.c:77";
+  Crash.Version = 48;
+  Crash.OptLevel = 3;
+  Crash.Mode64 = false;
+  Crash.WitnessProgram =
+      "int main(void)\n{\n  int a = 3;\n  return a * 10 + a;\n}\n";
+  CP.Merged.UniqueBugs.emplace(Crash.BugId, Crash);
+  CP.Merged.RawFindings.emplace(
+      FindingKey{Crash.BugId, Crash.P, Crash.Version, Crash.OptLevel,
+                 Crash.Mode64},
+      Crash);
+  CP.Merged.SeedsProcessed = 2;
+  CP.Merged.VariantsEnumerated = 60;
+  CP.Merged.VariantsOracleExcluded = 4;
+  CP.Merged.VariantsTested = 50;
+  CP.Merged.VariantsPruned = 6;
+  CP.Merged.OracleExecutions = 54;
+  CP.Merged.OracleCacheHits = 12;
+  CP.Merged.CrashObservations = 2;
+  CP.CovHits = {"constfold.binary", "dce.removed store"};
+
+  CP.InFlight = true;
+  CP.ConstraintsFingerprint = 1111222233334444ull;
+  CP.SeedHeader.SeedsProcessed = 1;
+  WorkerCheckpoint W0;
+  W0.Finished = false;
+  W0.Cursor = {"7", "15", "2"};
+  W0.Partial.VariantsEnumerated = 5;
+  W0.CovHits = {"licm.hoisted"};
+  WorkerCheckpoint W1;
+  W1.Finished = true;
+  W1.Cursor = {"30", "30", "0"};
+  W1.Partial.VariantsEnumerated = 15;
+  CP.Workers = {W0, W1};
+  return CP;
+}
+
+} // namespace
+
+TEST(GoldenSnapshotTest, CheckpointFormatIsPinnedByGoldenFile) {
+  // The serialized checkpoint layout is an on-disk compatibility surface:
+  // campaigns killed under one build must resume under the next. Pin the
+  // exact bytes against a checked-in golden file so any accidental format
+  // change fails CI loudly instead of silently stranding snapshots.
+  std::ifstream In(std::string(SPE_SOURCE_DIR) +
+                   "/tests/golden/campaign_checkpoint_v1.golden");
+  ASSERT_TRUE(In.good())
+      << "tests/golden/campaign_checkpoint_v1.golden is missing";
+  std::ostringstream Golden;
+  Golden << In.rdbuf();
+
+  CampaignCheckpoint CP = goldenCheckpoint();
+  EXPECT_EQ(CP.serialize(), Golden.str())
+      << "the serialized checkpoint layout changed; if deliberate, bump "
+         "CampaignCheckpoint::FormatVersion and regenerate the golden file";
+
+  // And the pinned bytes must still load as format v1.
+  CampaignCheckpoint Back;
+  std::string Err;
+  ASSERT_TRUE(CampaignCheckpoint::deserialize(Golden.str(), Back, Err))
+      << Err;
+  EXPECT_TRUE(Back == CP);
 }
 
 TEST(GoldenSnapshotTest, Figure1VariantTextIsPinnedVerbatim) {

@@ -1,0 +1,390 @@
+//===- tests/testing_resume_equivalence_test.cpp - kill-point battery ----===//
+//
+// The headline guarantee of the persistence layer: a campaign killed at an
+// *arbitrary* instant and resumed from its last on-disk checkpoint ends
+// with a CampaignResult -- unique bugs, raw findings, coverage, triage,
+// and every deterministic counter -- bit-identical to the uninterrupted
+// run, at 1, 2, and 4 worker threads. The battery interrupts a campaign at
+// every checkpoint boundary and at randomized fuzz points, with and
+// without the oracle cache + on-disk store; it also pins the rejection
+// paths (option/seed-list skew, missing snapshots) and that checkpointing
+// itself does not perturb results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+#include "testing/Corpus.h"
+#include "testing/Harness.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+using namespace spe;
+
+namespace {
+
+/// Small-but-busy campaign shape: two distinct seeds plus a repeat of the
+/// first, so the oracle cache sees real cross-seed hits whose counters the
+/// resume must reproduce exactly.
+std::vector<std::string> testSeeds() {
+  const std::vector<std::string> &Embedded = embeddedSeeds();
+  return {Embedded[0], Embedded[2], Embedded[0]};
+}
+
+HarnessOptions baseOptions(unsigned Threads) {
+  HarnessOptions Opts;
+  Opts.Configs = HarnessOptions::crashMatrix(Persona::GccSim, 48);
+  Opts.VariantBudget = 30;
+  Opts.Threads = Threads;
+  Opts.CheckpointEveryN = 5; // Small cadence: many boundaries to kill at.
+  return Opts;
+}
+
+struct TempDir {
+  std::string Dir;
+  explicit TempDir(const std::string &Name) : Dir("resume_test_tmp/" + Name) {
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+  }
+  std::string path(const char *File) const { return Dir + "/" + File; }
+};
+
+struct RunOutput {
+  CampaignResult Result;
+  CoverageRegistry Cov;
+};
+
+/// The uninterrupted reference: checkpointing on (it must not perturb
+/// anything), no crash.
+RunOutput referenceRun(unsigned Threads, bool UseCache, bool UseTriage,
+                       const std::string &Tag) {
+  TempDir T("ref_" + Tag);
+  RunOutput Out;
+  registerPassCoverageCatalog(Out.Cov);
+  OracleCache Cache;
+  HarnessOptions Opts = baseOptions(Threads);
+  Opts.Cov = &Out.Cov;
+  Opts.CheckpointPath = T.path("campaign.ck");
+  Opts.Triage = UseTriage;
+  if (UseCache) {
+    Opts.Cache = &Cache;
+    Opts.OracleStorePath = T.path("oracle.log");
+  }
+  Out.Result = DifferentialHarness(Opts).runCampaign(testSeeds());
+  return Out;
+}
+
+/// Kill the campaign after \p KillAfter variants, then resume from disk.
+/// Fresh cache/coverage objects stand in for the new process's state.
+RunOutput killAndResume(uint64_t KillAfter, unsigned Threads, bool UseCache,
+                        bool UseTriage, const std::string &Tag) {
+  TempDir T("kill_" + Tag);
+  std::vector<std::string> Seeds = testSeeds();
+
+  {
+    CoverageRegistry CrashCov;
+    registerPassCoverageCatalog(CrashCov);
+    OracleCache CrashCache;
+    HarnessOptions Opts = baseOptions(Threads);
+    Opts.Cov = &CrashCov;
+    Opts.CheckpointPath = T.path("campaign.ck");
+    Opts.Triage = UseTriage;
+    if (UseCache) {
+      Opts.Cache = &CrashCache;
+      Opts.OracleStorePath = T.path("oracle.log");
+    }
+    Opts.SimulateCrashAfter = KillAfter;
+    // The "crashed process": its return value and in-memory state die here.
+    DifferentialHarness(Opts).runCampaign(Seeds);
+  }
+
+  RunOutput Out;
+  registerPassCoverageCatalog(Out.Cov);
+  OracleCache ResumeCache;
+  HarnessOptions Opts = baseOptions(Threads);
+  Opts.Cov = &Out.Cov;
+  Opts.CheckpointPath = T.path("campaign.ck");
+  Opts.Triage = UseTriage;
+  if (UseCache) {
+    Opts.Cache = &ResumeCache;
+    Opts.OracleStorePath = T.path("oracle.log");
+  }
+  std::string Err;
+  EXPECT_TRUE(DifferentialHarness(Opts).resumeCampaign(Seeds, Out.Result,
+                                                       Err))
+      << Err;
+  return Out;
+}
+
+void expectIdentical(const RunOutput &Resumed, const RunOutput &Reference,
+                     const std::string &Tag) {
+  EXPECT_TRUE(Resumed.Result == Reference.Result)
+      << Tag << ": resumed result diverged ("
+      << Resumed.Result.VariantsEnumerated << "/"
+      << Reference.Result.VariantsEnumerated << " variants, "
+      << Resumed.Result.UniqueBugs.size() << "/"
+      << Reference.Result.UniqueBugs.size() << " bugs, "
+      << Resumed.Result.OracleExecutions << "/"
+      << Reference.Result.OracleExecutions << " oracle execs, "
+      << Resumed.Result.OracleCacheHits << "/"
+      << Reference.Result.OracleCacheHits << " cache hits)";
+  EXPECT_EQ(Resumed.Cov.hitSet(), Reference.Cov.hitSet()) << Tag;
+}
+
+} // namespace
+
+TEST(ResumeEquivalenceTest, CheckpointingItselfDoesNotPerturbResults) {
+  // A checkpointed campaign must equal the plain one bit for bit, and the
+  // final snapshot must be marked complete.
+  HarnessOptions Plain = baseOptions(1);
+  CampaignResult Reference = DifferentialHarness(Plain).runCampaign(testSeeds());
+  ASSERT_GT(Reference.VariantsEnumerated, 0u);
+
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    RunOutput Checkpointed =
+        referenceRun(Threads, false, false, "perturb_t" +
+                                                std::to_string(Threads));
+    EXPECT_TRUE(Checkpointed.Result == Reference) << Threads << " threads";
+  }
+}
+
+TEST(ResumeEquivalenceTest, KillAtEveryCheckpointBoundary) {
+  // Kill exactly at each multiple of the publish cadence -- plus K=1,
+  // death before the first publish (the crash-before-any-checkpoint
+  // recovery path; K=0 would mean "simulation off", not "die at once") --
+  // and resume; repeat per thread count.
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    std::string Tag = "bound_t" + std::to_string(Threads);
+    RunOutput Reference = referenceRun(Threads, false, false, Tag);
+    uint64_t Total = Reference.Result.VariantsEnumerated;
+    ASSERT_GT(Total, 10u);
+    std::vector<uint64_t> KillPoints = {1};
+    for (uint64_t K = 5; K < Total; K += 5)
+      KillPoints.push_back(K);
+    for (uint64_t K : KillPoints) {
+      std::string Point = Tag + "_k" + std::to_string(K);
+      RunOutput Resumed = killAndResume(K, Threads, false, false, Point);
+      expectIdentical(Resumed, Reference, Point);
+    }
+  }
+}
+
+TEST(ResumeEquivalenceTest, KillAtRandomizedFuzzPoints) {
+  // >= 20 randomized interrupt points spread over the thread counts, off
+  // the checkpoint cadence on purpose.
+  std::mt19937_64 Rng(0xC0FFEE);
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    std::string Tag = "fuzz_t" + std::to_string(Threads);
+    RunOutput Reference = referenceRun(Threads, false, false, Tag);
+    uint64_t Total = Reference.Result.VariantsEnumerated;
+    ASSERT_GT(Total, 2u);
+    for (int I = 0; I < 8; ++I) {
+      uint64_t K = 1 + Rng() % (Total - 1);
+      std::string Point = Tag + "_k" + std::to_string(K) + "_i" +
+                          std::to_string(I);
+      RunOutput Resumed = killAndResume(K, Threads, false, false, Point);
+      expectIdentical(Resumed, Reference, Point);
+    }
+  }
+}
+
+TEST(ResumeEquivalenceTest, KillPointsWithOracleCacheAndStore) {
+  // With the memoizing cache + on-disk store active the resume must also
+  // reproduce OracleExecutions / OracleCacheHits exactly: the store is
+  // truncated to the snapshot's recorded length, so verdicts computed
+  // after the last publish are recomputed exactly like the uninterrupted
+  // run computed them. The repeated seed guarantees real cache traffic.
+  std::mt19937_64 Rng(0xFEEDFACE);
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    std::string Tag = "cache_t" + std::to_string(Threads);
+    RunOutput Reference = referenceRun(Threads, true, false, Tag);
+    ASSERT_GT(Reference.Result.OracleCacheHits, 0u)
+        << "the repeated seed should produce cache hits";
+    uint64_t Total = Reference.Result.VariantsEnumerated;
+    for (int I = 0; I < 4; ++I) {
+      uint64_t K = 1 + Rng() % (Total - 1);
+      std::string Point = Tag + "_k" + std::to_string(K) + "_i" +
+                          std::to_string(I);
+      RunOutput Resumed = killAndResume(K, Threads, true, false, Point);
+      expectIdentical(Resumed, Reference, Point);
+    }
+  }
+}
+
+TEST(ResumeEquivalenceTest, SparseCheckpointCadencesStillResumeExactly) {
+  // Cadences coarser than a seed (commit writes amortized across seeds)
+  // and coarser than the whole campaign (nothing on disk but the initial
+  // snapshot at kill time) must still resume bit-identically -- they just
+  // redo more work.
+  std::mt19937_64 Rng(0xBADC0DE);
+  for (uint64_t EveryN : {40u, 100000u}) {
+    for (unsigned Threads : {1u, 2u}) {
+      std::string Tag = "sparse_n" + std::to_string(EveryN) + "_t" +
+                        std::to_string(Threads);
+      TempDir RefT("ref_" + Tag);
+      RunOutput Reference;
+      registerPassCoverageCatalog(Reference.Cov);
+      HarnessOptions RefOpts = baseOptions(Threads);
+      RefOpts.CheckpointEveryN = EveryN;
+      RefOpts.Cov = &Reference.Cov;
+      RefOpts.CheckpointPath = RefT.path("campaign.ck");
+      Reference.Result =
+          DifferentialHarness(RefOpts).runCampaign(testSeeds());
+
+      uint64_t Total = Reference.Result.VariantsEnumerated;
+      uint64_t K = 1 + Rng() % (Total - 1);
+      TempDir T("kill_" + Tag);
+      {
+        CoverageRegistry Cov;
+        registerPassCoverageCatalog(Cov);
+        HarnessOptions Opts = baseOptions(Threads);
+        Opts.CheckpointEveryN = EveryN;
+        Opts.Cov = &Cov;
+        Opts.CheckpointPath = T.path("campaign.ck");
+        Opts.SimulateCrashAfter = K;
+        DifferentialHarness(Opts).runCampaign(testSeeds());
+      }
+      RunOutput Resumed;
+      registerPassCoverageCatalog(Resumed.Cov);
+      HarnessOptions Opts = baseOptions(Threads);
+      Opts.CheckpointEveryN = EveryN;
+      Opts.Cov = &Resumed.Cov;
+      Opts.CheckpointPath = T.path("campaign.ck");
+      std::string Err;
+      ASSERT_TRUE(DifferentialHarness(Opts).resumeCampaign(
+          testSeeds(), Resumed.Result, Err))
+          << Tag << ": " << Err;
+      expectIdentical(Resumed, Reference, Tag + "_k" + std::to_string(K));
+    }
+  }
+}
+
+TEST(ResumeEquivalenceTest, TriageOutputIsIdenticalAfterResume) {
+  // Triage (dedup + reduction + rank minimization) runs post-campaign; a
+  // resumed campaign must produce the identical triaged report, including
+  // the reduction cost accounting.
+  RunOutput Reference = referenceRun(2, true, true, "triage");
+  ASSERT_FALSE(Reference.Result.Triaged.empty());
+  uint64_t Total = Reference.Result.VariantsEnumerated;
+  for (uint64_t K : {Total / 3, Total / 2}) {
+    std::string Point = "triage_k" + std::to_string(K);
+    RunOutput Resumed = killAndResume(K, 2, true, true, Point);
+    expectIdentical(Resumed, Reference, Point);
+    EXPECT_EQ(Resumed.Result.Triaged.size(), Reference.Result.Triaged.size());
+    EXPECT_TRUE(Resumed.Result.Reduction == Reference.Result.Reduction);
+  }
+}
+
+TEST(ResumeEquivalenceTest, ResumeOfACompletedCampaignReturnsTheFinalResult) {
+  TempDir T("complete");
+  std::vector<std::string> Seeds = testSeeds();
+  CoverageRegistry Cov1;
+  registerPassCoverageCatalog(Cov1);
+  HarnessOptions Opts = baseOptions(2);
+  Opts.Cov = &Cov1;
+  Opts.CheckpointPath = T.path("campaign.ck");
+  CampaignResult Reference = DifferentialHarness(Opts).runCampaign(Seeds);
+
+  CoverageRegistry Cov2;
+  registerPassCoverageCatalog(Cov2);
+  HarnessOptions ResumeOpts = baseOptions(2);
+  ResumeOpts.Cov = &Cov2;
+  ResumeOpts.CheckpointPath = T.path("campaign.ck");
+  CampaignResult Result;
+  std::string Err;
+  ASSERT_TRUE(
+      DifferentialHarness(ResumeOpts).resumeCampaign(Seeds, Result, Err))
+      << Err;
+  EXPECT_TRUE(Result == Reference);
+  EXPECT_EQ(Cov2.hitSet(), Cov1.hitSet());
+}
+
+TEST(ResumeEquivalenceTest, ResumeRejectsSkewedInputs) {
+  TempDir T("reject");
+  std::vector<std::string> Seeds = testSeeds();
+  HarnessOptions Opts = baseOptions(2);
+  Opts.CheckpointPath = T.path("campaign.ck");
+  Opts.SimulateCrashAfter = 12;
+  DifferentialHarness(Opts).runCampaign(Seeds);
+
+  CampaignResult Result;
+  std::string Err;
+  auto SnapshotBytes = [&] {
+    std::ifstream In(T.path("campaign.ck"), std::ios::binary);
+    std::ostringstream Out;
+    Out << In.rdbuf();
+    return Out.str();
+  };
+  std::string Before = SnapshotBytes();
+
+  // Different budget: options fingerprint mismatch.
+  HarnessOptions BadBudget = Opts;
+  BadBudget.SimulateCrashAfter = 0;
+  BadBudget.VariantBudget = 31;
+  EXPECT_FALSE(
+      DifferentialHarness(BadBudget).resumeCampaign(Seeds, Result, Err));
+  EXPECT_NE(Err.find("options"), std::string::npos) << Err;
+  // A rejected resume must leave the snapshot untouched: it is exactly
+  // the state a corrected retry needs.
+  EXPECT_EQ(SnapshotBytes(), Before);
+
+  // Coverage registry attached where the snapshot ran without one:
+  // options fingerprint mismatch (the snapshot recorded no hit sets to
+  // restore, so proceeding would silently skew coverage).
+  CoverageRegistry LateCov;
+  registerPassCoverageCatalog(LateCov);
+  HarnessOptions BadCov = Opts;
+  BadCov.SimulateCrashAfter = 0;
+  BadCov.Cov = &LateCov;
+  EXPECT_FALSE(
+      DifferentialHarness(BadCov).resumeCampaign(Seeds, Result, Err));
+  EXPECT_NE(Err.find("options"), std::string::npos) << Err;
+
+  // Different corpus: seed-list fingerprint mismatch.
+  HarnessOptions Good = Opts;
+  Good.SimulateCrashAfter = 0;
+  std::vector<std::string> OtherSeeds = Seeds;
+  OtherSeeds.pop_back();
+  EXPECT_FALSE(
+      DifferentialHarness(Good).resumeCampaign(OtherSeeds, Result, Err));
+  EXPECT_NE(Err.find("seed-list"), std::string::npos) << Err;
+
+  // Missing snapshot.
+  HarnessOptions NoFile = Good;
+  NoFile.CheckpointPath = T.path("nonexistent.ck");
+  EXPECT_FALSE(
+      DifferentialHarness(NoFile).resumeCampaign(Seeds, Result, Err));
+
+  // No checkpoint path configured at all.
+  HarnessOptions NoPath = Good;
+  NoPath.CheckpointPath.clear();
+  EXPECT_FALSE(
+      DifferentialHarness(NoPath).resumeCampaign(Seeds, Result, Err));
+
+  // And the unskewed resume still works.
+  ASSERT_TRUE(DifferentialHarness(Good).resumeCampaign(Seeds, Result, Err))
+      << Err;
+}
+
+TEST(ResumeEquivalenceTest, CorruptSnapshotIsRejectedNotMisread) {
+  TempDir T("corrupt");
+  std::vector<std::string> Seeds = testSeeds();
+  HarnessOptions Opts = baseOptions(1);
+  Opts.CheckpointPath = T.path("campaign.ck");
+  Opts.SimulateCrashAfter = 9;
+  DifferentialHarness(Opts).runCampaign(Seeds);
+  Opts.SimulateCrashAfter = 0;
+
+  // Truncate the snapshot file (as a torn write outside the atomic rename
+  // protocol would): resume must reject it.
+  auto Bytes = std::filesystem::file_size(T.path("campaign.ck"));
+  std::filesystem::resize_file(T.path("campaign.ck"), Bytes / 2);
+  CampaignResult Result;
+  std::string Err;
+  EXPECT_FALSE(DifferentialHarness(Opts).resumeCampaign(Seeds, Result, Err));
+  EXPECT_NE(Err.find("checksum"), std::string::npos) << Err;
+}
