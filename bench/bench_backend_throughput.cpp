@@ -1,0 +1,121 @@
+//===- bench/bench_backend_throughput.cpp - backend cost comparison ------===//
+//
+// What does trading the in-process MiniCC personas for a real subprocess
+// compiler cost? Runs the same budgeted embedded-seed campaign through
+// both backends and reports variants/sec side by side, plus the raw
+// process-spawn overhead (fork/exec/wait of /bin/true) that bounds any
+// subprocess backend from below. Emits BENCH_backend_throughput.json so
+// the trajectory is machine-comparable across PRs; the external half is
+// skipped (with a reason) when no host compiler is on PATH.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "compiler/ExternalBackend.h"
+#include "support/ProcessRunner.h"
+#include "testing/Corpus.h"
+#include "testing/Harness.h"
+
+#include <chrono>
+
+using namespace spe;
+using namespace spe::bench;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+HarnessOptions campaignOptions() {
+  HarnessOptions Opts;
+  Opts.Configs = {{Persona::GccSim, 70, 0, true},
+                  {Persona::GccSim, 70, 2, true}};
+  Opts.VariantBudget = 6;
+  return Opts;
+}
+
+std::vector<std::string> campaignSeeds() {
+  return {embeddedSeeds()[2], embeddedSeeds()[5], embeddedSeeds()[6]};
+}
+
+} // namespace
+
+int main() {
+  BenchJson Json("backend_throughput");
+  std::vector<std::string> Seeds = campaignSeeds();
+
+  header("Raw subprocess overhead (ProcessRunner)");
+  {
+    const int N = 40;
+    auto T0 = std::chrono::steady_clock::now();
+    for (int I = 0; I < N; ++I)
+      (void)runProcess({"/bin/true"});
+    double PerSpawnMs = secondsSince(T0) * 1000.0 / N;
+    std::printf("fork+exec+wait(/bin/true): %.2f ms/process\n", PerSpawnMs);
+    Json.put("process_spawn_ms", PerSpawnMs);
+  }
+
+  header("In-process MiniCC backend");
+  uint64_t InprocTested = 0;
+  {
+    HarnessOptions Opts = campaignOptions();
+    auto T0 = std::chrono::steady_clock::now();
+    CampaignResult R = DifferentialHarness(Opts).runCampaign(Seeds);
+    double Secs = secondsSince(T0);
+    InprocTested = R.VariantsTested;
+    double PerSec = Secs > 0 ? static_cast<double>(R.VariantsTested) / Secs
+                             : 0.0;
+    std::printf("%llu variants tested in %.3f s  (%.1f variants/sec, "
+                "%zu configs each)\n",
+                static_cast<unsigned long long>(R.VariantsTested), Secs,
+                PerSec, Opts.Configs.size());
+    Json.put("inproc_variants_tested", R.VariantsTested);
+    Json.put("inproc_seconds", Secs);
+    Json.put("inproc_variants_per_sec", PerSec);
+  }
+
+  header("External subprocess backend (host cc)");
+  {
+    ExternalBackend Backend;
+    Json.put("external_available", Backend.available() ? 1 : 0);
+    if (!Backend.available()) {
+      std::printf("skipped: %s\n", Backend.unavailableReason().c_str());
+      Json.put("external_skip_reason", Backend.unavailableReason());
+    } else {
+      std::printf("compiler: %s\n", Backend.versionLine().c_str());
+      HarnessOptions Opts = campaignOptions();
+      Opts.Backend = &Backend;
+      auto T0 = std::chrono::steady_clock::now();
+      CampaignResult R = DifferentialHarness(Opts).runCampaign(Seeds);
+      double Secs = secondsSince(T0);
+      double PerSec = Secs > 0
+                          ? static_cast<double>(R.VariantsTested) / Secs
+                          : 0.0;
+      // Each tested variant costs one compile+run per configuration.
+      uint64_t Invocations = R.VariantsTested * Opts.Configs.size();
+      double PerVariantMs =
+          Invocations > 0 ? Secs * 1000.0 / static_cast<double>(Invocations)
+                          : 0.0;
+      std::printf("%llu variants tested in %.3f s  (%.1f variants/sec, "
+                  "%.1f ms per compile+run)\n",
+                  static_cast<unsigned long long>(R.VariantsTested), Secs,
+                  PerSec, PerVariantMs);
+      if (R.VariantsTested != InprocTested)
+        std::printf("note: tested-variant counts differ between backends "
+                    "(%llu vs %llu) -- oracle exclusion is backend-"
+                    "independent, so this indicates host rejections\n",
+                    static_cast<unsigned long long>(InprocTested),
+                    static_cast<unsigned long long>(R.VariantsTested));
+      Json.put("external_variants_tested", R.VariantsTested);
+      Json.put("external_seconds", Secs);
+      Json.put("external_variants_per_sec", PerSec);
+      Json.put("external_per_invocation_ms", PerVariantMs);
+      Json.put("external_version", Backend.versionLine());
+    }
+  }
+
+  Json.write();
+  return 0;
+}

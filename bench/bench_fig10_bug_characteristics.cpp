@@ -51,7 +51,10 @@ int main() {
   std::map<std::string, std::pair<unsigned, unsigned>> ByComponent;
 
   for (const auto &[Id, Found] : Result.UniqueBugs) {
-    const InjectedBug &B = bugDatabase()[static_cast<size_t>(Id) - 1];
+    const InjectedBug *Truth = findBug(Id);
+    if (!Truth)
+      continue; // Signature-only finding; no ground-truth metadata.
+    const InjectedBug &B = *Truth;
     bool Fixed = simulatedFixed(Id);
     auto Bump = [&](std::pair<unsigned, unsigned> &Slot) {
       ++Slot.first;

@@ -41,9 +41,10 @@ int main() {
   std::printf("%-4s %-10s %-12s %-20s %s\n", "Id", "Persona", "Effect",
               "Component", "Signature");
   for (const auto &[Id, Bug] : Result.UniqueBugs) {
-    const InjectedBug &Truth = bugDatabase()[static_cast<size_t>(Id) - 1];
+    const InjectedBug *Truth = findBug(Id);
     std::printf("#%-3d %-10s %-12s %-20s %.60s\n", Id, personaName(Bug.P),
-                bugEffectName(Bug.Effect), Truth.Component.c_str(),
+                bugEffectName(Bug.Effect),
+                Truth ? Truth->Component.c_str() : "?",
                 Bug.Signature.c_str());
   }
 

@@ -1,0 +1,100 @@
+//===- compiler/Backend.cpp - pluggable compiler backends ----------------===//
+
+#include "compiler/Backend.h"
+
+#include "compiler/Compiler.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+
+#include <memory>
+
+using namespace spe;
+
+std::unique_ptr<ASTContext> spe::parseAndAnalyze(const std::string &Source) {
+  auto Ctx = std::make_unique<ASTContext>();
+  DiagnosticEngine Diags;
+  if (!Parser::parse(Source, *Ctx, Diags))
+    return nullptr;
+  Sema Analysis(*Ctx, Diags);
+  if (!Analysis.run())
+    return nullptr;
+  return Ctx;
+}
+
+BackendObservation InProcessBackend::run(const std::string &Source,
+                                         const CompilerConfig &Config,
+                                         CoverageRegistry *Cov) const {
+  std::unique_ptr<ASTContext> Ctx = parseAndAnalyze(Source);
+  if (!Ctx)
+    return {}; // Rejected.
+  return runOn(*Ctx, Config, Cov);
+}
+
+BackendObservation InProcessBackend::runOn(ASTContext &Ctx,
+                                           const CompilerConfig &Config,
+                                           CoverageRegistry *Cov) const {
+  BackendObservation Obs;
+  MiniCompiler CC(Config, Cov, InjectBugs);
+  CompileResult R = CC.compile(Ctx);
+  if (R.St == CompileResult::Status::Rejected)
+    return Obs;
+  Obs.FiredBugs = std::move(R.FiredBugs);
+  if (R.crashed()) {
+    Obs.Compile = BackendObservation::CompileStatus::Crashed;
+    Obs.CrashSignature = std::move(R.CrashSignature);
+    Obs.CrashBugId = R.CrashBugId;
+    return Obs;
+  }
+  Obs.Compile = BackendObservation::CompileStatus::Ok;
+  // The MiniCC cost model: a fired Performance bug inflates compile cost
+  // past the paper's pathological threshold.
+  Obs.CompileTimeAnomaly = R.CompileCost > 1'000'000;
+
+  VMResult V = executeModule(R.Module);
+  switch (V.Status) {
+  case VMStatus::Ok:
+    Obs.Exec = BackendObservation::ExecStatus::Ok;
+    break;
+  case VMStatus::Trap:
+    Obs.Exec = BackendObservation::ExecStatus::Trap;
+    break;
+  case VMStatus::Timeout:
+    Obs.Exec = BackendObservation::ExecStatus::Timeout;
+    break;
+  }
+  Obs.ExitCode = V.ExitCode;
+  Obs.Output = std::move(V.Output);
+  return Obs;
+}
+
+std::string spe::classifyDivergence(const BackendObservation &Obs,
+                                    int64_t OracleExitCode,
+                                    const std::string &OracleOutput) {
+  switch (Obs.Exec) {
+  case BackendObservation::ExecStatus::NotRun:
+    return "";
+  case BackendObservation::ExecStatus::Timeout:
+    // The oracle terminated (only oracle-Ok variants reach comparison),
+    // so a non-terminating compiled module is a genuine divergence.
+    return "miscompilation (hang)";
+  case BackendObservation::ExecStatus::Trap:
+    return "miscompilation (trap)";
+  case BackendObservation::ExecStatus::Ok:
+    break;
+  }
+  int64_t Got = Obs.ExitCode;
+  int64_t Want = OracleExitCode;
+  if (Obs.ExitCodeLow8) {
+    // A POSIX wait status keeps main's return value modulo 256; compare
+    // what actually survived so large oracle exit codes cannot fabricate
+    // divergences.
+    Got &= 0xFF;
+    Want &= 0xFF;
+  }
+  if (Got != Want)
+    return "miscompilation (exit " + std::to_string(Got) +
+           " != " + std::to_string(Want) + ")";
+  if (Obs.Output != OracleOutput)
+    return "miscompilation (output)";
+  return "";
+}

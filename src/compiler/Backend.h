@@ -1,0 +1,148 @@
+//===- compiler/Backend.h - pluggable compiler backends ------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler-under-test abstraction of the differential harness. The
+/// paper's headline result is 217 bugs in *real* GCC and Clang; this
+/// interface is what lets one campaign loop drive either the in-process
+/// MiniCC personas (ground-truth injected bugs, used by every bench that
+/// reports found/missed precisely) or an external host compiler invoked as
+/// a subprocess (compiler/ExternalBackend.h, no ground truth -- findings
+/// flow through signature-only triage exactly as the paper's authors'
+/// did).
+///
+/// A backend turns (variant text, configuration) into one behavioral
+/// observation: how compilation ended, whether compile time blew up, and
+/// -- when a binary was produced -- how it ran. Classification against the
+/// reference oracle stays in the harness (and in reduce/BugRepro.h via the
+/// shared classifyDivergence), so the two can never drift on what counts
+/// as a divergence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMPILER_BACKEND_H
+#define SPE_COMPILER_BACKEND_H
+
+#include "compiler/Bugs.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+class ASTContext;
+class CoverageRegistry;
+
+/// The shared front-end gate: parse + Sema, null on any failure. One
+/// definition serves the harness, the repro oracle, and the in-process
+/// backend, so what counts as "frontend-valid" cannot desynchronize
+/// between them.
+std::unique_ptr<ASTContext> parseAndAnalyze(const std::string &Source);
+
+/// One compile-and-run observation of a variant under a configuration.
+struct BackendObservation {
+  enum class CompileStatus {
+    Ok,       ///< A runnable artifact was produced.
+    Crashed,  ///< The compiler itself died (ICE / assertion / signal).
+    Rejected, ///< Diagnosed and refused; not a bug observation.
+    TimedOut, ///< Compilation exceeded its wall-clock budget.
+  };
+  CompileStatus Compile = CompileStatus::Rejected;
+  /// Crash signature text (CompileStatus::Crashed): the assertion or ICE
+  /// line for MiniCC; the normalized stderr marker line for external
+  /// compilers.
+  std::string CrashSignature;
+  /// Ground-truth injected bug behind the crash, or 0 when unknown (always
+  /// 0 for external backends).
+  int CrashBugId = 0;
+  /// All ground-truth bugs that fired during compilation; empty when the
+  /// backend has none. The harness looks ids up with findBug(), so foreign
+  /// or empty id sets are safe.
+  std::vector<int> FiredBugs;
+  /// Pathological compile time: MiniCC's inflated cost model, or an
+  /// external compile that needed killing (CompileStatus::TimedOut).
+  bool CompileTimeAnomaly = false;
+
+  enum class ExecStatus {
+    NotRun,  ///< No artifact to execute (crash/reject/timeout).
+    Ok,      ///< Ran to completion; ExitCode and Output are meaningful.
+    Trap,    ///< Died abnormally (VM trap, or a signal for subprocesses).
+    Timeout, ///< Execution budget expired -- the hang-divergence case.
+  };
+  ExecStatus Exec = ExecStatus::NotRun;
+  int64_t ExitCode = 0;
+  /// True when ExitCode passed through a POSIX wait status and only its
+  /// low 8 bits are meaningful; divergence comparison masks both sides.
+  bool ExitCodeLow8 = false;
+  std::string Output;
+};
+
+/// A compiler under differential test. Implementations must be const-callable
+/// from concurrent shard workers.
+class CompilerBackend {
+public:
+  virtual ~CompilerBackend() = default;
+
+  /// Stable identity folded into checkpoint fingerprints (persist/): for
+  /// external backends the command-line template plus the compiler's
+  /// --version banner, so a snapshot written against one compiler can
+  /// never be resumed against another.
+  virtual std::string identity() const = 0;
+
+  /// True when observations carry ground-truth injected-bug ids. Without
+  /// ground truth the harness records findings as signature-only clusters
+  /// (FoundBug::BugId 0, keyed by normalized signature).
+  virtual bool hasGroundTruth() const = 0;
+
+  /// Compiles \p Source under \p Config and, when a runnable artifact
+  /// results, executes it. \p Cov is forwarded to backends that support
+  /// coverage instrumentation and ignored by the rest.
+  virtual BackendObservation run(const std::string &Source,
+                                 const CompilerConfig &Config,
+                                 CoverageRegistry *Cov) const = 0;
+};
+
+/// The historical in-process driver: parse + Sema + MiniCompiler + VM.
+/// Behavior-preserving refactor of the loop body the harness ran inline
+/// before backends existed.
+class InProcessBackend final : public CompilerBackend {
+public:
+  explicit InProcessBackend(bool InjectBugs = true)
+      : InjectBugs(InjectBugs) {}
+
+  std::string identity() const override { return "minicc"; }
+  bool hasGroundTruth() const override { return true; }
+  BackendObservation run(const std::string &Source,
+                         const CompilerConfig &Config,
+                         CoverageRegistry *Cov) const override;
+
+  /// In-process fast path: compile + execute an already-analyzed unit,
+  /// skipping the re-parse run() would perform. Used where the caller
+  /// still holds the AST it built for the oracle verdict.
+  BackendObservation runOn(ASTContext &Ctx, const CompilerConfig &Config,
+                           CoverageRegistry *Cov) const;
+
+private:
+  bool InjectBugs;
+};
+
+/// Classifies one executed observation against the reference oracle's
+/// verdict. \returns the raw wrong-code signature -- "miscompilation
+/// (hang)" for an execution timeout, "(trap)", "(exit A != B)", or
+/// "(output)" -- or the empty string when behaviors agree. Exit codes are
+/// masked to their low 8 bits when the observation says only those
+/// survived the wait status. Shared by the harness and the reduction
+/// pipeline's repro oracle so the divergence definition cannot drift.
+std::string classifyDivergence(const BackendObservation &Obs,
+                               int64_t OracleExitCode,
+                               const std::string &OracleOutput);
+
+} // namespace spe
+
+#endif // SPE_COMPILER_BACKEND_H

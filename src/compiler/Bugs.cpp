@@ -176,6 +176,20 @@ const std::vector<InjectedBug> &spe::bugDatabase() {
   return Bugs;
 }
 
+const InjectedBug *spe::findBug(int Id) {
+  const std::vector<InjectedBug> &DB = bugDatabase();
+  // Ids are assigned densely (1..N) today, so the fast path is a bounds
+  // check plus one probe; the fallback scan keeps the lookup correct if
+  // the density convention ever changes.
+  if (Id >= 1 && static_cast<size_t>(Id) <= DB.size() &&
+      DB[static_cast<size_t>(Id) - 1].Id == Id)
+    return &DB[static_cast<size_t>(Id) - 1];
+  for (const InjectedBug &B : DB)
+    if (B.Id == Id)
+      return &B;
+  return nullptr;
+}
+
 std::vector<const InjectedBug *> spe::bugsOf(Persona P) {
   std::vector<const InjectedBug *> Result;
   for (const InjectedBug &B : bugDatabase())

@@ -93,6 +93,12 @@ struct InjectedBug {
 /// The full ground-truth population for both personas. Deterministic.
 const std::vector<InjectedBug> &bugDatabase();
 
+/// Checked lookup by ground-truth id; null when \p Id is not in the
+/// database. Callers must use this instead of indexing bugDatabase()
+/// directly: backends without ground truth report empty or foreign
+/// FiredBugs ids, and an unchecked `[Id - 1]` would read out of bounds.
+const InjectedBug *findBug(int Id);
+
 /// \returns the bugs of one persona.
 std::vector<const InjectedBug *> bugsOf(Persona P);
 

@@ -1,0 +1,241 @@
+//===- compiler/ExternalBackend.cpp - real-compiler subprocess driver ----===//
+
+#include "compiler/ExternalBackend.h"
+
+#include "support/ProcessRunner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace spe;
+
+namespace {
+
+/// Writes \p Text to \p Path; \returns false on any I/O failure.
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  return Ok;
+}
+
+std::string firstLine(const std::string &Text) {
+  size_t NL = Text.find('\n');
+  std::string Line = NL == std::string::npos ? Text : Text.substr(0, NL);
+  while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+    Line.pop_back();
+  return Line;
+}
+
+/// Marker substrings that distinguish "the compiler died" from "the
+/// compiler diagnosed the program". Shared across GCC and Clang stderr
+/// shapes.
+bool isCrashMarker(const std::string &Line) {
+  return Line.find("internal compiler error") != std::string::npos ||
+         Line.find("Internal compiler error") != std::string::npos ||
+         Line.find("Assertion") != std::string::npos ||
+         Line.find("error in backend") != std::string::npos ||
+         Line.find("fatal error: error in") != std::string::npos ||
+         Line.find("PLEASE submit a bug report") != std::string::npos ||
+         Line.find("Segmentation fault") != std::string::npos;
+}
+
+} // namespace
+
+std::string
+ExternalBackend::extractCrashSignature(const std::string &Stderr,
+                                       const std::string &Fallback) {
+  size_t Start = 0;
+  while (Start <= Stderr.size()) {
+    size_t NL = Stderr.find('\n', Start);
+    if (NL == std::string::npos)
+      NL = Stderr.size();
+    std::string Line = Stderr.substr(Start, NL - Start);
+    Start = NL + 1;
+    if (!isCrashMarker(Line))
+      continue;
+    // Strip the variant-specific "path/to/spe-ext-1234-5.c:3:7: " prefix:
+    // everything up to the last ": " before the marker keyword would be
+    // too aggressive (assertion texts embed colons), so strip only a
+    // leading "<token-without-spaces>: " whose token contains a path-ish
+    // ':' separated location.
+    size_t FirstSpace = Line.find(' ');
+    if (FirstSpace != std::string::npos && FirstSpace > 0 &&
+        Line[FirstSpace - 1] == ':' &&
+        Line.find(':') < FirstSpace - 1)
+      Line = Line.substr(FirstSpace + 1);
+    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+      Line.pop_back();
+    if (!Line.empty())
+      return Line;
+  }
+  return Fallback;
+}
+
+ExternalBackend::ExternalBackend(ExternalBackendOptions O)
+    : Opts(std::move(O)) {
+  if (Opts.Command.empty()) {
+    Unavailable = "empty compiler command";
+    return;
+  }
+  std::vector<std::string> Argv = Opts.Command;
+  Argv.push_back("--version");
+  ProcessOptions PO;
+  PO.TimeoutMs = 10'000;
+  ProcessResult R = runProcess(Argv, PO);
+  if (R.St == ProcessResult::Status::StartFailed) {
+    Unavailable = R.Error;
+    return;
+  }
+  if (!R.exitedWith(0)) {
+    Unavailable = "'" + Opts.Command[0] + " --version' did not exit 0";
+    return;
+  }
+  Version = firstLine(R.Stdout.empty() ? R.Stderr : R.Stdout);
+  Available = true;
+}
+
+std::string ExternalBackend::identity() const {
+  // Command line + --version banner: the resume fingerprint must change
+  // whenever either does, so a checkpoint can never silently continue
+  // against a different compiler or flag set.
+  std::string Id = "external:";
+  for (const std::string &A : Opts.Command)
+    Id += " " + A;
+  for (const std::string &A : Opts.ExtraArgs)
+    Id += " " + A;
+  Id += Opts.MapOptLevel ? " [-O]" : "";
+  Id += Opts.MapMachineMode ? " [-m]" : "";
+  Id += " | " + (Available ? Version : "unavailable: " + Unavailable);
+  return Id;
+}
+
+void ExternalBackend::warnInfra(const std::string &What) const {
+  if (InfraWarned.exchange(true, std::memory_order_relaxed))
+    return;
+  std::fprintf(stderr,
+               "spe: external backend infrastructure failure (%s); affected "
+               "variants are skipped, not classified -- further failures "
+               "of this backend are silent\n",
+               What.c_str());
+}
+
+std::string ExternalBackend::scratchBase() const {
+  std::string Dir = Opts.TempDir;
+  if (Dir.empty()) {
+    const char *Env = std::getenv("TMPDIR");
+    Dir = Env && *Env ? Env : "/tmp";
+  }
+  if (!Dir.empty() && Dir.back() == '/')
+    Dir.pop_back();
+  return Dir + "/spe-ext-" + std::to_string(static_cast<long>(getpid())) +
+         "-" + std::to_string(Seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+BackendObservation ExternalBackend::run(const std::string &Source,
+                                        const CompilerConfig &Config,
+                                        CoverageRegistry *Cov) const {
+  (void)Cov; // No instrumentation hooks into a foreign compiler.
+  BackendObservation Obs;
+  if (!Available)
+    return Obs; // Rejected: probe() already told the caller why.
+
+  std::string Base = scratchBase();
+  std::string Src = Base + ".c";
+  std::string Bin = Base + ".bin";
+  struct Cleanup {
+    const ExternalBackend *B;
+    std::string Src, Bin;
+    ~Cleanup() {
+      if (!B->Opts.KeepArtifacts) {
+        std::remove(Src.c_str());
+        std::remove(Bin.c_str());
+      }
+    }
+  } Scope{this, Src, Bin};
+
+  if (!writeFile(Src, Opts.Prelude + Source)) {
+    warnInfra("cannot write scratch file " + Src);
+    return Obs;
+  }
+
+  std::vector<std::string> Argv = Opts.Command;
+  Argv.insert(Argv.end(), Opts.ExtraArgs.begin(), Opts.ExtraArgs.end());
+  if (Opts.MapOptLevel)
+    Argv.push_back("-O" + std::to_string(Config.OptLevel));
+  if (Opts.MapMachineMode)
+    Argv.push_back(Config.Mode64 ? "-m64" : "-m32");
+  Argv.push_back(Src);
+  Argv.push_back("-o");
+  Argv.push_back(Bin);
+
+  ProcessOptions PO;
+  PO.TimeoutMs = Opts.CompileTimeoutMs;
+  ProcessResult C = runProcess(Argv, PO);
+  switch (C.St) {
+  case ProcessResult::Status::StartFailed:
+    // A compiler that probed fine but cannot start now (deleted binary,
+    // fork pressure): the variant is skipped like a rejection, but a
+    // campaign silently degrading into "everything rejected, zero
+    // findings" is a misconfiguration worth one loud line.
+    warnInfra("cannot start compiler: " + C.Error);
+    return Obs;
+  case ProcessResult::Status::TimedOut:
+    Obs.Compile = BackendObservation::CompileStatus::TimedOut;
+    Obs.CompileTimeAnomaly = true;
+    return Obs;
+  case ProcessResult::Status::Signaled:
+    Obs.Compile = BackendObservation::CompileStatus::Crashed;
+    Obs.CrashSignature = extractCrashSignature(
+        C.Stderr, "compiler killed by signal " + std::to_string(C.Signal));
+    return Obs;
+  case ProcessResult::Status::Exited:
+    break;
+  }
+  if (C.ExitCode != 0) {
+    // Distinguish "died with a diagnostic banner" (ICE, assertion) from a
+    // plain rejection: GCC's cc1 segfault surfaces as driver exit 1 plus
+    // an "internal compiler error" line, not as a signal here.
+    std::string Sig = extractCrashSignature(C.Stderr, "");
+    if (Sig.empty()) {
+      Obs.Compile = BackendObservation::CompileStatus::Rejected;
+      return Obs;
+    }
+    Obs.Compile = BackendObservation::CompileStatus::Crashed;
+    Obs.CrashSignature = std::move(Sig);
+    return Obs;
+  }
+
+  Obs.Compile = BackendObservation::CompileStatus::Ok;
+  ProcessOptions RO;
+  RO.TimeoutMs = Opts.ExecTimeoutMs;
+  ProcessResult R = runProcess({Bin}, RO);
+  switch (R.St) {
+  case ProcessResult::Status::StartFailed:
+    // We never ran the binary -- transient fork pressure, or an artifact
+    // the compiler claimed and did not deliver. Either way this is an
+    // infrastructure fact, not a behavioral observation: leave Exec at
+    // NotRun so no wrong-code finding can be fabricated from it, and say
+    // so once.
+    warnInfra("cannot execute compiled binary: " + R.Error);
+    return Obs;
+  case ProcessResult::Status::TimedOut:
+    Obs.Exec = BackendObservation::ExecStatus::Timeout;
+    return Obs;
+  case ProcessResult::Status::Signaled:
+    Obs.Exec = BackendObservation::ExecStatus::Trap;
+    return Obs;
+  case ProcessResult::Status::Exited:
+    Obs.Exec = BackendObservation::ExecStatus::Ok;
+    Obs.ExitCode = R.ExitCode;
+    Obs.ExitCodeLow8 = true;
+    Obs.Output = std::move(R.Stdout);
+    return Obs;
+  }
+  return Obs;
+}

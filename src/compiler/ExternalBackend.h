@@ -1,0 +1,114 @@
+//===- compiler/ExternalBackend.h - real-compiler subprocess driver ------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend the paper actually describes: render the variant to a file,
+/// invoke a real host compiler (cc/gcc/clang) as a subprocess, run the
+/// produced binary, and classify crash / reject / wrong-code / timeout.
+/// Built on support/ProcessRunner.h; thread-safe (every run gets uniquely
+/// named scratch files).
+///
+/// Mapping from CompilerConfig: OptLevel becomes -O<n>; Mode64 becomes
+/// -m64/-m32 when MapMachineMode is on (off by default -- 32-bit support
+/// libraries are frequently absent); Persona/Version are carried through
+/// to findings as labels but do not change the command line -- point
+/// different ExternalBackend instances at different compilers to test
+/// several personas for real.
+///
+/// There is no ground truth here. Compiler crashes are keyed by the marker
+/// line fished out of stderr ("internal compiler error: ...", assertion
+/// failures, backend fatals) with the variant-specific file/line prefix
+/// stripped; wrong-code findings carry the divergence kind. Everything
+/// dedups through the signature-only triage path (FoundBug::BugId == 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMPILER_EXTERNALBACKEND_H
+#define SPE_COMPILER_EXTERNALBACKEND_H
+
+#include "compiler/Backend.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// Command-line template and budgets for one external compiler.
+struct ExternalBackendOptions {
+  /// Compiler argv prefix; Argv[0] is resolved through PATH.
+  std::vector<std::string> Command = {"cc"};
+  /// Arguments appended right after Command on every compile. "-w" keeps
+  /// ordinary warnings out of the stderr stream the crash scanner reads.
+  std::vector<std::string> ExtraArgs = {"-w"};
+  /// Append -O<OptLevel> from the CompilerConfig under test.
+  bool MapOptLevel = true;
+  /// Append -m64 / -m32 from CompilerConfig::Mode64. Off by default: the
+  /// -m32 runtime is often not installed, and a missing libc must not be
+  /// misread as ten thousand rejection findings.
+  bool MapMachineMode = false;
+  uint64_t CompileTimeoutMs = 30'000;
+  uint64_t ExecTimeoutMs = 5'000;
+  /// Text prepended to every variant before it reaches the compiler.
+  /// Variants are mini-C programs that may call printf; real compilers
+  /// want the declaration.
+  std::string Prelude = "#include <stdio.h>\n";
+  /// Scratch directory for .c/.bin files; empty = $TMPDIR or /tmp.
+  std::string TempDir;
+  /// Keep scratch files instead of unlinking them (debugging).
+  bool KeepArtifacts = false;
+};
+
+/// Drives one real host compiler through support/ProcessRunner.
+class ExternalBackend final : public CompilerBackend {
+public:
+  /// Probes `Command --version` once at construction; a backend whose
+  /// compiler cannot be executed stays constructible (available() false,
+  /// every run() rejecting) so callers can report the reason and skip.
+  explicit ExternalBackend(ExternalBackendOptions Opts = {});
+
+  /// True when the version probe succeeded and runs can proceed.
+  bool available() const { return Available; }
+  /// Human-readable reason when available() is false.
+  const std::string &unavailableReason() const { return Unavailable; }
+  /// First line of the probed `--version` output.
+  const std::string &versionLine() const { return Version; }
+
+  std::string identity() const override;
+  bool hasGroundTruth() const override { return false; }
+  BackendObservation run(const std::string &Source,
+                         const CompilerConfig &Config,
+                         CoverageRegistry *Cov) const override;
+
+  const ExternalBackendOptions &options() const { return Opts; }
+
+  /// Extracts the stable crash key from a crashed compiler's stderr: the
+  /// first marker line (internal compiler error / assertion / backend
+  /// fatal) with its leading "file:line:col:" prefix stripped, or
+  /// \p Fallback when no marker is present. Exposed for tests.
+  static std::string extractCrashSignature(const std::string &Stderr,
+                                           const std::string &Fallback);
+
+private:
+  std::string scratchBase() const;
+  /// One loud line on the first infrastructure failure (scratch write,
+  /// fork/exec of compiler or binary); such variants are skipped, never
+  /// classified, so they cannot fabricate findings.
+  void warnInfra(const std::string &What) const;
+
+  ExternalBackendOptions Opts;
+  bool Available = false;
+  std::string Unavailable;
+  std::string Version;
+  mutable std::atomic<uint64_t> Seq{0};
+  mutable std::atomic<bool> InfraWarned{false};
+};
+
+} // namespace spe
+
+#endif // SPE_COMPILER_EXTERNALBACKEND_H

@@ -2,6 +2,7 @@
 
 #include "persist/Checkpoint.h"
 
+#include "compiler/Backend.h"
 #include "persist/OracleStore.h"
 
 #include <cstdio>
@@ -18,7 +19,7 @@ using namespace spe;
 
 namespace {
 
-const char Magic[] = "SPE-CHECKPOINT v1";
+const char Magic[] = "SPE-CHECKPOINT v2";
 
 /// Incremental FNV-1a over decimal-text renderings, so fingerprints and the
 /// file checksum are independent of host endianness and word size.
@@ -119,7 +120,7 @@ void writeBugFields(std::ostringstream &Out, const FoundBug &Bug) {
       << escapeToken(Bug.WitnessProgram);
 }
 
-/// Serializes the checkpointed portion of a CampaignResult: the 11 campaign
+/// Serializes the checkpointed portion of a CampaignResult: the 12 campaign
 /// counters plus both finding maps. Triaged/Reduction are deliberately not
 /// part of the format -- triage runs post-campaign from the final snapshot
 /// and is deterministic, so persisting its output would only duplicate
@@ -131,7 +132,7 @@ void writeResult(std::ostringstream &Out, const CampaignResult &R) {
       << ' ' << R.VariantsTested << ' ' << R.VariantsPruned << ' '
       << R.OracleExecutions << ' ' << R.OracleCacheHits << ' '
       << R.CrashObservations << ' ' << R.WrongCodeObservations << ' '
-      << R.PerformanceObservations << '\n';
+      << R.PerformanceObservations << ' ' << R.ExecutionTimeouts << '\n';
   Out << "bugs " << R.UniqueBugs.size() << '\n';
   for (const auto &[Id, Bug] : R.UniqueBugs) {
     (void)Id;
@@ -143,7 +144,7 @@ void writeResult(std::ostringstream &Out, const CampaignResult &R) {
   for (const auto &[Key, Bug] : R.RawFindings) {
     Out << "finding " << Key.BugId << ' ' << static_cast<int>(Key.P) << ' '
         << Key.Version << ' ' << Key.OptLevel << ' '
-        << (Key.Mode64 ? 1 : 0) << ' ';
+        << (Key.Mode64 ? 1 : 0) << ' ' << escapeToken(Key.Sig) << ' ';
     writeBugFields(Out, Bug);
     Out << '\n';
   }
@@ -254,17 +255,17 @@ bool readBugFields(Reader &R, const std::vector<std::string> &L, size_t At,
 }
 
 bool readResult(Reader &R, CampaignResult &Out) {
-  const auto *L = R.line("counters", 12);
+  const auto *L = R.line("counters", 13);
   if (!L)
     return false;
-  uint64_t *Slots[11] = {
+  uint64_t *Slots[12] = {
       &Out.SeedsProcessed,     &Out.SeedsSkippedByThreshold,
       &Out.VariantsEnumerated, &Out.VariantsOracleExcluded,
       &Out.VariantsTested,     &Out.VariantsPruned,
       &Out.OracleExecutions,   &Out.OracleCacheHits,
       &Out.CrashObservations,  &Out.WrongCodeObservations,
-      &Out.PerformanceObservations};
-  for (size_t I = 0; I < 11; ++I)
+      &Out.PerformanceObservations, &Out.ExecutionTimeouts};
+  for (size_t I = 0; I < 12; ++I)
     if (!R.u64((*L)[I + 1], *Slots[I]))
       return false;
 
@@ -285,7 +286,7 @@ bool readResult(Reader &R, CampaignResult &Out) {
   if (!L || !R.u64((*L)[1], N))
     return false;
   for (uint64_t I = 0; I < N; ++I) {
-    const auto *FL = R.line("finding", 14);
+    const auto *FL = R.line("finding", 15);
     if (!FL)
       return false;
     int64_t Id = 0;
@@ -294,7 +295,8 @@ bool readResult(Reader &R, CampaignResult &Out) {
     FoundBug Bug;
     if (!R.i64((*FL)[1], Id) || !R.u64((*FL)[2], P) ||
         !R.u64((*FL)[3], Ver) || !R.u64((*FL)[4], Opt) ||
-        !R.boolTok((*FL)[5], Key.Mode64) || !readBugFields(R, *FL, 6, Bug))
+        !R.boolTok((*FL)[5], Key.Mode64) || !R.strTok((*FL)[6], Key.Sig) ||
+        !readBugFields(R, *FL, 7, Bug))
       return false;
     if (P > 1)
       return R.fail("enum value out of range");
@@ -517,6 +519,15 @@ uint64_t spe::fingerprintOptions(const HarnessOptions &Opts) {
   F.u64(Opts.Cache != nullptr ? 1 : 0);
   F.u64(Opts.OracleStorePath.empty() ? 0 : 1);
   F.u64(Opts.Cov != nullptr ? 1 : 0);
+  // Triage shapes the final result (Triaged/Reduction are recomputed on
+  // resume), so a snapshot written without it must not resume under a
+  // triaging campaign or vice versa.
+  F.u64(Opts.Triage ? 1 : 0);
+  // Backend identity: command line + --version banner for external
+  // compilers, "minicc" for the in-process driver. A checkpoint can never
+  // be resumed against a different compiler.
+  F.str(Opts.Backend ? Opts.Backend->identity()
+                     : InProcessBackend(Opts.InjectBugs).identity());
   return F.H;
 }
 

@@ -68,7 +68,9 @@ struct WorkerCheckpoint {
 /// when a seed is mid-enumeration, per-worker shard states.
 struct CampaignCheckpoint {
   /// Bump on any serialized-layout change; loadFrom rejects other versions.
-  static constexpr unsigned FormatVersion = 1;
+  /// v2: counters line gained ExecutionTimeouts; finding lines gained the
+  /// signature-only key token (FindingKey::Sig).
+  static constexpr unsigned FormatVersion = 2;
 
   /// Fingerprint of the campaign-shaping HarnessOptions fields (mode,
   /// extraction, threshold, budget, threads, configs, bug injection,
@@ -141,7 +143,9 @@ struct CampaignCheckpoint {
 bool atomicWriteFile(const std::string &Path, const std::string &Text,
                      std::string *Err = nullptr);
 
-/// Fingerprints the campaign-shaping fields of \p Opts (FNV-1a). Pointers
+/// Fingerprints the campaign-shaping fields of \p Opts (FNV-1a), including
+/// the Triage flag and the compiler backend's identity() (command line +
+/// --version output for external backends). Cache/store/coverage pointers
 /// contribute presence bits only; checkpoint cadence and paths are
 /// excluded -- resuming with a different CheckpointEveryN is sound.
 uint64_t fingerprintOptions(const HarnessOptions &Opts);

@@ -2,31 +2,13 @@
 
 #include "reduce/BugRepro.h"
 
-#include "compiler/Compiler.h"
 #include "interp/Interpreter.h"
-#include "lang/Parser.h"
-#include "sema/Sema.h"
 #include "testing/OracleCache.h"
 #include "triage/BugSignature.h"
 
 #include <memory>
 
 using namespace spe;
-
-namespace {
-
-std::unique_ptr<ASTContext> analyzeSource(const std::string &Source) {
-  auto Ctx = std::make_unique<ASTContext>();
-  DiagnosticEngine Diags;
-  if (!Parser::parse(Source, *Ctx, Diags))
-    return nullptr;
-  Sema Analysis(*Ctx, Diags);
-  if (!Analysis.run())
-    return nullptr;
-  return Ctx;
-}
-
-} // namespace
 
 bool ReproOracle::reproduces(const std::string &Source) {
   ++Stats.Probes;
@@ -49,7 +31,7 @@ bool ReproOracle::evaluate(const std::string &Source) {
   if (Cache && Cache->lookup(Source, Verdict)) {
     ++Stats.OracleCacheHits;
   } else {
-    Ctx = analyzeSource(Source);
+    Ctx = parseAndAnalyze(Source);
     Verdict.FrontendOk = Ctx != nullptr;
     if (Ctx) {
       ExecResult Ref = interpret(*Ctx);
@@ -64,42 +46,42 @@ bool ReproOracle::evaluate(const std::string &Source) {
   if (!Verdict.FrontendOk || Verdict.Status != ExecStatus::Ok)
     return false;
 
-  // Compile under the finding's configuration. On a cache hit the AST was
-  // never built; build it now (FrontendOk guarantees this succeeds).
-  if (!Ctx)
-    Ctx = analyzeSource(Source);
-  if (!Ctx)
-    return false;
-  MiniCompiler CC(Spec.Config, /*Cov=*/nullptr, Spec.InjectBugs);
-  CompileResult R = CC.compile(*Ctx);
-  if (R.St == CompileResult::Status::Rejected)
+  // Compile (and, for wrong-code, execute) under the finding's
+  // configuration through the same backend the campaign used. The
+  // in-process fallback reuses the AST built for the oracle verdict
+  // (building it now on a cache hit -- FrontendOk guarantees success)
+  // instead of paying a second parse per probe.
+  BackendObservation Obs;
+  if (Backend) {
+    Obs = Backend->run(Source, Spec.Config, /*Cov=*/nullptr);
+  } else {
+    if (!Ctx)
+      Ctx = parseAndAnalyze(Source);
+    if (!Ctx)
+      return false;
+    Obs = Fallback.runOn(*Ctx, Spec.Config, /*Cov=*/nullptr);
+  }
+  if (Obs.Compile == BackendObservation::CompileStatus::Rejected)
     return false;
 
   switch (Spec.Effect) {
   case BugEffect::Crash:
-    return R.crashed() &&
-           normalizeSignature(BugEffect::Crash, R.CrashSignature) ==
+    return Obs.Compile == BackendObservation::CompileStatus::Crashed &&
+           normalizeSignature(BugEffect::Crash, Obs.CrashSignature) ==
                Spec.SignatureKey;
   case BugEffect::Performance:
-    return !R.crashed() && R.CompileCost > 1'000'000;
+    return Obs.Compile != BackendObservation::CompileStatus::Crashed &&
+           Obs.CompileTimeAnomaly;
   case BugEffect::WrongCode: {
-    if (!R.ok())
-      return false;
-    VMResult V = executeModule(R.Module);
-    if (V.Status == VMStatus::Timeout)
+    if (Obs.Compile != BackendObservation::CompileStatus::Ok)
       return false;
     // Reconstruct the divergence kind the campaign would report for this
-    // candidate and compare normalized keys, so e.g. an exit-code
-    // miscompilation cannot silently degrade into a mere output diff.
-    std::string Raw;
-    if (V.Status != VMStatus::Ok)
-      Raw = "miscompilation (trap)";
-    else if (V.ExitCode != Verdict.ExitCode)
-      Raw = "miscompilation (exit " + std::to_string(V.ExitCode) +
-            " != " + std::to_string(Verdict.ExitCode) + ")";
-    else if (V.Output != Verdict.Output)
-      Raw = "miscompilation (output)";
-    else
+    // candidate -- the harness-shared classifyDivergence, so e.g. an
+    // exit-code miscompilation cannot silently degrade into a mere output
+    // diff, and a hang reproducer must still hang.
+    std::string Raw =
+        classifyDivergence(Obs, Verdict.ExitCode, Verdict.Output);
+    if (Raw.empty())
       return false;
     return normalizeSignature(BugEffect::WrongCode, Raw) ==
            Spec.SignatureKey;

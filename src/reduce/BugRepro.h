@@ -34,6 +34,7 @@
 #ifndef SPE_REDUCE_BUGREPRO_H
 #define SPE_REDUCE_BUGREPRO_H
 
+#include "compiler/Backend.h"
 #include "compiler/Bugs.h"
 
 #include <cstdint>
@@ -73,8 +74,13 @@ struct ReproStats {
 /// Memoizing "does this candidate still show the bug" predicate.
 class ReproOracle {
 public:
-  explicit ReproOracle(ReproSpec Spec, OracleCache *Cache = nullptr)
-      : Spec(std::move(Spec)), Cache(Cache) {}
+  /// \p Backend is the compiler candidates are probed against; null = the
+  /// in-process MiniCC driver honoring Spec.InjectBugs. Findings from an
+  /// external backend must be re-probed through the same backend.
+  explicit ReproOracle(ReproSpec Spec, OracleCache *Cache = nullptr,
+                       const CompilerBackend *Backend = nullptr)
+      : Spec(std::move(Spec)), Cache(Cache), Backend(Backend),
+        Fallback(this->Spec.InjectBugs) {}
 
   /// \returns true iff \p Source is frontend-valid, oracle-accepted, and
   /// shows the spec's signature under the spec's configuration.
@@ -88,6 +94,9 @@ private:
 
   ReproSpec Spec;
   OracleCache *Cache;
+  const CompilerBackend *Backend;
+  /// Used when Backend is null: the historical in-process probe path.
+  InProcessBackend Fallback;
   ReproStats Stats;
   std::unordered_map<std::string, bool> Memo;
 };

@@ -364,7 +364,7 @@ ReductionOutcome SkeletonReducer::reduce(const std::string &Witness,
   Out.Reduced = Witness;
   Out.TokensBefore = Out.TokensAfter = tokenCount(Witness);
 
-  ReproOracle Oracle(Spec, Cache);
+  ReproOracle Oracle(Spec, Cache, Backend);
   if (!Oracle.reproduces(Witness)) {
     Out.Oracle = Oracle.stats();
     return Out;

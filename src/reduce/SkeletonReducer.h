@@ -73,9 +73,12 @@ struct ReductionOutcome {
 /// Reduces bug witnesses structurally while preserving their signature.
 class SkeletonReducer {
 public:
+  /// \p Backend: compiler the signature-preservation probes run against
+  /// (reduce/BugRepro.h); null = in-process MiniCC.
   explicit SkeletonReducer(ReducerOptions Opts = {},
-                           OracleCache *Cache = nullptr)
-      : Opts(Opts), Cache(Cache) {}
+                           OracleCache *Cache = nullptr,
+                           const CompilerBackend *Backend = nullptr)
+      : Opts(Opts), Cache(Cache), Backend(Backend) {}
 
   /// Shrinks \p Witness while \p Spec keeps reproducing.
   ReductionOutcome reduce(const std::string &Witness,
@@ -84,6 +87,7 @@ public:
 private:
   ReducerOptions Opts;
   OracleCache *Cache;
+  const CompilerBackend *Backend;
 };
 
 /// \returns the number of lexical tokens of \p Source (EOF excluded), the

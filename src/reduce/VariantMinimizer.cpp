@@ -38,7 +38,7 @@ MinimizeOutcome VariantMinimizer::minimize(const std::string &Witness,
   }
 
   VariantRenderer Renderer(*Ctx, Units);
-  ReproOracle Oracle(Spec, Cache);
+  ReproOracle Oracle(Spec, Cache, Backend);
   std::string Buffer;
   while (Out.Probes < Opts.ProbeBudget) {
     // position() is the rank of the variant next() is about to produce; read

@@ -72,9 +72,12 @@ struct MinimizeOutcome {
 /// Searches a witness's own variant space for the minimal-rank reproducer.
 class VariantMinimizer {
 public:
+  /// \p Backend: compiler the signature-preservation probes run against
+  /// (reduce/BugRepro.h); null = in-process MiniCC.
   explicit VariantMinimizer(MinimizerOptions Opts = {},
-                            OracleCache *Cache = nullptr)
-      : Opts(Opts), Cache(Cache) {}
+                            OracleCache *Cache = nullptr,
+                            const CompilerBackend *Backend = nullptr)
+      : Opts(Opts), Cache(Cache), Backend(Backend) {}
 
   MinimizeOutcome minimize(const std::string &Witness,
                            const ReproSpec &Spec) const;
@@ -82,6 +85,7 @@ public:
 private:
   MinimizerOptions Opts;
   OracleCache *Cache;
+  const CompilerBackend *Backend;
 };
 
 } // namespace spe

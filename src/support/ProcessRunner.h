@@ -1,0 +1,73 @@
+//===- support/ProcessRunner.h - subprocess execution with timeouts ------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fork/exec subprocess runner for driving real host compilers and the
+/// binaries they produce (compiler/ExternalBackend.h). One call runs one
+/// argv to completion: both output streams are captured through pipes, a
+/// wall-clock timeout hard-kills runaway children (the paper's campaigns
+/// routinely produce variants that loop forever once miscompiled), and the
+/// wait status is decoded into exit-vs-signal so the backend can tell a
+/// compiler crash (SIGSEGV in cc1) from a mere rejection (exit 1 with
+/// diagnostics).
+///
+/// Thread safety: safe to call concurrently from shard workers. The window
+/// between fork and exec touches only async-signal-safe calls, and exec
+/// failures are reported through a CLOEXEC errno pipe instead of a fake
+/// exit code, so "compiler binary missing" can never masquerade as a
+/// compile rejection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_SUPPORT_PROCESSRUNNER_H
+#define SPE_SUPPORT_PROCESSRUNNER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// Knobs for one subprocess run.
+struct ProcessOptions {
+  /// Wall-clock budget in milliseconds; the child is SIGKILLed when it
+  /// expires. 0 = no limit.
+  uint64_t TimeoutMs = 0;
+  /// Per-stream capture cap; output past it is drained but discarded, so a
+  /// miscompiled infinite printf loop cannot exhaust harness memory.
+  size_t MaxOutputBytes = 1 << 20;
+};
+
+/// Decoded outcome of one subprocess run.
+struct ProcessResult {
+  enum class Status {
+    Exited,      ///< Normal termination; ExitCode is WEXITSTATUS.
+    Signaled,    ///< Killed by a signal; Signal names it.
+    TimedOut,    ///< Wall-clock budget expired; the child was SIGKILLed.
+    StartFailed, ///< fork/exec never succeeded; Error has the diagnostic.
+  };
+  Status St = Status::StartFailed;
+  int ExitCode = 0; ///< Valid when St == Exited (low 8 bits by POSIX).
+  int Signal = 0;   ///< Valid when St == Signaled.
+  std::string Stdout;
+  std::string Stderr;
+  std::string Error; ///< Valid when St == StartFailed.
+
+  bool exited() const { return St == Status::Exited; }
+  bool exitedWith(int Code) const { return exited() && ExitCode == Code; }
+};
+
+/// Runs \p Argv (Argv[0] resolved through PATH) to completion with both
+/// output streams captured; stdin reads EOF. Never throws; every failure
+/// mode is encoded in the returned status.
+ProcessResult runProcess(const std::vector<std::string> &Argv,
+                         const ProcessOptions &Opts = {});
+
+} // namespace spe
+
+#endif // SPE_SUPPORT_PROCESSRUNNER_H

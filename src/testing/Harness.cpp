@@ -81,6 +81,7 @@ void CampaignResult::merge(const CampaignResult &Other) {
   CrashObservations += Other.CrashObservations;
   WrongCodeObservations += Other.WrongCodeObservations;
   PerformanceObservations += Other.PerformanceObservations;
+  ExecutionTimeouts += Other.ExecutionTimeouts;
 }
 
 bool CampaignResult::operator==(const CampaignResult &Other) const {
@@ -97,22 +98,11 @@ bool CampaignResult::operator==(const CampaignResult &Other) const {
          CrashObservations == Other.CrashObservations &&
          WrongCodeObservations == Other.WrongCodeObservations &&
          PerformanceObservations == Other.PerformanceObservations &&
+         ExecutionTimeouts == Other.ExecutionTimeouts &&
          Triaged == Other.Triaged && Reduction == Other.Reduction;
 }
 
 namespace {
-
-/// Parses + analyzes; \returns null on any front-end failure.
-std::unique_ptr<ASTContext> analyzeSource(const std::string &Source) {
-  auto Ctx = std::make_unique<ASTContext>();
-  DiagnosticEngine Diags;
-  if (!Parser::parse(Source, *Ctx, Diags))
-    return nullptr;
-  Sema Analysis(*Ctx, Diags);
-  if (!Analysis.run())
-    return nullptr;
-  return Ctx;
-}
 
 /// Everything the per-seed enumeration loop needs, shared by the plain and
 /// the checkpointed seed runners so the two cannot drift.
@@ -627,6 +617,7 @@ bool DifferentialHarness::runCheckpointed(
     TriageOptions T;
     T.Cache = Opts.Cache;
     T.InjectBugs = Opts.InjectBugs;
+    T.Backend = Opts.Backend;
     triageCampaign(Result, T);
   }
   return true;
@@ -676,6 +667,7 @@ bool DifferentialHarness::resumeCampaign(const std::vector<std::string> &Seeds,
       TriageOptions T;
       T.Cache = Opts.Cache;
       T.InjectBugs = Opts.InjectBugs;
+      T.Backend = Opts.Backend;
       triageCampaign(Result, T);
     }
     return true;
@@ -701,7 +693,7 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
   if (Opts.Cache && Opts.Cache->lookup(Source, Verdict)) {
     ++Result.OracleCacheHits;
   } else {
-    std::unique_ptr<ASTContext> RefCtx = analyzeSource(Source);
+    std::unique_ptr<ASTContext> RefCtx = parseAndAnalyze(Source);
     Verdict.FrontendOk = RefCtx != nullptr;
     if (RefCtx) {
       ExecResult Ref = interpret(*RefCtx);
@@ -724,87 +716,80 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
   }
   ++Result.VariantsTested;
 
+  const CompilerBackend &B = backend();
+  const bool GroundTruth = B.hasGroundTruth();
   for (const CompilerConfig &Config : Opts.Configs) {
-    std::unique_ptr<ASTContext> Ctx = analyzeSource(Source);
-    if (!Ctx)
-      return;
-    MiniCompiler CC(Config, Cov, Opts.InjectBugs);
-    CompileResult R = CC.compile(*Ctx);
-    if (R.St == CompileResult::Status::Rejected)
-      continue;
-    if (R.crashed()) {
-      ++Result.CrashObservations;
-      FoundBug Bug;
-      Bug.BugId = R.CrashBugId;
-      Bug.P = Config.P;
-      Bug.Effect = BugEffect::Crash;
-      Bug.Signature = R.CrashSignature;
-      Bug.Version = Config.Version;
-      Bug.OptLevel = Config.OptLevel;
-      Bug.Mode64 = Config.Mode64;
-      Bug.WitnessProgram = Source;
-      Result.RawFindings.emplace(
-          FindingKey{Bug.BugId, Bug.P, Bug.Version, Bug.OptLevel, Bug.Mode64}, Bug);
-      Result.UniqueBugs.emplace(Bug.BugId, std::move(Bug));
-      continue;
-    }
-    // Performance anomaly: a fired Performance bug inflates compile cost.
-    if (R.CompileCost > 1'000'000) {
-      ++Result.PerformanceObservations;
-      for (int Id : R.FiredBugs) {
-        const InjectedBug &B = bugDatabase()[static_cast<size_t>(Id) - 1];
-        if (B.Effect != BugEffect::Performance)
-          continue;
-        FoundBug Bug;
-        Bug.BugId = Id;
-        Bug.P = Config.P;
-        Bug.Effect = BugEffect::Performance;
-        Bug.Signature = "pathological compile time";
-        Bug.Version = Config.Version;
-        Bug.OptLevel = Config.OptLevel;
-        Bug.Mode64 = Config.Mode64;
-        Bug.WitnessProgram = Source;
-        Result.RawFindings.emplace(
-            FindingKey{Id, Bug.P, Bug.Version, Bug.OptLevel, Bug.Mode64}, Bug);
-        Result.UniqueBugs.emplace(Id, std::move(Bug));
-      }
-    }
-    VMResult V = executeModule(R.Module);
-    if (V.Status == VMStatus::Timeout)
-      continue;
-    bool Diverges = V.Status != VMStatus::Ok ||
-                    V.ExitCode != Verdict.ExitCode ||
-                    V.Output != Verdict.Output;
-    if (!Diverges)
-      continue;
-    ++Result.WrongCodeObservations;
-    // The divergence *kind* is the stable part of a wrong-code signature
-    // (triage/BugSignature.h normalizes away the concrete values).
-    std::string WrongCodeSig;
-    if (V.Status != VMStatus::Ok)
-      WrongCodeSig = "miscompilation (trap)";
-    else if (V.ExitCode != Verdict.ExitCode)
-      WrongCodeSig = "miscompilation (exit " + std::to_string(V.ExitCode) +
-                     " != " + std::to_string(Verdict.ExitCode) + ")";
-    else
-      WrongCodeSig = "miscompilation (output)";
-    // Attribute the divergence to the fired wrong-code bug (ground truth).
-    for (int Id : R.FiredBugs) {
-      const InjectedBug &B = bugDatabase()[static_cast<size_t>(Id) - 1];
-      if (B.Effect != BugEffect::WrongCode)
-        continue;
+    BackendObservation Obs = B.run(Source, Config, Cov);
+
+    // Records one finding. Ground-truth findings (Id != 0) key UniqueBugs
+    // and RawFindings by id; signature-only findings (Id == 0, backends
+    // without ground truth) key RawFindings by normalized signature and
+    // never touch UniqueBugs -- distinct clusters at one shared id slot
+    // would otherwise collapse arbitrarily.
+    auto Record = [&](BugEffect Effect, int Id, const std::string &Sig) {
       FoundBug Bug;
       Bug.BugId = Id;
       Bug.P = Config.P;
-      Bug.Effect = BugEffect::WrongCode;
-      Bug.Signature = WrongCodeSig;
+      Bug.Effect = Effect;
+      Bug.Signature = Sig;
       Bug.Version = Config.Version;
       Bug.OptLevel = Config.OptLevel;
       Bug.Mode64 = Config.Mode64;
       Bug.WitnessProgram = Source;
-      Result.RawFindings.emplace(
-          FindingKey{Id, Bug.P, Bug.Version, Bug.OptLevel, Bug.Mode64}, Bug);
-      Result.UniqueBugs.emplace(Id, std::move(Bug));
+      FindingKey Key{Id, Config.P, Config.Version, Config.OptLevel,
+                     Config.Mode64, {}};
+      if (Id == 0)
+        Key.Sig = normalizeSignature(Effect, Sig);
+      Result.RawFindings.emplace(std::move(Key), Bug);
+      if (Id != 0)
+        Result.UniqueBugs.emplace(Id, std::move(Bug));
+    };
+
+    if (Obs.Compile == BackendObservation::CompileStatus::Rejected)
+      continue;
+    if (Obs.Compile == BackendObservation::CompileStatus::Crashed) {
+      ++Result.CrashObservations;
+      Record(BugEffect::Crash, Obs.CrashBugId, Obs.CrashSignature);
+      continue;
+    }
+    // Performance anomaly: MiniCC's inflated cost model, or an external
+    // compile that blew its wall-clock budget.
+    if (Obs.CompileTimeAnomaly) {
+      ++Result.PerformanceObservations;
+      if (GroundTruth) {
+        for (int Id : Obs.FiredBugs) {
+          const InjectedBug *Truth = findBug(Id);
+          if (!Truth || Truth->Effect != BugEffect::Performance)
+            continue;
+          Record(BugEffect::Performance, Id, "pathological compile time");
+        }
+      } else {
+        Record(BugEffect::Performance, 0, "pathological compile time");
+      }
+    }
+    if (Obs.Compile == BackendObservation::CompileStatus::TimedOut)
+      continue; // Nothing runnable was produced.
+
+    // The divergence *kind* is the stable part of a wrong-code signature
+    // (triage/BugSignature.h normalizes away the concrete values).
+    std::string WrongCodeSig =
+        classifyDivergence(Obs, Verdict.ExitCode, Verdict.Output);
+    if (WrongCodeSig.empty())
+      continue;
+    if (Obs.Exec == BackendObservation::ExecStatus::Timeout)
+      ++Result.ExecutionTimeouts;
+    ++Result.WrongCodeObservations;
+    if (GroundTruth) {
+      // Attribute the divergence to the fired wrong-code bug (ground
+      // truth); checked lookup, so foreign ids cannot read out of bounds.
+      for (int Id : Obs.FiredBugs) {
+        const InjectedBug *Truth = findBug(Id);
+        if (!Truth || Truth->Effect != BugEffect::WrongCode)
+          continue;
+        Record(BugEffect::WrongCode, Id, WrongCodeSig);
+      }
+    } else {
+      Record(BugEffect::WrongCode, 0, WrongCodeSig);
     }
   }
 }
@@ -885,6 +870,7 @@ DifferentialHarness::runCampaign(const std::vector<std::string> &Seeds) const {
     TriageOptions T;
     T.Cache = Opts.Cache;
     T.InjectBugs = Opts.InjectBugs;
+    T.Backend = Opts.Backend;
     triageCampaign(Result, T);
   }
   return Result;

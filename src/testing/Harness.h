@@ -8,18 +8,23 @@
 /// \file
 /// The differential-testing loop of Section 5: enumerate a seed's skeleton,
 /// validate each variant with the reference oracle (UB/timeout variants are
-/// excluded, Section 5.4), compile with each configuration (the paper uses
-/// -O0/-O3 x two machine modes for crash hunting) and compare VM behavior
-/// against the oracle. Crash signatures and wrong-code divergences are
-/// deduplicated against the ground-truth injected-bug ids, which is
-/// information the paper's authors did not have -- it lets the benches
-/// report found/missed precisely.
+/// excluded, Section 5.4), compile and execute with each configuration
+/// through the pluggable CompilerBackend (the paper uses -O0/-O3 x two
+/// machine modes for crash hunting) and compare behavior against the
+/// oracle. Under the default in-process MiniCC backend, crash signatures
+/// and wrong-code divergences are deduplicated against the ground-truth
+/// injected-bug ids, which is information the paper's authors did not
+/// have -- it lets the benches report found/missed precisely. Backends
+/// without ground truth (compiler/ExternalBackend.h) flow through
+/// signature-only dedup instead: FoundBug::BugId 0, raw findings keyed by
+/// normalized behavioral signature.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPE_TESTING_HARNESS_H
 #define SPE_TESTING_HARNESS_H
 
+#include "compiler/Backend.h"
 #include "compiler/Compiler.h"
 #include "core/SpeEnumerator.h"
 #include "skeleton/SkeletonExtractor.h"
@@ -54,6 +59,14 @@ struct HarnessOptions {
   unsigned Threads = 1;
   /// Compiler configurations to test.
   std::vector<CompilerConfig> Configs;
+  /// The compiler under test (compiler/Backend.h). Null = the in-process
+  /// MiniCC driver honoring InjectBugs. Backends without ground truth
+  /// (ExternalBackend) produce signature-only findings: FoundBug::BugId 0,
+  /// RawFindings keyed by normalized signature, UniqueBugs left empty.
+  /// The backend's identity() is folded into the checkpoint options
+  /// fingerprint, so a snapshot can never resume against a different
+  /// compiler or command line.
+  const CompilerBackend *Backend = nullptr;
   /// Optional coverage registry threaded into every compilation. With
   /// Threads > 1 each worker records into a private copy; the copies are
   /// merged back after the join.
@@ -155,6 +168,11 @@ struct FindingKey {
   unsigned Version = 0;
   unsigned OptLevel = 0;
   bool Mode64 = true;
+  /// Signature-only findings (BugId == 0, from backends without ground
+  /// truth): the normalized behavioral key (triage/normalizeSignature),
+  /// so distinct signature clusters stay distinct raw findings. Empty for
+  /// ground-truth findings, which keeps their ordering unchanged.
+  std::string Sig;
 
   friend bool operator<(const FindingKey &A, const FindingKey &B) {
     if (A.BugId != B.BugId)
@@ -165,11 +183,14 @@ struct FindingKey {
       return A.Version < B.Version;
     if (A.OptLevel != B.OptLevel)
       return A.OptLevel < B.OptLevel;
-    return A.Mode64 < B.Mode64;
+    if (A.Mode64 != B.Mode64)
+      return A.Mode64 < B.Mode64;
+    return A.Sig < B.Sig;
   }
   friend bool operator==(const FindingKey &A, const FindingKey &B) {
     return A.BugId == B.BugId && A.P == B.P && A.Version == B.Version &&
-           A.OptLevel == B.OptLevel && A.Mode64 == B.Mode64;
+           A.OptLevel == B.OptLevel && A.Mode64 == B.Mode64 &&
+           A.Sig == B.Sig;
   }
 };
 
@@ -267,6 +288,12 @@ struct CampaignResult {
   uint64_t CrashObservations = 0;
   uint64_t WrongCodeObservations = 0;
   uint64_t PerformanceObservations = 0;
+  /// Compiled modules that exhausted their execution budget while the
+  /// reference oracle terminated. Each is a genuine hang divergence and is
+  /// also counted in WrongCodeObservations with a "miscompilation (hang)"
+  /// signature; before this counter existed such variants were silently
+  /// dropped.
+  uint64_t ExecutionTimeouts = 0;
   /// Cache-lifetime snapshots, filled at campaign end from the shared
   /// OracleCache / OracleStore when present: entries the size cap evicted,
   /// and the backing log's on-disk size. Excluded from merge() and
@@ -299,7 +326,13 @@ struct CampaignResult {
 class DifferentialHarness {
 public:
   explicit DifferentialHarness(HarnessOptions Opts)
-      : Opts(std::move(Opts)) {}
+      : Opts(std::move(Opts)), DefaultBackend(this->Opts.InjectBugs) {}
+
+  /// The compiler under test: Opts.Backend, or the in-process MiniCC
+  /// driver when none was supplied.
+  const CompilerBackend &backend() const {
+    return Opts.Backend ? *Opts.Backend : DefaultBackend;
+  }
 
   /// Enumerates one seed and tests every (variant, config) pair.
   void runOnSeed(const std::string &Source, CampaignResult &Result) const;
@@ -363,6 +396,9 @@ private:
                              std::string &Err) const;
 
   HarnessOptions Opts;
+  /// Fallback backend when Opts.Backend is null; the historical inline
+  /// MiniCC loop, now behind the same interface as everything else.
+  InProcessBackend DefaultBackend;
 };
 
 } // namespace spe

@@ -81,8 +81,8 @@ void spe::triageCampaign(CampaignResult &Result, const TriageOptions &Opts) {
       UseRaw ? Result.RawFindings.size() : Result.UniqueBugs.size();
   Stats.Clusters = Clusters.size();
 
-  SkeletonReducer Reducer(Opts.Reduce, Opts.Cache);
-  VariantMinimizer Minimizer(Opts.Minimize, Opts.Cache);
+  SkeletonReducer Reducer(Opts.Reduce, Opts.Cache, Opts.Backend);
+  VariantMinimizer Minimizer(Opts.Minimize, Opts.Cache, Opts.Backend);
   for (TriagedBug &Cluster : Clusters) {
     FoundBug &Rep = Cluster.Representative;
     ReproSpec Spec;

@@ -56,6 +56,11 @@ struct TriageOptions {
   OracleCache *Cache = nullptr;
   /// Mirrors HarnessOptions::InjectBugs.
   bool InjectBugs = true;
+  /// The compiler backend reduction re-probes compile against; mirrors
+  /// HarnessOptions::Backend (null = in-process MiniCC). Signature-only
+  /// findings from an external compiler must be re-probed through that
+  /// same compiler or every reduction step would spuriously fail.
+  const CompilerBackend *Backend = nullptr;
 };
 
 /// \returns the normalized signature of one finding.

@@ -1,0 +1,461 @@
+//===- tests/compiler_external_backend_test.cpp - subprocess backends ----===//
+//
+// The real-compiler driving stack, bottom up: support/ProcessRunner
+// (fork/exec, capture, timeout-kill, exit/signal decoding), the
+// ExternalBackend classification of compile outcomes, signature-only
+// finding semantics for backends without ground truth (including the
+// out-of-bounds regression for foreign FiredBugs ids), and an end-to-end
+// campaign against the host compiler: deterministic across thread counts,
+// checkpoint/resume bit-identical, and resume against a different backend
+// command line rejected by fingerprint. Host-compiler tests auto-skip with
+// a reported reason when no working `cc` is on PATH.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/ExternalBackend.h"
+#include "persist/Checkpoint.h"
+#include "support/ProcessRunner.h"
+#include "testing/Corpus.h"
+#include "testing/Harness.h"
+#include "triage/Deduper.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <sys/stat.h>
+
+using namespace spe;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  std::filesystem::create_directories("external_test_tmp");
+  return "external_test_tmp/" + Name;
+}
+
+/// The host compiler, probed once; tests that need it skip with the probe's
+/// reason when it is unusable.
+const ExternalBackend &hostBackend() {
+  static ExternalBackend *B = [] {
+    ExternalBackendOptions O;
+    O.TempDir = "external_test_tmp";
+    std::filesystem::create_directories(O.TempDir);
+    return new ExternalBackend(std::move(O));
+  }();
+  return *B;
+}
+
+#define SKIP_WITHOUT_HOST_CC()                                              \
+  do {                                                                      \
+    if (!hostBackend().available())                                         \
+      GTEST_SKIP() << "no usable host compiler: "                           \
+                   << hostBackend().unavailableReason();                    \
+  } while (0)
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ProcessRunner
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessRunnerTest, CapturesExitCodeAndBothStreams) {
+  ProcessResult R = runProcess(
+      {"/bin/sh", "-c", "printf out; printf err >&2; exit 7"});
+  ASSERT_EQ(R.St, ProcessResult::Status::Exited) << R.Error;
+  EXPECT_EQ(R.ExitCode, 7);
+  EXPECT_EQ(R.Stdout, "out");
+  EXPECT_EQ(R.Stderr, "err");
+}
+
+TEST(ProcessRunnerTest, DecodesDeathBySignal) {
+  ProcessResult R = runProcess({"/bin/sh", "-c", "kill -SEGV $$"});
+  ASSERT_EQ(R.St, ProcessResult::Status::Signaled) << R.Error;
+  EXPECT_EQ(R.Signal, SIGSEGV);
+}
+
+TEST(ProcessRunnerTest, WallClockTimeoutKillsTheChild) {
+  ProcessOptions O;
+  O.TimeoutMs = 250;
+  ProcessResult R = runProcess({"/bin/sh", "-c", "sleep 30"}, O);
+  EXPECT_EQ(R.St, ProcessResult::Status::TimedOut);
+}
+
+TEST(ProcessRunnerTest, TimeoutStillDrainsOutputWrittenBeforeTheKill) {
+  ProcessOptions O;
+  O.TimeoutMs = 250;
+  ProcessResult R =
+      runProcess({"/bin/sh", "-c", "printf early; sleep 30"}, O);
+  EXPECT_EQ(R.St, ProcessResult::Status::TimedOut);
+  EXPECT_EQ(R.Stdout, "early");
+}
+
+TEST(ProcessRunnerTest, MissingBinaryIsStartFailedNotAnExitCode) {
+  ProcessResult R = runProcess({"spe-no-such-binary-exists"});
+  ASSERT_EQ(R.St, ProcessResult::Status::StartFailed);
+  EXPECT_NE(R.Error.find("spe-no-such-binary-exists"), std::string::npos);
+}
+
+TEST(ProcessRunnerTest, OutputCapIsEnforcedWithoutDeadlock) {
+  // Far more output than both the cap and the pipe buffer: the runner must
+  // keep draining (or the child would block forever on a full pipe) while
+  // retaining only the first MaxOutputBytes.
+  ProcessOptions O;
+  O.MaxOutputBytes = 1024;
+  ProcessResult R = runProcess(
+      {"/bin/sh", "-c", "i=0; while [ $i -lt 20000 ]; do echo aaaaaaaaaa; "
+                        "i=$((i+1)); done"},
+      O);
+  ASSERT_EQ(R.St, ProcessResult::Status::Exited) << R.Error;
+  EXPECT_EQ(R.Stdout.size(), 1024u);
+}
+
+//===----------------------------------------------------------------------===//
+// Divergence classification (shared harness / repro-oracle definition)
+//===----------------------------------------------------------------------===//
+
+TEST(ClassifyDivergenceTest, CoversEveryKindAndMasksWaitStatusExits) {
+  BackendObservation O;
+  O.Exec = BackendObservation::ExecStatus::Timeout;
+  EXPECT_EQ(classifyDivergence(O, 0, ""), "miscompilation (hang)");
+  O.Exec = BackendObservation::ExecStatus::Trap;
+  EXPECT_EQ(classifyDivergence(O, 0, ""), "miscompilation (trap)");
+
+  O.Exec = BackendObservation::ExecStatus::Ok;
+  O.ExitCode = 3;
+  EXPECT_EQ(classifyDivergence(O, 7, ""), "miscompilation (exit 3 != 7)");
+  O.ExitCode = 7;
+  O.Output = "x";
+  EXPECT_EQ(classifyDivergence(O, 7, "y"), "miscompilation (output)");
+  EXPECT_EQ(classifyDivergence(O, 7, "x"), "");
+
+  // A wait status keeps only the low 8 bits of main's return value: 300
+  // truly came back as 44, which must not read as a divergence...
+  O.ExitCodeLow8 = true;
+  O.ExitCode = 44;
+  O.Output = "";
+  EXPECT_EQ(classifyDivergence(O, 300, ""), "");
+  // ...while a genuine mismatch still must.
+  EXPECT_EQ(classifyDivergence(O, 301, ""), "miscompilation (exit 44 != 45)");
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-signature extraction
+//===----------------------------------------------------------------------===//
+
+TEST(ExternalBackendTest, ExtractsAndNormalizesCrashMarkers) {
+  // The variant-specific scratch-file prefix must be stripped so two
+  // variants crashing in the same pass share one signature.
+  EXPECT_EQ(ExternalBackend::extractCrashSignature(
+                "/tmp/spe-ext-11-3.c:4:9: internal compiler error: in "
+                "fold_binary, at fold-const.c:1234\ncompilation terminated.\n",
+                "fallback"),
+            "internal compiler error: in fold_binary, at fold-const.c:1234");
+  // Clang-style assertion lines keep their stable prefix.
+  EXPECT_EQ(ExternalBackend::extractCrashSignature(
+                "clang: Assertion `N < size()' failed.\n", "fallback"),
+            "clang: Assertion `N < size()' failed.");
+  // Plain diagnostics are not crashes.
+  EXPECT_EQ(ExternalBackend::extractCrashSignature(
+                "x.c:1:1: error: unknown type name 'frob'\n", "fallback"),
+            "fallback");
+}
+
+//===----------------------------------------------------------------------===//
+// Signature-only finding semantics (no ground truth)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Scriptable backend: returns a fixed observation, optionally claiming
+/// ground truth with arbitrary FiredBugs ids.
+struct StubBackend : CompilerBackend {
+  BackendObservation Obs;
+  bool GroundTruth = false;
+  std::string Id = "stub";
+
+  std::string identity() const override { return Id; }
+  bool hasGroundTruth() const override { return GroundTruth; }
+  BackendObservation run(const std::string &, const CompilerConfig &,
+                         CoverageRegistry *) const override {
+    return Obs;
+  }
+};
+
+/// Oracle-clean 1-variant program for driving testProgram.
+const char *TrivialSeed = "int main(void) { return 5; }\n";
+
+} // namespace
+
+TEST(SignatureOnlyTest, ForeignFiredBugsIdsCannotReadOutOfBounds) {
+  // Regression: the harness indexed bugDatabase()[Id - 1] unchecked on the
+  // assumption that fired ids are dense 1..N. A backend reporting foreign
+  // (or absent) ids -- exactly what external backends do -- walked off the
+  // array. With the checked lookup the ids are simply unattributable and
+  // dropped.
+  StubBackend B;
+  B.GroundTruth = true;
+  B.Obs.Compile = BackendObservation::CompileStatus::Ok;
+  B.Obs.CompileTimeAnomaly = true;
+  B.Obs.FiredBugs = {999'999, -7, 0};
+  B.Obs.Exec = BackendObservation::ExecStatus::Ok;
+  B.Obs.ExitCode = 1; // Diverges from the oracle's 5.
+
+  HarnessOptions Opts;
+  Opts.Configs = {{Persona::GccSim, 70, 2, true}};
+  Opts.Backend = &B;
+  DifferentialHarness Harness(Opts);
+  CampaignResult R;
+  Harness.testProgram(TrivialSeed, R);
+
+  EXPECT_EQ(R.PerformanceObservations, 1u);
+  EXPECT_EQ(R.WrongCodeObservations, 1u);
+  EXPECT_TRUE(R.UniqueBugs.empty());
+  EXPECT_TRUE(R.RawFindings.empty());
+}
+
+TEST(SignatureOnlyTest, FindingsKeyByNormalizedSignatureAtIdZero) {
+  StubBackend B; // No ground truth: the external-backend shape.
+  B.Obs.Compile = BackendObservation::CompileStatus::Crashed;
+  B.Obs.CrashSignature = "internal compiler error: in reload, at reload.c:1";
+
+  HarnessOptions Opts;
+  Opts.Configs = {{Persona::GccSim, 140, 0, true},
+                  {Persona::GccSim, 140, 2, true}};
+  Opts.Backend = &B;
+  DifferentialHarness Harness(Opts);
+  CampaignResult R;
+  Harness.testProgram(TrivialSeed, R);
+
+  // One finding per configuration, both at BugId 0, keyed by signature;
+  // UniqueBugs (a by-ground-truth-id report) stays empty.
+  EXPECT_EQ(R.CrashObservations, 2u);
+  EXPECT_TRUE(R.UniqueBugs.empty());
+  ASSERT_EQ(R.RawFindings.size(), 2u);
+  for (const auto &[Key, Bug] : R.RawFindings) {
+    EXPECT_EQ(Key.BugId, 0);
+    EXPECT_EQ(Key.Sig, B.Obs.CrashSignature);
+    EXPECT_EQ(Bug.BugId, 0);
+  }
+  // Signature triage collapses the per-config duplicates into one cluster.
+  std::vector<TriagedBug> Clusters = clusterBySignature(R.RawFindings);
+  ASSERT_EQ(Clusters.size(), 1u);
+  EXPECT_EQ(Clusters[0].RawCount, 2u);
+  EXPECT_EQ(Clusters[0].Sig.Key, B.Obs.CrashSignature);
+}
+
+TEST(SignatureOnlyTest, DistinctSignaturesStayDistinctRawFindings) {
+  // Two different crashes under the *same* configuration must not collapse
+  // into one raw finding just because both carry BugId 0.
+  StubBackend A, B;
+  A.Obs.Compile = B.Obs.Compile = BackendObservation::CompileStatus::Crashed;
+  A.Obs.CrashSignature = "internal compiler error: in pass_a";
+  B.Obs.CrashSignature = "internal compiler error: in pass_b";
+
+  HarnessOptions Opts;
+  Opts.Configs = {{Persona::GccSim, 140, 1, true}};
+  CampaignResult R;
+  Opts.Backend = &A;
+  DifferentialHarness(Opts).testProgram(TrivialSeed, R);
+  Opts.Backend = &B;
+  DifferentialHarness(Opts).testProgram(TrivialSeed, R);
+
+  EXPECT_EQ(R.RawFindings.size(), 2u);
+  EXPECT_EQ(clusterBySignature(R.RawFindings).size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// ExternalBackend against the host compiler (auto-skipped when absent)
+//===----------------------------------------------------------------------===//
+
+TEST(ExternalBackendTest, IdentityCarriesCommandLineAndVersion) {
+  SKIP_WITHOUT_HOST_CC();
+  const ExternalBackend &B = hostBackend();
+  EXPECT_FALSE(B.versionLine().empty());
+  EXPECT_NE(B.identity().find("cc"), std::string::npos);
+  EXPECT_NE(B.identity().find(B.versionLine()), std::string::npos);
+  EXPECT_FALSE(B.hasGroundTruth());
+}
+
+TEST(ExternalBackendTest, UnavailableCompilerIsReportedNotFatal) {
+  ExternalBackendOptions O;
+  O.Command = {"spe-no-such-compiler"};
+  ExternalBackend B(O);
+  EXPECT_FALSE(B.available());
+  EXPECT_NE(B.unavailableReason().find("spe-no-such-compiler"),
+            std::string::npos);
+  // identity() still pins the (unusable) configuration for fingerprints.
+  EXPECT_NE(B.identity().find("unavailable"), std::string::npos);
+  BackendObservation Obs = B.run("int main(void) { return 0; }\n",
+                                 {Persona::GccSim, 140, 0, true}, nullptr);
+  EXPECT_EQ(Obs.Compile, BackendObservation::CompileStatus::Rejected);
+}
+
+TEST(ExternalBackendTest, CompilesRunsAndObservesARealBinary) {
+  SKIP_WITHOUT_HOST_CC();
+  BackendObservation Obs = hostBackend().run(
+      "int main(void) {\n  printf(\"hi %d\\n\", 2);\n  return 41;\n}\n",
+      {Persona::GccSim, 140, 2, true}, nullptr);
+  ASSERT_EQ(Obs.Compile, BackendObservation::CompileStatus::Ok);
+  ASSERT_EQ(Obs.Exec, BackendObservation::ExecStatus::Ok);
+  EXPECT_EQ(Obs.ExitCode, 41);
+  EXPECT_TRUE(Obs.ExitCodeLow8);
+  EXPECT_EQ(Obs.Output, "hi 2\n");
+}
+
+TEST(ExternalBackendTest, RejectsWhatTheHostFrontendRejects) {
+  SKIP_WITHOUT_HOST_CC();
+  BackendObservation Obs =
+      hostBackend().run("int main(void) { return frob; }\n",
+                        {Persona::GccSim, 140, 0, true}, nullptr);
+  EXPECT_EQ(Obs.Compile, BackendObservation::CompileStatus::Rejected);
+}
+
+TEST(ExternalBackendTest, AgreementWithTheOracleProducesNoFindings) {
+  SKIP_WITHOUT_HOST_CC();
+  HarnessOptions Opts;
+  Opts.Configs = {{Persona::GccSim, 140, 0, true},
+                  {Persona::GccSim, 140, 2, true}};
+  Opts.Backend = &hostBackend();
+  DifferentialHarness Harness(Opts);
+  CampaignResult R;
+  Harness.testProgram("int main(void) {\n"
+                      "  int x = 6, y = 7;\n"
+                      "  printf(\"%d\\n\", x * y);\n"
+                      "  return x;\n"
+                      "}\n",
+                      R);
+  EXPECT_EQ(R.VariantsTested, 1u);
+  EXPECT_TRUE(R.RawFindings.empty())
+      << "host compiler diverged from the reference oracle on a trivial "
+         "program -- interpreter semantics bug?";
+  EXPECT_EQ(R.CrashObservations + R.WrongCodeObservations, 0u);
+}
+
+namespace {
+
+/// Writes a fake-compiler wrapper script: ICEs (with a stable marker line)
+/// on any translation unit containing MAGIC_ICE, delegates to the real cc
+/// otherwise. Lets the full subprocess path exercise crash classification
+/// without needing a genuinely buggy host compiler.
+std::string writeFakeIceCompiler() {
+  std::string Path = tempPath("fake-ice-cc.sh");
+  {
+    std::ofstream Out(Path);
+    Out << "#!/bin/sh\n"
+           "src=\n"
+           "for a in \"$@\"; do\n"
+           "  case \"$a\" in *.c) src=\"$a\";; esac\n"
+           "done\n"
+           "if [ -n \"$src\" ] && grep -q MAGIC_ICE \"$src\"; then\n"
+           "  echo \"$src:1:1: internal compiler error: in fake_fold, at "
+           "fake.c:42\" >&2\n"
+           "  exit 1\n"
+           "fi\n"
+           "exec cc \"$@\"\n";
+  }
+  ::chmod(Path.c_str(), 0755);
+  return Path;
+}
+
+} // namespace
+
+TEST(ExternalBackendTest, CompilerCrashBecomesASignatureOnlyFinding) {
+  SKIP_WITHOUT_HOST_CC();
+  ExternalBackendOptions O;
+  O.Command = {"./" + writeFakeIceCompiler()};
+  O.TempDir = "external_test_tmp";
+  ExternalBackend Fake(O);
+  ASSERT_TRUE(Fake.available()) << Fake.unavailableReason();
+
+  HarnessOptions Opts;
+  Opts.Configs = {{Persona::GccSim, 140, 1, true}};
+  Opts.Backend = &Fake;
+  DifferentialHarness Harness(Opts);
+  CampaignResult R;
+  Harness.testProgram("int MAGIC_ICE = 3;\n"
+                      "int main(void) { return MAGIC_ICE; }\n",
+                      R);
+  EXPECT_EQ(R.CrashObservations, 1u);
+  EXPECT_TRUE(R.UniqueBugs.empty());
+  ASSERT_EQ(R.RawFindings.size(), 1u);
+  const auto &[Key, Bug] = *R.RawFindings.begin();
+  EXPECT_EQ(Key.BugId, 0);
+  // The scratch-file prefix must have been stripped to the stable key.
+  EXPECT_EQ(Key.Sig,
+            "internal compiler error: in fake_fold, at fake.c:42");
+  EXPECT_EQ(Bug.Signature, Key.Sig);
+  EXPECT_EQ(Bug.Effect, BugEffect::Crash);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: campaign over embedded seeds through the host compiler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+HarnessOptions externalCampaignOptions() {
+  HarnessOptions Opts;
+  Opts.Configs = {{Persona::GccSim, 140, 0, true},
+                  {Persona::GccSim, 140, 2, true}};
+  Opts.Backend = &hostBackend();
+  Opts.VariantBudget = 6;
+  return Opts;
+}
+
+std::vector<std::string> externalCampaignSeeds() {
+  // The Figure 1 seed (pure int arithmetic) and the division seed: small
+  // rank spaces, UB-heavy neighborhoods for the oracle to prune, and
+  // nothing the host compiler should reject.
+  return {embeddedSeeds()[2], embeddedSeeds()[5]};
+}
+
+} // namespace
+
+TEST(ExternalCampaignTest, DeterministicAcrossThreadCounts) {
+  SKIP_WITHOUT_HOST_CC();
+  std::vector<std::string> Seeds = externalCampaignSeeds();
+  HarnessOptions Opts = externalCampaignOptions();
+  Opts.Threads = 1;
+  CampaignResult R1 = DifferentialHarness(Opts).runCampaign(Seeds);
+  EXPECT_GT(R1.VariantsTested, 0u);
+  for (unsigned Threads : {2u, 4u}) {
+    Opts.Threads = Threads;
+    CampaignResult RN = DifferentialHarness(Opts).runCampaign(Seeds);
+    EXPECT_TRUE(RN == R1) << "thread count " << Threads
+                          << " changed the campaign result";
+  }
+}
+
+TEST(ExternalCampaignTest, CrashResumeIsBitIdenticalAndSkewIsRejected) {
+  SKIP_WITHOUT_HOST_CC();
+  std::vector<std::string> Seeds = externalCampaignSeeds();
+
+  HarnessOptions Base = externalCampaignOptions();
+  Base.CheckpointPath = tempPath("external_campaign.ck");
+  Base.CheckpointEveryN = 2;
+  CampaignResult Uninterrupted = DifferentialHarness(Base).runCampaign(Seeds);
+
+  // Kill mid-campaign, then resume from the on-disk snapshot.
+  HarnessOptions Crashing = Base;
+  Crashing.SimulateCrashAfter = 5;
+  (void)DifferentialHarness(Crashing).runCampaign(Seeds);
+  CampaignResult Resumed;
+  std::string Err;
+  ASSERT_TRUE(DifferentialHarness(Base).resumeCampaign(Seeds, Resumed, Err))
+      << Err;
+  EXPECT_TRUE(Resumed == Uninterrupted);
+
+  // A resume against a different backend command line must be refused:
+  // same seeds, same options, different compiler identity.
+  ExternalBackendOptions Other = hostBackend().options();
+  Other.ExtraArgs.push_back("-fwrapv");
+  ExternalBackend OtherBackend(Other);
+  ASSERT_TRUE(OtherBackend.available()) << OtherBackend.unavailableReason();
+  HarnessOptions Skewed = Base;
+  Skewed.Backend = &OtherBackend;
+  CampaignResult R;
+  EXPECT_FALSE(DifferentialHarness(Skewed).resumeCampaign(Seeds, R, Err));
+  EXPECT_NE(Err.find("options fingerprint"), std::string::npos) << Err;
+}

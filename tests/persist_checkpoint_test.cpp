@@ -81,6 +81,21 @@ CampaignCheckpoint sampleCheckpoint() {
       FindingKey{Crash.BugId, Crash.P, Crash.Version, Crash.OptLevel,
                  Crash.Mode64},
       Crash);
+  // A signature-only finding (BugId 0, external backend): its key carries
+  // the normalized signature, including characters the token escaper must
+  // round-trip.
+  FoundBug SigOnly;
+  SigOnly.BugId = 0;
+  SigOnly.P = Persona::GccSim;
+  SigOnly.Effect = BugEffect::Crash;
+  SigOnly.Signature = "internal compiler error: in foo_bar, at foo.c:12";
+  SigOnly.Version = 140;
+  SigOnly.OptLevel = 3;
+  SigOnly.WitnessProgram = "int main(void)\n{\n  return 1;\n}\n";
+  CP.Merged.RawFindings.emplace(
+      FindingKey{0, SigOnly.P, SigOnly.Version, SigOnly.OptLevel,
+                 SigOnly.Mode64, SigOnly.Signature},
+      SigOnly);
   CP.Merged.SeedsProcessed = 3;
   CP.Merged.VariantsEnumerated = 120;
   CP.Merged.VariantsOracleExcluded = 11;
@@ -90,6 +105,7 @@ CampaignCheckpoint sampleCheckpoint() {
   CP.Merged.OracleCacheHits = 31;
   CP.Merged.CrashObservations = 5;
   CP.Merged.WrongCodeObservations = 2;
+  CP.Merged.ExecutionTimeouts = 1;
   CP.CovHits = {"constfold.binary", "dce.removed\tstore", "gvn.hit point"};
 
   CP.InFlight = true;
@@ -341,15 +357,15 @@ TEST(CheckpointFormatTest, SingleByteCorruptionIsRejected) {
 }
 
 TEST(CheckpointFormatTest, VersionSkewIsRejectedEvenWithValidChecksum) {
-  // A file from a hypothetical v2 writer: structurally intact, checksum
+  // A file from a hypothetical v3 writer: structurally intact, checksum
   // freshly valid -- the version gate alone must reject it.
   std::string Text = sampleCheckpoint().serialize();
   size_t Tail = Text.rfind("checksum ");
   ASSERT_NE(Tail, std::string::npos);
   std::string Body = Text.substr(0, Tail);
-  size_t V = Body.find("v1");
+  size_t V = Body.find("v2");
   ASSERT_NE(V, std::string::npos);
-  Body.replace(V, 2, "v2");
+  Body.replace(V, 2, "v3");
   std::string Forged = Body + "checksum " + std::to_string(fnv1a(Body)) + "\n";
   CampaignCheckpoint Out;
   std::string Err;
@@ -362,6 +378,75 @@ TEST(CheckpointFormatTest, TrailingGarbageIsRejected) {
   CampaignCheckpoint Out;
   std::string Err;
   EXPECT_FALSE(CampaignCheckpoint::deserialize(Text + "extra\n", Out, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Options fingerprint: campaign-shaping flags and backend identity
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal backend stub with a chosen identity, for fingerprint tests.
+struct NamedBackend : CompilerBackend {
+  std::string Name;
+  explicit NamedBackend(std::string Name) : Name(std::move(Name)) {}
+  std::string identity() const override { return Name; }
+  bool hasGroundTruth() const override { return false; }
+  BackendObservation run(const std::string &, const CompilerConfig &,
+                         CoverageRegistry *) const override {
+    return {};
+  }
+};
+
+} // namespace
+
+TEST(OptionsFingerprintTest, TriageFlagChangesTheFingerprint) {
+  // Regression: HarnessOptions::Triage was omitted from the fingerprint,
+  // so a checkpoint written without triage resumed under a triaging
+  // campaign (and vice versa) without the skew being detected.
+  HarnessOptions A;
+  A.Configs = HarnessOptions::crashMatrix(Persona::GccSim, 70);
+  HarnessOptions B = A;
+  B.Triage = true;
+  EXPECT_NE(fingerprintOptions(A), fingerprintOptions(B));
+}
+
+TEST(OptionsFingerprintTest, BackendIdentityChangesTheFingerprint) {
+  HarnessOptions A;
+  NamedBackend Gcc("external: gcc -w [-O] | gcc (Distro) 14.2.0");
+  NamedBackend Clang("external: clang -w [-O] | clang version 19.1.0");
+  A.Backend = &Gcc;
+  HarnessOptions B = A;
+  B.Backend = &Clang;
+  HarnessOptions C = A;
+  C.Backend = nullptr; // In-process MiniCC.
+  uint64_t FA = fingerprintOptions(A);
+  EXPECT_NE(FA, fingerprintOptions(B));
+  EXPECT_NE(FA, fingerprintOptions(C));
+}
+
+TEST(OptionsFingerprintTest, TriageMismatchRejectsTheResume) {
+  // End to end: a snapshot written by a non-triaging campaign must be
+  // refused by a triaging resume on the fingerprint gate, and accepted
+  // again once the options match.
+  std::vector<std::string> Seeds = {"int main(void) { return 0; }\n"};
+  HarnessOptions Plain;
+  Plain.Configs = HarnessOptions::crashMatrix(Persona::GccSim, 70);
+  Plain.CheckpointPath = tempPath("triage_skew.ck");
+  CampaignResult Full = DifferentialHarness(Plain).runCampaign(Seeds);
+
+  HarnessOptions Triaging = Plain;
+  Triaging.Triage = true;
+  CampaignResult R;
+  std::string Err;
+  EXPECT_FALSE(DifferentialHarness(Triaging).resumeCampaign(Seeds, R, Err));
+  EXPECT_NE(Err.find("options fingerprint"), std::string::npos) << Err;
+
+  CampaignResult Again;
+  std::string Err2;
+  ASSERT_TRUE(DifferentialHarness(Plain).resumeCampaign(Seeds, Again, Err2))
+      << Err2;
+  EXPECT_TRUE(Again == Full);
 }
 
 //===----------------------------------------------------------------------===//

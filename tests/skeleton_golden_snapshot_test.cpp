@@ -150,7 +150,7 @@ TEST(GoldenSnapshotTest, SeekAddressesTheSameSequence) {
 namespace {
 
 /// A fixed, fully populated snapshot whose serialization is pinned byte
-/// for byte by tests/golden/campaign_checkpoint_v1.golden. Touch nothing
+/// for byte by tests/golden/campaign_checkpoint_v2.golden. Touch nothing
 /// here (and nothing in the serializer) without consciously regenerating
 /// the golden file AND bumping CampaignCheckpoint::FormatVersion -- an
 /// accidental layout change would strand every long-haul campaign's
@@ -177,6 +177,22 @@ CampaignCheckpoint goldenCheckpoint() {
       FindingKey{Crash.BugId, Crash.P, Crash.Version, Crash.OptLevel,
                  Crash.Mode64},
       Crash);
+  // A signature-only finding (no ground truth: external backend), keyed by
+  // its normalized signature -- pins the v2 Sig token and the escaped
+  // "miscompilation (hang)" key.
+  FoundBug Hang;
+  Hang.BugId = 0;
+  Hang.P = Persona::GccSim;
+  Hang.Effect = BugEffect::WrongCode;
+  Hang.Signature = "miscompilation (hang)";
+  Hang.Version = 140;
+  Hang.OptLevel = 2;
+  Hang.Mode64 = true;
+  Hang.WitnessProgram = "int main(void)\n{\n  return 0;\n}\n";
+  CP.Merged.RawFindings.emplace(
+      FindingKey{0, Hang.P, Hang.Version, Hang.OptLevel, Hang.Mode64,
+                 "miscompilation (hang)"},
+      Hang);
   CP.Merged.SeedsProcessed = 2;
   CP.Merged.VariantsEnumerated = 60;
   CP.Merged.VariantsOracleExcluded = 4;
@@ -185,6 +201,7 @@ CampaignCheckpoint goldenCheckpoint() {
   CP.Merged.OracleExecutions = 54;
   CP.Merged.OracleCacheHits = 12;
   CP.Merged.CrashObservations = 2;
+  CP.Merged.ExecutionTimeouts = 1;
   CP.CovHits = {"constfold.binary", "dce.removed store"};
 
   CP.InFlight = true;
@@ -211,9 +228,9 @@ TEST(GoldenSnapshotTest, CheckpointFormatIsPinnedByGoldenFile) {
   // exact bytes against a checked-in golden file so any accidental format
   // change fails CI loudly instead of silently stranding snapshots.
   std::ifstream In(std::string(SPE_SOURCE_DIR) +
-                   "/tests/golden/campaign_checkpoint_v1.golden");
+                   "/tests/golden/campaign_checkpoint_v2.golden");
   ASSERT_TRUE(In.good())
-      << "tests/golden/campaign_checkpoint_v1.golden is missing";
+      << "tests/golden/campaign_checkpoint_v2.golden is missing";
   std::ostringstream Golden;
   Golden << In.rdbuf();
 
@@ -222,7 +239,7 @@ TEST(GoldenSnapshotTest, CheckpointFormatIsPinnedByGoldenFile) {
       << "the serialized checkpoint layout changed; if deliberate, bump "
          "CampaignCheckpoint::FormatVersion and regenerate the golden file";
 
-  // And the pinned bytes must still load as format v1.
+  // And the pinned bytes must still load as format v2.
   CampaignCheckpoint Back;
   std::string Err;
   ASSERT_TRUE(CampaignCheckpoint::deserialize(Golden.str(), Back, Err))
