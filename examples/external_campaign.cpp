@@ -32,8 +32,12 @@ int main() {
   //    {"clang", "-w"} (or a cross toolchain) to hunt somewhere specific;
   //    the identity -- command line plus `--version` banner -- is folded
   //    into checkpoint fingerprints, so long campaigns can never resume
-  //    against the wrong compiler.
-  ExternalBackend Backend;
+  //    against the wrong compiler. PoolWorkers keeps two warm broker
+  //    processes running the compiler/binary subprocesses so batch
+  //    compiles overlap the harness's oracle work.
+  ExternalBackendOptions EB;
+  EB.PoolWorkers = 2;
+  ExternalBackend Backend(EB);
   if (!Backend.available()) {
     std::printf("No usable host compiler (%s); skipping the external "
                 "campaign walkthrough.\n",
@@ -49,6 +53,11 @@ int main() {
   Opts.Configs = {{Persona::GccSim, 140, 0, true},
                   {Persona::GccSim, 140, 2, true}};
   Opts.VariantBudget = 6; // Keep the smoke run to a few dozen compiles.
+  // Batch variants into shared translation units (one compile per batch
+  // per config, DESIGN.md Section 13). Result-neutral: any batch-level
+  // failure is bisected and re-verified solo, so findings are identical
+  // to BatchSize = 1 -- only the wall clock changes.
+  Opts.BatchSize = 8;
 
   std::vector<std::string> Seeds = {embeddedSeeds()[2], embeddedSeeds()[5]};
   DifferentialHarness Harness(Opts);

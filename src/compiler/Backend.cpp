@@ -10,6 +10,45 @@
 
 using namespace spe;
 
+namespace {
+
+/// The base batch ticket: nothing is in flight, the inputs are merely
+/// parked until finishBatch runs the ordinary per-variant loop.
+struct GenericBatchTicket final : BatchTicket {
+  std::vector<std::string> Sources;
+  std::vector<CompilerConfig> Configs;
+  CoverageRegistry *Cov = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<BatchTicket>
+CompilerBackend::beginBatch(std::vector<std::string> Sources,
+                            std::vector<BatchExpectation> Expected,
+                            std::vector<CompilerConfig> Configs,
+                            CoverageRegistry *Cov) const {
+  (void)Expected; // The loop below *is* the unbatched path; nothing to verify.
+  auto T = std::make_unique<GenericBatchTicket>();
+  T->Sources = std::move(Sources);
+  T->Configs = std::move(Configs);
+  T->Cov = Cov;
+  return T;
+}
+
+std::vector<std::vector<BackendObservation>>
+CompilerBackend::finishBatch(std::unique_ptr<BatchTicket> Ticket) const {
+  auto *T = dynamic_cast<GenericBatchTicket *>(Ticket.get());
+  if (!T)
+    return {}; // Ticket from a different backend's beginBatch: caller bug.
+  std::vector<std::vector<BackendObservation>> Out(T->Sources.size());
+  for (size_t I = 0; I < T->Sources.size(); ++I) {
+    Out[I].reserve(T->Configs.size());
+    for (const CompilerConfig &Config : T->Configs)
+      Out[I].push_back(run(T->Sources[I], Config, T->Cov));
+  }
+  return Out;
+}
+
 std::unique_ptr<ASTContext> spe::parseAndAnalyze(const std::string &Source) {
   auto Ctx = std::make_unique<ASTContext>();
   DiagnosticEngine Diags;

@@ -83,6 +83,28 @@ struct BackendObservation {
   std::string Output;
 };
 
+/// The harness's oracle expectation for one batched variant: what a clean
+/// execution must reproduce. A batched observation that deviates from it in
+/// any way (or that has no valid expectation to check against) is discarded
+/// and the variant re-run unbatched, so every observation that can reach
+/// the recording path carries single-compile provenance.
+struct BatchExpectation {
+  /// False = no behavioral expectation is known; such variants are always
+  /// resolved by an unbatched run.
+  bool Valid = false;
+  int64_t ExitCode = 0;
+  std::string Output;
+};
+
+/// Opaque handle for an in-flight batch: beginBatch() may start real work
+/// (pool compiles) behind it; finishBatch() consumes it. Destroying an
+/// unfinished ticket abandons the batch and releases its resources --
+/// exactly what a simulated crash strands.
+class BatchTicket {
+public:
+  virtual ~BatchTicket() = default;
+};
+
 /// A compiler under differential test. Implementations must be const-callable
 /// from concurrent shard workers.
 class CompilerBackend {
@@ -106,6 +128,26 @@ public:
   virtual BackendObservation run(const std::string &Source,
                                  const CompilerConfig &Config,
                                  CoverageRegistry *Cov) const = 0;
+
+  /// Starts testing a batch of variants against every configuration and
+  /// returns immediately; backends that can overlap work (ExternalBackend's
+  /// pool compiles) start it here. The base implementation just parks the
+  /// inputs in the ticket. Ownership of \p Sources transfers to the ticket
+  /// so nothing dangles while the caller enumerates ahead.
+  virtual std::unique_ptr<BatchTicket>
+  beginBatch(std::vector<std::string> Sources,
+             std::vector<BatchExpectation> Expected,
+             std::vector<CompilerConfig> Configs, CoverageRegistry *Cov) const;
+
+  /// Completes a batch: \returns Out[variant][config] observations in the
+  /// shape beginBatch was given. The contract batched callers rely on:
+  /// every observation that differs from its BatchExpectation (crash,
+  /// reject, anomaly, divergence, exec failure) is equal to what run()
+  /// would have produced for that (variant, config) pair -- the base
+  /// implementation guarantees it by *being* a run() loop, ExternalBackend
+  /// by bisection plus unbatched re-verification.
+  virtual std::vector<std::vector<BackendObservation>>
+  finishBatch(std::unique_ptr<BatchTicket> Ticket) const;
 };
 
 /// The historical in-process driver: parse + Sema + MiniCompiler + VM.

@@ -1,0 +1,126 @@
+//===- compiler/BatchRenderer.cpp - pack variants into one TU ------------===//
+
+#include "compiler/BatchRenderer.h"
+
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+
+using namespace spe;
+
+namespace {
+
+/// Library names declared by the compile prelude rather than the variant
+/// itself; renaming one would sever the libc linkage the variant depends
+/// on. The mini-C dialect knows exactly one.
+bool isPreservedName(const std::string &Name) { return Name == "printf"; }
+
+} // namespace
+
+bool BatchRenderer::prefixIdentifiers(const std::string &Source,
+                                      const std::string &Prefix,
+                                      std::string &Out, std::string &Error) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors()) {
+    Error = "variant does not re-lex: " + Diags.toString();
+    return false;
+  }
+
+  // Token locations are 1-based line/column; rebuild byte offsets from the
+  // line starts so the prefix splices into the raw text and everything
+  // that is not an identifier survives byte-for-byte.
+  std::vector<size_t> LineStart{0};
+  for (size_t I = 0; I < Source.size(); ++I)
+    if (Source[I] == '\n')
+      LineStart.push_back(I + 1);
+
+  Out.clear();
+  Out.reserve(Source.size() + Tokens.size() * Prefix.size());
+  size_t Prev = 0;
+  for (const Token &T : Tokens) {
+    if (T.Kind != TokenKind::Identifier || isPreservedName(T.Text))
+      continue;
+    if (!T.Loc.isValid() || T.Loc.Line > LineStart.size()) {
+      Error = "identifier token with an unusable location";
+      return false;
+    }
+    size_t Off = LineStart[T.Loc.Line - 1] + (T.Loc.Column - 1);
+    // The raw text at the computed offset must spell the token; anything
+    // else means the location math and the lexer disagree, and splicing
+    // would corrupt the program.
+    if (Off < Prev || Source.compare(Off, T.Text.size(), T.Text) != 0) {
+      Error = "identifier token location does not match the source text";
+      return false;
+    }
+    Out.append(Source, Prev, Off - Prev);
+    Out += Prefix;
+    Prev = Off;
+  }
+  Out.append(Source, Prev, Source.size() - Prev);
+  return true;
+}
+
+BatchRenderer::Result
+BatchRenderer::pack(const std::vector<std::string> &Variants,
+                    const std::string &Prelude) {
+  std::vector<size_t> All(Variants.size());
+  for (size_t I = 0; I < All.size(); ++I)
+    All[I] = I;
+  return pack(Variants, All, Prelude);
+}
+
+BatchRenderer::Result
+BatchRenderer::pack(const std::vector<std::string> &Variants,
+                    const std::vector<size_t> &Subset,
+                    const std::string &Prelude) {
+  Result R;
+  if (Subset.empty()) {
+    R.Error = "empty batch";
+    return R;
+  }
+  R.Source = Prelude;
+  std::string Renamed;
+  for (size_t Local = 0; Local < Subset.size(); ++Local) {
+    const std::string &Variant = Variants[Subset[Local]];
+    std::string Prefix = "v" + std::to_string(Local) + "_";
+    if (!prefixIdentifiers(Variant, Prefix, Renamed, R.Error)) {
+      R.Source.clear();
+      return R;
+    }
+    R.Source += "/* variant " + std::to_string(Local) + " */\n";
+    R.Source += Renamed;
+    if (!R.Source.empty() && R.Source.back() != '\n')
+      R.Source += '\n';
+  }
+
+  // The dispatch: full C (this text never passes through the mini-C
+  // frontend), parsing argv[1] by hand so the prelude stays minimal. Each
+  // case forwards the selected variant's exit code and shares the
+  // process's stdout, preserving the per-variant observation convention.
+  R.Source += "int main(int argc, char **argv) {\n"
+              "  int spe_k = 0;\n"
+              "  const char *spe_s;\n"
+              "  if (argc < 2 || !argv[1][0])\n"
+              "    return " +
+              std::to_string(DispatchBadIndex) +
+              ";\n"
+              "  for (spe_s = argv[1]; *spe_s; ++spe_s) {\n"
+              "    if (*spe_s < '0' || *spe_s > '9')\n"
+              "      return " +
+              std::to_string(DispatchBadIndex) +
+              ";\n"
+              "    spe_k = spe_k * 10 + (*spe_s - '0');\n"
+              "  }\n"
+              "  switch (spe_k) {\n";
+  for (size_t Local = 0; Local < Subset.size(); ++Local)
+    R.Source += "  case " + std::to_string(Local) + ": return v" +
+                std::to_string(Local) + "_main();\n";
+  R.Source += "  }\n"
+              "  return " +
+              std::to_string(DispatchBadIndex) +
+              ";\n"
+              "}\n";
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,90 @@
+//===- compiler/BatchRenderer.h - pack variants into one TU --------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-variant translation units for batched external compilation. A real
+/// compiler costs ~30 ms per subprocess invocation; a skeleton variant is a
+/// few hundred bytes of straight-line C. Packing K variants into one TU --
+/// each variant alpha-renamed into its own namespace (every identifier
+/// prefixed "v<i>_", so variant i carries a private snapshot of its globals
+/// and its entry point becomes v<i>_main) plus a generated dispatch
+/// main(argc, argv) that selects a variant by its decimal index argument --
+/// amortizes that invocation down to one compile per K differential points
+/// while preserving the per-variant exit-code/stdout convention exactly:
+/// running `./batch <i>` returns what variant i's own main would have
+/// returned and prints what it would have printed, because each execution
+/// is still its own process.
+///
+/// The rename is token-exact: the mini-C Lexer locates every identifier and
+/// the prefix is spliced into the *raw* source text, so string literals,
+/// integer spellings, comments and whitespace survive byte-for-byte.
+/// Keywords come back as keyword tokens (never renamed) and the library
+/// names the harness prelude declares (printf) are preserved. The scheme is
+/// collision-free by construction: renaming is injective per variant
+/// (a fixed prefix on distinct names yields distinct names), and two
+/// prefixes "v<i>_" / "v<j>_" can only collide on identifiers starting
+/// with a digit, which cannot lex.
+///
+/// Packing can fail (a variant that does not re-lex); callers fall back to
+/// per-variant compilation, which is always correct. Note the packed TU is
+/// an *amortization*, not an oracle: compiler/ExternalBackend.h bisects any
+/// batch-level failure and re-verifies any batch-level anomaly with a solo
+/// compile, so every recorded observation comes from an unbatched run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_COMPILER_BATCHRENDERER_H
+#define SPE_COMPILER_BATCHRENDERER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// Renders K variant programs into one dispatching translation unit.
+class BatchRenderer {
+public:
+  /// Outcome of one pack() call.
+  struct Result {
+    bool Ok = false;
+    /// The packed TU (valid when Ok): prelude, then each renamed variant,
+    /// then the dispatch main.
+    std::string Source;
+    /// Human-readable reason when !Ok (e.g. which variant failed to lex).
+    std::string Error;
+  };
+
+  /// Packs \p Variants (complete mini-C programs, each defining main) into
+  /// one TU prefixed by \p Prelude. Variant i is selected at run time by
+  /// passing the decimal string "i" as argv[1]; an absent or malformed
+  /// index exits with DispatchBadIndex, which the driver never passes.
+  static Result pack(const std::vector<std::string> &Variants,
+                     const std::string &Prelude);
+  /// Same, over a subset: packs Variants[Subset[0]], Variants[Subset[1]],
+  /// ... so bisection re-packs sub-batches without copying sources. The
+  /// packed TU numbers its members 0..Subset.size()-1 in subset order.
+  static Result pack(const std::vector<std::string> &Variants,
+                     const std::vector<size_t> &Subset,
+                     const std::string &Prelude);
+
+  /// Splices \p Prefix onto every identifier of \p Source except preserved
+  /// library names (printf). \returns false (and sets \p Error) when the
+  /// source does not lex cleanly. Exposed for tests.
+  static bool prefixIdentifiers(const std::string &Source,
+                                const std::string &Prefix, std::string &Out,
+                                std::string &Error);
+
+  /// Exit code of the generated dispatch main for a missing or malformed
+  /// variant index. Unobservable through the driver, which always passes
+  /// an index the switch covers.
+  static constexpr int DispatchBadIndex = 125;
+};
+
+} // namespace spe
+
+#endif // SPE_COMPILER_BATCHRENDERER_H

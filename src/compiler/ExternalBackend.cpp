@@ -2,12 +2,17 @@
 
 #include "compiler/ExternalBackend.h"
 
-#include "support/ProcessRunner.h"
+#include "compiler/BatchRenderer.h"
+#include "support/ProcessPool.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
 
+#include <dirent.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace spe;
@@ -45,7 +50,108 @@ bool isCrashMarker(const std::string &Line) {
          Line.find("Segmentation fault") != std::string::npos;
 }
 
+/// Decodes a finished *execution* subprocess result into the observation.
+/// The caller has already set Compile = Ok and handled StartFailed (solo
+/// paths warn and leave Exec at NotRun; batch paths re-run the variant).
+void classifyExecInto(const ProcessResult &R, BackendObservation &Obs) {
+  switch (R.St) {
+  case ProcessResult::Status::StartFailed:
+    break; // Caller's responsibility; see above.
+  case ProcessResult::Status::TimedOut:
+    Obs.Exec = BackendObservation::ExecStatus::Timeout;
+    break;
+  case ProcessResult::Status::Signaled:
+    Obs.Exec = BackendObservation::ExecStatus::Trap;
+    break;
+  case ProcessResult::Status::Exited:
+    Obs.Exec = BackendObservation::ExecStatus::Ok;
+    Obs.ExitCode = R.ExitCode;
+    Obs.ExitCodeLow8 = true;
+    Obs.Output = R.Stdout;
+    break;
+  }
+}
+
+/// One memoized `--version` probe outcome.
+struct ProbeResult {
+  bool Ok = false;
+  std::string Unavailable;
+  std::string Version;
+};
+
+/// Probes `Command --version` once per distinct command line for the whole
+/// process. Campaigns and tests construct many backends over the same
+/// compiler; the probe is pure identity, so re-running it buys nothing but
+/// a subprocess per construction.
+const ProbeResult &probeCompiler(const std::vector<std::string> &Command) {
+  static std::mutex Mu;
+  static std::map<std::string, ProbeResult> Memo;
+  std::string Key;
+  for (const std::string &A : Command) {
+    Key += A;
+    Key += '\x1f';
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+  ProbeResult P;
+  std::vector<std::string> Argv = Command;
+  Argv.push_back("--version");
+  ProcessOptions PO;
+  PO.TimeoutMs = 10'000;
+  ProcessResult R = runProcess(Argv, PO);
+  if (R.St == ProcessResult::Status::StartFailed) {
+    P.Unavailable = R.Error;
+  } else if (!R.exitedWith(0)) {
+    P.Unavailable = "'" + Command[0] + " --version' did not exit 0";
+  } else {
+    P.Version = firstLine(R.Stdout.empty() ? R.Stderr : R.Stdout);
+    P.Ok = true;
+  }
+  return Memo.emplace(Key, std::move(P)).first->second;
+}
+
 } // namespace
+
+namespace spe {
+
+/// In-flight state of one batched compile: the packed TU on disk plus one
+/// (possibly pool-submitted) compile per configuration. Destruction claims
+/// any job finishBatch never collected -- an abandoned ticket (simulated
+/// crash mid-batch) must not leave its broker permanently busy -- and
+/// removes the scratch files.
+struct ExternalBatchTicket final : BatchTicket {
+  const ExternalBackend *B = nullptr;
+  std::vector<std::string> Sources;
+  std::vector<BatchExpectation> Expected;
+  std::vector<CompilerConfig> Configs;
+  /// The packed TU's source path; empty when !Packed.
+  std::string Src;
+  struct ConfigCompile {
+    std::string Bin;
+    ProcessPool::JobId Job = 0;
+    bool Submitted = false; ///< True until finishBatch claims the job.
+  };
+  std::vector<ConfigCompile> Compiles;
+  /// False = packing was skipped or failed; finishBatch resolves every
+  /// (variant, config) pair by plain run().
+  bool Packed = false;
+
+  ~ExternalBatchTicket() override {
+    bool Keep = B && B->options().KeepArtifacts;
+    for (ConfigCompile &CC : Compiles) {
+      if (CC.Submitted && B && B->pool())
+        B->pool()->wait(CC.Job);
+      if (!CC.Bin.empty() && !Keep)
+        std::remove(CC.Bin.c_str());
+    }
+    if (!Src.empty() && !Keep)
+      std::remove(Src.c_str());
+  }
+};
+
+} // namespace spe
 
 std::string
 ExternalBackend::extractCrashSignature(const std::string &Stderr,
@@ -83,27 +189,64 @@ ExternalBackend::ExternalBackend(ExternalBackendOptions O)
     Unavailable = "empty compiler command";
     return;
   }
-  std::vector<std::string> Argv = Opts.Command;
-  Argv.push_back("--version");
-  ProcessOptions PO;
-  PO.TimeoutMs = 10'000;
-  ProcessResult R = runProcess(Argv, PO);
-  if (R.St == ProcessResult::Status::StartFailed) {
-    Unavailable = R.Error;
+  const ProbeResult &P = probeCompiler(Opts.Command);
+  Available = P.Ok;
+  Unavailable = P.Unavailable;
+  Version = P.Version;
+  if (!Available)
     return;
+
+  // One scratch directory per instance: scratch files cluster under it and
+  // the destructor removes everything at once, so long campaigns cannot
+  // strand thousands of loose temp files on a crash-free exit.
+  std::string Base = Opts.TempDir;
+  if (Base.empty()) {
+    const char *Env = std::getenv("TMPDIR");
+    Base = Env && *Env ? Env : "/tmp";
   }
-  if (!R.exitedWith(0)) {
-    Unavailable = "'" + Opts.Command[0] + " --version' did not exit 0";
+  while (!Base.empty() && Base.back() == '/')
+    Base.pop_back();
+  ::mkdir(Base.c_str(), 0777); // Best effort; mkdtemp reports real failure.
+  std::string Templ = Base + "/spe-ext-XXXXXX";
+  std::vector<char> Buf(Templ.begin(), Templ.end());
+  Buf.push_back('\0');
+  if (mkdtemp(Buf.data())) {
+    ScratchDir = Buf.data();
+    OwnScratchDir = true;
+  } else {
+    // Flat fallback: unique pid+seq names directly under the base, as the
+    // pre-directory layout did. Nothing is removed on destruction beyond
+    // the per-run cleanups.
+    ScratchDir = Base;
+  }
+
+  if (Opts.PoolWorkers > 0)
+    Pool = std::make_unique<ProcessPool>(Opts.PoolWorkers);
+}
+
+ExternalBackend::~ExternalBackend() {
+  // Brokers first: they must not outlive the scratch directory their jobs
+  // write into.
+  Pool.reset();
+  if (!OwnScratchDir || Opts.KeepArtifacts)
     return;
+  if (DIR *D = opendir(ScratchDir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      if (std::strcmp(E->d_name, ".") == 0 || std::strcmp(E->d_name, "..") == 0)
+        continue;
+      std::remove((ScratchDir + "/" + E->d_name).c_str());
+    }
+    closedir(D);
   }
-  Version = firstLine(R.Stdout.empty() ? R.Stderr : R.Stdout);
-  Available = true;
+  rmdir(ScratchDir.c_str());
 }
 
 std::string ExternalBackend::identity() const {
   // Command line + --version banner: the resume fingerprint must change
   // whenever either does, so a checkpoint can never silently continue
-  // against a different compiler or flag set.
+  // against a different compiler or flag set. Deliberately excluded:
+  // PoolWorkers and scratch placement -- execution mechanics that cannot
+  // change any observation, so a snapshot stays resumable across them.
   std::string Id = "external:";
   for (const std::string &A : Opts.Command)
     Id += " " + A;
@@ -126,15 +269,32 @@ void ExternalBackend::warnInfra(const std::string &What) const {
 }
 
 std::string ExternalBackend::scratchBase() const {
-  std::string Dir = Opts.TempDir;
-  if (Dir.empty()) {
-    const char *Env = std::getenv("TMPDIR");
-    Dir = Env && *Env ? Env : "/tmp";
-  }
-  if (!Dir.empty() && Dir.back() == '/')
-    Dir.pop_back();
-  return Dir + "/spe-ext-" + std::to_string(static_cast<long>(getpid())) +
-         "-" + std::to_string(Seq.fetch_add(1, std::memory_order_relaxed));
+  uint64_t N = Seq.fetch_add(1, std::memory_order_relaxed);
+  if (OwnScratchDir)
+    return ScratchDir + "/v" + std::to_string(N);
+  return ScratchDir + "/spe-ext-" +
+         std::to_string(static_cast<long>(getpid())) + "-" +
+         std::to_string(N);
+}
+
+ProcessResult ExternalBackend::runTool(const std::vector<std::string> &Argv,
+                                       const ProcessOptions &PO) const {
+  return Pool ? Pool->run(Argv, PO) : runProcess(Argv, PO);
+}
+
+std::vector<std::string>
+ExternalBackend::compileArgv(const std::string &Src, const std::string &Bin,
+                             const CompilerConfig &Config) const {
+  std::vector<std::string> Argv = Opts.Command;
+  Argv.insert(Argv.end(), Opts.ExtraArgs.begin(), Opts.ExtraArgs.end());
+  if (Opts.MapOptLevel)
+    Argv.push_back("-O" + std::to_string(Config.OptLevel));
+  if (Opts.MapMachineMode)
+    Argv.push_back(Config.Mode64 ? "-m64" : "-m32");
+  Argv.push_back(Src);
+  Argv.push_back("-o");
+  Argv.push_back(Bin);
+  return Argv;
 }
 
 BackendObservation ExternalBackend::run(const std::string &Source,
@@ -164,19 +324,9 @@ BackendObservation ExternalBackend::run(const std::string &Source,
     return Obs;
   }
 
-  std::vector<std::string> Argv = Opts.Command;
-  Argv.insert(Argv.end(), Opts.ExtraArgs.begin(), Opts.ExtraArgs.end());
-  if (Opts.MapOptLevel)
-    Argv.push_back("-O" + std::to_string(Config.OptLevel));
-  if (Opts.MapMachineMode)
-    Argv.push_back(Config.Mode64 ? "-m64" : "-m32");
-  Argv.push_back(Src);
-  Argv.push_back("-o");
-  Argv.push_back(Bin);
-
   ProcessOptions PO;
   PO.TimeoutMs = Opts.CompileTimeoutMs;
-  ProcessResult C = runProcess(Argv, PO);
+  ProcessResult C = runTool(compileArgv(Src, Bin, Config), PO);
   switch (C.St) {
   case ProcessResult::Status::StartFailed:
     // A compiler that probed fine but cannot start now (deleted binary,
@@ -214,9 +364,8 @@ BackendObservation ExternalBackend::run(const std::string &Source,
   Obs.Compile = BackendObservation::CompileStatus::Ok;
   ProcessOptions RO;
   RO.TimeoutMs = Opts.ExecTimeoutMs;
-  ProcessResult R = runProcess({Bin}, RO);
-  switch (R.St) {
-  case ProcessResult::Status::StartFailed:
+  ProcessResult R = runTool({Bin}, RO);
+  if (R.St == ProcessResult::Status::StartFailed) {
     // We never ran the binary -- transient fork pressure, or an artifact
     // the compiler claimed and did not deliver. Either way this is an
     // infrastructure fact, not a behavioral observation: leave Exec at
@@ -224,18 +373,191 @@ BackendObservation ExternalBackend::run(const std::string &Source,
     // so once.
     warnInfra("cannot execute compiled binary: " + R.Error);
     return Obs;
-  case ProcessResult::Status::TimedOut:
-    Obs.Exec = BackendObservation::ExecStatus::Timeout;
-    return Obs;
-  case ProcessResult::Status::Signaled:
-    Obs.Exec = BackendObservation::ExecStatus::Trap;
-    return Obs;
-  case ProcessResult::Status::Exited:
-    Obs.Exec = BackendObservation::ExecStatus::Ok;
-    Obs.ExitCode = R.ExitCode;
-    Obs.ExitCodeLow8 = true;
-    Obs.Output = std::move(R.Stdout);
-    return Obs;
   }
+  classifyExecInto(R, Obs);
   return Obs;
+}
+
+std::unique_ptr<BatchTicket>
+ExternalBackend::beginBatch(std::vector<std::string> Sources,
+                            std::vector<BatchExpectation> Expected,
+                            std::vector<CompilerConfig> Configs,
+                            CoverageRegistry *Cov) const {
+  (void)Cov;
+  auto T = std::make_unique<ExternalBatchTicket>();
+  T->B = this;
+  T->Sources = std::move(Sources);
+  T->Expected = std::move(Expected);
+  T->Configs = std::move(Configs);
+  if (!Available || T->Sources.size() <= 1)
+    return T; // Solo fallback: nothing batched, nothing in flight.
+
+  BatchRenderer::Result P = BatchRenderer::pack(T->Sources, Opts.Prelude);
+  if (!P.Ok)
+    return T; // A variant that does not re-lex: the solo path is always right.
+
+  std::string Base = scratchBase();
+  T->Src = Base + ".c";
+  if (!writeFile(T->Src, P.Source)) {
+    warnInfra("cannot write scratch file " + T->Src);
+    T->Src.clear();
+    return T;
+  }
+  T->Packed = true;
+  T->Compiles.resize(T->Configs.size());
+  ProcessOptions PO;
+  PO.TimeoutMs = Opts.CompileTimeoutMs;
+  for (size_t C = 0; C < T->Configs.size(); ++C) {
+    ExternalBatchTicket::ConfigCompile &CC = T->Compiles[C];
+    CC.Bin = Base + "-c" + std::to_string(C) + ".bin";
+    if (Pool) {
+      // The overlap the pool exists for: compiles start now, while the
+      // harness worker goes back to rendering and interpreting. Without a
+      // pool the compile happens synchronously in finishBatch.
+      CC.Job = Pool->submit(compileArgv(T->Src, CC.Bin, T->Configs[C]), PO);
+      CC.Submitted = true;
+    }
+  }
+  return T;
+}
+
+std::vector<std::vector<BackendObservation>>
+ExternalBackend::finishBatch(std::unique_ptr<BatchTicket> Ticket) const {
+  auto *T = dynamic_cast<ExternalBatchTicket *>(Ticket.get());
+  if (!T)
+    return CompilerBackend::finishBatch(std::move(Ticket));
+
+  std::vector<std::vector<BackendObservation>> Out(
+      T->Sources.size(),
+      std::vector<BackendObservation>(T->Configs.size()));
+  if (!T->Packed) {
+    for (size_t I = 0; I < T->Sources.size(); ++I)
+      for (size_t C = 0; C < T->Configs.size(); ++C)
+        Out[I][C] = run(T->Sources[I], T->Configs[C], nullptr);
+    return Out;
+  }
+
+  std::vector<size_t> All(T->Sources.size());
+  for (size_t I = 0; I < All.size(); ++I)
+    All[I] = I;
+  ProcessOptions PO;
+  PO.TimeoutMs = Opts.CompileTimeoutMs;
+  for (size_t C = 0; C < T->Configs.size(); ++C) {
+    ExternalBatchTicket::ConfigCompile &CC = T->Compiles[C];
+    ProcessResult CR;
+    if (CC.Submitted) {
+      CR = Pool->wait(CC.Job);
+      CC.Submitted = false;
+    } else {
+      CR = runTool(compileArgv(T->Src, CC.Bin, T->Configs[C]), PO);
+    }
+    resolveSubset(*T, C, All, &CR, CC.Bin, Out);
+  }
+  return Out; // ~ExternalBatchTicket removes the scratch files.
+}
+
+void ExternalBackend::resolveSubset(
+    const ExternalBatchTicket &T, size_t ConfigIdx,
+    const std::vector<size_t> &Subset, const ProcessResult *Known,
+    const std::string &KnownBin,
+    std::vector<std::vector<BackendObservation>> &Out) const {
+  const CompilerConfig &Config = T.Configs[ConfigIdx];
+  auto Solo = [&](size_t V) {
+    Out[V][ConfigIdx] = run(T.Sources[V], Config, nullptr);
+  };
+
+  ProcessResult CR;
+  std::string Bin;
+  struct Cleanup {
+    const ExternalBackend *B;
+    std::string Src, Bin;
+    ~Cleanup() {
+      if (B && !B->Opts.KeepArtifacts) {
+        if (!Src.empty())
+          std::remove(Src.c_str());
+        if (!Bin.empty())
+          std::remove(Bin.c_str());
+      }
+    }
+  } Scope{nullptr, {}, {}};
+
+  if (Known) {
+    CR = *Known;
+    Bin = KnownBin;
+  } else {
+    // A sub-batch produced by splitting: one variant resolves by plain
+    // run() directly (cheaper than packing a singleton TU, and it is the
+    // very observation the contract demands); larger subsets re-pack.
+    if (Subset.size() == 1)
+      return Solo(Subset.front());
+    BatchRenderer::Result P =
+        BatchRenderer::pack(T.Sources, Subset, Opts.Prelude);
+    if (!P.Ok) {
+      for (size_t V : Subset)
+        Solo(V);
+      return;
+    }
+    std::string Base = scratchBase();
+    Scope.B = this;
+    Scope.Src = Base + ".c";
+    Scope.Bin = Bin = Base + ".bin";
+    if (!writeFile(Scope.Src, P.Source)) {
+      warnInfra("cannot write scratch file " + Scope.Src);
+      for (size_t V : Subset)
+        Solo(V);
+      return;
+    }
+    ProcessOptions PO;
+    PO.TimeoutMs = Opts.CompileTimeoutMs;
+    CR = runTool(compileArgv(Scope.Src, Bin, Config), PO);
+  }
+
+  if (!CR.exitedWith(0)) {
+    // The batch TU did not compile cleanly: crash, reject, timeout, or
+    // start failure. Which member is responsible is unknowable from here
+    // (diagnostics name renamed identifiers, a timeout names nobody), so
+    // split and recurse; singletons resolve unbatched, which classifies
+    // the failure exactly as an unbatched campaign would have.
+    if (Subset.size() == 1)
+      return Solo(Subset.front());
+    size_t Mid = Subset.size() / 2;
+    resolveSubset(T, ConfigIdx,
+                  std::vector<size_t>(Subset.begin(), Subset.begin() + Mid),
+                  nullptr, {}, Out);
+    resolveSubset(T, ConfigIdx,
+                  std::vector<size_t>(Subset.begin() + Mid, Subset.end()),
+                  nullptr, {}, Out);
+    return;
+  }
+
+  ProcessOptions RO;
+  RO.TimeoutMs = Opts.ExecTimeoutMs;
+  for (size_t Local = 0; Local < Subset.size(); ++Local) {
+    size_t V = Subset[Local];
+    ProcessResult R = runTool({Bin, std::to_string(Local)}, RO);
+    if (R.St == ProcessResult::Status::StartFailed) {
+      Solo(V);
+      continue;
+    }
+    BackendObservation Obs;
+    Obs.Compile = BackendObservation::CompileStatus::Ok;
+    classifyExecInto(R, Obs);
+    // Solo-verification invariant: only a batched execution that exactly
+    // reproduces the oracle expectation is kept -- and such an observation
+    // records nothing downstream. Anything else (trap, hang, divergent
+    // exit or output, missing expectation) is re-run unbatched so the
+    // recorded observation has single-compile provenance. The one thing
+    // this cannot catch is a batch compile *masking* a divergence its solo
+    // compile would show while still matching the oracle -- see DESIGN.md
+    // Section 13 for why that is accepted.
+    const BatchExpectation *E =
+        V < T.Expected.size() ? &T.Expected[V] : nullptr;
+    bool Clean = Obs.Exec == BackendObservation::ExecStatus::Ok && E &&
+                 E->Valid &&
+                 classifyDivergence(Obs, E->ExitCode, E->Output).empty();
+    if (Clean)
+      Out[V][ConfigIdx] = std::move(Obs);
+    else
+      Solo(V);
+  }
 }

@@ -10,7 +10,8 @@
 /// invoke a real host compiler (cc/gcc/clang) as a subprocess, run the
 /// produced binary, and classify crash / reject / wrong-code / timeout.
 /// Built on support/ProcessRunner.h; thread-safe (every run gets uniquely
-/// named scratch files).
+/// named scratch files inside one per-instance scratch directory, removed
+/// on destruction).
 ///
 /// Mapping from CompilerConfig: OptLevel becomes -O<n>; Mode64 becomes
 /// -m64/-m32 when MapMachineMode is on (off by default -- 32-bit support
@@ -25,19 +26,35 @@
 /// stripped; wrong-code findings carry the divergence kind. Everything
 /// dedups through the signature-only triage path (FoundBug::BugId == 0).
 ///
+/// Batched path (DESIGN.md Section 13): beginBatch packs K variants into
+/// one translation unit (compiler/BatchRenderer.h) and compiles it once
+/// per configuration -- asynchronously on the broker pool when
+/// Opts.PoolWorkers > 0 -- then finishBatch executes each member as its
+/// own process. The batch is an amortization, never an oracle: a batch
+/// compile failure is bisected by recursive split down to single variants,
+/// and a batched execution that deviates from the harness's expectation in
+/// any way is re-run unbatched, so every observation that can become a
+/// finding carries ordinary single-variant run() provenance and campaign
+/// results are bit-identical to BatchSize = 1.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPE_COMPILER_EXTERNALBACKEND_H
 #define SPE_COMPILER_EXTERNALBACKEND_H
 
 #include "compiler/Backend.h"
+#include "support/ProcessRunner.h"
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace spe {
+
+class ProcessPool;
+struct ExternalBatchTicket;
 
 /// Command-line template and budgets for one external compiler.
 struct ExternalBackendOptions {
@@ -58,19 +75,31 @@ struct ExternalBackendOptions {
   /// Variants are mini-C programs that may call printf; real compilers
   /// want the declaration.
   std::string Prelude = "#include <stdio.h>\n";
-  /// Scratch directory for .c/.bin files; empty = $TMPDIR or /tmp.
+  /// Scratch directory under which the per-instance scratch subdirectory
+  /// is created; empty = $TMPDIR or /tmp.
   std::string TempDir;
-  /// Keep scratch files instead of unlinking them (debugging).
+  /// Keep scratch files (and the scratch directory) instead of removing
+  /// them on destruction (debugging).
   bool KeepArtifacts = false;
+  /// Pre-forked broker processes running compiler/binary subprocesses on
+  /// this backend's behalf (support/ProcessPool.h). 0 = no pool, every
+  /// subprocess forked directly. The pool overlaps batch compiles with the
+  /// harness's oracle work and runs one batch's per-config compiles
+  /// concurrently; it never changes any observation, so it is (like
+  /// BatchSize) excluded from identity() and the resume fingerprint.
+  unsigned PoolWorkers = 0;
 };
 
 /// Drives one real host compiler through support/ProcessRunner.
 class ExternalBackend final : public CompilerBackend {
 public:
-  /// Probes `Command --version` once at construction; a backend whose
-  /// compiler cannot be executed stays constructible (available() false,
-  /// every run() rejecting) so callers can report the reason and skip.
+  /// Probes `Command --version` once per distinct command line
+  /// process-wide (memoized -- constructing many backends over the same
+  /// compiler re-probes nothing); a backend whose compiler cannot be
+  /// executed stays constructible (available() false, every run()
+  /// rejecting) so callers can report the reason and skip.
   explicit ExternalBackend(ExternalBackendOptions Opts = {});
+  ~ExternalBackend() override;
 
   /// True when the version probe succeeded and runs can proceed.
   bool available() const { return Available; }
@@ -85,7 +114,21 @@ public:
                          const CompilerConfig &Config,
                          CoverageRegistry *Cov) const override;
 
+  std::unique_ptr<BatchTicket>
+  beginBatch(std::vector<std::string> Sources,
+             std::vector<BatchExpectation> Expected,
+             std::vector<CompilerConfig> Configs,
+             CoverageRegistry *Cov) const override;
+  std::vector<std::vector<BackendObservation>>
+  finishBatch(std::unique_ptr<BatchTicket> Ticket) const override;
+
   const ExternalBackendOptions &options() const { return Opts; }
+  /// The broker pool (null when Opts.PoolWorkers == 0). Exposed so tests
+  /// can kill brokers and count respawns.
+  ProcessPool *pool() const { return Pool.get(); }
+  /// The per-instance scratch directory (removed on destruction unless
+  /// KeepArtifacts).
+  const std::string &scratchDir() const { return ScratchDir; }
 
   /// Extracts the stable crash key from a crashed compiler's stderr: the
   /// first marker line (internal compiler error / assertion / backend
@@ -95,7 +138,28 @@ public:
                                            const std::string &Fallback);
 
 private:
+  friend struct ExternalBatchTicket;
+
   std::string scratchBase() const;
+  /// Runs one subprocess, through the broker pool when one exists --
+  /// identical results either way (the pool's contract).
+  ProcessResult runTool(const std::vector<std::string> &Argv,
+                        const ProcessOptions &PO) const;
+  /// The compile command line for one (source file, output, config).
+  std::vector<std::string> compileArgv(const std::string &Src,
+                                       const std::string &Bin,
+                                       const CompilerConfig &Config) const;
+  /// Resolves the members of \p Subset for configuration \p ConfigIdx into
+  /// \p Out: compiles the packed subset (or accepts \p Known, the already
+  /// finished compile of exactly this subset), executes members of a
+  /// successful compile, and recursively splits a failed one down to
+  /// single variants, which are resolved by plain run(). Any executed
+  /// member that deviates from its expectation is likewise re-run
+  /// unbatched.
+  void resolveSubset(const ExternalBatchTicket &T, size_t ConfigIdx,
+                     const std::vector<size_t> &Subset,
+                     const ProcessResult *Known, const std::string &KnownBin,
+                     std::vector<std::vector<BackendObservation>> &Out) const;
   /// One loud line on the first infrastructure failure (scratch write,
   /// fork/exec of compiler or binary); such variants are skipped, never
   /// classified, so they cannot fabricate findings.
@@ -105,6 +169,12 @@ private:
   bool Available = false;
   std::string Unavailable;
   std::string Version;
+  std::string ScratchDir;
+  /// True when ScratchDir is this instance's own mkdtemp directory (and is
+  /// removed on destruction); false on the fallback flat layout when the
+  /// directory could not be created.
+  bool OwnScratchDir = false;
+  std::unique_ptr<ProcessPool> Pool;
   mutable std::atomic<uint64_t> Seq{0};
   mutable std::atomic<bool> InfraWarned{false};
 };

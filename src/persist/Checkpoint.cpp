@@ -502,6 +502,11 @@ uint64_t spe::fingerprintOptions(const HarnessOptions &Opts) {
   F.u64(Opts.VariantThreshold);
   F.u64(Opts.VariantBudget);
   F.u64(Opts.Threads);
+  // Deliberately NOT folded: Opts.BatchSize. Batching is result-neutral
+  // by the batch contract (every recorded observation has unbatched
+  // provenance), so a campaign checkpointed at one batch size must stay
+  // resumable at any other -- the one options knob that may legitimately
+  // change mid-campaign, e.g. to re-tune throughput on a different host.
   F.u64(Opts.Configs.size());
   for (const CompilerConfig &C : Opts.Configs) {
     F.u64(static_cast<uint64_t>(C.P));

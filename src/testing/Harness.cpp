@@ -172,6 +172,234 @@ SeedPlan buildSeedPlan(const HarnessOptions &Opts, const std::string &Source,
   return Plan;
 }
 
+/// Freshly computed verdicts staged for the next checkpoint flush.
+using StagedVec = std::vector<std::pair<std::string, OracleCache::Entry>>;
+
+/// Oracle-phase outcome for one variant: the verdict, and whether the
+/// variant proceeds to the backend configurations at all.
+struct OracleOutcome {
+  bool Test = false;
+  OracleCache::Entry Verdict;
+};
+
+/// The oracle phase of one variant: replay the verdict from the shared
+/// cache when available, compute (and memoize) it otherwise; classify the
+/// variant as excluded or testable. All downstream counters behave
+/// identically on a hit and on a miss.
+OracleOutcome oraclePhase(const HarnessOptions &Opts,
+                          const std::string &Source, CampaignResult &Result,
+                          StagedVec *Staged) {
+  OracleOutcome O;
+  OracleCache::Entry &Verdict = O.Verdict;
+  if (Opts.Cache && Opts.Cache->lookup(Source, Verdict)) {
+    ++Result.OracleCacheHits;
+  } else {
+    std::unique_ptr<ASTContext> RefCtx = parseAndAnalyze(Source);
+    Verdict.FrontendOk = RefCtx != nullptr;
+    if (RefCtx) {
+      ExecResult Ref = interpret(*RefCtx);
+      ++Result.OracleExecutions;
+      Verdict.Status = Ref.Status;
+      Verdict.ExitCode = Ref.ExitCode;
+      Verdict.Output = std::move(Ref.Output);
+    }
+    if (Opts.Cache) {
+      Opts.Cache->insert(Source, Verdict);
+      if (Staged)
+        Staged->push_back({Source, Verdict});
+    }
+  }
+  if (!Verdict.FrontendOk)
+    return O;
+  if (Verdict.Status != ExecStatus::Ok) {
+    ++Result.VariantsOracleExcluded;
+    return O;
+  }
+  ++Result.VariantsTested;
+  O.Test = true;
+  return O;
+}
+
+/// Classifies one backend observation against \p Verdict and records any
+/// findings into \p Result -- the per-configuration body the unbatched
+/// loop and the batched pipeline share, so what counts as a finding cannot
+/// drift between them.
+void recordObservation(const CompilerConfig &Config,
+                       const BackendObservation &Obs, bool GroundTruth,
+                       const std::string &Source,
+                       const OracleCache::Entry &Verdict,
+                       CampaignResult &Result) {
+  // Records one finding. Ground-truth findings (Id != 0) key UniqueBugs
+  // and RawFindings by id; signature-only findings (Id == 0, backends
+  // without ground truth) key RawFindings by normalized signature and
+  // never touch UniqueBugs -- distinct clusters at one shared id slot
+  // would otherwise collapse arbitrarily.
+  auto Record = [&](BugEffect Effect, int Id, const std::string &Sig) {
+    FoundBug Bug;
+    Bug.BugId = Id;
+    Bug.P = Config.P;
+    Bug.Effect = Effect;
+    Bug.Signature = Sig;
+    Bug.Version = Config.Version;
+    Bug.OptLevel = Config.OptLevel;
+    Bug.Mode64 = Config.Mode64;
+    Bug.WitnessProgram = Source;
+    FindingKey Key{Id, Config.P, Config.Version, Config.OptLevel,
+                   Config.Mode64, {}};
+    if (Id == 0)
+      Key.Sig = normalizeSignature(Effect, Sig);
+    Result.RawFindings.emplace(std::move(Key), Bug);
+    if (Id != 0)
+      Result.UniqueBugs.emplace(Id, std::move(Bug));
+  };
+
+  if (Obs.Compile == BackendObservation::CompileStatus::Rejected)
+    return;
+  if (Obs.Compile == BackendObservation::CompileStatus::Crashed) {
+    ++Result.CrashObservations;
+    Record(BugEffect::Crash, Obs.CrashBugId, Obs.CrashSignature);
+    return;
+  }
+  // Performance anomaly: MiniCC's inflated cost model, or an external
+  // compile that blew its wall-clock budget.
+  if (Obs.CompileTimeAnomaly) {
+    ++Result.PerformanceObservations;
+    if (GroundTruth) {
+      for (int Id : Obs.FiredBugs) {
+        const InjectedBug *Truth = findBug(Id);
+        if (!Truth || Truth->Effect != BugEffect::Performance)
+          continue;
+        Record(BugEffect::Performance, Id, "pathological compile time");
+      }
+    } else {
+      Record(BugEffect::Performance, 0, "pathological compile time");
+    }
+  }
+  if (Obs.Compile == BackendObservation::CompileStatus::TimedOut)
+    return; // Nothing runnable was produced.
+
+  // The divergence *kind* is the stable part of a wrong-code signature
+  // (triage/BugSignature.h normalizes away the concrete values).
+  std::string WrongCodeSig =
+      classifyDivergence(Obs, Verdict.ExitCode, Verdict.Output);
+  if (WrongCodeSig.empty())
+    return;
+  if (Obs.Exec == BackendObservation::ExecStatus::Timeout)
+    ++Result.ExecutionTimeouts;
+  ++Result.WrongCodeObservations;
+  if (GroundTruth) {
+    // Attribute the divergence to the fired wrong-code bug (ground
+    // truth); checked lookup, so foreign ids cannot read out of bounds.
+    for (int Id : Obs.FiredBugs) {
+      const InjectedBug *Truth = findBug(Id);
+      if (!Truth || Truth->Effect != BugEffect::WrongCode)
+        continue;
+      Record(BugEffect::WrongCode, Id, WrongCodeSig);
+    }
+  } else {
+    Record(BugEffect::WrongCode, 0, WrongCodeSig);
+  }
+}
+
+/// The per-worker render/compile/execute pipeline (DESIGN.md Section 13).
+/// Variants accumulate into a batch of Opts.BatchSize; a full batch is
+/// handed to the backend (beginBatch -- which starts pool compiles and
+/// returns) *before* the previous batch is collected and recorded, so the
+/// compiler works on batch N+1 while this thread records batch N and then
+/// interprets oracles for batch N+2. At BatchSize <= 1 add() degenerates
+/// to the classic inline loop, bit for bit.
+///
+/// Determinism: recording happens batch-by-batch in rank order,
+/// variant-major within a batch -- the exact order the unbatched loop
+/// records in -- and drain() is called before every checkpoint publish,
+/// so published cursor state, partial results, and staged verdicts always
+/// describe exactly the same prefix as an unbatched run's publish.
+/// Destroying an undrained pipeline (simulated crash) records nothing and
+/// lets the ticket destructor reclaim backend resources -- precisely the
+/// work a real SIGKILL would strand.
+class VariantPipeline {
+public:
+  VariantPipeline(const HarnessOptions &Opts, const CompilerBackend &B,
+                  CampaignResult &Result, CoverageRegistry *Cov)
+      : Opts(Opts), B(B), GroundTruth(B.hasGroundTruth()), Result(Result),
+        Cov(Cov) {}
+
+  void add(const std::string &Source, StagedVec *Staged) {
+    OracleOutcome O = oraclePhase(Opts, Source, Result, Staged);
+    if (!O.Test)
+      return;
+    if (Opts.BatchSize <= 1) {
+      for (const CompilerConfig &Config : Opts.Configs)
+        recordObservation(Config, B.run(Source, Config, Cov), GroundTruth,
+                          Source, O.Verdict, Result);
+      return;
+    }
+    Cur.push_back({Source, std::move(O.Verdict)});
+    if (Cur.size() >= Opts.BatchSize)
+      rotate();
+  }
+
+  /// Flushes all pending work into Result. Must run before every
+  /// checkpoint publish and at shard end.
+  void drain() {
+    if (!Cur.empty())
+      rotate();
+    finishInFlight();
+  }
+
+private:
+  struct Item {
+    std::string Source;
+    OracleCache::Entry Verdict;
+  };
+
+  void rotate() {
+    std::vector<std::string> Sources;
+    std::vector<BatchExpectation> Expected;
+    Sources.reserve(Cur.size());
+    Expected.reserve(Cur.size());
+    for (const Item &It : Cur) {
+      Sources.push_back(It.Source);
+      BatchExpectation E;
+      E.Valid = true;
+      E.ExitCode = It.Verdict.ExitCode;
+      E.Output = It.Verdict.Output;
+      Expected.push_back(std::move(E));
+    }
+    // Start the new batch before collecting the old one; this ordering is
+    // the whole overlap.
+    std::unique_ptr<BatchTicket> Next =
+        B.beginBatch(std::move(Sources), std::move(Expected), Opts.Configs,
+                     Cov);
+    finishInFlight();
+    Ticket = std::move(Next);
+    InFlight = std::move(Cur);
+    Cur.clear();
+  }
+
+  void finishInFlight() {
+    if (!Ticket)
+      return;
+    std::vector<std::vector<BackendObservation>> Obs =
+        B.finishBatch(std::move(Ticket));
+    for (size_t I = 0; I < InFlight.size(); ++I)
+      for (size_t C = 0; C < Opts.Configs.size(); ++C)
+        if (I < Obs.size() && C < Obs[I].size())
+          recordObservation(Opts.Configs[C], Obs[I][C], GroundTruth,
+                            InFlight[I].Source, InFlight[I].Verdict, Result);
+    InFlight.clear();
+  }
+
+  const HarnessOptions &Opts;
+  const CompilerBackend &B;
+  const bool GroundTruth;
+  CampaignResult &Result;
+  CoverageRegistry *Cov;
+  std::vector<Item> Cur;
+  std::vector<Item> InFlight;
+  std::unique_ptr<BatchTicket> Ticket;
+};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -464,19 +692,26 @@ bool DifferentialHarness::runOnSeedCheckpointed(
     VariantRenderer Renderer(*Plan.Ctx, Plan.Units);
     std::string Buffer;
     StagedVerdicts Staged;
+    VariantPipeline Pipe(Opts, backend(), Out, Cov);
     uint64_t SincePublish = 0;
     while (!Ck.Crashed.load(std::memory_order_relaxed)) {
       const ProgramAssignment *PA = Cursor.next();
       if (!PA)
         break;
       if (Ck.countVariant())
-        return; // Simulated kill: unpublished work dies with the process.
+        return; // Simulated kill: unpublished work dies with the process
+                // -- including whatever the pipeline holds undrained.
       ++Out.VariantsEnumerated;
       Renderer.renderInto(*PA, Buffer);
       bool Stage = Ck.Store != nullptr &&
                    !Ck.StoreDead.load(std::memory_order_relaxed);
-      testProgramWith(Buffer, Out, Cov, Stage ? &Staged : nullptr);
+      Pipe.add(Buffer, Stage ? &Staged : nullptr);
       if (Ck.EveryN != 0 && ++SincePublish >= Ck.EveryN) {
+        // Drain first: the published cursor position, partial result, and
+        // staged verdicts must describe exactly the same prefix an
+        // unbatched publish would -- that is what keeps checkpoint bytes
+        // identical across batch sizes.
+        Pipe.drain();
         Ck.publish(W, false, Cursor.saveState(), Out, Cov, Staged,
                    SincePublish, /*WriteFile=*/true);
         SincePublish = 0;
@@ -484,6 +719,7 @@ bool DifferentialHarness::runOnSeedCheckpointed(
     }
     if (Ck.Crashed.load(std::memory_order_relaxed))
       return;
+    Pipe.drain();
     const BigInt &Pruned = Cursor.pruned();
     Out.VariantsPruned +=
         Pruned.fitsInUint64() ? Pruned.toUint64() : ~uint64_t(0);
@@ -686,112 +922,14 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
                                           CampaignResult &Result,
                                           CoverageRegistry *Cov,
                                           StagedVerdicts *Staged) const {
-  // The oracle verdict: replayed from the shared cache when available,
-  // computed (and memoized) otherwise. All downstream counters behave
-  // identically on a hit and on a miss.
-  OracleCache::Entry Verdict;
-  if (Opts.Cache && Opts.Cache->lookup(Source, Verdict)) {
-    ++Result.OracleCacheHits;
-  } else {
-    std::unique_ptr<ASTContext> RefCtx = parseAndAnalyze(Source);
-    Verdict.FrontendOk = RefCtx != nullptr;
-    if (RefCtx) {
-      ExecResult Ref = interpret(*RefCtx);
-      ++Result.OracleExecutions;
-      Verdict.Status = Ref.Status;
-      Verdict.ExitCode = Ref.ExitCode;
-      Verdict.Output = std::move(Ref.Output);
-    }
-    if (Opts.Cache) {
-      Opts.Cache->insert(Source, Verdict);
-      if (Staged)
-        Staged->push_back({Source, Verdict});
-    }
-  }
-  if (!Verdict.FrontendOk)
+  OracleOutcome O = oraclePhase(Opts, Source, Result, Staged);
+  if (!O.Test)
     return;
-  if (Verdict.Status != ExecStatus::Ok) {
-    ++Result.VariantsOracleExcluded;
-    return;
-  }
-  ++Result.VariantsTested;
-
   const CompilerBackend &B = backend();
   const bool GroundTruth = B.hasGroundTruth();
-  for (const CompilerConfig &Config : Opts.Configs) {
-    BackendObservation Obs = B.run(Source, Config, Cov);
-
-    // Records one finding. Ground-truth findings (Id != 0) key UniqueBugs
-    // and RawFindings by id; signature-only findings (Id == 0, backends
-    // without ground truth) key RawFindings by normalized signature and
-    // never touch UniqueBugs -- distinct clusters at one shared id slot
-    // would otherwise collapse arbitrarily.
-    auto Record = [&](BugEffect Effect, int Id, const std::string &Sig) {
-      FoundBug Bug;
-      Bug.BugId = Id;
-      Bug.P = Config.P;
-      Bug.Effect = Effect;
-      Bug.Signature = Sig;
-      Bug.Version = Config.Version;
-      Bug.OptLevel = Config.OptLevel;
-      Bug.Mode64 = Config.Mode64;
-      Bug.WitnessProgram = Source;
-      FindingKey Key{Id, Config.P, Config.Version, Config.OptLevel,
-                     Config.Mode64, {}};
-      if (Id == 0)
-        Key.Sig = normalizeSignature(Effect, Sig);
-      Result.RawFindings.emplace(std::move(Key), Bug);
-      if (Id != 0)
-        Result.UniqueBugs.emplace(Id, std::move(Bug));
-    };
-
-    if (Obs.Compile == BackendObservation::CompileStatus::Rejected)
-      continue;
-    if (Obs.Compile == BackendObservation::CompileStatus::Crashed) {
-      ++Result.CrashObservations;
-      Record(BugEffect::Crash, Obs.CrashBugId, Obs.CrashSignature);
-      continue;
-    }
-    // Performance anomaly: MiniCC's inflated cost model, or an external
-    // compile that blew its wall-clock budget.
-    if (Obs.CompileTimeAnomaly) {
-      ++Result.PerformanceObservations;
-      if (GroundTruth) {
-        for (int Id : Obs.FiredBugs) {
-          const InjectedBug *Truth = findBug(Id);
-          if (!Truth || Truth->Effect != BugEffect::Performance)
-            continue;
-          Record(BugEffect::Performance, Id, "pathological compile time");
-        }
-      } else {
-        Record(BugEffect::Performance, 0, "pathological compile time");
-      }
-    }
-    if (Obs.Compile == BackendObservation::CompileStatus::TimedOut)
-      continue; // Nothing runnable was produced.
-
-    // The divergence *kind* is the stable part of a wrong-code signature
-    // (triage/BugSignature.h normalizes away the concrete values).
-    std::string WrongCodeSig =
-        classifyDivergence(Obs, Verdict.ExitCode, Verdict.Output);
-    if (WrongCodeSig.empty())
-      continue;
-    if (Obs.Exec == BackendObservation::ExecStatus::Timeout)
-      ++Result.ExecutionTimeouts;
-    ++Result.WrongCodeObservations;
-    if (GroundTruth) {
-      // Attribute the divergence to the fired wrong-code bug (ground
-      // truth); checked lookup, so foreign ids cannot read out of bounds.
-      for (int Id : Obs.FiredBugs) {
-        const InjectedBug *Truth = findBug(Id);
-        if (!Truth || Truth->Effect != BugEffect::WrongCode)
-          continue;
-        Record(BugEffect::WrongCode, Id, WrongCodeSig);
-      }
-    } else {
-      Record(BugEffect::WrongCode, 0, WrongCodeSig);
-    }
-  }
+  for (const CompilerConfig &Config : Opts.Configs)
+    recordObservation(Config, B.run(Source, Config, Cov), GroundTruth,
+                      Source, O.Verdict, Result);
 }
 
 void DifferentialHarness::runOnSeed(const std::string &Source,
@@ -810,11 +948,13 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
     Cursor.shard(Index, Count_);
     VariantRenderer Renderer(*Plan.Ctx, Plan.Units);
     std::string Buffer;
+    VariantPipeline Pipe(Opts, backend(), Out, Cov);
     while (const ProgramAssignment *PA = Cursor.next()) {
       ++Out.VariantsEnumerated;
       Renderer.renderInto(*PA, Buffer);
-      testProgramWith(Buffer, Out, Cov);
+      Pipe.add(Buffer, nullptr);
     }
+    Pipe.drain();
     const BigInt &Pruned = Cursor.pruned();
     Out.VariantsPruned +=
         Pruned.fitsInUint64() ? Pruned.toUint64() : ~uint64_t(0);

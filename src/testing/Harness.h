@@ -57,6 +57,16 @@ struct HarnessOptions {
   /// cursor shard per worker. 0 = one per hardware thread. Results are
   /// deterministic and identical for any thread count.
   unsigned Threads = 1;
+  /// Variants per compile batch handed to CompilerBackend::beginBatch
+  /// (DESIGN.md Section 13); 1 = the classic per-variant loop. Result-
+  /// neutral by the batch contract: findings, counters, triage, and
+  /// checkpoint bytes are bit-identical for every value, which is why it
+  /// is deliberately excluded from the checkpoint options fingerprint --
+  /// a campaign checkpointed at one batch size may resume at another.
+  /// Only backends with real per-compile subprocess cost profit
+  /// (ExternalBackend); the in-process backend runs batches as its
+  /// ordinary loop.
+  uint64_t BatchSize = 1;
   /// Compiler configurations to test.
   std::vector<CompilerConfig> Configs;
   /// The compiler under test (compiler/Backend.h). Null = the in-process

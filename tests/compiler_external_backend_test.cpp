@@ -14,6 +14,7 @@
 
 #include "compiler/ExternalBackend.h"
 #include "persist/Checkpoint.h"
+#include "support/ProcessPool.h"
 #include "support/ProcessRunner.h"
 #include "testing/Corpus.h"
 #include "testing/Harness.h"
@@ -23,8 +24,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 using namespace spe;
 
@@ -458,4 +461,315 @@ TEST(ExternalCampaignTest, CrashResumeIsBitIdenticalAndSkewIsRejected) {
   CampaignResult R;
   EXPECT_FALSE(DifferentialHarness(Skewed).resumeCampaign(Seeds, R, Err));
   EXPECT_NE(Err.find("options fingerprint"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Backend lifecycle: memoized version probe, per-instance scratch dir
+//===----------------------------------------------------------------------===//
+
+TEST(ExternalBackendTest, VersionProbeIsMemoizedPerCommandLine) {
+  // A counting fake compiler: every --version probe that actually executes
+  // appends a line. Three backends over the same command line must share
+  // one probe, process-wide.
+  std::string Counter = tempPath("probe_count_" + std::to_string(::getpid()));
+  std::string Probe = tempPath("probe-count-cc.sh");
+  {
+    std::ofstream Out(Probe);
+    Out << "#!/bin/sh\n"
+           "echo probed >> " << Counter << "\n"
+           "echo 'fake-probe-cc 1.0'\n";
+  }
+  ::chmod(Probe.c_str(), 0755);
+  ::unlink(Counter.c_str());
+
+  ExternalBackendOptions O;
+  O.Command = {"./" + Probe};
+  O.TempDir = "external_test_tmp";
+  ExternalBackend A(O), B(O), C(O);
+  ASSERT_TRUE(A.available()) << A.unavailableReason();
+  EXPECT_EQ(A.versionLine(), "fake-probe-cc 1.0");
+  EXPECT_EQ(B.versionLine(), A.versionLine());
+  EXPECT_EQ(C.versionLine(), A.versionLine());
+
+  std::ifstream In(Counter);
+  std::string Line;
+  size_t Probes = 0;
+  while (std::getline(In, Line))
+    ++Probes;
+  EXPECT_EQ(Probes, 1u) << "same command line probed more than once";
+}
+
+TEST(ExternalBackendTest, ScratchDirectoryIsRemovedOnDestruction) {
+  SKIP_WITHOUT_HOST_CC();
+  std::string Dir;
+  {
+    ExternalBackendOptions O;
+    O.TempDir = "external_test_tmp";
+    ExternalBackend B(O);
+    ASSERT_TRUE(B.available()) << B.unavailableReason();
+    Dir = B.scratchDir();
+    EXPECT_TRUE(std::filesystem::is_directory(Dir));
+    // Leave real scratch traffic behind so removal has work to do.
+    BackendObservation Obs = B.run("int main(void) { return 4; }\n",
+                                   {Persona::GccSim, 140, 1, true}, nullptr);
+    EXPECT_EQ(Obs.Compile, BackendObservation::CompileStatus::Ok);
+  }
+  EXPECT_FALSE(std::filesystem::exists(Dir))
+      << "scratch directory survived backend destruction: " << Dir;
+}
+
+//===----------------------------------------------------------------------===//
+// Batched campaigns: bisection attribution, pollution, pool, resume
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Like writeFakeIceCompiler, but triggering only on a *use* of MAGIC_ICE
+/// (the statement-final "MAGIC_ICE;", as in "a + MAGIC_ICE;" or "return
+/// MAGIC_ICE;"), a pattern the batch alpha-rename preserves
+/// ("v<i>_MAGIC_ICE;") while the declaration ("MAGIC_ICE = 2") never
+/// matches. Within one seed's variant set only the variants that bind a
+/// use-hole to MAGIC_ICE trigger, so the batches the harness forms are
+/// genuinely mixed and the bisector has real splitting to do.
+std::string writeFakeIceOnUseCompiler() {
+  std::string Path = tempPath("fake-ice-use-cc.sh");
+  {
+    std::ofstream Out(Path);
+    Out << "#!/bin/sh\n"
+           "src=\n"
+           "for a in \"$@\"; do\n"
+           "  case \"$a\" in *.c) src=\"$a\";; esac\n"
+           "done\n"
+           "if [ -n \"$src\" ] && grep -q 'MAGIC_ICE;' \"$src\"; then\n"
+           "  echo \"$src:1:1: internal compiler error: in fake_use_fold, "
+           "at fake.c:99\" >&2\n"
+           "  exit 1\n"
+           "fi\n"
+           "exec cc \"$@\"\n";
+  }
+  ::chmod(Path.c_str(), 0755);
+  return Path;
+}
+
+/// Wrong-code fake: compiles normally, then -- when the TU contains a use
+/// "MAGIC_WRONG +" -- swaps the produced binary for one that exits 99
+/// whatever its argv. In a batch this poisons *every* member's execution,
+/// so only the mandated solo re-verification keeps the innocent members
+/// out of the findings.
+std::string writeFakeWrongCodeCompiler() {
+  std::string Path = tempPath("fake-wrong-cc.sh");
+  {
+    std::ofstream Out(Path);
+    Out << "#!/bin/sh\n"
+           "src=\n"
+           "out=\n"
+           "prev=\n"
+           "for a in \"$@\"; do\n"
+           "  case \"$prev\" in -o) out=\"$a\";; esac\n"
+           "  case \"$a\" in *.c) src=\"$a\";; esac\n"
+           "  prev=\"$a\"\n"
+           "done\n"
+           "cc \"$@\" || exit $?\n"
+           "if [ -n \"$src\" ] && [ -n \"$out\" ] && "
+           "grep -q 'MAGIC_WRONG;' \"$src\"; then\n"
+           "  printf '#!/bin/sh\\nexit 99\\n' > \"$out\"\n"
+           "  chmod +x \"$out\"\n"
+           "fi\n"
+           "exit 0\n";
+  }
+  ::chmod(Path.c_str(), 0755);
+  return Path;
+}
+
+/// One-seed campaign whose variant set mixes triggering and clean members:
+/// use-holes over {a, MAGIC_<X>} put the magic name into left-of-+ position
+/// in some variants only.
+std::vector<std::string> mixedTriggerSeeds(const std::string &Magic) {
+  return {"int a = 1, " + Magic + " = 2;\n"
+          "int main(void) { int x = a + a; return x; }\n"};
+}
+
+HarnessOptions fakeCompilerCampaignOptions(const CompilerBackend &B) {
+  HarnessOptions Opts;
+  Opts.Configs = {{Persona::GccSim, 140, 0, true},
+                  {Persona::GccSim, 140, 2, true}};
+  Opts.Backend = &B;
+  Opts.VariantBudget = 12;
+  return Opts;
+}
+
+} // namespace
+
+TEST(BatchedExternalCampaignTest, BisectionAttributionMatchesUnbatched) {
+  SKIP_WITHOUT_HOST_CC();
+  ExternalBackendOptions O;
+  O.Command = {"./" + writeFakeIceOnUseCompiler()};
+  O.TempDir = "external_test_tmp";
+  ExternalBackend Fake(O);
+  ASSERT_TRUE(Fake.available()) << Fake.unavailableReason();
+
+  std::vector<std::string> Seeds = mixedTriggerSeeds("MAGIC_ICE");
+  HarnessOptions Opts = fakeCompilerCampaignOptions(Fake);
+  Opts.BatchSize = 1;
+  Opts.Threads = 1;
+  CampaignResult Ref = DifferentialHarness(Opts).runCampaign(Seeds);
+
+  // The reference campaign must be genuinely mixed: some variants ICE,
+  // some compile and run cleanly -- otherwise batching is never bisecting.
+  EXPECT_GT(Ref.CrashObservations, 0u);
+  EXPECT_LT(Ref.CrashObservations,
+            Ref.VariantsTested * Opts.Configs.size());
+  ASSERT_FALSE(Ref.RawFindings.empty());
+  for (const auto &[Key, Bug] : Ref.RawFindings) {
+    EXPECT_EQ(Key.BugId, 0);
+    EXPECT_EQ(Key.Sig,
+              "internal compiler error: in fake_use_fold, at fake.c:99");
+  }
+
+  // Batch sizes bracketing the campaign size and thread counts across the
+  // scheduler: rank, signature, triage input -- the whole CampaignResult --
+  // must be bit-identical to the unbatched reference.
+  for (uint64_t Batch : {2u, 3u, 4u, 5u, 8u}) {
+    for (unsigned Threads : {1u, 2u, 4u}) {
+      Opts.BatchSize = Batch;
+      Opts.Threads = Threads;
+      CampaignResult R = DifferentialHarness(Opts).runCampaign(Seeds);
+      EXPECT_TRUE(R == Ref)
+          << "BatchSize " << Batch << " x " << Threads
+          << " threads changed attribution vs the unbatched campaign";
+    }
+  }
+}
+
+TEST(BatchedExternalCampaignTest, BatchPollutionIsClearedBySoloReVerification) {
+  SKIP_WITHOUT_HOST_CC();
+  ExternalBackendOptions O;
+  O.Command = {"./" + writeFakeWrongCodeCompiler()};
+  O.TempDir = "external_test_tmp";
+  ExternalBackend Fake(O);
+  ASSERT_TRUE(Fake.available()) << Fake.unavailableReason();
+
+  std::vector<std::string> Seeds = mixedTriggerSeeds("MAGIC_WRONG");
+  HarnessOptions Opts = fakeCompilerCampaignOptions(Fake);
+  Opts.BatchSize = 1;
+  Opts.Threads = 1;
+  CampaignResult Ref = DifferentialHarness(Opts).runCampaign(Seeds);
+
+  // Mixed again: some variants miscompile (exit 99 vs the oracle), the
+  // rest are clean.
+  EXPECT_GT(Ref.WrongCodeObservations, 0u);
+  EXPECT_LT(Ref.WrongCodeObservations,
+            Ref.VariantsTested * Opts.Configs.size());
+
+  // In a batch the poisoned binary makes *every* member diverge; only the
+  // triggering members may survive solo re-verification into findings.
+  for (uint64_t Batch : {4u, 8u}) {
+    for (unsigned Threads : {1u, 2u}) {
+      Opts.BatchSize = Batch;
+      Opts.Threads = Threads;
+      CampaignResult R = DifferentialHarness(Opts).runCampaign(Seeds);
+      EXPECT_TRUE(R == Ref)
+          << "BatchSize " << Batch << " x " << Threads
+          << ": batch-level pollution leaked into the findings";
+    }
+  }
+}
+
+TEST(BatchedExternalCampaignTest, HostCampaignIsBatchInvariantWithWarmPool) {
+  SKIP_WITHOUT_HOST_CC();
+  std::vector<std::string> Seeds = externalCampaignSeeds();
+  HarnessOptions Opts = externalCampaignOptions();
+  Opts.BatchSize = 1;
+  Opts.Threads = 1;
+  CampaignResult Ref = DifferentialHarness(Opts).runCampaign(Seeds);
+  EXPECT_GT(Ref.VariantsTested, 0u);
+
+  ExternalBackendOptions PO = hostBackend().options();
+  PO.PoolWorkers = 2;
+  ExternalBackend Pooled(PO);
+  ASSERT_TRUE(Pooled.available()) << Pooled.unavailableReason();
+  ASSERT_NE(Pooled.pool(), nullptr);
+  // The pool never enters the backend identity (it cannot change results),
+  // so pooled campaigns stay resume-compatible with unpooled ones.
+  EXPECT_EQ(Pooled.identity(), hostBackend().identity());
+
+  Opts.Backend = &Pooled;
+  for (uint64_t Batch : {8u, 64u}) {
+    for (unsigned Threads : {1u, 2u, 4u}) {
+      Opts.BatchSize = Batch;
+      Opts.Threads = Threads;
+      CampaignResult R = DifferentialHarness(Opts).runCampaign(Seeds);
+      EXPECT_TRUE(R == Ref)
+          << "pooled BatchSize " << Batch << " x " << Threads
+          << " threads diverged from the direct unbatched campaign";
+    }
+  }
+}
+
+TEST(BatchedExternalCampaignTest, BrokerDeathMidCampaignDoesNotChangeResults) {
+  SKIP_WITHOUT_HOST_CC();
+  std::vector<std::string> Seeds = externalCampaignSeeds();
+  HarnessOptions Opts = externalCampaignOptions();
+  Opts.BatchSize = 1;
+  Opts.Threads = 1;
+  CampaignResult Ref = DifferentialHarness(Opts).runCampaign(Seeds);
+
+  ExternalBackendOptions PO = hostBackend().options();
+  PO.PoolWorkers = 2;
+  ExternalBackend Pooled(PO);
+  ASSERT_TRUE(Pooled.available()) << Pooled.unavailableReason();
+
+  // Kill one broker shortly after the campaign starts: the in-flight job
+  // is retried on a respawned broker and nothing is lost or duplicated.
+  Opts.Backend = &Pooled;
+  Opts.BatchSize = 8;
+  Opts.Threads = 2;
+  std::thread Killer([&Pooled] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Pooled.pool()->killBrokerForTest();
+  });
+  CampaignResult R = DifferentialHarness(Opts).runCampaign(Seeds);
+  Killer.join();
+  EXPECT_TRUE(R == Ref)
+      << "broker death mid-campaign changed the campaign result";
+}
+
+TEST(BatchedExternalCampaignTest, CheckpointedResumeAcrossBatchSizes) {
+  SKIP_WITHOUT_HOST_CC();
+  std::vector<std::string> Seeds = externalCampaignSeeds();
+
+  // Uninterrupted unbatched reference.
+  HarnessOptions Base = externalCampaignOptions();
+  Base.CheckpointEveryN = 2;
+  HarnessOptions Ref = Base;
+  Ref.CheckpointPath = tempPath("batched_resume_ref.ck");
+  Ref.BatchSize = 1;
+  CampaignResult Uninterrupted = DifferentialHarness(Ref).runCampaign(Seeds);
+
+  // Crash a *batched, pooled* campaign mid-flight...
+  ExternalBackendOptions PO = hostBackend().options();
+  PO.PoolWorkers = 2;
+  ExternalBackend Pooled(PO);
+  ASSERT_TRUE(Pooled.available()) << Pooled.unavailableReason();
+  HarnessOptions Crashing = Base;
+  Crashing.CheckpointPath = tempPath("batched_resume.ck");
+  Crashing.Backend = &Pooled;
+  Crashing.BatchSize = 8;
+  Crashing.SimulateCrashAfter = 5;
+  (void)DifferentialHarness(Crashing).runCampaign(Seeds);
+
+  // ...and resume it unbatched and unpooled: BatchSize and PoolWorkers are
+  // outside the fingerprint, and the drained-before-publish protocol means
+  // the snapshot describes a clean unbatched prefix.
+  HarnessOptions Resuming = Base;
+  Resuming.CheckpointPath = Crashing.CheckpointPath;
+  Resuming.BatchSize = 1;
+  CampaignResult Resumed;
+  std::string Err;
+  ASSERT_TRUE(DifferentialHarness(Resuming).resumeCampaign(Seeds, Resumed,
+                                                           Err))
+      << Err;
+  EXPECT_TRUE(Resumed == Uninterrupted)
+      << "batched crash + unbatched resume diverged from the unbatched "
+         "uninterrupted campaign";
 }
