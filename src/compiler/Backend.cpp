@@ -6,6 +6,7 @@
 #include "lang/Parser.h"
 #include "sema/Sema.h"
 
+#include <algorithm>
 #include <memory>
 
 using namespace spe;
@@ -22,6 +23,45 @@ struct GenericBatchTicket final : BatchTicket {
 
 } // namespace
 
+std::vector<std::string> spe::configInputs(const CompilerConfig &Config) {
+  if (Config.ExecSweep.empty())
+    return {std::string()};
+  return Config.ExecSweep;
+}
+
+std::vector<std::string>
+spe::sweepUnion(const std::vector<CompilerConfig> &Configs) {
+  std::vector<std::string> Union;
+  for (const CompilerConfig &C : Configs)
+    for (const std::string &In : configInputs(C))
+      if (std::find(Union.begin(), Union.end(), In) == Union.end())
+        Union.push_back(In);
+  if (Union.empty())
+    Union.emplace_back(); // No configs at all: still one empty input.
+  return Union;
+}
+
+BackendObservation
+CompilerBackend::runWithInput(const std::string &Source,
+                              const CompilerConfig &Config,
+                              const std::string &Input,
+                              CoverageRegistry *Cov) const {
+  (void)Input; // Scripted doubles have no execution to feed.
+  return run(Source, Config, Cov);
+}
+
+std::vector<BackendObservation>
+CompilerBackend::runSweep(const std::string &Source,
+                          const CompilerConfig &Config,
+                          const std::vector<std::string> &Inputs,
+                          CoverageRegistry *Cov) const {
+  std::vector<BackendObservation> Row;
+  Row.reserve(Inputs.size());
+  for (const std::string &In : Inputs)
+    Row.push_back(runWithInput(Source, Config, In, Cov));
+  return Row;
+}
+
 std::unique_ptr<BatchTicket>
 CompilerBackend::beginBatch(std::vector<std::string> Sources,
                             std::vector<BatchExpectation> Expected,
@@ -35,16 +75,18 @@ CompilerBackend::beginBatch(std::vector<std::string> Sources,
   return T;
 }
 
-std::vector<std::vector<BackendObservation>>
+std::vector<std::vector<std::vector<BackendObservation>>>
 CompilerBackend::finishBatch(std::unique_ptr<BatchTicket> Ticket) const {
   auto *T = dynamic_cast<GenericBatchTicket *>(Ticket.get());
   if (!T)
     return {}; // Ticket from a different backend's beginBatch: caller bug.
-  std::vector<std::vector<BackendObservation>> Out(T->Sources.size());
+  std::vector<std::vector<std::vector<BackendObservation>>> Out(
+      T->Sources.size());
   for (size_t I = 0; I < T->Sources.size(); ++I) {
     Out[I].reserve(T->Configs.size());
     for (const CompilerConfig &Config : T->Configs)
-      Out[I].push_back(run(T->Sources[I], Config, T->Cov));
+      Out[I].push_back(
+          runSweep(T->Sources[I], Config, configInputs(Config), T->Cov));
   }
   return Out;
 }
@@ -69,41 +111,78 @@ BackendObservation InProcessBackend::run(const std::string &Source,
   return runOn(*Ctx, Config, Cov);
 }
 
+BackendObservation
+InProcessBackend::runWithInput(const std::string &Source,
+                               const CompilerConfig &Config,
+                               const std::string &Input,
+                               CoverageRegistry *Cov) const {
+  std::unique_ptr<ASTContext> Ctx = parseAndAnalyze(Source);
+  if (!Ctx)
+    return {}; // Rejected.
+  return runOn(*Ctx, Config, Cov, Input);
+}
+
+std::vector<BackendObservation>
+InProcessBackend::runSweep(const std::string &Source,
+                           const CompilerConfig &Config,
+                           const std::vector<std::string> &Inputs,
+                           CoverageRegistry *Cov) const {
+  std::unique_ptr<ASTContext> Ctx = parseAndAnalyze(Source);
+  if (!Ctx)
+    return std::vector<BackendObservation>(Inputs.size()); // All rejected.
+  return runOnSweep(*Ctx, Config, Cov, Inputs);
+}
+
 BackendObservation InProcessBackend::runOn(ASTContext &Ctx,
                                            const CompilerConfig &Config,
-                                           CoverageRegistry *Cov) const {
+                                           CoverageRegistry *Cov,
+                                           const std::string &Input) const {
+  return runOnSweep(Ctx, Config, Cov, {Input}).front();
+}
+
+std::vector<BackendObservation>
+InProcessBackend::runOnSweep(ASTContext &Ctx, const CompilerConfig &Config,
+                             CoverageRegistry *Cov,
+                             const std::vector<std::string> &Inputs) const {
   BackendObservation Obs;
   MiniCompiler CC(Config, Cov, InjectBugs);
   CompileResult R = CC.compile(Ctx);
   if (R.St == CompileResult::Status::Rejected)
-    return Obs;
+    return std::vector<BackendObservation>(Inputs.size(), Obs);
   Obs.FiredBugs = std::move(R.FiredBugs);
   if (R.crashed()) {
     Obs.Compile = BackendObservation::CompileStatus::Crashed;
     Obs.CrashSignature = std::move(R.CrashSignature);
     Obs.CrashBugId = R.CrashBugId;
-    return Obs;
+    return std::vector<BackendObservation>(Inputs.size(), Obs);
   }
   Obs.Compile = BackendObservation::CompileStatus::Ok;
   // The MiniCC cost model: a fired Performance bug inflates compile cost
   // past the paper's pathological threshold.
   Obs.CompileTimeAnomaly = R.CompileCost > 1'000'000;
 
-  VMResult V = executeModule(R.Module);
-  switch (V.Status) {
-  case VMStatus::Ok:
-    Obs.Exec = BackendObservation::ExecStatus::Ok;
-    break;
-  case VMStatus::Trap:
-    Obs.Exec = BackendObservation::ExecStatus::Trap;
-    break;
-  case VMStatus::Timeout:
-    Obs.Exec = BackendObservation::ExecStatus::Timeout;
-    break;
+  // One compile, one VM execution per sweep input: the compile-level
+  // fields are shared across the row, the exec fields are per input.
+  std::vector<BackendObservation> Row(Inputs.size(), Obs);
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    VMOptions VO;
+    VO.Input = Inputs[I];
+    VMResult V = executeModule(R.Module, VO);
+    switch (V.Status) {
+    case VMStatus::Ok:
+      Row[I].Exec = BackendObservation::ExecStatus::Ok;
+      break;
+    case VMStatus::Trap:
+      Row[I].Exec = BackendObservation::ExecStatus::Trap;
+      break;
+    case VMStatus::Timeout:
+      Row[I].Exec = BackendObservation::ExecStatus::Timeout;
+      break;
+    }
+    Row[I].ExitCode = V.ExitCode;
+    Row[I].Output = std::move(V.Output);
   }
-  Obs.ExitCode = V.ExitCode;
-  Obs.Output = std::move(V.Output);
-  return Obs;
+  return Row;
 }
 
 std::string spe::classifyDivergence(const BackendObservation &Obs,

@@ -83,6 +83,18 @@ struct BackendObservation {
   std::string Output;
 };
 
+/// The stdin inputs one config's sweep drives. An empty ExecSweep is the
+/// classic single execution on empty stdin, so this is never empty: it
+/// returns {""} for an unswept config.
+std::vector<std::string> configInputs(const CompilerConfig &Config);
+
+/// The matrix's input axis: the first-appearance-ordered union of every
+/// config's sweep. Index 0 is the *primary* input -- the one whose oracle
+/// verdict gates whether a variant is tested at all, and "" when no config
+/// sweeps. Deterministic for identical config lists, which is what lets
+/// checkpoints fingerprint the sweep set.
+std::vector<std::string> sweepUnion(const std::vector<CompilerConfig> &Configs);
+
 /// The harness's oracle expectation for one batched variant: what a clean
 /// execution must reproduce. A batched observation that deviates from it in
 /// any way (or that has no valid expectation to check against) is discarded
@@ -92,8 +104,35 @@ struct BatchExpectation {
   /// False = no behavioral expectation is known; such variants are always
   /// resolved by an unbatched run.
   bool Valid = false;
+  /// Expected behavior under the primary input (sweepUnion index 0).
   int64_t ExitCode = 0;
   std::string Output;
+
+  /// Expected behavior of one non-primary sweep input.
+  struct Cell {
+    /// False = this input's oracle verdict was not Ok (UB / timeout under
+    /// that input); the cell is excluded from the matrix and never run.
+    bool Valid = false;
+    int64_t ExitCode = 0;
+    std::string Output;
+  };
+  /// Expectations for sweepUnion indices 1.. (entry I describes union
+  /// input I+1). Empty when the campaign has no sweep -- the layout the
+  /// pre-matrix harness produced, byte for byte.
+  std::vector<Cell> Extra;
+
+  /// The expectation cell for sweep-union index \p UnionIdx (index 0
+  /// aliases the legacy top-level fields). Cell.Valid is false when the
+  /// whole expectation is invalid or that input is excluded.
+  Cell cell(size_t UnionIdx) const {
+    if (!Valid)
+      return {};
+    if (UnionIdx == 0)
+      return {true, ExitCode, Output};
+    if (UnionIdx - 1 >= Extra.size())
+      return {};
+    return Extra[UnionIdx - 1];
+  }
 };
 
 /// Opaque handle for an in-flight batch: beginBatch() may start real work
@@ -129,6 +168,26 @@ public:
                                  const CompilerConfig &Config,
                                  CoverageRegistry *Cov) const = 0;
 
+  /// run() with \p Input fed to the executed artifact's stdin (the
+  /// spe_input() intrinsic reads it). The base implementation ignores the
+  /// input and forwards to run() -- correct for test doubles whose
+  /// behavior is scripted rather than executed; every real executor
+  /// overrides it.
+  virtual BackendObservation runWithInput(const std::string &Source,
+                                          const CompilerConfig &Config,
+                                          const std::string &Input,
+                                          CoverageRegistry *Cov) const;
+
+  /// One compile, M executions: the full observation row of \p Source
+  /// under \p Config for each stdin in \p Inputs (never empty; pass
+  /// configInputs(Config)). All returned observations share one compile's
+  /// status/crash fields. The base implementation loops runWithInput;
+  /// real backends override to amortize the compile across the sweep.
+  virtual std::vector<BackendObservation>
+  runSweep(const std::string &Source, const CompilerConfig &Config,
+           const std::vector<std::string> &Inputs,
+           CoverageRegistry *Cov) const;
+
   /// Starts testing a batch of variants against every configuration and
   /// returns immediately; backends that can overlap work (ExternalBackend's
   /// pool compiles) start it here. The base implementation just parks the
@@ -139,14 +198,16 @@ public:
              std::vector<BatchExpectation> Expected,
              std::vector<CompilerConfig> Configs, CoverageRegistry *Cov) const;
 
-  /// Completes a batch: \returns Out[variant][config] observations in the
-  /// shape beginBatch was given. The contract batched callers rely on:
-  /// every observation that differs from its BatchExpectation (crash,
-  /// reject, anomaly, divergence, exec failure) is equal to what run()
-  /// would have produced for that (variant, config) pair -- the base
-  /// implementation guarantees it by *being* a run() loop, ExternalBackend
-  /// by bisection plus unbatched re-verification.
-  virtual std::vector<std::vector<BackendObservation>>
+  /// Completes a batch: \returns Out[variant][config][input] observations
+  /// in the shape beginBatch was given, with the input axis of row
+  /// (variant, config) being configInputs(Configs[config]). The contract
+  /// batched callers rely on: every observation that differs from its
+  /// BatchExpectation cell (crash, reject, anomaly, divergence, exec
+  /// failure) is equal to what runSweep() would have produced for that
+  /// (variant, config) row -- the base implementation guarantees it by
+  /// *being* a runSweep() loop, ExternalBackend by bisection plus
+  /// unbatched re-verification of the whole row.
+  virtual std::vector<std::vector<std::vector<BackendObservation>>>
   finishBatch(std::unique_ptr<BatchTicket> Ticket) const;
 };
 
@@ -163,12 +224,29 @@ public:
   BackendObservation run(const std::string &Source,
                          const CompilerConfig &Config,
                          CoverageRegistry *Cov) const override;
+  BackendObservation runWithInput(const std::string &Source,
+                                  const CompilerConfig &Config,
+                                  const std::string &Input,
+                                  CoverageRegistry *Cov) const override;
+  /// One MiniCompiler invocation, one VM execution per input.
+  std::vector<BackendObservation>
+  runSweep(const std::string &Source, const CompilerConfig &Config,
+           const std::vector<std::string> &Inputs,
+           CoverageRegistry *Cov) const override;
 
   /// In-process fast path: compile + execute an already-analyzed unit,
   /// skipping the re-parse run() would perform. Used where the caller
-  /// still holds the AST it built for the oracle verdict.
+  /// still holds the AST it built for the oracle verdict. \p Input feeds
+  /// the VM's spe_input() cursor.
   BackendObservation runOn(ASTContext &Ctx, const CompilerConfig &Config,
-                           CoverageRegistry *Cov) const;
+                           CoverageRegistry *Cov,
+                           const std::string &Input = {}) const;
+
+  /// runOn for a whole sweep: compile once, execute the VM per input.
+  std::vector<BackendObservation>
+  runOnSweep(ASTContext &Ctx, const CompilerConfig &Config,
+             CoverageRegistry *Cov,
+             const std::vector<std::string> &Inputs) const;
 
 private:
   bool InjectBugs;

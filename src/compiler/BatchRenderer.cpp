@@ -10,9 +10,12 @@ using namespace spe;
 namespace {
 
 /// Library names declared by the compile prelude rather than the variant
-/// itself; renaming one would sever the libc linkage the variant depends
-/// on. The mini-C dialect knows exactly one.
-bool isPreservedName(const std::string &Name) { return Name == "printf"; }
+/// itself; renaming one would sever the libc/prelude linkage the variant
+/// depends on. The mini-C dialect knows exactly two: printf and the
+/// harness's spe_input() sweep intrinsic.
+bool isPreservedName(const std::string &Name) {
+  return Name == "printf" || Name == "spe_input";
+}
 
 } // namespace
 

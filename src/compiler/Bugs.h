@@ -41,6 +41,12 @@ struct CompilerConfig {
   unsigned Version = 70;
   unsigned OptLevel = 0; ///< 0..3.
   bool Mode64 = true;    ///< -m64 vs -m32.
+  /// Stdin sweep for the differential matrix: each compiled variant is
+  /// executed once per entry (the spe_input() intrinsic reads them as
+  /// scanf("%d") integers) and every execution is compared per-input.
+  /// Empty means the classic single run on empty stdin -- exactly
+  /// equivalent to {""} -- so an unswept config's behavior is untouched.
+  std::vector<std::string> ExecSweep;
 };
 
 /// What an injected bug does when triggered.

@@ -5,6 +5,7 @@
 #include "compiler/BatchRenderer.h"
 #include "support/ProcessPool.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -126,6 +127,10 @@ struct ExternalBatchTicket final : BatchTicket {
   std::vector<std::string> Sources;
   std::vector<BatchExpectation> Expected;
   std::vector<CompilerConfig> Configs;
+  /// sweepUnion(Configs): maps each config's local sweep inputs to the
+  /// expectation indices BatchExpectation::cell() speaks. Set by
+  /// finishBatch before any subset is resolved.
+  std::vector<std::string> Union;
   /// The packed TU's source path; empty when !Packed.
   std::string Src;
   struct ConfigCompile {
@@ -300,10 +305,30 @@ ExternalBackend::compileArgv(const std::string &Src, const std::string &Bin,
 BackendObservation ExternalBackend::run(const std::string &Source,
                                         const CompilerConfig &Config,
                                         CoverageRegistry *Cov) const {
+  return runWithInput(Source, Config, std::string(), Cov);
+}
+
+BackendObservation
+ExternalBackend::runWithInput(const std::string &Source,
+                              const CompilerConfig &Config,
+                              const std::string &Input,
+                              CoverageRegistry *Cov) const {
+  return runSweep(Source, Config, {Input}, Cov).front();
+}
+
+std::vector<BackendObservation>
+ExternalBackend::runSweep(const std::string &Source,
+                          const CompilerConfig &Config,
+                          const std::vector<std::string> &Inputs,
+                          CoverageRegistry *Cov) const {
   (void)Cov; // No instrumentation hooks into a foreign compiler.
   BackendObservation Obs;
+  auto Row = [&Inputs](const BackendObservation &O) {
+    // The compile's outcome is the whole row's outcome.
+    return std::vector<BackendObservation>(Inputs.size(), O);
+  };
   if (!Available)
-    return Obs; // Rejected: probe() already told the caller why.
+    return Row(Obs); // Rejected: probe() already told the caller why.
 
   std::string Base = scratchBase();
   std::string Src = Base + ".c";
@@ -321,7 +346,7 @@ BackendObservation ExternalBackend::run(const std::string &Source,
 
   if (!writeFile(Src, Opts.Prelude + Source)) {
     warnInfra("cannot write scratch file " + Src);
-    return Obs;
+    return Row(Obs);
   }
 
   ProcessOptions PO;
@@ -334,16 +359,16 @@ BackendObservation ExternalBackend::run(const std::string &Source,
     // campaign silently degrading into "everything rejected, zero
     // findings" is a misconfiguration worth one loud line.
     warnInfra("cannot start compiler: " + C.Error);
-    return Obs;
+    return Row(Obs);
   case ProcessResult::Status::TimedOut:
     Obs.Compile = BackendObservation::CompileStatus::TimedOut;
     Obs.CompileTimeAnomaly = true;
-    return Obs;
+    return Row(Obs);
   case ProcessResult::Status::Signaled:
     Obs.Compile = BackendObservation::CompileStatus::Crashed;
     Obs.CrashSignature = extractCrashSignature(
         C.Stderr, "compiler killed by signal " + std::to_string(C.Signal));
-    return Obs;
+    return Row(Obs);
   case ProcessResult::Status::Exited:
     break;
   }
@@ -354,28 +379,33 @@ BackendObservation ExternalBackend::run(const std::string &Source,
     std::string Sig = extractCrashSignature(C.Stderr, "");
     if (Sig.empty()) {
       Obs.Compile = BackendObservation::CompileStatus::Rejected;
-      return Obs;
+      return Row(Obs);
     }
     Obs.Compile = BackendObservation::CompileStatus::Crashed;
     Obs.CrashSignature = std::move(Sig);
-    return Obs;
+    return Row(Obs);
   }
 
+  // One compile, one subprocess execution per sweep input.
   Obs.Compile = BackendObservation::CompileStatus::Ok;
-  ProcessOptions RO;
-  RO.TimeoutMs = Opts.ExecTimeoutMs;
-  ProcessResult R = runTool({Bin}, RO);
-  if (R.St == ProcessResult::Status::StartFailed) {
-    // We never ran the binary -- transient fork pressure, or an artifact
-    // the compiler claimed and did not deliver. Either way this is an
-    // infrastructure fact, not a behavioral observation: leave Exec at
-    // NotRun so no wrong-code finding can be fabricated from it, and say
-    // so once.
-    warnInfra("cannot execute compiled binary: " + R.Error);
-    return Obs;
+  std::vector<BackendObservation> Out = Row(Obs);
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    ProcessOptions RO;
+    RO.TimeoutMs = Opts.ExecTimeoutMs;
+    RO.StdinData = Inputs[I];
+    ProcessResult R = runTool({Bin}, RO);
+    if (R.St == ProcessResult::Status::StartFailed) {
+      // We never ran the binary -- transient fork pressure, or an artifact
+      // the compiler claimed and did not deliver. Either way this is an
+      // infrastructure fact, not a behavioral observation: leave Exec at
+      // NotRun so no wrong-code finding can be fabricated from it, and say
+      // so once.
+      warnInfra("cannot execute compiled binary: " + R.Error);
+      continue;
+    }
+    classifyExecInto(R, Out[I]);
   }
-  classifyExecInto(R, Obs);
-  return Obs;
+  return Out;
 }
 
 std::unique_ptr<BatchTicket>
@@ -421,22 +451,24 @@ ExternalBackend::beginBatch(std::vector<std::string> Sources,
   return T;
 }
 
-std::vector<std::vector<BackendObservation>>
+std::vector<std::vector<std::vector<BackendObservation>>>
 ExternalBackend::finishBatch(std::unique_ptr<BatchTicket> Ticket) const {
   auto *T = dynamic_cast<ExternalBatchTicket *>(Ticket.get());
   if (!T)
     return CompilerBackend::finishBatch(std::move(Ticket));
 
-  std::vector<std::vector<BackendObservation>> Out(
+  std::vector<std::vector<std::vector<BackendObservation>>> Out(
       T->Sources.size(),
-      std::vector<BackendObservation>(T->Configs.size()));
+      std::vector<std::vector<BackendObservation>>(T->Configs.size()));
   if (!T->Packed) {
     for (size_t I = 0; I < T->Sources.size(); ++I)
       for (size_t C = 0; C < T->Configs.size(); ++C)
-        Out[I][C] = run(T->Sources[I], T->Configs[C], nullptr);
+        Out[I][C] = runSweep(T->Sources[I], T->Configs[C],
+                             configInputs(T->Configs[C]), nullptr);
     return Out;
   }
 
+  T->Union = sweepUnion(T->Configs);
   std::vector<size_t> All(T->Sources.size());
   for (size_t I = 0; I < All.size(); ++I)
     All[I] = I;
@@ -460,10 +492,17 @@ void ExternalBackend::resolveSubset(
     const ExternalBatchTicket &T, size_t ConfigIdx,
     const std::vector<size_t> &Subset, const ProcessResult *Known,
     const std::string &KnownBin,
-    std::vector<std::vector<BackendObservation>> &Out) const {
+    std::vector<std::vector<std::vector<BackendObservation>>> &Out) const {
   const CompilerConfig &Config = T.Configs[ConfigIdx];
+  const std::vector<std::string> Ins = configInputs(Config);
+  // Each local sweep input's index in the batch's sweep union -- the index
+  // space BatchExpectation::cell() speaks.
+  std::vector<size_t> UnionIdx(Ins.size(), 0);
+  for (size_t I = 0; I < Ins.size(); ++I)
+    UnionIdx[I] = static_cast<size_t>(
+        std::find(T.Union.begin(), T.Union.end(), Ins[I]) - T.Union.begin());
   auto Solo = [&](size_t V) {
-    Out[V][ConfigIdx] = run(T.Sources[V], Config, nullptr);
+    Out[V][ConfigIdx] = runSweep(T.Sources[V], Config, Ins, nullptr);
   };
 
   ProcessResult CR;
@@ -534,29 +573,42 @@ void ExternalBackend::resolveSubset(
   RO.TimeoutMs = Opts.ExecTimeoutMs;
   for (size_t Local = 0; Local < Subset.size(); ++Local) {
     size_t V = Subset[Local];
-    ProcessResult R = runTool({Bin, std::to_string(Local)}, RO);
-    if (R.St == ProcessResult::Status::StartFailed) {
-      Solo(V);
-      continue;
-    }
-    BackendObservation Obs;
-    Obs.Compile = BackendObservation::CompileStatus::Ok;
-    classifyExecInto(R, Obs);
-    // Solo-verification invariant: only a batched execution that exactly
-    // reproduces the oracle expectation is kept -- and such an observation
-    // records nothing downstream. Anything else (trap, hang, divergent
-    // exit or output, missing expectation) is re-run unbatched so the
-    // recorded observation has single-compile provenance. The one thing
-    // this cannot catch is a batch compile *masking* a divergence its solo
-    // compile would show while still matching the oracle -- see DESIGN.md
-    // Section 13 for why that is accepted.
+    // Solo-verification invariant, row edition: only a row whose every
+    // executed cell exactly reproduces its oracle expectation is kept --
+    // and such a row records nothing downstream. Any deviating cell
+    // (trap, hang, divergent exit or output, missing expectation) sends
+    // the whole (variant, config) row back through unbatched runSweep()
+    // so the recorded row shares one single-compile provenance. Cells
+    // whose input the oracle excluded (Cell.Valid false under a valid
+    // expectation) are never executed here and stay Exec = NotRun; the
+    // harness skips them by oracle verdict, never by looking at the
+    // observation, so the shape difference against a runSweep() row is
+    // unobservable. The one thing none of this can catch is a batch
+    // compile *masking* a divergence its solo compile would show while
+    // still matching the oracle -- see DESIGN.md Section 13 for why that
+    // is accepted.
     const BatchExpectation *E =
         V < T.Expected.size() ? &T.Expected[V] : nullptr;
-    bool Clean = Obs.Exec == BackendObservation::ExecStatus::Ok && E &&
-                 E->Valid &&
-                 classifyDivergence(Obs, E->ExitCode, E->Output).empty();
-    if (Clean)
-      Out[V][ConfigIdx] = std::move(Obs);
+    std::vector<BackendObservation> RowObs(Ins.size());
+    bool RowClean = E && E->Valid;
+    for (size_t I = 0; RowClean && I < Ins.size(); ++I) {
+      BatchExpectation::Cell Cell = E->cell(UnionIdx[I]);
+      RowObs[I].Compile = BackendObservation::CompileStatus::Ok;
+      if (!Cell.Valid)
+        continue; // Excluded input: not executed, not compared.
+      RO.StdinData = Ins[I];
+      ProcessResult R = runTool({Bin, std::to_string(Local)}, RO);
+      if (R.St == ProcessResult::Status::StartFailed) {
+        RowClean = false;
+        break;
+      }
+      classifyExecInto(R, RowObs[I]);
+      RowClean = RowObs[I].Exec == BackendObservation::ExecStatus::Ok &&
+                 classifyDivergence(RowObs[I], Cell.ExitCode, Cell.Output)
+                     .empty();
+    }
+    if (RowClean)
+      Out[V][ConfigIdx] = std::move(RowObs);
     else
       Solo(V);
   }

@@ -30,12 +30,14 @@
 /// one translation unit (compiler/BatchRenderer.h) and compiles it once
 /// per configuration -- asynchronously on the broker pool when
 /// Opts.PoolWorkers > 0 -- then finishBatch executes each member as its
-/// own process. The batch is an amortization, never an oracle: a batch
-/// compile failure is bisected by recursive split down to single variants,
-/// and a batched execution that deviates from the harness's expectation in
-/// any way is re-run unbatched, so every observation that can become a
-/// finding carries ordinary single-variant run() provenance and campaign
-/// results are bit-identical to BatchSize = 1.
+/// own process, once per sweep input (the input delivered over stdin; the
+/// argv slot stays the dispatch index). The batch is an amortization,
+/// never an oracle: a batch compile failure is bisected by recursive
+/// split down to single variants, and a batched execution cell that
+/// deviates from the harness's expectation in any way sends its whole
+/// (variant, config) row back through unbatched runSweep(), so every
+/// observation that can become a finding carries ordinary single-variant
+/// provenance and campaign results are bit-identical to BatchSize = 1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -72,9 +74,18 @@ struct ExternalBackendOptions {
   uint64_t CompileTimeoutMs = 30'000;
   uint64_t ExecTimeoutMs = 5'000;
   /// Text prepended to every variant before it reaches the compiler.
-  /// Variants are mini-C programs that may call printf; real compilers
-  /// want the declaration.
-  std::string Prelude = "#include <stdio.h>\n";
+  /// Variants are mini-C programs that may call printf (so stdio.h) and
+  /// spe_input(), the sweep intrinsic, which reads one scanf("%d") integer
+  /// from stdin -- the same contract support/StdinScan.h implements for
+  /// the in-process executors, so swept inputs (whitespace-separated
+  /// decimal integers) observe identical values everywhere.
+  std::string Prelude = "#include <stdio.h>\n"
+                        "static int spe_input(void) {\n"
+                        "  int spe_v = 0;\n"
+                        "  if (scanf(\"%d\", &spe_v) != 1)\n"
+                        "    return 0;\n"
+                        "  return spe_v;\n"
+                        "}\n";
   /// Scratch directory under which the per-instance scratch subdirectory
   /// is created; empty = $TMPDIR or /tmp.
   std::string TempDir;
@@ -113,13 +124,23 @@ public:
   BackendObservation run(const std::string &Source,
                          const CompilerConfig &Config,
                          CoverageRegistry *Cov) const override;
+  BackendObservation runWithInput(const std::string &Source,
+                                  const CompilerConfig &Config,
+                                  const std::string &Input,
+                                  CoverageRegistry *Cov) const override;
+  /// One compile, one subprocess execution per sweep input (each input fed
+  /// through the binary's stdin).
+  std::vector<BackendObservation>
+  runSweep(const std::string &Source, const CompilerConfig &Config,
+           const std::vector<std::string> &Inputs,
+           CoverageRegistry *Cov) const override;
 
   std::unique_ptr<BatchTicket>
   beginBatch(std::vector<std::string> Sources,
              std::vector<BatchExpectation> Expected,
              std::vector<CompilerConfig> Configs,
              CoverageRegistry *Cov) const override;
-  std::vector<std::vector<BackendObservation>>
+  std::vector<std::vector<std::vector<BackendObservation>>>
   finishBatch(std::unique_ptr<BatchTicket> Ticket) const override;
 
   const ExternalBackendOptions &options() const { return Opts; }
@@ -152,14 +173,16 @@ private:
   /// Resolves the members of \p Subset for configuration \p ConfigIdx into
   /// \p Out: compiles the packed subset (or accepts \p Known, the already
   /// finished compile of exactly this subset), executes members of a
-  /// successful compile, and recursively splits a failed one down to
-  /// single variants, which are resolved by plain run(). Any executed
-  /// member that deviates from its expectation is likewise re-run
-  /// unbatched.
-  void resolveSubset(const ExternalBatchTicket &T, size_t ConfigIdx,
-                     const std::vector<size_t> &Subset,
-                     const ProcessResult *Known, const std::string &KnownBin,
-                     std::vector<std::vector<BackendObservation>> &Out) const;
+  /// successful compile once per sweep input, and recursively splits a
+  /// failed compile down to single variants, which are resolved by plain
+  /// runSweep(). Any executed cell that deviates from its expectation
+  /// sends the whole (variant, config) row back through runSweep() so
+  /// every recorded row shares one unbatched compile.
+  void resolveSubset(
+      const ExternalBatchTicket &T, size_t ConfigIdx,
+      const std::vector<size_t> &Subset, const ProcessResult *Known,
+      const std::string &KnownBin,
+      std::vector<std::vector<std::vector<BackendObservation>>> &Out) const;
   /// One loud line on the first infrastructure failure (scratch write,
   /// fork/exec of compiler or binary); such variants are skipped, never
   /// classified, so they cannot fabricate findings.

@@ -82,6 +82,9 @@ static std::string instrToString(const IRInstr &I) {
   case IROp::Printf:
     Out = "printf(...)";
     break;
+  case IROp::Input:
+    Out = Dst() + "input";
+    break;
   case IROp::Ret:
     Out = "ret " + operandToString(I.A);
     break;

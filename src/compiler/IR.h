@@ -77,6 +77,8 @@ enum class IROp {
   Memset,    ///< zero Size bytes at A.
   Call,      ///< Dst = call Functions[CalleeIndex](Args).
   Printf,    ///< printf(Fmt, Args).
+  Input,     ///< Dst = spe_input(): next stdin sweep integer (side effect:
+             ///< advances the input cursor, so never treated as pure).
   Ret,       ///< return A (A may be None for void/fall-off).
   Br,        ///< unconditional branch to Succ0.
   CondBr,    ///< branch to Succ0 if A is nonzero else Succ1.

@@ -821,6 +821,15 @@ IROperand FunctionLowering::genCall(const CallExpr *C) {
     append(std::move(I));
     return IROperand::constant(0, Ctx.types().int32Type());
   }
+  if (C->callee()->name() == "spe_input") {
+    IRInstr I;
+    I.Op = IROp::Input;
+    I.HasDst = true;
+    I.Dst = Fn->newReg();
+    I.Ty = Ctx.types().int32Type();
+    append(std::move(I));
+    return IROperand::reg(Fn->NumRegs - 1, Ctx.types().int32Type());
+  }
   const FunctionDecl *Callee = C->callee()->functionDecl();
   if (!Callee || !Callee->isDefinition()) {
     fail("call to undefined function");

@@ -2,6 +2,8 @@
 
 #include "compiler/VM.h"
 
+#include "support/StdinScan.h"
+
 #include <cassert>
 #include <cstdio>
 #include <limits>
@@ -26,7 +28,8 @@ struct VMBlock {
 
 class VM {
 public:
-  VM(const IRModule &M, const VMOptions &Opts) : M(M), Opts(Opts) {
+  VM(const IRModule &M, const VMOptions &Opts)
+      : M(M), Opts(Opts), Stdin(Opts.Input) {
     Blocks.push_back(VMBlock{{}, false}); // Null block.
   }
 
@@ -126,6 +129,7 @@ private:
   std::vector<VMBlock> Blocks;
   std::vector<uint32_t> GlobalBlocks;
   unsigned CallDepth = 0;
+  StdinIntScanner Stdin; ///< Sweep-input cursor for IROp::Input.
 };
 
 VMValue VM::loadFrom(uint32_t Block, int64_t Offset, const Type *Ty) {
@@ -500,6 +504,14 @@ VMValue VM::callFunction(unsigned FnIndex,
     case IROp::Printf:
       doPrintf(I, Regs);
       break;
+    case IROp::Input: {
+      VMValue V;
+      V.Bits = normalizeIntValue(I.Ty, static_cast<uint64_t>(static_cast<uint32_t>(
+                                           Stdin.next())));
+      if (I.HasDst)
+        Regs[I.Dst] = V;
+      break;
+    }
     case IROp::Ret:
       if (!I.A.isNone())
         RetVal = evalOperand(I.A, Regs);

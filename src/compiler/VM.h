@@ -29,6 +29,11 @@ namespace spe {
 struct VMOptions {
   uint64_t MaxSteps = 5'000'000;
   unsigned MaxCallDepth = 256;
+  /// Stdin image consumed by the spe_input() intrinsic: each call parses
+  /// the next integer scanf("%d")-style and yields 0 once exhausted,
+  /// mirroring the reference interpreter and the external backends'
+  /// scanf-based prelude byte for byte.
+  std::string Input;
 };
 
 /// Outcome of a VM run.

@@ -2,6 +2,8 @@
 
 #include "interp/Interpreter.h"
 
+#include "support/StdinScan.h"
+
 #include <cassert>
 #include <cstdio>
 #include <limits>
@@ -64,7 +66,7 @@ struct Signal {
 class Interp {
 public:
   Interp(ASTContext &Ctx, const InterpOptions &Opts)
-      : Ctx(Ctx), Opts(Opts) {
+      : Ctx(Ctx), Opts(Opts), Stdin(Opts.Input) {
     Blocks.push_back(MemBlock{"<null>", {}, {}, false});
   }
 
@@ -136,6 +138,7 @@ private:
   ExecResult Result;
   bool Failed = false;
   uint64_t Steps = 0;
+  StdinIntScanner Stdin; ///< Sweep-input cursor for spe_input().
 
   std::vector<MemBlock> Blocks;
   std::map<const VarDecl *, uint32_t> Globals;
@@ -1070,6 +1073,10 @@ Value Interp::evalCall(const CallExpr *C) {
     doPrintf(C);
     return makeInt(Ctx.types().int32Type(), 0);
   }
+  if (C->callee()->name() == "spe_input")
+    return makeInt(Ctx.types().int32Type(),
+                   static_cast<uint64_t>(
+                       static_cast<uint32_t>(Stdin.next())));
   const FunctionDecl *F = C->callee()->functionDecl();
   if (!F || !F->isDefinition()) {
     fail(ExecStatus::Unsupported,

@@ -75,6 +75,10 @@ struct InterpOptions {
   uint64_t MaxSteps = 2'000'000;
   /// Maximum call depth (guards runaway recursion).
   unsigned MaxCallDepth = 256;
+  /// Stdin image consumed by the spe_input() intrinsic (scanf("%d")
+  /// semantics, 0 at exhaustion); see support/StdinScan.h for the
+  /// cross-executor contract.
+  std::string Input;
 };
 
 /// Runs the analyzed translation unit's main() under the reference

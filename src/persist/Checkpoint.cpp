@@ -19,7 +19,7 @@ using namespace spe;
 
 namespace {
 
-const char Magic[] = "SPE-CHECKPOINT v2";
+const char Magic[] = "SPE-CHECKPOINT v3";
 
 /// Incremental FNV-1a over decimal-text renderings, so fingerprints and the
 /// file checksum are independent of host endianness and word size.
@@ -116,11 +116,12 @@ void writeBugFields(std::ostringstream &Out, const FoundBug &Bug) {
   Out << Bug.BugId << ' ' << static_cast<int>(Bug.P) << ' '
       << static_cast<int>(Bug.Effect) << ' ' << Bug.Version << ' '
       << Bug.OptLevel << ' ' << (Bug.Mode64 ? 1 : 0) << ' '
-      << escapeToken(Bug.Signature) << ' '
+      << escapeToken(Bug.Signature) << ' ' << escapeToken(Bug.Backend)
+      << ' ' << escapeToken(Bug.Input) << ' '
       << escapeToken(Bug.WitnessProgram);
 }
 
-/// Serializes the checkpointed portion of a CampaignResult: the 12 campaign
+/// Serializes the checkpointed portion of a CampaignResult: the 14 campaign
 /// counters plus both finding maps. Triaged/Reduction are deliberately not
 /// part of the format -- triage runs post-campaign from the final snapshot
 /// and is deterministic, so persisting its output would only duplicate
@@ -132,7 +133,8 @@ void writeResult(std::ostringstream &Out, const CampaignResult &R) {
       << ' ' << R.VariantsTested << ' ' << R.VariantsPruned << ' '
       << R.OracleExecutions << ' ' << R.OracleCacheHits << ' '
       << R.CrashObservations << ' ' << R.WrongCodeObservations << ' '
-      << R.PerformanceObservations << ' ' << R.ExecutionTimeouts << '\n';
+      << R.PerformanceObservations << ' ' << R.ExecutionTimeouts << ' '
+      << R.MatrixCellsCompared << ' ' << R.SweepCellsExcluded << '\n';
   Out << "bugs " << R.UniqueBugs.size() << '\n';
   for (const auto &[Id, Bug] : R.UniqueBugs) {
     (void)Id;
@@ -144,7 +146,8 @@ void writeResult(std::ostringstream &Out, const CampaignResult &R) {
   for (const auto &[Key, Bug] : R.RawFindings) {
     Out << "finding " << Key.BugId << ' ' << static_cast<int>(Key.P) << ' '
         << Key.Version << ' ' << Key.OptLevel << ' '
-        << (Key.Mode64 ? 1 : 0) << ' ' << escapeToken(Key.Sig) << ' ';
+        << (Key.Mode64 ? 1 : 0) << ' ' << Key.BackendIdx << ' '
+        << Key.InputIdx << ' ' << escapeToken(Key.Sig) << ' ';
     writeBugFields(Out, Bug);
     Out << '\n';
   }
@@ -241,7 +244,8 @@ bool readBugFields(Reader &R, const std::vector<std::string> &L, size_t At,
   if (!R.i64(L[At], Id) || !R.u64(L[At + 1], P) || !R.u64(L[At + 2], E) ||
       !R.u64(L[At + 3], Ver) || !R.u64(L[At + 4], Opt) ||
       !R.boolTok(L[At + 5], M64) || !R.strTok(L[At + 6], Bug.Signature) ||
-      !R.strTok(L[At + 7], Bug.WitnessProgram))
+      !R.strTok(L[At + 7], Bug.Backend) || !R.strTok(L[At + 8], Bug.Input) ||
+      !R.strTok(L[At + 9], Bug.WitnessProgram))
     return false;
   if (P > 1 || E > 2)
     return R.fail("enum value out of range");
@@ -255,17 +259,18 @@ bool readBugFields(Reader &R, const std::vector<std::string> &L, size_t At,
 }
 
 bool readResult(Reader &R, CampaignResult &Out) {
-  const auto *L = R.line("counters", 13);
+  const auto *L = R.line("counters", 15);
   if (!L)
     return false;
-  uint64_t *Slots[12] = {
+  uint64_t *Slots[14] = {
       &Out.SeedsProcessed,     &Out.SeedsSkippedByThreshold,
       &Out.VariantsEnumerated, &Out.VariantsOracleExcluded,
       &Out.VariantsTested,     &Out.VariantsPruned,
       &Out.OracleExecutions,   &Out.OracleCacheHits,
       &Out.CrashObservations,  &Out.WrongCodeObservations,
-      &Out.PerformanceObservations, &Out.ExecutionTimeouts};
-  for (size_t I = 0; I < 12; ++I)
+      &Out.PerformanceObservations, &Out.ExecutionTimeouts,
+      &Out.MatrixCellsCompared, &Out.SweepCellsExcluded};
+  for (size_t I = 0; I < 14; ++I)
     if (!R.u64((*L)[I + 1], *Slots[I]))
       return false;
 
@@ -274,7 +279,7 @@ bool readResult(Reader &R, CampaignResult &Out) {
   if (!L || !R.u64((*L)[1], N))
     return false;
   for (uint64_t I = 0; I < N; ++I) {
-    const auto *BL = R.line("bug", 9);
+    const auto *BL = R.line("bug", 11);
     FoundBug Bug;
     if (!BL || !readBugFields(R, *BL, 1, Bug))
       return false;
@@ -286,17 +291,18 @@ bool readResult(Reader &R, CampaignResult &Out) {
   if (!L || !R.u64((*L)[1], N))
     return false;
   for (uint64_t I = 0; I < N; ++I) {
-    const auto *FL = R.line("finding", 15);
+    const auto *FL = R.line("finding", 19);
     if (!FL)
       return false;
     int64_t Id = 0;
-    uint64_t P = 0, Ver = 0, Opt = 0;
+    uint64_t P = 0, Ver = 0, Opt = 0, BIdx = 0, IIdx = 0;
     FindingKey Key;
     FoundBug Bug;
     if (!R.i64((*FL)[1], Id) || !R.u64((*FL)[2], P) ||
         !R.u64((*FL)[3], Ver) || !R.u64((*FL)[4], Opt) ||
-        !R.boolTok((*FL)[5], Key.Mode64) || !R.strTok((*FL)[6], Key.Sig) ||
-        !readBugFields(R, *FL, 7, Bug))
+        !R.boolTok((*FL)[5], Key.Mode64) || !R.u64((*FL)[6], BIdx) ||
+        !R.u64((*FL)[7], IIdx) || !R.strTok((*FL)[8], Key.Sig) ||
+        !readBugFields(R, *FL, 9, Bug))
       return false;
     if (P > 1)
       return R.fail("enum value out of range");
@@ -304,6 +310,8 @@ bool readResult(Reader &R, CampaignResult &Out) {
     Key.P = static_cast<Persona>(P);
     Key.Version = static_cast<unsigned>(Ver);
     Key.OptLevel = static_cast<unsigned>(Opt);
+    Key.BackendIdx = static_cast<unsigned>(BIdx);
+    Key.InputIdx = static_cast<unsigned>(IIdx);
     if (!Out.RawFindings.emplace(Key, std::move(Bug)).second)
       return R.fail("duplicate finding key");
   }
@@ -513,6 +521,11 @@ uint64_t spe::fingerprintOptions(const HarnessOptions &Opts) {
     F.u64(C.Version);
     F.u64(C.OptLevel);
     F.u64(C.Mode64 ? 1 : 0);
+    // The sweep set shapes which matrix cells exist, so a snapshot written
+    // under one sweep can never resume under another.
+    F.u64(C.ExecSweep.size());
+    for (const std::string &In : C.ExecSweep)
+      F.str(In);
   }
   F.u64(Opts.InjectBugs ? 1 : 0);
   F.u64(Opts.PruneInvalid ? 1 : 0);
@@ -533,6 +546,12 @@ uint64_t spe::fingerprintOptions(const HarnessOptions &Opts) {
   // be resumed against a different compiler.
   F.str(Opts.Backend ? Opts.Backend->identity()
                      : InProcessBackend(Opts.InjectBugs).identity());
+  // The rest of the matrix roster, in slot order: adding, dropping, or
+  // reordering differential backends reshapes every vote, so it severs
+  // resume like a compiler change does. Classic campaigns fold a bare 0.
+  F.u64(Opts.ExtraBackends.size());
+  for (const CompilerBackend *E : Opts.ExtraBackends)
+    F.str(E ? E->identity() : std::string());
   return F.H;
 }
 

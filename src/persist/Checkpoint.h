@@ -70,7 +70,11 @@ struct CampaignCheckpoint {
   /// Bump on any serialized-layout change; loadFrom rejects other versions.
   /// v2: counters line gained ExecutionTimeouts; finding lines gained the
   /// signature-only key token (FindingKey::Sig).
-  static constexpr unsigned FormatVersion = 2;
+  /// v3 (differential matrix, DESIGN.md Section 14): counters line gained
+  /// MatrixCellsCompared + SweepCellsExcluded; bug fields gained the
+  /// attributed backend identity and the sweep input; finding keys gained
+  /// BackendIdx + InputIdx.
+  static constexpr unsigned FormatVersion = 3;
 
   /// Fingerprint of the campaign-shaping HarnessOptions fields (mode,
   /// extraction, threshold, budget, threads, configs, bug injection,

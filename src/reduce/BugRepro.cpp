@@ -28,20 +28,23 @@ bool ReproOracle::evaluate(const std::string &Source) {
   // campaign already interpreted is never re-run here).
   OracleCache::Entry Verdict;
   std::unique_ptr<ASTContext> Ctx;
-  if (Cache && Cache->lookup(Source, Verdict)) {
+  std::string Key = oracleCacheKey(Source, Spec.Input);
+  if (Cache && Cache->lookup(Key, Verdict)) {
     ++Stats.OracleCacheHits;
   } else {
     Ctx = parseAndAnalyze(Source);
     Verdict.FrontendOk = Ctx != nullptr;
     if (Ctx) {
-      ExecResult Ref = interpret(*Ctx);
+      InterpOptions IO;
+      IO.Input = Spec.Input;
+      ExecResult Ref = interpret(*Ctx, IO);
       ++Stats.OracleRuns;
       Verdict.Status = Ref.Status;
       Verdict.ExitCode = Ref.ExitCode;
       Verdict.Output = std::move(Ref.Output);
     }
     if (Cache)
-      Cache->insert(Source, Verdict);
+      Cache->insert(Key, Verdict);
   }
   if (!Verdict.FrontendOk || Verdict.Status != ExecStatus::Ok)
     return false;
@@ -53,13 +56,14 @@ bool ReproOracle::evaluate(const std::string &Source) {
   // instead of paying a second parse per probe.
   BackendObservation Obs;
   if (Backend) {
-    Obs = Backend->run(Source, Spec.Config, /*Cov=*/nullptr);
+    Obs = Backend->runWithInput(Source, Spec.Config, Spec.Input,
+                                /*Cov=*/nullptr);
   } else {
     if (!Ctx)
       Ctx = parseAndAnalyze(Source);
     if (!Ctx)
       return false;
-    Obs = Fallback.runOn(*Ctx, Spec.Config, /*Cov=*/nullptr);
+    Obs = Fallback.runOn(*Ctx, Spec.Config, /*Cov=*/nullptr, Spec.Input);
   }
   if (Obs.Compile == BackendObservation::CompileStatus::Rejected)
     return false;

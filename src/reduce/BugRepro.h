@@ -52,6 +52,12 @@ struct ReproSpec {
   BugEffect Effect = BugEffect::Crash;
   /// Normalized signature key (triage/normalizeSignature).
   std::string SignatureKey;
+  /// The stdin sweep input the finding manifested under (FoundBug::Input);
+  /// empty for the classic single empty-stdin execution. Probes interpret
+  /// and execute candidates under this input, so a divergence that only
+  /// manifests for one seeded spe_input() value keeps reproducing while
+  /// its witness shrinks.
+  std::string Input;
   /// Ground-truth injection switch; mirrors HarnessOptions::InjectBugs.
   bool InjectBugs = true;
 };

@@ -487,6 +487,15 @@ const Type *Sema::analyzeExpr(Expr *E) {
       E->setType(Ctx.types().int32Type());
       return E->type();
     }
+    if (Name == "spe_input") {
+      // Harness intrinsic: reads the next integer from the campaign's
+      // stdin sweep (scanf("%d") semantics, 0 at exhaustion). Lets input
+      // sweeps reach program behavior without argv plumbing.
+      if (!C->args().empty())
+        Diags.error(C->loc(), "spe_input takes no arguments");
+      E->setType(Ctx.types().int32Type());
+      return E->type();
+    }
     FunctionDecl *F = Ctx.findFunction(Name);
     if (!F) {
       Diags.error(C->loc(), "call to undeclared function '" + Name + "'");

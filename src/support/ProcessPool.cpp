@@ -147,7 +147,8 @@ IoStatus readStr(int Fd, std::string &S, uint64_t DeadlineMs) {
     ProcessOptions Opts;
     uint64_t MaxOut = 0;
     if (readU64(JobFd, Opts.TimeoutMs, 0) != IoStatus::Ok ||
-        readU64(JobFd, MaxOut, 0) != IoStatus::Ok)
+        readU64(JobFd, MaxOut, 0) != IoStatus::Ok ||
+        readStr(JobFd, Opts.StdinData, 0) != IoStatus::Ok)
       _exit(0);
     Opts.MaxOutputBytes = static_cast<size_t>(MaxOut);
 
@@ -312,6 +313,7 @@ bool ProcessPool::sendJob(Broker &B, const PendingJob &J) {
     putStr(Frame, A);
   putU64(Frame, J.Opts.TimeoutMs);
   putU64(Frame, J.Opts.MaxOutputBytes);
+  putStr(Frame, J.Opts.StdinData);
   return writeFull(B.JobFd, Frame.data(), Frame.size());
 }
 

@@ -10,6 +10,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <pthread.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -51,6 +52,33 @@ bool drainPipe(int Fd, std::string &Out, size_t Cap) {
   }
 }
 
+/// Writes one chunk of stdin data with SIGPIPE blocked (a child that exits
+/// without reading its stdin must surface as EPIPE here, not kill the
+/// harness). \returns bytes written, 0 when the pipe is momentarily full,
+/// or -1 when the pipe is dead and the caller should stop feeding it.
+ssize_t writeStdinChunk(int Fd, const char *Data, size_t N) {
+  sigset_t PipeSet, Old;
+  sigemptyset(&PipeSet);
+  sigaddset(&PipeSet, SIGPIPE);
+  pthread_sigmask(SIG_BLOCK, &PipeSet, &Old);
+  ssize_t W;
+  do
+    W = write(Fd, Data, N);
+  while (W < 0 && errno == EINTR);
+  if (W < 0 && errno == EPIPE) {
+    // Consume the SIGPIPE the failed write queued; restoring the old mask
+    // with it still pending would deliver the default fatal action to
+    // threads that had it unblocked.
+    timespec Zero = {0, 0};
+    sigtimedwait(&PipeSet, nullptr, &Zero);
+  }
+  int E = errno;
+  pthread_sigmask(SIG_SETMASK, &Old, nullptr);
+  if (W >= 0)
+    return W;
+  return E == EAGAIN ? 0 : -1;
+}
+
 } // namespace
 
 ProcessResult spe::runProcess(const std::vector<std::string> &Argv,
@@ -79,6 +107,15 @@ ProcessResult spe::runProcess(const std::vector<std::string> &Argv,
     close(OutP[0]), close(OutP[1]), close(ErrP[0]), close(ErrP[1]);
     return R;
   }
+  // The stdin feed pipe only exists when there is data to feed; the empty
+  // case keeps the /dev/null fast path untouched.
+  int InP[2] = {-1, -1};
+  if (!Opts.StdinData.empty() && pipe(InP) != 0) {
+    R.Error = "pipe: " + std::string(std::strerror(errno));
+    close(OutP[0]), close(OutP[1]), close(ErrP[0]), close(ErrP[1]);
+    close(ExecP[0]), close(ExecP[1]);
+    return R;
+  }
 
   std::vector<char *> Args;
   Args.reserve(Argv.size() + 1);
@@ -91,6 +128,8 @@ ProcessResult spe::runProcess(const std::vector<std::string> &Argv,
     R.Error = "fork: " + std::string(std::strerror(errno));
     close(OutP[0]), close(OutP[1]), close(ErrP[0]), close(ErrP[1]);
     close(ExecP[0]), close(ExecP[1]);
+    if (InP[0] >= 0)
+      close(InP[0]), close(InP[1]);
     return R;
   }
 
@@ -100,11 +139,16 @@ ProcessResult spe::runProcess(const std::vector<std::string> &Argv,
     // spawns the hung loop) -- otherwise a grandchild would keep the
     // capture pipes open long after the direct child died.
     setpgid(0, 0);
-    // stdin reads EOF so an unexpectedly interactive child terminates
-    // instead of hanging.
-    int DevNull = open("/dev/null", O_RDONLY);
-    if (DevNull >= 0)
-      dup2(DevNull, STDIN_FILENO);
+    if (InP[0] >= 0) {
+      dup2(InP[0], STDIN_FILENO);
+      close(InP[0]), close(InP[1]);
+    } else {
+      // stdin reads EOF so an unexpectedly interactive child terminates
+      // instead of hanging.
+      int DevNull = open("/dev/null", O_RDONLY);
+      if (DevNull >= 0)
+        dup2(DevNull, STDIN_FILENO);
+    }
     dup2(OutP[1], STDOUT_FILENO);
     dup2(ErrP[1], STDERR_FILENO);
     close(OutP[0]), close(OutP[1]), close(ErrP[0]), close(ErrP[1]);
@@ -121,21 +165,29 @@ ProcessResult spe::runProcess(const std::vector<std::string> &Argv,
   // the exec are benign).
   setpgid(Pid, Pid);
   close(OutP[1]), close(ErrP[1]), close(ExecP[1]);
+  if (InP[0] >= 0)
+    close(InP[0]);
   fcntl(OutP[0], F_SETFL, O_NONBLOCK);
   fcntl(ErrP[0], F_SETFL, O_NONBLOCK);
+  if (InP[1] >= 0)
+    fcntl(InP[1], F_SETFL, O_NONBLOCK);
 
   const uint64_t Deadline =
       Opts.TimeoutMs == 0 ? 0 : nowMs() + Opts.TimeoutMs;
   uint64_t KilledAt = 0;
   bool Killed = false;
   bool OutOpen = true, ErrOpen = true;
+  bool InOpen = InP[1] >= 0;
+  size_t InPos = 0;
   while (OutOpen || ErrOpen) {
-    pollfd Fds[2];
+    pollfd Fds[3];
     nfds_t N = 0;
     if (OutOpen)
       Fds[N++] = {OutP[0], POLLIN, 0};
     if (ErrOpen)
       Fds[N++] = {ErrP[0], POLLIN, 0};
+    if (InOpen)
+      Fds[N++] = {InP[1], POLLOUT, 0};
     int Wait = -1;
     if (Deadline != 0) {
       uint64_t Now = nowMs();
@@ -164,6 +216,21 @@ ProcessResult spe::runProcess(const std::vector<std::string> &Argv,
     if (Ready <= 0)
       continue;
     for (nfds_t I = 0; I < N; ++I) {
+      if (InOpen && Fds[I].fd == InP[1]) {
+        if (!(Fds[I].revents & (POLLOUT | POLLHUP | POLLERR)))
+          continue;
+        ssize_t W = writeStdinChunk(InP[1], Opts.StdinData.data() + InPos,
+                                    Opts.StdinData.size() - InPos);
+        if (W > 0)
+          InPos += static_cast<size_t>(W);
+        // Done, or the child closed its end without reading: either way
+        // close so the child sees EOF instead of a forever-open stdin.
+        if (W < 0 || InPos >= Opts.StdinData.size()) {
+          close(InP[1]);
+          InOpen = false;
+        }
+        continue;
+      }
       if (!(Fds[I].revents & (POLLIN | POLLHUP | POLLERR)))
         continue;
       if (Fds[I].fd == OutP[0])
@@ -173,6 +240,8 @@ ProcessResult spe::runProcess(const std::vector<std::string> &Argv,
     }
   }
   close(OutP[0]), close(ErrP[0]);
+  if (InOpen)
+    close(InP[1]);
 
   int ExecErrno = 0;
   ssize_t Got;

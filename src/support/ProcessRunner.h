@@ -41,6 +41,14 @@ struct ProcessOptions {
   /// Per-stream capture cap; output past it is drained but discarded, so a
   /// miscompiled infinite printf loop cannot exhaust harness memory.
   size_t MaxOutputBytes = 1 << 20;
+  /// Bytes fed to the child's stdin (the differential matrix's input
+  /// sweeps travel this way). Empty keeps the historical behavior
+  /// byte-for-byte: stdin is /dev/null and reads EOF immediately. When
+  /// non-empty the data is written through a pipe inside the capture poll
+  /// loop, then the write end closes so the child still sees EOF; a child
+  /// that exits without reading closes the pipe harmlessly (EPIPE is
+  /// swallowed, never raised as SIGPIPE).
+  std::string StdinData;
 };
 
 /// Decoded outcome of one subprocess run.
@@ -63,8 +71,9 @@ struct ProcessResult {
 };
 
 /// Runs \p Argv (Argv[0] resolved through PATH) to completion with both
-/// output streams captured; stdin reads EOF. Never throws; every failure
-/// mode is encoded in the returned status.
+/// output streams captured; stdin carries Opts.StdinData then reads EOF
+/// (plain EOF when it is empty). Never throws; every failure mode is
+/// encoded in the returned status.
 ProcessResult runProcess(const std::vector<std::string> &Argv,
                          const ProcessOptions &Opts = {});
 

@@ -12,6 +12,7 @@
 #include "skeleton/VariantRenderer.h"
 #include "testing/OracleCache.h"
 #include "triage/Deduper.h"
+#include "triage/MatrixVote.h"
 
 #include <atomic>
 #include <cstdio>
@@ -82,6 +83,8 @@ void CampaignResult::merge(const CampaignResult &Other) {
   WrongCodeObservations += Other.WrongCodeObservations;
   PerformanceObservations += Other.PerformanceObservations;
   ExecutionTimeouts += Other.ExecutionTimeouts;
+  MatrixCellsCompared += Other.MatrixCellsCompared;
+  SweepCellsExcluded += Other.SweepCellsExcluded;
 }
 
 bool CampaignResult::operator==(const CampaignResult &Other) const {
@@ -99,6 +102,8 @@ bool CampaignResult::operator==(const CampaignResult &Other) const {
          WrongCodeObservations == Other.WrongCodeObservations &&
          PerformanceObservations == Other.PerformanceObservations &&
          ExecutionTimeouts == Other.ExecutionTimeouts &&
+         MatrixCellsCompared == Other.MatrixCellsCompared &&
+         SweepCellsExcluded == Other.SweepCellsExcluded &&
          Triaged == Other.Triaged && Reduction == Other.Reduction;
 }
 
@@ -179,44 +184,83 @@ using StagedVec = std::vector<std::pair<std::string, OracleCache::Entry>>;
 /// variant proceeds to the backend configurations at all.
 struct OracleOutcome {
   bool Test = false;
+  /// Verdict under the primary input (sweepUnion index 0) -- the one that
+  /// gates testing, exactly as the single verdict always has.
   OracleCache::Entry Verdict;
+  /// Per-union-input verdicts (Sweep[0] == Verdict), computed only for
+  /// testable variants of a swept campaign; empty otherwise.
+  std::vector<OracleCache::Entry> Sweep;
 };
 
-/// The oracle phase of one variant: replay the verdict from the shared
-/// cache when available, compute (and memoize) it otherwise; classify the
-/// variant as excluded or testable. All downstream counters behave
-/// identically on a hit and on a miss.
+/// The oracle phase of one variant: replay each input's verdict from the
+/// shared cache when available, compute (and memoize) it otherwise;
+/// classify the variant as excluded or testable by the *primary* input's
+/// verdict. All downstream counters behave identically on a hit and on a
+/// miss. \p AllInputs is sweepUnion(Opts.Configs): {""} for an unswept
+/// campaign, where this degenerates to the historical single lookup on the
+/// raw source key, byte for byte.
 OracleOutcome oraclePhase(const HarnessOptions &Opts,
-                          const std::string &Source, CampaignResult &Result,
-                          StagedVec *Staged) {
+                          const std::string &Source,
+                          const std::vector<std::string> &AllInputs,
+                          CampaignResult &Result, StagedVec *Staged) {
   OracleOutcome O;
-  OracleCache::Entry &Verdict = O.Verdict;
-  if (Opts.Cache && Opts.Cache->lookup(Source, Verdict)) {
-    ++Result.OracleCacheHits;
-  } else {
-    std::unique_ptr<ASTContext> RefCtx = parseAndAnalyze(Source);
-    Verdict.FrontendOk = RefCtx != nullptr;
+  // One parse serves every input's interpretation; lazily done on the
+  // first cache miss.
+  std::unique_ptr<ASTContext> RefCtx;
+  bool Parsed = false;
+  auto VerdictFor = [&](const std::string &Input) {
+    OracleCache::Entry V;
+    std::string Key = oracleCacheKey(Source, Input);
+    if (Opts.Cache && Opts.Cache->lookup(Key, V)) {
+      ++Result.OracleCacheHits;
+      return V;
+    }
+    if (!Parsed) {
+      RefCtx = parseAndAnalyze(Source);
+      Parsed = true;
+    }
+    V.FrontendOk = RefCtx != nullptr;
     if (RefCtx) {
-      ExecResult Ref = interpret(*RefCtx);
+      InterpOptions IO;
+      IO.Input = Input;
+      ExecResult Ref = interpret(*RefCtx, IO);
       ++Result.OracleExecutions;
-      Verdict.Status = Ref.Status;
-      Verdict.ExitCode = Ref.ExitCode;
-      Verdict.Output = std::move(Ref.Output);
+      V.Status = Ref.Status;
+      V.ExitCode = Ref.ExitCode;
+      V.Output = std::move(Ref.Output);
     }
     if (Opts.Cache) {
-      Opts.Cache->insert(Source, Verdict);
+      Opts.Cache->insert(Key, V);
       if (Staged)
-        Staged->push_back({Source, Verdict});
+        Staged->push_back({Key, V});
     }
-  }
-  if (!Verdict.FrontendOk)
+    return V;
+  };
+
+  O.Verdict = VerdictFor(AllInputs.empty() ? std::string() : AllInputs[0]);
+  if (!O.Verdict.FrontendOk)
     return O;
-  if (Verdict.Status != ExecStatus::Ok) {
+  if (O.Verdict.Status != ExecStatus::Ok) {
     ++Result.VariantsOracleExcluded;
     return O;
   }
   ++Result.VariantsTested;
   O.Test = true;
+  // Non-primary sweep verdicts, computed only for variants that will
+  // actually be tested (an excluded variant never reaches any backend, so
+  // its other inputs would be wasted interpretations). An input whose own
+  // verdict is not Ok -- UB or non-termination under that stdin -- excludes
+  // just that cell from the matrix, the per-cell analogue of the paper's
+  // whole-variant exclusion.
+  if (AllInputs.size() > 1) {
+    O.Sweep.resize(AllInputs.size());
+    O.Sweep[0] = O.Verdict;
+    for (size_t I = 1; I < AllInputs.size(); ++I) {
+      O.Sweep[I] = VerdictFor(AllInputs[I]);
+      if (!O.Sweep[I].FrontendOk || O.Sweep[I].Status != ExecStatus::Ok)
+        ++Result.SweepCellsExcluded;
+    }
+  }
   return O;
 }
 
@@ -244,8 +288,12 @@ void recordObservation(const CompilerConfig &Config,
     Bug.OptLevel = Config.OptLevel;
     Bug.Mode64 = Config.Mode64;
     Bug.WitnessProgram = Source;
-    FindingKey Key{Id, Config.P, Config.Version, Config.OptLevel,
-                   Config.Mode64, {}};
+    FindingKey Key;
+    Key.BugId = Id;
+    Key.P = Config.P;
+    Key.Version = Config.Version;
+    Key.OptLevel = Config.OptLevel;
+    Key.Mode64 = Config.Mode64;
     if (Id == 0)
       Key.Sig = normalizeSignature(Effect, Sig);
     Result.RawFindings.emplace(std::move(Key), Bug);
@@ -301,6 +349,191 @@ void recordObservation(const CompilerConfig &Config,
   }
 }
 
+//===--- N-way differential matrix recording (DESIGN.md Section 14) ----===//
+
+/// Records one attributed matrix finding. Same key/witness discipline as
+/// recordObservation's Record, extended with the attributed backend's
+/// roster slot and the sweep input the divergence manifested under.
+void recordMatrixFinding(const CompilerConfig &Config, BugEffect Effect,
+                         int Id, const std::string &Sig,
+                         const std::string &BackendId, unsigned BackendIdx,
+                         const std::string &Input, unsigned InputIdx,
+                         const std::string &Source, CampaignResult &Result) {
+  FoundBug Bug;
+  Bug.BugId = Id;
+  Bug.P = Config.P;
+  Bug.Effect = Effect;
+  Bug.Signature = Sig;
+  Bug.Version = Config.Version;
+  Bug.OptLevel = Config.OptLevel;
+  Bug.Mode64 = Config.Mode64;
+  Bug.Backend = BackendId;
+  Bug.Input = Input;
+  Bug.WitnessProgram = Source;
+  FindingKey Key;
+  Key.BugId = Id;
+  Key.P = Config.P;
+  Key.Version = Config.Version;
+  Key.OptLevel = Config.OptLevel;
+  Key.Mode64 = Config.Mode64;
+  Key.BackendIdx = BackendIdx;
+  Key.InputIdx = InputIdx;
+  if (Id == 0)
+    Key.Sig = normalizeSignature(Effect, Sig);
+  Result.RawFindings.emplace(std::move(Key), Bug);
+  if (Id != 0)
+    Result.UniqueBugs.emplace(Id, std::move(Bug));
+}
+
+/// Matrix recording of one tested variant: compile-level findings per
+/// (backend, config) row, then one vote per (config, input) cell across
+/// the roster (triage/MatrixVote.h), with each outlier's finding
+/// attributed to the backend that diverged -- or to "reference-oracle"
+/// when a strict backend majority outvoted it. \p Obs is
+/// [backend][config][input] with the input axis of row (backend, config)
+/// being configInputs(Configs[config]); \p Sweep holds the per-union-input
+/// oracle verdicts (empty when the union is the single primary input).
+/// Deterministic recording order -- configs outer, compile rows then
+/// inputs, backends innermost -- so first-wins witness maps are identical
+/// for every thread count and batch size.
+void recordMatrixVariant(
+    const HarnessOptions &Opts,
+    const std::vector<const CompilerBackend *> &Roster,
+    const std::vector<std::string> &AllInputs,
+    const std::vector<std::vector<std::vector<BackendObservation>>> &Obs,
+    const std::string &Source, const OracleCache::Entry &Verdict,
+    const std::vector<OracleCache::Entry> &Sweep, CampaignResult &Result) {
+  // The backend identity stamped on findings: with a single-backend roster
+  // (sweeps only) it stays empty -- the sole backend is implied, keeping
+  // signatures identical to a classic campaign's.
+  auto BackendName = [&](size_t B) {
+    return Roster.size() >= 2 ? Roster[B]->identity() : std::string();
+  };
+  auto UnionVerdict = [&](size_t U) -> const OracleCache::Entry & {
+    return Sweep.empty() ? Verdict : Sweep[U];
+  };
+
+  for (size_t C = 0; C < Opts.Configs.size(); ++C) {
+    const CompilerConfig &Config = Opts.Configs[C];
+    std::vector<std::string> Ins = configInputs(Config);
+
+    // Compile-level findings: one per (backend, config) row, read off the
+    // row's first cell (all cells share one compile's status fields).
+    for (size_t B = 0; B < Roster.size(); ++B) {
+      if (C >= Obs[B].size() || Obs[B][C].empty())
+        continue;
+      const BackendObservation &Row = Obs[B][C][0];
+      const bool GroundTruth = Roster[B]->hasGroundTruth();
+      if (Row.Compile == BackendObservation::CompileStatus::Crashed) {
+        ++Result.CrashObservations;
+        recordMatrixFinding(Config, BugEffect::Crash, Row.CrashBugId,
+                            Row.CrashSignature, BackendName(B),
+                            static_cast<unsigned>(B), std::string(), 0,
+                            Source, Result);
+      }
+      if (Row.CompileTimeAnomaly) {
+        ++Result.PerformanceObservations;
+        if (GroundTruth) {
+          for (int Id : Row.FiredBugs) {
+            const InjectedBug *Truth = findBug(Id);
+            if (!Truth || Truth->Effect != BugEffect::Performance)
+              continue;
+            recordMatrixFinding(Config, BugEffect::Performance, Id,
+                                "pathological compile time", BackendName(B),
+                                static_cast<unsigned>(B), std::string(), 0,
+                                Source, Result);
+          }
+        } else {
+          recordMatrixFinding(Config, BugEffect::Performance, 0,
+                              "pathological compile time", BackendName(B),
+                              static_cast<unsigned>(B), std::string(), 0,
+                              Source, Result);
+        }
+      }
+    }
+
+    // Behavioral cells: one vote per (config, input) across the roster.
+    for (size_t I = 0; I < Ins.size(); ++I) {
+      // This input's oracle verdict, by its position in the sweep union.
+      size_t U = 0;
+      while (U < AllInputs.size() && AllInputs[U] != Ins[I])
+        ++U;
+      if (U >= AllInputs.size())
+        continue; // Unreachable: configInputs is a subset of the union.
+      const OracleCache::Entry &V = UnionVerdict(U);
+      if (!V.FrontendOk || V.Status != ExecStatus::Ok)
+        continue; // Cell excluded (counted once in oraclePhase).
+
+      std::vector<const BackendObservation *> Cells(Roster.size(), nullptr);
+      for (size_t B = 0; B < Roster.size(); ++B) {
+        if (C >= Obs[B].size() || I >= Obs[B][C].size())
+          continue;
+        const BackendObservation &Cell = Obs[B][C][I];
+        Cells[B] = &Cell;
+        if (Cell.Compile == BackendObservation::CompileStatus::Ok &&
+            Cell.Exec != BackendObservation::ExecStatus::NotRun)
+          ++Result.MatrixCellsCompared;
+      }
+
+      MatrixVote Vote = voteMatrixCell(V.ExitCode, V.Output, Cells);
+      for (size_t B = 0; B < Roster.size(); ++B) {
+        if (Vote.Outliers[B].empty())
+          continue;
+        if (Cells[B]->Exec == BackendObservation::ExecStatus::Timeout)
+          ++Result.ExecutionTimeouts;
+        ++Result.WrongCodeObservations;
+        if (Roster[B]->hasGroundTruth()) {
+          for (int Id : Cells[B]->FiredBugs) {
+            const InjectedBug *Truth = findBug(Id);
+            if (!Truth || Truth->Effect != BugEffect::WrongCode)
+              continue;
+            recordMatrixFinding(Config, BugEffect::WrongCode, Id,
+                                Vote.Outliers[B], BackendName(B),
+                                static_cast<unsigned>(B), Ins[I],
+                                static_cast<unsigned>(I), Source, Result);
+          }
+        } else {
+          recordMatrixFinding(Config, BugEffect::WrongCode, 0,
+                              Vote.Outliers[B], BackendName(B),
+                              static_cast<unsigned>(B), Ins[I],
+                              static_cast<unsigned>(I), Source, Result);
+        }
+      }
+      if (Vote.OracleOutvoted) {
+        // The roster agreed against the reference semantics: either an
+        // interpreter bug or UB the exclusion pass missed. Signature-only
+        // by definition -- no ground-truth id space covers the oracle.
+        ++Result.WrongCodeObservations;
+        recordMatrixFinding(Config, BugEffect::WrongCode, 0,
+                            Vote.OracleSignature, "reference-oracle",
+                            static_cast<unsigned>(Roster.size()), Ins[I],
+                            static_cast<unsigned>(I), Source, Result);
+      }
+    }
+  }
+}
+
+/// The unbatched matrix body: every roster backend compiles the variant
+/// under every config and executes once per sweep input, then the cells
+/// are voted. Shared by the BatchSize <= 1 pipeline path and
+/// testProgramWith so the two cannot drift.
+void runMatrixInline(const HarnessOptions &Opts,
+                     const std::vector<const CompilerBackend *> &Roster,
+                     const std::vector<std::string> &AllInputs,
+                     const std::string &Source, const OracleOutcome &O,
+                     CoverageRegistry *Cov, CampaignResult &Result) {
+  std::vector<std::vector<std::vector<BackendObservation>>> Obs(
+      Roster.size());
+  for (size_t B = 0; B < Roster.size(); ++B) {
+    Obs[B].reserve(Opts.Configs.size());
+    for (const CompilerConfig &Config : Opts.Configs)
+      Obs[B].push_back(
+          Roster[B]->runSweep(Source, Config, configInputs(Config), Cov));
+  }
+  recordMatrixVariant(Opts, Roster, AllInputs, Obs, Source, O.Verdict,
+                      O.Sweep, Result);
+}
+
 /// The per-worker render/compile/execute pipeline (DESIGN.md Section 13).
 /// Variants accumulate into a batch of Opts.BatchSize; a full batch is
 /// handed to the backend (beginBatch -- which starts pool compiles and
@@ -321,20 +554,35 @@ class VariantPipeline {
 public:
   VariantPipeline(const HarnessOptions &Opts, const CompilerBackend &B,
                   CampaignResult &Result, CoverageRegistry *Cov)
-      : Opts(Opts), B(B), GroundTruth(B.hasGroundTruth()), Result(Result),
-        Cov(Cov) {}
+      : Opts(Opts), GroundTruth(B.hasGroundTruth()), Result(Result),
+        Cov(Cov) {
+    Roster.push_back(&B);
+    for (const CompilerBackend *E : Opts.ExtraBackends)
+      Roster.push_back(E);
+    AllInputs = sweepUnion(Opts.Configs);
+    // Matrix mode is on exactly when there is something the classic path
+    // cannot express: a second backend, or a real sweep. Off, every code
+    // path below is the historical one by code identity, so classic
+    // campaigns stay byte-for-byte (the equivalence battery's anchor).
+    Matrix = Roster.size() > 1 || AllInputs.size() > 1 ||
+             !AllInputs.front().empty();
+  }
 
   void add(const std::string &Source, StagedVec *Staged) {
-    OracleOutcome O = oraclePhase(Opts, Source, Result, Staged);
+    OracleOutcome O = oraclePhase(Opts, Source, AllInputs, Result, Staged);
     if (!O.Test)
       return;
     if (Opts.BatchSize <= 1) {
-      for (const CompilerConfig &Config : Opts.Configs)
-        recordObservation(Config, B.run(Source, Config, Cov), GroundTruth,
-                          Source, O.Verdict, Result);
+      if (!Matrix) {
+        for (const CompilerConfig &Config : Opts.Configs)
+          recordObservation(Config, Roster[0]->run(Source, Config, Cov),
+                            GroundTruth, Source, O.Verdict, Result);
+        return;
+      }
+      runMatrixInline(Opts, Roster, AllInputs, Source, O, Cov, Result);
       return;
     }
-    Cur.push_back({Source, std::move(O.Verdict)});
+    Cur.push_back({Source, std::move(O.Verdict), std::move(O.Sweep)});
     if (Cur.size() >= Opts.BatchSize)
       rotate();
   }
@@ -351,6 +599,7 @@ private:
   struct Item {
     std::string Source;
     OracleCache::Entry Verdict;
+    std::vector<OracleCache::Entry> Sweep;
   };
 
   void rotate() {
@@ -364,40 +613,81 @@ private:
       E.Valid = true;
       E.ExitCode = It.Verdict.ExitCode;
       E.Output = It.Verdict.Output;
+      // Non-primary union inputs: expectation cells from the sweep
+      // verdicts. An input the oracle excluded (UB / non-termination under
+      // that stdin) is an invalid cell the backend never executes.
+      for (size_t U = 1; U < It.Sweep.size(); ++U) {
+        BatchExpectation::Cell Cell;
+        Cell.Valid = It.Sweep[U].FrontendOk &&
+                     It.Sweep[U].Status == ExecStatus::Ok;
+        Cell.ExitCode = It.Sweep[U].ExitCode;
+        Cell.Output = It.Sweep[U].Output;
+        E.Extra.push_back(std::move(Cell));
+      }
       Expected.push_back(std::move(E));
     }
-    // Start the new batch before collecting the old one; this ordering is
-    // the whole overlap.
-    std::unique_ptr<BatchTicket> Next =
-        B.beginBatch(std::move(Sources), std::move(Expected), Opts.Configs,
-                     Cov);
+    // Start every roster member's new batch before collecting the old
+    // ones: all N compiles of batch N+1 run concurrently on the shared
+    // process pool while this thread records batch N -- the overlap,
+    // generalized to the whole roster.
+    std::vector<std::unique_ptr<BatchTicket>> Next;
+    Next.reserve(Roster.size());
+    for (const CompilerBackend *B : Roster)
+      Next.push_back(B->beginBatch(Sources, Expected, Opts.Configs, Cov));
     finishInFlight();
-    Ticket = std::move(Next);
+    Tickets = std::move(Next);
     InFlight = std::move(Cur);
     Cur.clear();
   }
 
   void finishInFlight() {
-    if (!Ticket)
+    if (Tickets.empty())
       return;
-    std::vector<std::vector<BackendObservation>> Obs =
-        B.finishBatch(std::move(Ticket));
-    for (size_t I = 0; I < InFlight.size(); ++I)
-      for (size_t C = 0; C < Opts.Configs.size(); ++C)
-        if (I < Obs.size() && C < Obs[I].size())
-          recordObservation(Opts.Configs[C], Obs[I][C], GroundTruth,
-                            InFlight[I].Source, InFlight[I].Verdict, Result);
+    // Obs3[backend][variant][config][input].
+    std::vector<std::vector<std::vector<std::vector<BackendObservation>>>>
+        Obs3;
+    Obs3.reserve(Tickets.size());
+    for (size_t B = 0; B < Tickets.size(); ++B)
+      Obs3.push_back(Roster[B]->finishBatch(std::move(Tickets[B])));
+    Tickets.clear();
+    for (size_t I = 0; I < InFlight.size(); ++I) {
+      if (!Matrix) {
+        // Classic campaign: slot 0, primary input -- the historical 2-D
+        // recording loop over the 3-D shape's only input cell.
+        for (size_t C = 0; C < Opts.Configs.size(); ++C)
+          if (I < Obs3[0].size() && C < Obs3[0][I].size() &&
+              !Obs3[0][I][C].empty())
+            recordObservation(Opts.Configs[C], Obs3[0][I][C][0], GroundTruth,
+                              InFlight[I].Source, InFlight[I].Verdict,
+                              Result);
+        continue;
+      }
+      // Slice this variant's cells out of every backend's batch result.
+      std::vector<std::vector<std::vector<BackendObservation>>> VarObs(
+          Roster.size());
+      for (size_t B = 0; B < Roster.size(); ++B)
+        if (I < Obs3[B].size())
+          VarObs[B] = std::move(Obs3[B][I]);
+      recordMatrixVariant(Opts, Roster, AllInputs, VarObs,
+                          InFlight[I].Source, InFlight[I].Verdict,
+                          InFlight[I].Sweep, Result);
+    }
     InFlight.clear();
   }
 
   const HarnessOptions &Opts;
-  const CompilerBackend &B;
-  const bool GroundTruth;
+  /// Slot 0 is the primary backend; 1.. are Opts.ExtraBackends.
+  std::vector<const CompilerBackend *> Roster;
+  /// sweepUnion(Opts.Configs): the matrix's input axis.
+  std::vector<std::string> AllInputs;
+  bool Matrix = false;
+  const bool GroundTruth; ///< Primary backend's (classic path only).
   CampaignResult &Result;
   CoverageRegistry *Cov;
   std::vector<Item> Cur;
   std::vector<Item> InFlight;
-  std::unique_ptr<BatchTicket> Ticket;
+  /// One in-flight ticket per roster slot (all begun before any finishes).
+  std::vector<std::unique_ptr<BatchTicket>> Tickets;
 };
 
 } // namespace
@@ -854,6 +1144,7 @@ bool DifferentialHarness::runCheckpointed(
     T.Cache = Opts.Cache;
     T.InjectBugs = Opts.InjectBugs;
     T.Backend = Opts.Backend;
+    T.ExtraBackends = Opts.ExtraBackends;
     triageCampaign(Result, T);
   }
   return true;
@@ -904,6 +1195,7 @@ bool DifferentialHarness::resumeCampaign(const std::vector<std::string> &Seeds,
       T.Cache = Opts.Cache;
       T.InjectBugs = Opts.InjectBugs;
       T.Backend = Opts.Backend;
+    T.ExtraBackends = Opts.ExtraBackends;
       triageCampaign(Result, T);
     }
     return true;
@@ -922,14 +1214,24 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
                                           CampaignResult &Result,
                                           CoverageRegistry *Cov,
                                           StagedVerdicts *Staged) const {
-  OracleOutcome O = oraclePhase(Opts, Source, Result, Staged);
+  std::vector<const CompilerBackend *> Roster{&backend()};
+  for (const CompilerBackend *E : Opts.ExtraBackends)
+    Roster.push_back(E);
+  std::vector<std::string> AllInputs = sweepUnion(Opts.Configs);
+  const bool Matrix = Roster.size() > 1 || AllInputs.size() > 1 ||
+                      !AllInputs.front().empty();
+  OracleOutcome O = oraclePhase(Opts, Source, AllInputs, Result, Staged);
   if (!O.Test)
     return;
-  const CompilerBackend &B = backend();
-  const bool GroundTruth = B.hasGroundTruth();
-  for (const CompilerConfig &Config : Opts.Configs)
-    recordObservation(Config, B.run(Source, Config, Cov), GroundTruth,
-                      Source, O.Verdict, Result);
+  if (!Matrix) {
+    const CompilerBackend &B = backend();
+    const bool GroundTruth = B.hasGroundTruth();
+    for (const CompilerConfig &Config : Opts.Configs)
+      recordObservation(Config, B.run(Source, Config, Cov), GroundTruth,
+                        Source, O.Verdict, Result);
+    return;
+  }
+  runMatrixInline(Opts, Roster, AllInputs, Source, O, Cov, Result);
 }
 
 void DifferentialHarness::runOnSeed(const std::string &Source,
@@ -1011,6 +1313,7 @@ DifferentialHarness::runCampaign(const std::vector<std::string> &Seeds) const {
     T.Cache = Opts.Cache;
     T.InjectBugs = Opts.InjectBugs;
     T.Backend = Opts.Backend;
+    T.ExtraBackends = Opts.ExtraBackends;
     triageCampaign(Result, T);
   }
   return Result;

@@ -77,6 +77,17 @@ struct HarnessOptions {
   /// fingerprint, so a snapshot can never resume against a different
   /// compiler or command line.
   const CompilerBackend *Backend = nullptr;
+  /// Additional compilers for the N-way differential matrix (DESIGN.md
+  /// Section 14). Empty = the classic campaign: Backend alone against the
+  /// reference oracle, byte-for-byte the pre-matrix behavior. Non-empty:
+  /// every tested variant is compiled by the whole roster (Backend is slot
+  /// 0) under every config, each compiled artifact is executed once per
+  /// sweep input, and the per-cell observations are attributed by
+  /// majority-vs-outlier voting (triage/MatrixVote.h) instead of plain
+  /// backend-vs-oracle comparison. Findings carry the attributed backend's
+  /// identity(); the full roster's identities are folded into the
+  /// checkpoint options fingerprint in slot order.
+  std::vector<const CompilerBackend *> ExtraBackends;
   /// Optional coverage registry threaded into every compilation. With
   /// Threads > 1 each worker records into a private copy; the copies are
   /// merged back after the join.
@@ -155,12 +166,23 @@ struct FoundBug {
   unsigned Version = 0; ///< Compiler version the finding manifested under.
   unsigned OptLevel = 0;
   bool Mode64 = true;
+  /// identity() of the backend the matrix vote attributed this finding to
+  /// ("reference-oracle" when a backend majority outvoted the oracle).
+  /// Empty in a classic single-backend campaign, where the sole backend is
+  /// implied -- which keeps signatures and checkpoint bytes unchanged.
+  std::string Backend;
+  /// The stdin sweep input the finding manifested under; empty for the
+  /// classic single empty-stdin execution. Witness metadata, not part of
+  /// the dedup signature: the same divergence reached through several
+  /// sweep inputs is one bug with this input on its first witness.
+  std::string Input;
   std::string WitnessProgram;
 
   bool operator==(const FoundBug &Other) const {
     return BugId == Other.BugId && P == Other.P && Effect == Other.Effect &&
            Signature == Other.Signature && Version == Other.Version &&
            OptLevel == Other.OptLevel && Mode64 == Other.Mode64 &&
+           Backend == Other.Backend && Input == Other.Input &&
            WitnessProgram == Other.WitnessProgram;
   }
 };
@@ -178,6 +200,17 @@ struct FindingKey {
   unsigned Version = 0;
   unsigned OptLevel = 0;
   bool Mode64 = true;
+  /// Matrix roster slot the finding is attributed to: 0 = the primary
+  /// backend (and always 0 in a classic campaign), 1.. = ExtraBackends,
+  /// roster size = the reference oracle itself (an outvoted-oracle
+  /// finding). Distinct backends observing the same divergence are
+  /// distinct raw findings.
+  unsigned BackendIdx = 0;
+  /// Index of the sweep input (within the finding config's own sweep) the
+  /// divergence manifested under; 0 in a classic single-execution
+  /// campaign. Distinct inputs are distinct raw findings -- the dedup
+  /// that collapses them into one bug is signature triage, not this map.
+  unsigned InputIdx = 0;
   /// Signature-only findings (BugId == 0, from backends without ground
   /// truth): the normalized behavioral key (triage/normalizeSignature),
   /// so distinct signature clusters stay distinct raw findings. Empty for
@@ -195,11 +228,16 @@ struct FindingKey {
       return A.OptLevel < B.OptLevel;
     if (A.Mode64 != B.Mode64)
       return A.Mode64 < B.Mode64;
+    if (A.BackendIdx != B.BackendIdx)
+      return A.BackendIdx < B.BackendIdx;
+    if (A.InputIdx != B.InputIdx)
+      return A.InputIdx < B.InputIdx;
     return A.Sig < B.Sig;
   }
   friend bool operator==(const FindingKey &A, const FindingKey &B) {
     return A.BugId == B.BugId && A.P == B.P && A.Version == B.Version &&
            A.OptLevel == B.OptLevel && A.Mode64 == B.Mode64 &&
+           A.BackendIdx == B.BackendIdx && A.InputIdx == B.InputIdx &&
            A.Sig == B.Sig;
   }
 };
@@ -304,6 +342,16 @@ struct CampaignResult {
   /// signature; before this counter existed such variants were silently
   /// dropped.
   uint64_t ExecutionTimeouts = 0;
+  /// Differential matrix cells actually compared: one per (backend,
+  /// config, sweep input) observation that reached behavioral comparison
+  /// (compile Ok, executed, oracle verdict valid for that input). Zero in
+  /// a classic campaign (no ExtraBackends, no sweeps) -- the counter, like
+  /// the matrix itself, is inert there.
+  uint64_t MatrixCellsCompared = 0;
+  /// Sweep inputs excluded per tested variant because the reference oracle
+  /// hit UB / non-termination under that input (the per-cell analogue of
+  /// VariantsOracleExcluded, which tracks the primary input only).
+  uint64_t SweepCellsExcluded = 0;
   /// Cache-lifetime snapshots, filled at campaign end from the shared
   /// OracleCache / OracleStore when present: entries the size cap evicted,
   /// and the backing log's on-disk size. Excluded from merge() and

@@ -36,6 +36,28 @@
 
 namespace spe {
 
+/// Cache/store key of one (variant, stdin input) oracle verdict. The empty
+/// input -- the classic single execution -- keys by the raw source text,
+/// byte-identical to the pre-sweep cache, so swept and unswept campaigns
+/// share those verdicts and old oracle stores stay warm. Non-empty inputs
+/// are namespaced by a \x1f prefix, a byte rendered variants cannot start
+/// with (and, as sweep inputs are whitespace-separated decimal integers,
+/// cannot contain), so the two key spaces never collide. Shared by the
+/// harness's oracle phase and the reduction pipeline's repro oracle so a
+/// swept finding's re-probes replay the campaign's own verdicts.
+inline std::string oracleCacheKey(const std::string &Source,
+                                  const std::string &Input) {
+  if (Input.empty())
+    return Source;
+  std::string Key;
+  Key.reserve(Input.size() + Source.size() + 2);
+  Key.push_back('\x1f');
+  Key += Input;
+  Key.push_back('\x1f');
+  Key += Source;
+  return Key;
+}
+
 /// Memoizes per-variant oracle verdicts across seeds, configs, shards, and
 /// whole campaigns.
 class OracleCache {

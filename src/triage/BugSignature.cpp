@@ -21,6 +21,9 @@ std::string spe::normalizeSignature(BugEffect Effect,
 }
 
 std::string BugSignature::str() const {
-  return std::string(personaName(P)) + "/" + bugEffectName(Effect) + "/" +
-         Key;
+  std::string S = std::string(personaName(P)) + "/" + bugEffectName(Effect) +
+                  "/" + Key;
+  if (!Backend.empty())
+    S += "@" + Backend;
+  return S;
 }

@@ -45,26 +45,36 @@ namespace spe {
 std::string normalizeSignature(BugEffect Effect, const std::string &Raw);
 
 /// What distinguishes one triaged bug from another: persona, effect class,
-/// and the normalized behavioral key.
+/// the normalized behavioral key, and -- in N-way matrix campaigns -- the
+/// identity of the backend the finding was attributed to. The same
+/// divergence kind blamed on gcc and on clang is two bugs; the same
+/// divergence reached through several sweep *inputs* of one backend is one
+/// (the input is witness metadata, never part of this identity).
 struct BugSignature {
   Persona P = Persona::GccSim;
   BugEffect Effect = BugEffect::Crash;
   std::string Key;
+  /// Attributed backend identity (FoundBug::Backend); empty in classic
+  /// single-backend campaigns, where it changes nothing -- including
+  /// str(), which keeps its historical form.
+  std::string Backend;
 
-  /// Renders "gcc-sim/crash/<key>" for reports and test diagnostics.
+  /// Renders "gcc-sim/crash/<key>" for reports and test diagnostics, with
+  /// "@<backend>" appended only when a backend identity is set.
   std::string str() const;
 
   friend bool operator==(const BugSignature &A, const BugSignature &B) {
-    return A.P == B.P && A.Effect == B.Effect && A.Key == B.Key;
+    return A.P == B.P && A.Effect == B.Effect && A.Key == B.Key &&
+           A.Backend == B.Backend;
   }
   friend bool operator!=(const BugSignature &A, const BugSignature &B) {
     return !(A == B);
   }
   friend bool operator<(const BugSignature &A, const BugSignature &B) {
     return std::make_tuple(static_cast<int>(A.P), static_cast<int>(A.Effect),
-                           std::cref(A.Key)) <
+                           std::cref(A.Key), std::cref(A.Backend)) <
            std::make_tuple(static_cast<int>(B.P), static_cast<int>(B.Effect),
-                           std::cref(B.Key));
+                           std::cref(B.Key), std::cref(B.Backend));
   }
 };
 

@@ -8,8 +8,8 @@
 using namespace spe;
 
 BugSignature spe::signatureOf(const FoundBug &Bug) {
-  return {Bug.P, Bug.Effect,
-          normalizeSignature(Bug.Effect, Bug.Signature)};
+  return {Bug.P, Bug.Effect, normalizeSignature(Bug.Effect, Bug.Signature),
+          Bug.Backend};
 }
 
 std::vector<TriagedBug>
@@ -81,15 +81,39 @@ void spe::triageCampaign(CampaignResult &Result, const TriageOptions &Opts) {
       UseRaw ? Result.RawFindings.size() : Result.UniqueBugs.size();
   Stats.Clusters = Clusters.size();
 
-  SkeletonReducer Reducer(Opts.Reduce, Opts.Cache, Opts.Backend);
-  VariantMinimizer Minimizer(Opts.Minimize, Opts.Cache, Opts.Backend);
   for (TriagedBug &Cluster : Clusters) {
     FoundBug &Rep = Cluster.Representative;
+
+    // Oracle-outvoted clusters have no compiler to re-probe through -- the
+    // divergence is between the roster's consensus and the reference
+    // semantics itself -- so their witness is reported unreduced.
+    if (Rep.Backend == "reference-oracle") {
+      Cluster.TokensAfter = Cluster.TokensBefore;
+      Stats.TokensBefore += Cluster.TokensBefore;
+      Stats.TokensAfter += Cluster.TokensAfter;
+      continue;
+    }
+
+    // Matrix findings re-probe through the backend they were attributed
+    // to; classic findings (empty Backend) keep the campaign's primary.
+    const CompilerBackend *ProbeBackend = Opts.Backend;
+    if (!Rep.Backend.empty()) {
+      if (!(Opts.Backend && Opts.Backend->identity() == Rep.Backend))
+        for (const CompilerBackend *E : Opts.ExtraBackends)
+          if (E && E->identity() == Rep.Backend) {
+            ProbeBackend = E;
+            break;
+          }
+    }
+    SkeletonReducer Reducer(Opts.Reduce, Opts.Cache, ProbeBackend);
+    VariantMinimizer Minimizer(Opts.Minimize, Opts.Cache, ProbeBackend);
+
     ReproSpec Spec;
     Spec.Config = {Rep.P, Rep.Version, Rep.OptLevel, Rep.Mode64};
     Spec.Effect = Rep.Effect;
     Spec.SignatureKey = Cluster.Sig.Key;
     Spec.InjectBugs = Opts.InjectBugs;
+    Spec.Input = Rep.Input;
 
     if (Opts.ReduceWitnesses) {
       ReductionOutcome R = Reducer.reduce(Rep.WitnessProgram, Spec);

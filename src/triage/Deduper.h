@@ -61,6 +61,13 @@ struct TriageOptions {
   /// findings from an external compiler must be re-probed through that
   /// same compiler or every reduction step would spuriously fail.
   const CompilerBackend *Backend = nullptr;
+  /// The rest of the matrix roster; mirrors HarnessOptions::ExtraBackends.
+  /// A finding attributed to one of these (FoundBug::Backend matching its
+  /// identity()) is re-probed through that backend rather than Backend;
+  /// findings attributed to "reference-oracle" skip reduction entirely --
+  /// no single compiler reproduces an oracle-outvoted divergence, so its
+  /// witness is reported as found.
+  std::vector<const CompilerBackend *> ExtraBackends;
 };
 
 /// \returns the normalized signature of one finding.

@@ -1,0 +1,122 @@
+//===- triage/MatrixVote.cpp - majority-vs-outlier matrix attribution ----===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "triage/MatrixVote.h"
+
+namespace spe {
+
+BehaviorKey behaviorKey(const BackendObservation &Obs) {
+  BehaviorKey K;
+  switch (Obs.Exec) {
+  case BackendObservation::ExecStatus::Timeout:
+    K.K = BehaviorKey::Kind::Hang;
+    return K;
+  case BackendObservation::ExecStatus::Trap:
+    K.K = BehaviorKey::Kind::Trap;
+    return K;
+  default:
+    break;
+  }
+  K.K = BehaviorKey::Kind::Exit;
+  K.Exit = Obs.ExitCodeLow8 ? (Obs.ExitCode & 0xFF) : Obs.ExitCode;
+  K.Output = Obs.Output;
+  return K;
+}
+
+MatrixVote
+voteMatrixCell(int64_t OracleExit, const std::string &OracleOutput,
+               const std::vector<const BackendObservation *> &Obs) {
+  MatrixVote V;
+  V.ConsensusExit = OracleExit;
+  V.ConsensusOutput = OracleOutput;
+  V.Outliers.assign(Obs.size(), std::string());
+
+  // Group the cleanly exited observations by canonical behavior. Traps and
+  // hangs are divergences by definition; they never form a consensus
+  // candidate (they still get an outlier signature below).
+  struct Group {
+    BehaviorKey Key;
+    unsigned Weight = 0;
+    const BackendObservation *Rep = nullptr;
+  };
+  std::vector<Group> Groups;
+  for (const BackendObservation *O : Obs) {
+    if (!O || O->Compile != BackendObservation::CompileStatus::Ok ||
+        O->Exec != BackendObservation::ExecStatus::Ok)
+      continue;
+    BehaviorKey K = behaviorKey(*O);
+    bool Placed = false;
+    for (Group &G : Groups)
+      if (G.Key == K) {
+        ++G.Weight;
+        Placed = true;
+        break;
+      }
+    if (!Placed)
+      Groups.push_back(Group{K, 1, O});
+  }
+
+  // The oracle's own behavior is one extra vote for its group. A low-8
+  // observation whose masked exit matches the oracle's full-width exit
+  // only when the oracle's exit is itself < 256 joins the oracle's group
+  // exactly when classifyDivergence would clear it, because
+  // classifyDivergence masks both sides for that observation; for the
+  // purpose of *weighing*, we count an observation into the oracle group
+  // when its own divergence check against the oracle behavior is clean.
+  unsigned OracleWeight = 1;
+  for (const BackendObservation *O : Obs) {
+    if (!O || O->Compile != BackendObservation::CompileStatus::Ok ||
+        O->Exec != BackendObservation::ExecStatus::Ok)
+      continue;
+    if (classifyDivergence(*O, OracleExit, OracleOutput).empty())
+      ++OracleWeight;
+  }
+
+  // A non-oracle group wins only when it is strictly heavier than the
+  // oracle group AND uniquely maximal among non-oracle groups; every tie
+  // (including 1-vs-1) falls back to the oracle.
+  const Group *Winner = nullptr;
+  bool WinnerUnique = true;
+  for (const Group &G : Groups) {
+    // Skip groups that agree with the oracle: they are the oracle group.
+    if (classifyDivergence(*G.Rep, OracleExit, OracleOutput).empty())
+      continue;
+    if (!Winner || G.Weight > Winner->Weight) {
+      Winner = &G;
+      WinnerUnique = true;
+    } else if (G.Weight == Winner->Weight) {
+      WinnerUnique = false;
+    }
+  }
+  if (Winner && WinnerUnique && Winner->Weight > OracleWeight) {
+    V.OracleOutvoted = true;
+    V.ConsensusExit = Winner->Key.Exit;
+    V.ConsensusOutput = Winner->Key.Output;
+    // The oracle's signature against the new consensus, via a pseudo
+    // full-width observation of the oracle's behavior.
+    BackendObservation OracleObs;
+    OracleObs.Compile = BackendObservation::CompileStatus::Ok;
+    OracleObs.Exec = BackendObservation::ExecStatus::Ok;
+    OracleObs.ExitCode = OracleExit;
+    OracleObs.ExitCodeLow8 = false;
+    OracleObs.Output = OracleOutput;
+    V.OracleSignature =
+        classifyDivergence(OracleObs, V.ConsensusExit, V.ConsensusOutput);
+  }
+
+  for (size_t I = 0; I < Obs.size(); ++I) {
+    const BackendObservation *O = Obs[I];
+    if (!O || O->Compile != BackendObservation::CompileStatus::Ok ||
+        O->Exec == BackendObservation::ExecStatus::NotRun)
+      continue;
+    V.Outliers[I] =
+        classifyDivergence(*O, V.ConsensusExit, V.ConsensusOutput);
+  }
+  return V;
+}
+
+} // namespace spe

@@ -1,0 +1,93 @@
+//===- triage/MatrixVote.h - majority-vs-outlier matrix attribution ------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attribution for the N-way differential matrix (DESIGN.md Section 14).
+/// A classic campaign compares one backend against the reference oracle;
+/// with N backends observing the same (variant, config, input) cell, a
+/// divergence no longer names its culprit by construction. This layer
+/// votes: observations are grouped by canonical behavior, the reference
+/// oracle's behavior counts as one vote of its own, and the backends
+/// outside the winning group are the outliers a finding is attributed to.
+/// When a strict backend majority agrees *against* the oracle, the oracle
+/// itself is the outlier (an interpreter bug, or UB the exclusion pass
+/// missed) and the finding is attributed to "reference-oracle".
+///
+/// Grouping is by per-cell canonical exit: an observation whose exit code
+/// passed through a POSIX wait status is masked to its low 8 bits, one
+/// observed full-width is not. Full-width 256+k therefore never collides
+/// with low-8 k -- two full-width backends exiting 259 and 3 are a real
+/// divergence -- while the final outlier signatures are re-derived through
+/// classifyDivergence, whose per-observation masking keeps a low-8 backend
+/// from being blamed for bits it never saw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_TRIAGE_MATRIXVOTE_H
+#define SPE_TRIAGE_MATRIXVOTE_H
+
+#include "compiler/Backend.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+/// The canonical behavior of one executed observation, the unit the vote
+/// groups by.
+struct BehaviorKey {
+  enum class Kind { Exit, Trap, Hang } K = Kind::Exit;
+  /// Masked to the low 8 bits iff the observation's ExitCodeLow8 was set;
+  /// meaningful only for Kind::Exit.
+  int64_t Exit = 0;
+  std::string Output; ///< Empty for Trap/Hang.
+
+  friend bool operator==(const BehaviorKey &A, const BehaviorKey &B) {
+    return A.K == B.K && A.Exit == B.Exit && A.Output == B.Output;
+  }
+};
+
+/// \returns the canonical behavior of \p Obs. Meaningful only for executed
+/// observations (Exec != NotRun).
+BehaviorKey behaviorKey(const BackendObservation &Obs);
+
+/// The outcome of voting one matrix cell.
+struct MatrixVote {
+  /// True when a strict backend majority agreed on one behavior against
+  /// the reference oracle; the consensus below is then that group's.
+  bool OracleOutvoted = false;
+  /// The consensus behavior every participant is compared against: the
+  /// oracle's expected behavior unless OracleOutvoted.
+  int64_t ConsensusExit = 0;
+  std::string ConsensusOutput;
+  /// Raw divergence signature of the oracle against the consensus; set
+  /// only when OracleOutvoted.
+  std::string OracleSignature;
+  /// One entry per input observation: the raw divergence signature of that
+  /// backend against the consensus (classifyDivergence), empty when it
+  /// agrees or was not executed.
+  std::vector<std::string> Outliers;
+};
+
+/// Votes one matrix cell: the reference oracle's behavior under this input
+/// (\p OracleExit full-width, \p OracleOutput) against \p Obs, one
+/// observation per roster backend (null or unexecuted entries abstain).
+///
+/// Rules: only cleanly-exited observations form candidate behavior groups
+/// (a trap or hang is a divergence by definition and can never be
+/// consensus); the group matching the oracle's behavior weighs its member
+/// count plus one for the oracle itself; the uniquely heaviest group wins
+/// and every tie -- including the 1-vs-1 split -- falls back to the
+/// oracle, so the oracle is only ever outvoted by a strict unique
+/// majority.
+MatrixVote voteMatrixCell(int64_t OracleExit, const std::string &OracleOutput,
+                          const std::vector<const BackendObservation *> &Obs);
+
+} // namespace spe
+
+#endif // SPE_TRIAGE_MATRIXVOTE_H

@@ -94,7 +94,7 @@ CampaignCheckpoint sampleCheckpoint() {
   SigOnly.WitnessProgram = "int main(void)\n{\n  return 1;\n}\n";
   CP.Merged.RawFindings.emplace(
       FindingKey{0, SigOnly.P, SigOnly.Version, SigOnly.OptLevel,
-                 SigOnly.Mode64, SigOnly.Signature},
+                 SigOnly.Mode64, 0, 0, SigOnly.Signature},
       SigOnly);
   CP.Merged.SeedsProcessed = 3;
   CP.Merged.VariantsEnumerated = 120;
@@ -357,15 +357,15 @@ TEST(CheckpointFormatTest, SingleByteCorruptionIsRejected) {
 }
 
 TEST(CheckpointFormatTest, VersionSkewIsRejectedEvenWithValidChecksum) {
-  // A file from a hypothetical v3 writer: structurally intact, checksum
+  // A file from a hypothetical v4 writer: structurally intact, checksum
   // freshly valid -- the version gate alone must reject it.
   std::string Text = sampleCheckpoint().serialize();
   size_t Tail = Text.rfind("checksum ");
   ASSERT_NE(Tail, std::string::npos);
   std::string Body = Text.substr(0, Tail);
-  size_t V = Body.find("v2");
+  size_t V = Body.find("v3");
   ASSERT_NE(V, std::string::npos);
-  Body.replace(V, 2, "v3");
+  Body.replace(V, 2, "v4");
   std::string Forged = Body + "checksum " + std::to_string(fnv1a(Body)) + "\n";
   CampaignCheckpoint Out;
   std::string Err;

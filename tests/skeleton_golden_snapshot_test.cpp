@@ -150,7 +150,7 @@ TEST(GoldenSnapshotTest, SeekAddressesTheSameSequence) {
 namespace {
 
 /// A fixed, fully populated snapshot whose serialization is pinned byte
-/// for byte by tests/golden/campaign_checkpoint_v2.golden. Touch nothing
+/// for byte by tests/golden/campaign_checkpoint_v3.golden. Touch nothing
 /// here (and nothing in the serializer) without consciously regenerating
 /// the golden file AND bumping CampaignCheckpoint::FormatVersion -- an
 /// accidental layout change would strand every long-haul campaign's
@@ -177,8 +177,9 @@ CampaignCheckpoint goldenCheckpoint() {
       FindingKey{Crash.BugId, Crash.P, Crash.Version, Crash.OptLevel,
                  Crash.Mode64},
       Crash);
-  // A signature-only finding (no ground truth: external backend), keyed by
-  // its normalized signature -- pins the v2 Sig token and the escaped
+  // A signature-only finding (no ground truth: external backend) from a
+  // differential matrix cell -- pins the v3 Sig/Backend/Input bug tokens
+  // and the BackendIdx/InputIdx key tokens, with the escaped
   // "miscompilation (hang)" key.
   FoundBug Hang;
   Hang.BugId = 0;
@@ -188,9 +189,11 @@ CampaignCheckpoint goldenCheckpoint() {
   Hang.Version = 140;
   Hang.OptLevel = 2;
   Hang.Mode64 = true;
+  Hang.Backend = "gcc -std=c99";
+  Hang.Input = "42\n";
   Hang.WitnessProgram = "int main(void)\n{\n  return 0;\n}\n";
   CP.Merged.RawFindings.emplace(
-      FindingKey{0, Hang.P, Hang.Version, Hang.OptLevel, Hang.Mode64,
+      FindingKey{0, Hang.P, Hang.Version, Hang.OptLevel, Hang.Mode64, 1, 2,
                  "miscompilation (hang)"},
       Hang);
   CP.Merged.SeedsProcessed = 2;
@@ -202,6 +205,8 @@ CampaignCheckpoint goldenCheckpoint() {
   CP.Merged.OracleCacheHits = 12;
   CP.Merged.CrashObservations = 2;
   CP.Merged.ExecutionTimeouts = 1;
+  CP.Merged.MatrixCellsCompared = 180;
+  CP.Merged.SweepCellsExcluded = 3;
   CP.CovHits = {"constfold.binary", "dce.removed store"};
 
   CP.InFlight = true;
@@ -228,9 +233,9 @@ TEST(GoldenSnapshotTest, CheckpointFormatIsPinnedByGoldenFile) {
   // exact bytes against a checked-in golden file so any accidental format
   // change fails CI loudly instead of silently stranding snapshots.
   std::ifstream In(std::string(SPE_SOURCE_DIR) +
-                   "/tests/golden/campaign_checkpoint_v2.golden");
+                   "/tests/golden/campaign_checkpoint_v3.golden");
   ASSERT_TRUE(In.good())
-      << "tests/golden/campaign_checkpoint_v2.golden is missing";
+      << "tests/golden/campaign_checkpoint_v3.golden is missing";
   std::ostringstream Golden;
   Golden << In.rdbuf();
 
@@ -239,7 +244,7 @@ TEST(GoldenSnapshotTest, CheckpointFormatIsPinnedByGoldenFile) {
       << "the serialized checkpoint layout changed; if deliberate, bump "
          "CampaignCheckpoint::FormatVersion and regenerate the golden file";
 
-  // And the pinned bytes must still load as format v2.
+  // And the pinned bytes must still load as format v3.
   CampaignCheckpoint Back;
   std::string Err;
   ASSERT_TRUE(CampaignCheckpoint::deserialize(Golden.str(), Back, Err))

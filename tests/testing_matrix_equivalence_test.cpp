@@ -1,0 +1,307 @@
+//===- tests/testing_matrix_equivalence_test.cpp - matrix battery --------===//
+//
+// The equivalence battery behind the N-way differential matrix (DESIGN.md
+// Section 14). The matrix generalizes the campaign loop along two axes --
+// N backends per variant, M sweep inputs per compiled artifact -- and the
+// guarantee that makes it trustworthy is degeneration: with N=2 (the
+// reference oracle plus one backend) and M=1 (the single empty-stdin
+// execution) the generalized loop must be bit-identical to the classic
+// campaign, and a genuine matrix campaign must be bit-identical across
+// thread counts, batch sizes, and kill/resume points, because the batched
+// pipeline, the unbatched inline loop, and the resumed continuation are
+// three different code paths over the same deterministic rank stream.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+#include "persist/Checkpoint.h"
+#include "testing/Corpus.h"
+#include "testing/Harness.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+
+using namespace spe;
+
+namespace {
+
+/// An InProcessBackend clone under its own identity. Behaviorally
+/// identical to the default backend, so a matrix over clones exercises the
+/// full N-way compile/execute/vote machinery while every cell agrees --
+/// the determinism tests isolate the plumbing, not divergence handling.
+struct CloneBackend : CompilerBackend {
+  InProcessBackend Inner;
+  std::string Name;
+  CloneBackend(std::string Name, bool InjectBugs)
+      : Inner(InjectBugs), Name(std::move(Name)) {}
+  std::string identity() const override { return Name; }
+  bool hasGroundTruth() const override { return true; }
+  BackendObservation run(const std::string &S, const CompilerConfig &C,
+                         CoverageRegistry *Cov) const override {
+    return Inner.run(S, C, Cov);
+  }
+  BackendObservation runWithInput(const std::string &S,
+                                  const CompilerConfig &C,
+                                  const std::string &In,
+                                  CoverageRegistry *Cov) const override {
+    return Inner.runWithInput(S, C, In, Cov);
+  }
+  std::vector<BackendObservation>
+  runSweep(const std::string &S, const CompilerConfig &C,
+           const std::vector<std::string> &Ins,
+           CoverageRegistry *Cov) const override {
+    return Inner.runSweep(S, C, Ins, Cov);
+  }
+};
+
+/// Seeds whose enumeration reaches injected-bug triggers, plus one seed
+/// that reads the sweep: spe_input() feeds the comparison different
+/// behavior per input, so M > 1 exercises real per-cell verdicts instead
+/// of M copies of the same execution.
+std::vector<std::string> matrixSeeds() {
+  const std::vector<std::string> &Embedded = embeddedSeeds();
+  return {Embedded[0],
+          "int main(void) {\n"
+          "  int a = spe_input();\n"
+          "  int b = 3, c = 1;\n"
+          "  c = c - b;\n"
+          "  if (a > c)\n"
+          "    c = a - c;\n"
+          "  return c * 10 + b;\n"
+          "}\n",
+          Embedded[2]};
+}
+
+HarnessOptions classicOptions(unsigned Threads, uint64_t BatchSize) {
+  HarnessOptions Opts;
+  Opts.Configs = HarnessOptions::crashMatrix(Persona::GccSim, 48);
+  Opts.VariantBudget = 30;
+  Opts.Threads = Threads;
+  Opts.BatchSize = BatchSize;
+  return Opts;
+}
+
+/// A real matrix shape: three backends (the default in-process primary
+/// plus two clones) x four sweep inputs on every config.
+HarnessOptions matrixOptions(unsigned Threads, uint64_t BatchSize,
+                             const CloneBackend &B, const CloneBackend &C) {
+  HarnessOptions Opts = classicOptions(Threads, BatchSize);
+  for (CompilerConfig &Config : Opts.Configs)
+    Config.ExecSweep = {"1\n", "7\n", "-3\n", "100\n"};
+  Opts.ExtraBackends = {&B, &C};
+  return Opts;
+}
+
+struct RunOutput {
+  CampaignResult Result;
+  CoverageRegistry Cov;
+};
+
+RunOutput runWith(const HarnessOptions &Base) {
+  RunOutput Out;
+  registerPassCoverageCatalog(Out.Cov);
+  HarnessOptions Opts = Base;
+  Opts.Cov = &Out.Cov;
+  Out.Result = DifferentialHarness(Opts).runCampaign(matrixSeeds());
+  return Out;
+}
+
+void expectIdentical(const RunOutput &A, const RunOutput &B,
+                     const std::string &Tag) {
+  EXPECT_TRUE(A.Result == B.Result)
+      << Tag << ": results diverged (" << A.Result.VariantsTested << "/"
+      << B.Result.VariantsTested << " tested, "
+      << A.Result.RawFindings.size() << "/" << B.Result.RawFindings.size()
+      << " raw findings, " << A.Result.MatrixCellsCompared << "/"
+      << B.Result.MatrixCellsCompared << " cells)";
+  EXPECT_EQ(A.Cov.hitSet(), B.Cov.hitSet()) << Tag;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Degeneration: N=2 / M=1 is the classic campaign
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixEquivalenceTest, ClassicCampaignIsIdenticalAcrossThreadsAndBatch) {
+  // The N=2/M=1 configuration (no ExtraBackends, no ExecSweep) must stay
+  // the classic single-backend campaign, bit for bit, on every execution
+  // strategy: the unbatched loop (BatchSize 1), the batched pipeline
+  // (BatchSize 8), and any worker count.
+  RunOutput Ref = runWith(classicOptions(1, 1));
+  EXPECT_FALSE(Ref.Result.RawFindings.empty());
+  // The matrix counters must be inert in a classic campaign.
+  EXPECT_EQ(Ref.Result.MatrixCellsCompared, 0u);
+  EXPECT_EQ(Ref.Result.SweepCellsExcluded, 0u);
+  // And classic findings must not carry matrix attribution: the sole
+  // backend is implied, which is what keeps signatures and checkpoint
+  // bytes unchanged from the pre-matrix format.
+  for (const auto &KV : Ref.Result.RawFindings) {
+    EXPECT_EQ(KV.first.BackendIdx, 0u);
+    EXPECT_EQ(KV.first.InputIdx, 0u);
+    EXPECT_EQ(KV.second.Backend, "");
+    EXPECT_EQ(KV.second.Input, "");
+  }
+  for (unsigned Threads : {1u, 2u, 4u})
+    for (uint64_t Batch : {uint64_t(1), uint64_t(8)}) {
+      if (Threads == 1 && Batch == 1)
+        continue;
+      expectIdentical(runWith(classicOptions(Threads, Batch)), Ref,
+                      "classic t" + std::to_string(Threads) + " b" +
+                          std::to_string(Batch));
+    }
+}
+
+TEST(MatrixEquivalenceTest, EmptySweepEqualsSingletonEmptySweep) {
+  // M=1 written explicitly (ExecSweep {""}) must degenerate to no sweep at
+  // all: configInputs maps both to the same single empty-stdin execution.
+  RunOutput Plain = runWith(classicOptions(2, 4));
+  HarnessOptions Explicit = classicOptions(2, 4);
+  for (CompilerConfig &Config : Explicit.Configs)
+    Config.ExecSweep = {""};
+  expectIdentical(runWith(Explicit), Plain, "explicit M=1");
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix determinism: threads x batch sizes
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixEquivalenceTest, MatrixCampaignIsDeterministic) {
+  CloneBackend B("minicc-cloneB", true), C("minicc-cloneC", true);
+  RunOutput Ref = runWith(matrixOptions(1, 1, B, C));
+  // The matrix must have actually engaged: per-cell comparisons happened,
+  // and with agreeing clones the finding stream still attributes per
+  // roster slot (the same ground-truth bug observed by three backends is
+  // three raw findings).
+  EXPECT_GT(Ref.Result.MatrixCellsCompared, 0u);
+  EXPECT_FALSE(Ref.Result.RawFindings.empty());
+  bool SawExtraSlot = false;
+  for (const auto &KV : Ref.Result.RawFindings)
+    SawExtraSlot |= KV.first.BackendIdx > 0;
+  EXPECT_TRUE(SawExtraSlot)
+      << "no finding was attributed to an ExtraBackends roster slot";
+  for (unsigned Threads : {1u, 2u, 4u})
+    for (uint64_t Batch : {uint64_t(1), uint64_t(8)}) {
+      if (Threads == 1 && Batch == 1)
+        continue;
+      expectIdentical(runWith(matrixOptions(Threads, Batch, B, C)), Ref,
+                      "matrix t" + std::to_string(Threads) + " b" +
+                          std::to_string(Batch));
+    }
+}
+
+TEST(MatrixEquivalenceTest, SweepInputsReachProgramBehavior) {
+  // The spe_input() seed must produce different oracle verdicts across the
+  // sweep -- otherwise M executions are one execution copied M times and
+  // the matrix proves nothing. Detect via the harness itself: a sweep
+  // campaign must compare strictly more cells than configs x variants
+  // (i.e. the extra inputs were actually executed and compared).
+  CloneBackend B("minicc-cloneB", true), C("minicc-cloneC", true);
+  RunOutput Swept = runWith(matrixOptions(1, 1, B, C));
+  HarnessOptions OneInput = matrixOptions(1, 1, B, C);
+  for (CompilerConfig &Config : OneInput.Configs)
+    Config.ExecSweep = {"1\n"};
+  RunOutput Single = runWith(OneInput);
+  EXPECT_GT(Swept.Result.MatrixCellsCompared,
+            Single.Result.MatrixCellsCompared);
+}
+
+//===----------------------------------------------------------------------===//
+// Resume-mid-matrix: the kill-point battery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct TempDir {
+  std::string Dir;
+  explicit TempDir(const std::string &Name)
+      : Dir("matrix_test_tmp/" + Name) {
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+  }
+  std::string path(const char *File) const { return Dir + "/" + File; }
+};
+
+} // namespace
+
+TEST(MatrixEquivalenceTest, ResumeMidMatrixIsExact) {
+  CloneBackend B("minicc-cloneB", true), C("minicc-cloneC", true);
+  std::vector<std::string> Seeds = matrixSeeds();
+
+  HarnessOptions RefOpts = matrixOptions(2, 4, B, C);
+  RefOpts.CheckpointEveryN = 5;
+  TempDir RefT("ref");
+  RunOutput Ref;
+  registerPassCoverageCatalog(Ref.Cov);
+  {
+    HarnessOptions Opts = RefOpts;
+    Opts.Cov = &Ref.Cov;
+    Opts.CheckpointPath = RefT.path("campaign.ck");
+    Ref.Result = DifferentialHarness(Opts).runCampaign(Seeds);
+  }
+
+  for (uint64_t KillAfter : {uint64_t(3), uint64_t(11), uint64_t(26),
+                             uint64_t(47)}) {
+    TempDir T("kill_" + std::to_string(KillAfter));
+    {
+      // The "crashed process": a batch may be mid-flight across the whole
+      // roster when the kill lands; its tickets are abandoned.
+      CoverageRegistry CrashCov;
+      registerPassCoverageCatalog(CrashCov);
+      HarnessOptions Opts = RefOpts;
+      Opts.Cov = &CrashCov;
+      Opts.CheckpointPath = T.path("campaign.ck");
+      Opts.SimulateCrashAfter = KillAfter;
+      DifferentialHarness(Opts).runCampaign(Seeds);
+    }
+    RunOutput Resumed;
+    registerPassCoverageCatalog(Resumed.Cov);
+    HarnessOptions Opts = RefOpts;
+    Opts.Cov = &Resumed.Cov;
+    Opts.CheckpointPath = T.path("campaign.ck");
+    std::string Err;
+    ASSERT_TRUE(DifferentialHarness(Opts).resumeCampaign(Seeds,
+                                                         Resumed.Result, Err))
+        << "kill@" << KillAfter << ": " << Err;
+    expectIdentical(Resumed, Ref, "kill@" + std::to_string(KillAfter));
+  }
+}
+
+TEST(MatrixEquivalenceTest, RosterAndSweepSkewRejectTheResume) {
+  // The checkpoint fingerprints the full roster identity list and every
+  // config's sweep: resuming the same file under a different matrix shape
+  // must be refused, not silently diverge.
+  CloneBackend B("minicc-cloneB", true), C("minicc-cloneC", true);
+  std::vector<std::string> Seeds = matrixSeeds();
+  TempDir T("skew");
+  HarnessOptions Opts = matrixOptions(1, 1, B, C);
+  Opts.CheckpointPath = T.path("campaign.ck");
+  DifferentialHarness(Opts).runCampaign(Seeds);
+
+  CampaignResult Ignored;
+  std::string Err;
+  {
+    // Dropped roster slot.
+    HarnessOptions Skew = Opts;
+    Skew.ExtraBackends = {&B};
+    EXPECT_FALSE(
+        DifferentialHarness(Skew).resumeCampaign(Seeds, Ignored, Err));
+  }
+  {
+    // Same roster size, different identity.
+    CloneBackend D("minicc-cloneD", true);
+    HarnessOptions Skew = Opts;
+    Skew.ExtraBackends = {&B, &D};
+    EXPECT_FALSE(
+        DifferentialHarness(Skew).resumeCampaign(Seeds, Ignored, Err));
+  }
+  {
+    // Extended sweep.
+    HarnessOptions Skew = Opts;
+    for (CompilerConfig &Config : Skew.Configs)
+      Config.ExecSweep.push_back("9\n");
+    EXPECT_FALSE(
+        DifferentialHarness(Skew).resumeCampaign(Seeds, Ignored, Err));
+  }
+}
