@@ -19,9 +19,12 @@
 #include "sema/Sema.h"
 #include "skeleton/ProgramEnumerator.h"
 #include "skeleton/SkeletonExtractor.h"
+#include "support/Telemetry.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -125,6 +128,44 @@ private:
   std::string Name;
   std::vector<std::pair<std::string, std::string>> Fields;
 };
+
+/// Folds a campaign's telemetry summary into \p J as a per-phase
+/// breakdown: phase_<name>_{count,total_us,p50_us,max_us}, with the
+/// backend/config axes collapsed. Shared by the throughput benches so
+/// every BENCH JSON splits its wall time the same way; a phase that never
+/// ran emits nothing.
+inline void emitPhaseBreakdown(BenchJson &J, const TelemetrySummary &S) {
+  // Collapse (phase, backend, config) keys down to the phase axis.
+  std::map<std::string, PhaseAggregate> ByPhase;
+  for (const auto &[Key, Agg] : S.Phases)
+    ByPhase[Key.Phase].merge(Agg);
+  for (const auto &[Phase, Agg] : ByPhase) {
+    J.put("phase_" + Phase + "_count", Agg.Count);
+    J.put("phase_" + Phase + "_total_us", Agg.TotalUs);
+    J.put("phase_" + Phase + "_p50_us", Agg.Hist.quantileUs(0.50));
+    J.put("phase_" + Phase + "_max_us", Agg.MaxUs);
+  }
+}
+
+/// Best-of-\p Reps paired wall time: runs \p Fn that many times and
+/// returns the minimum elapsed milliseconds. Minimum, not mean -- the
+/// lower envelope is the least noisy estimator on a shared CI machine,
+/// and both sides of an overhead comparison get the same treatment.
+template <typename Fn> inline double minWallMs(unsigned Reps, Fn &&Body) {
+  double Best = -1.0;
+  for (unsigned R = 0; R < Reps; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    Body();
+    auto T1 = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            T1 - T0)
+            .count();
+    if (Best < 0.0 || Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
 
 } // namespace bench
 } // namespace spe

@@ -156,6 +156,27 @@ int main() {
                      : 0.0);
       }
     }
+
+    // Phase breakdown of a batched external campaign: how the wall time
+    // splits across oracle work, batch packing, broker compiles, binary
+    // executions, and voting. A separate instrumented run (fresh sink and
+    // backend) so the sweep's timed numbers stay uninstrumented and the
+    // sink aggregates exactly one campaign.
+    TelemetrySink Sink;
+    ExternalBackendOptions TBO;
+    TBO.PoolWorkers = 2;
+    TBO.Telemetry = &Sink;
+    ExternalBackend TBackend(TBO);
+    HarnessOptions Opts = campaignOptions();
+    Opts.Backend = &TBackend;
+    Opts.BatchSize = 64;
+    Opts.Telemetry = &Sink;
+    CampaignResult RT = DifferentialHarness(Opts).runCampaign(Seeds);
+    if (!(RT == Reference)) {
+      std::printf("!! telemetry changed the campaign result\n");
+      Json.put("telemetry_identity_violation", uint64_t(1));
+    }
+    emitPhaseBreakdown(Json, RT.Telemetry);
   }
 
   Json.write();

@@ -174,6 +174,19 @@ int main() {
     Json.put("matrix_points_per_compile", PointsPerCompile);
     Json.put("matrix_seconds", Secs);
     Json.put("amortization_vs_classic", Amortization);
+
+    // Phase breakdown: where the matrix campaign's wall time actually
+    // goes. A separate instrumented run (fresh sink) so the timed numbers
+    // above stay uninstrumented.
+    TelemetrySink Sink;
+    HarnessOptions Instrumented = Opts;
+    Instrumented.Telemetry = &Sink;
+    CampaignResult RT = DifferentialHarness(Instrumented).runCampaign(Seeds);
+    if (!(RT == R)) {
+      std::printf("!! telemetry changed the matrix campaign result\n");
+      Json.put("telemetry_identity_violation", uint64_t(1));
+    }
+    emitPhaseBreakdown(Json, RT.Telemetry);
   }
 
   Json.write();

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate SPE telemetry artifacts against the checked-in JSON Schemas.
+
+Stdlib only (CI runners have no jsonschema package): a tiny interpreter for
+the schema subset schemas/*.schema.json actually uses -- type, enum,
+required, properties, additionalProperties, items, minimum, minLength.
+Growing a schema past this subset makes validation fail loudly ("unsupported
+keyword"), never silently pass.
+
+Usage:
+  validate_telemetry.py doc    <schema.json> <document.json>
+  validate_telemetry.py jsonl  <schema.json> <events.jsonl>
+"""
+
+import json
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+}
+
+_KNOWN = {
+    "$schema", "$id", "title", "description",
+    "type", "enum", "required", "properties", "additionalProperties",
+    "items", "minimum", "minLength",
+}
+
+
+def check(value, schema, path):
+    errors = []
+    unknown = set(schema) - _KNOWN
+    if unknown:
+        return ["%s: unsupported schema keyword(s) %s -- teach "
+                "scripts/validate_telemetry.py about them" %
+                (path, sorted(unknown))]
+
+    t = schema.get("type")
+    if t == "integer":
+        # bool is an int subclass in Python; JSON disagrees.
+        if isinstance(value, bool) or not isinstance(value, int):
+            return ["%s: expected integer, got %r" % (path, value)]
+    elif t is not None:
+        expect = _TYPES[t]
+        if isinstance(value, bool) and t != "boolean":
+            return ["%s: expected %s, got %r" % (path, t, value)]
+        if not isinstance(value, expect):
+            return ["%s: expected %s, got %r" % (path, t, value)]
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("%s: %r not in %s" % (path, value, schema["enum"]))
+    if "minimum" in schema and value < schema["minimum"]:
+        errors.append("%s: %r below minimum %r" %
+                      (path, value, schema["minimum"]))
+    if "minLength" in schema and len(value) < schema["minLength"]:
+        errors.append("%s: shorter than %d" % (path, schema["minLength"]))
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append("%s: missing required field %r" % (path, key))
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append("%s: unexpected field %r" % (path, key))
+        for key, sub in props.items():
+            if key in value:
+                errors.extend(check(value[key], sub, "%s.%s" % (path, key)))
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(check(item, schema["items"], "%s[%d]" % (path, i)))
+
+    return errors
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in ("doc", "jsonl"):
+        sys.stderr.write(__doc__)
+        return 2
+    mode, schema_path, doc_path = sys.argv[1:]
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    errors = []
+    checked = 0
+    if mode == "doc":
+        with open(doc_path) as f:
+            errors = check(json.load(f), schema, "$")
+        checked = 1
+    else:
+        with open(doc_path) as f:
+            for n, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as e:
+                    errors.append("line %d: not JSON (%s)" % (n, e))
+                    continue
+                errors.extend(check(event, schema, "line %d" % n))
+                checked += 1
+        if checked == 0:
+            errors.append("%s: no events to validate" % doc_path)
+
+    for e in errors:
+        print("FAIL %s" % e)
+    if errors:
+        return 1
+    print("OK %s: %d document(s) valid against %s" %
+          (doc_path, checked, schema_path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 
 #include "compiler/BatchRenderer.h"
 #include "support/ProcessPool.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -137,6 +138,9 @@ struct ExternalBatchTicket final : BatchTicket {
     std::string Bin;
     ProcessPool::JobId Job = 0;
     bool Submitted = false; ///< True until finishBatch claims the job.
+    /// Sink timestamp at pool submission; the honest compile latency of a
+    /// pooled compile is submit -> collect (telemetry on only).
+    uint64_t SubmitUs = 0;
   };
   std::vector<ConfigCompile> Compiles;
   /// False = packing was skipped or failed; finishBatch resolves every
@@ -198,6 +202,7 @@ ExternalBackend::ExternalBackend(ExternalBackendOptions O)
   Available = P.Ok;
   Unavailable = P.Unavailable;
   Version = P.Version;
+  TelLabel = telemetryBackendLabel(identity());
   if (!Available)
     return;
 
@@ -349,9 +354,17 @@ ExternalBackend::runSweep(const std::string &Source,
     return Row(Obs);
   }
 
+  TelemetrySink *Sink = Opts.Telemetry;
+  std::string Cfg =
+      Sink ? telemetryConfigLabel(Config.OptLevel, Config.Mode64)
+           : std::string();
   ProcessOptions PO;
   PO.TimeoutMs = Opts.CompileTimeoutMs;
-  ProcessResult C = runTool(compileArgv(Src, Bin, Config), PO);
+  ProcessResult C;
+  {
+    SpanTimer Span(Sink, nullptr, "compile", TelLabel, Cfg);
+    C = runTool(compileArgv(Src, Bin, Config), PO);
+  }
   switch (C.St) {
   case ProcessResult::Status::StartFailed:
     // A compiler that probed fine but cannot start now (deleted binary,
@@ -393,7 +406,11 @@ ExternalBackend::runSweep(const std::string &Source,
     ProcessOptions RO;
     RO.TimeoutMs = Opts.ExecTimeoutMs;
     RO.StdinData = Inputs[I];
-    ProcessResult R = runTool({Bin}, RO);
+    ProcessResult R;
+    {
+      SpanTimer Span(Sink, nullptr, "exec", TelLabel, Cfg);
+      R = runTool({Bin}, RO);
+    }
     if (R.St == ProcessResult::Status::StartFailed) {
       // We never ran the binary -- transient fork pressure, or an artifact
       // the compiler claimed and did not deliver. Either way this is an
@@ -422,7 +439,12 @@ ExternalBackend::beginBatch(std::vector<std::string> Sources,
   if (!Available || T->Sources.size() <= 1)
     return T; // Solo fallback: nothing batched, nothing in flight.
 
-  BatchRenderer::Result P = BatchRenderer::pack(T->Sources, Opts.Prelude);
+  TelemetrySink *Sink = Opts.Telemetry;
+  BatchRenderer::Result P;
+  {
+    SpanTimer Span(Sink, nullptr, "batch_pack", TelLabel);
+    P = BatchRenderer::pack(T->Sources, Opts.Prelude);
+  }
   if (!P.Ok)
     return T; // A variant that does not re-lex: the solo path is always right.
 
@@ -446,6 +468,8 @@ ExternalBackend::beginBatch(std::vector<std::string> Sources,
       // pool the compile happens synchronously in finishBatch.
       CC.Job = Pool->submit(compileArgv(T->Src, CC.Bin, T->Configs[C]), PO);
       CC.Submitted = true;
+      if (Sink)
+        CC.SubmitUs = Sink->nowUs();
     }
   }
   return T;
@@ -474,13 +498,28 @@ ExternalBackend::finishBatch(std::unique_ptr<BatchTicket> Ticket) const {
     All[I] = I;
   ProcessOptions PO;
   PO.TimeoutMs = Opts.CompileTimeoutMs;
+  TelemetrySink *Sink = Opts.Telemetry;
   for (size_t C = 0; C < T->Configs.size(); ++C) {
     ExternalBatchTicket::ConfigCompile &CC = T->Compiles[C];
+    std::string Cfg = Sink ? telemetryConfigLabel(T->Configs[C].OptLevel,
+                                                  T->Configs[C].Mode64)
+                           : std::string();
     ProcessResult CR;
     if (CC.Submitted) {
-      CR = Pool->wait(CC.Job);
+      {
+        // The blocking wait traces as its own phase; the honest compile
+        // latency (submit -> collect, crossing threads) folds
+        // aggregate-only under "compile" so broker-overlapped compiles
+        // report real durations, not just the tail this thread blocked on.
+        SpanTimer Span(Sink, nullptr, "compile_wait", TelLabel, Cfg);
+        CR = Pool->wait(CC.Job);
+      }
       CC.Submitted = false;
+      if (Sink)
+        Sink->recordAggregate("compile", TelLabel, Cfg,
+                              Sink->nowUs() - CC.SubmitUs);
     } else {
+      SpanTimer Span(Sink, nullptr, "compile", TelLabel, Cfg);
       CR = runTool(compileArgv(T->Src, CC.Bin, T->Configs[C]), PO);
     }
     resolveSubset(*T, C, All, &CR, CC.Bin, Out);
@@ -529,8 +568,11 @@ void ExternalBackend::resolveSubset(
     // very observation the contract demands); larger subsets re-pack.
     if (Subset.size() == 1)
       return Solo(Subset.front());
-    BatchRenderer::Result P =
-        BatchRenderer::pack(T.Sources, Subset, Opts.Prelude);
+    BatchRenderer::Result P;
+    {
+      SpanTimer Span(Opts.Telemetry, nullptr, "batch_pack", TelLabel);
+      P = BatchRenderer::pack(T.Sources, Subset, Opts.Prelude);
+    }
     if (!P.Ok) {
       for (size_t V : Subset)
         Solo(V);
@@ -548,6 +590,10 @@ void ExternalBackend::resolveSubset(
     }
     ProcessOptions PO;
     PO.TimeoutMs = Opts.CompileTimeoutMs;
+    SpanTimer Span(Opts.Telemetry, nullptr, "compile", TelLabel,
+                   Opts.Telemetry ? telemetryConfigLabel(Config.OptLevel,
+                                                         Config.Mode64)
+                                  : std::string());
     CR = runTool(compileArgv(Scope.Src, Bin, Config), PO);
   }
 
@@ -597,7 +643,11 @@ void ExternalBackend::resolveSubset(
       if (!Cell.Valid)
         continue; // Excluded input: not executed, not compared.
       RO.StdinData = Ins[I];
-      ProcessResult R = runTool({Bin, std::to_string(Local)}, RO);
+      ProcessResult R;
+      {
+        SpanTimer Span(Opts.Telemetry, nullptr, "exec", TelLabel);
+        R = runTool({Bin, std::to_string(Local)}, RO);
+      }
       if (R.St == ProcessResult::Status::StartFailed) {
         RowClean = false;
         break;

@@ -56,6 +56,7 @@
 namespace spe {
 
 class ProcessPool;
+class TelemetrySink;
 struct ExternalBatchTicket;
 
 /// Command-line template and budgets for one external compiler.
@@ -99,6 +100,14 @@ struct ExternalBackendOptions {
   /// concurrently; it never changes any observation, so it is (like
   /// BatchSize) excluded from identity() and the resume fingerprint.
   unsigned PoolWorkers = 0;
+  /// Campaign telemetry sink (support/Telemetry.h); null = off. Global
+  /// spans: "compile" per compiler invocation (for pooled batch compiles,
+  /// the honest submit-to-collect latency folds aggregate-only under the
+  /// same key while "compile_wait" traces the blocking wait), "batch_pack"
+  /// around TU packing, "exec" around compiled-binary executions.
+  /// Observation only -- excluded from identity() and every resume
+  /// fingerprint, exactly like PoolWorkers.
+  TelemetrySink *Telemetry = nullptr;
 };
 
 /// Drives one real host compiler through support/ProcessRunner.
@@ -192,6 +201,9 @@ private:
   bool Available = false;
   std::string Unavailable;
   std::string Version;
+  /// Cached telemetryBackendLabel(identity()) -- span keys must not pay an
+  /// identity() rebuild per compile.
+  std::string TelLabel;
   std::string ScratchDir;
   /// True when ScratchDir is this instance's own mkdtemp directory (and is
   /// removed on destruction); false on the fallback flat layout when the

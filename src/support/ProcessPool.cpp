@@ -348,8 +348,12 @@ void ProcessPool::dispatchTo(Broker &B, JobId Id) {
   B.Busy = true;
   B.Current = Id;
   B.Attempt = 0;
-  B.DeadlineMs =
-      J.Opts.TimeoutMs == 0 ? 0 : nowMs() + J.Opts.TimeoutMs + SlackMs;
+  uint64_t Now = nowMs();
+  if (J.StartMs == 0) {
+    J.StartMs = Now;
+    CumQueueWaitMs += Now >= J.EnqueueMs ? Now - J.EnqueueMs : 0;
+  }
+  B.DeadlineMs = J.Opts.TimeoutMs == 0 ? 0 : Now + J.Opts.TimeoutMs + SlackMs;
   wakeReaper();
 }
 
@@ -358,6 +362,11 @@ void ProcessPool::completeJob(Broker &B, ProcessResult Result) {
   if (It != Pending.end()) {
     It->second.Done = true;
     It->second.Result = std::move(Result);
+    ++JobsCompleted;
+    if (It->second.StartMs != 0) {
+      uint64_t Now = nowMs();
+      CumRunMs += Now >= It->second.StartMs ? Now - It->second.StartMs : 0;
+    }
     JobDone.notify_all();
   }
   B.Busy = false;
@@ -479,7 +488,9 @@ ProcessPool::JobId ProcessPool::submit(const std::vector<std::string> &Argv,
   PendingJob J;
   J.Argv = Argv;
   J.Opts = Opts;
+  J.EnqueueMs = nowMs();
   Pending.emplace(Id, std::move(J));
+  ++JobsSubmitted;
 
   for (Broker &B : Brokers)
     if (!B.Busy) {
@@ -487,6 +498,8 @@ ProcessPool::JobId ProcessPool::submit(const std::vector<std::string> &Argv,
       return Id;
     }
   Queue.push_back(Id);
+  if (Queue.size() > QueueHighWater)
+    QueueHighWater = Queue.size();
   return Id;
 }
 
@@ -503,6 +516,22 @@ ProcessResult ProcessPool::wait(JobId Id) {
 unsigned ProcessPool::respawns() const {
   std::lock_guard<std::mutex> L(Mu);
   return Respawns;
+}
+
+ProcessPool::Stats ProcessPool::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  Stats S;
+  S.JobsSubmitted = JobsSubmitted;
+  S.JobsCompleted = JobsCompleted;
+  S.Respawns = Respawns;
+  S.QueueDepth = Queue.size();
+  S.QueueHighWater = QueueHighWater;
+  for (const Broker &B : Brokers)
+    if (B.Busy)
+      ++S.BusyBrokers;
+  S.CumQueueWaitMs = CumQueueWaitMs;
+  S.CumRunMs = CumRunMs;
+  return S;
 }
 
 int ProcessPool::killBrokerForTest() {

@@ -110,6 +110,24 @@ public:
   /// deaths/wedges the pool has absorbed. Test observability.
   unsigned respawns() const;
 
+  /// Lifetime pool statistics, snapshotted consistently under the pool
+  /// mutex. Observability only (status feeds, benches): nothing here
+  /// influences scheduling or results.
+  struct Stats {
+    uint64_t JobsSubmitted = 0;
+    uint64_t JobsCompleted = 0; ///< Includes jobs failed by broker loss.
+    unsigned Respawns = 0;
+    uint64_t QueueDepth = 0;     ///< Jobs waiting for a broker right now.
+    uint64_t QueueHighWater = 0; ///< Deepest the wait queue has ever been.
+    unsigned BusyBrokers = 0;
+    /// Total submit->dispatch wait across completed dispatches, vs total
+    /// dispatch->completion run time: together they say whether the pool
+    /// is starved (wait >> run) or oversized (run >> wait, queue empty).
+    uint64_t CumQueueWaitMs = 0;
+    uint64_t CumRunMs = 0;
+  };
+  Stats stats() const;
+
   /// SIGKILLs one live broker (preferring a busy one) so tests can exercise
   /// the death-respawn-retry path without faking a compiler. \returns the
   /// pid killed, or -1 when no broker was alive.
@@ -130,6 +148,8 @@ private:
     ProcessOptions Opts;
     bool Done = false; ///< Result is final; wait() may claim it.
     ProcessResult Result;
+    uint64_t EnqueueMs = 0; ///< submit() timestamp (stats only).
+    uint64_t StartMs = 0;   ///< First successful dispatch (stats only).
   };
 
   bool spawnBroker(Broker &B);                   ///< Callers hold Mu.
@@ -158,6 +178,12 @@ private:
   std::deque<JobId> Queue;
   JobId NextId = 1;
   unsigned Respawns = 0;
+  /// Lifetime stats counters (guarded by Mu; see stats()).
+  uint64_t JobsSubmitted = 0;
+  uint64_t JobsCompleted = 0;
+  uint64_t QueueHighWater = 0;
+  uint64_t CumQueueWaitMs = 0;
+  uint64_t CumRunMs = 0;
   uint64_t SlackMs;
   bool ShuttingDown = false;
   int WakeRead = -1; ///< Reaper wake-up pipe (submit/shutdown -> reaper).

@@ -1,0 +1,170 @@
+//===- testing/CampaignStatus.h - live machine-readable status feed ------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign's live heartbeat (DESIGN.md Section 15): a status.json
+/// file rewritten atomically (write-then-rename, the persist/ idiom) at a
+/// wall-clock cadence while the campaign runs. It carries ranks done/total
+/// per shard, a windowed variants/sec rate, the campaign counters, running
+/// unique-bug/cluster counts, per-backend compile latency quantiles (from
+/// an attached TelemetrySink), and broker-pool health (from attached
+/// ProcessPools) -- the exact feed a fleet coordinator or a terminal
+/// watcher tails.
+///
+/// The feed is observation only and wall-clock driven: it never influences
+/// enumeration or results, and because writes are atomic renames a reader
+/// (or a kill at any instant) always sees a complete, parseable JSON
+/// document. The hot-path cost when attached is one relaxed atomic
+/// increment plus a coarse clock read per variant; the serialization +
+/// write happens on whichever worker hits the cadence boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_TESTING_CAMPAIGNSTATUS_H
+#define SPE_TESTING_CAMPAIGNSTATUS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spe {
+
+class ProcessPool;
+class TelemetrySink;
+
+/// The counter slice of a CampaignResult the feed publishes. Plain data so
+/// the feed has no dependency on the harness types.
+struct StatusCounters {
+  uint64_t Enumerated = 0;
+  uint64_t Tested = 0;
+  uint64_t Pruned = 0;
+  uint64_t OracleExcluded = 0;
+  uint64_t OracleExecs = 0;
+  uint64_t CacheHits = 0;
+  uint64_t Timeouts = 0;
+  uint64_t MatrixCells = 0;
+  uint64_t RawFindings = 0;
+  uint64_t UniqueBugs = 0;
+
+  StatusCounters operator-(const StatusCounters &O) const {
+    StatusCounters R;
+    R.Enumerated = Enumerated - O.Enumerated;
+    R.Tested = Tested - O.Tested;
+    R.Pruned = Pruned - O.Pruned;
+    R.OracleExcluded = OracleExcluded - O.OracleExcluded;
+    R.OracleExecs = OracleExecs - O.OracleExecs;
+    R.CacheHits = CacheHits - O.CacheHits;
+    R.Timeouts = Timeouts - O.Timeouts;
+    R.MatrixCells = MatrixCells - O.MatrixCells;
+    R.RawFindings = RawFindings - O.RawFindings;
+    R.UniqueBugs = UniqueBugs - O.UniqueBugs;
+    return R;
+  }
+};
+
+/// Live status.json writer. One instance per campaign; share the pointer
+/// via HarnessOptions::Status. Thread-safe: shard workers call
+/// noteVariant()/updateShard() concurrently.
+class CampaignStatusFeed {
+public:
+  struct Options {
+    /// Where the heartbeat lands (atomic write-then-rename).
+    std::string Path = "status.json";
+    /// Minimum milliseconds between writes. 0 = every noteVariant() is
+    /// write-due (tests use this to maximize rename races under kills).
+    uint64_t EveryMs = 500;
+  };
+
+  /// One shard worker's progress within the current seed.
+  struct ShardStatus {
+    uint64_t RanksDone = 0;
+    uint64_t RanksTotal = 0;
+    bool Finished = false;
+    /// Campaign counters accumulated by this worker in the current seed.
+    StatusCounters C;
+  };
+
+  explicit CampaignStatusFeed(Options O);
+
+  CampaignStatusFeed(const CampaignStatusFeed &) = delete;
+  CampaignStatusFeed &operator=(const CampaignStatusFeed &) = delete;
+
+  /// Wires a broker pool's health into every subsequent write. The pool
+  /// must outlive the feed's last write.
+  void attachPool(const std::string &Name, const ProcessPool *Pool);
+  /// Wires per-backend compile latency quantiles (telemetry "compile"
+  /// phase keys) into every subsequent write.
+  void attachSink(const TelemetrySink *Sink);
+
+  /// Campaign start (or resume): \p TotalSeeds in the corpus, \p DoneSeeds
+  /// already committed, \p Base the counters those committed seeds merged.
+  void beginCampaign(uint64_t TotalSeeds, uint64_t DoneSeeds,
+                     const StatusCounters &Base);
+  /// A new seed starts enumerating with \p Workers shard workers.
+  void beginSeed(unsigned Workers);
+  /// One variant enumerated anywhere. \returns true when a status write is
+  /// due -- the caller then updateShard()s its fresh numbers and
+  /// writeNow()s. At most one caller wins per cadence interval.
+  bool noteVariant();
+  /// Publishes shard \p W's current progress (any time, typically right
+  /// before a write this worker triggered).
+  void updateShard(unsigned W, const ShardStatus &S);
+  /// The current seed merged into the campaign result: its counters move
+  /// from the shard slots into the committed base.
+  void commitSeed(const StatusCounters &MergedBase);
+  /// Triage finished with this many signature clusters.
+  void setClusters(uint64_t N);
+  /// Campaign over: final counters, state "complete", forced write.
+  void finishCampaign(const StatusCounters &Final);
+  /// Entering the (single-threaded) triage phase; forced write so watchers
+  /// know the variant rate legitimately dropped to zero.
+  void beginTriage();
+
+  /// Serializes and atomically writes status.json now.
+  void writeNow();
+
+  const std::string &path() const { return Opts.Path; }
+  uint64_t writes() const { return Writes.load(std::memory_order_relaxed); }
+  uint64_t variants() const {
+    return TotalVariants.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct PoolRef {
+    std::string Name;
+    const ProcessPool *Pool;
+  };
+
+  uint64_t nowMs() const;
+  std::string serializeLocked(uint64_t NowMs);
+
+  Options Opts;
+  uint64_t StartMs = 0;
+  std::atomic<uint64_t> TotalVariants{0};
+  std::atomic<uint64_t> LastWriteMs{0};
+  std::atomic<uint64_t> Writes{0};
+
+  mutable std::mutex Mu;
+  std::string State = "starting"; ///< starting|running|triage|complete.
+  uint64_t TotalSeeds = 0;
+  uint64_t DoneSeeds = 0;
+  StatusCounters Base; ///< Committed seeds (and resume prefix).
+  std::vector<ShardStatus> Shards;
+  uint64_t Clusters = 0;
+  bool HaveClusters = false;
+  std::vector<PoolRef> Pools;
+  const TelemetrySink *Sink = nullptr;
+  /// Previous write's (timestamp, variant count) for the windowed rate.
+  uint64_t PrevSampleMs = 0;
+  uint64_t PrevSampleVariants = 0;
+};
+
+} // namespace spe
+
+#endif // SPE_TESTING_CAMPAIGNSTATUS_H

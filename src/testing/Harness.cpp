@@ -10,6 +10,7 @@
 #include "skeleton/ProgramEnumerator.h"
 #include "skeleton/ValidityAnalysis.h"
 #include "skeleton/VariantRenderer.h"
+#include "testing/CampaignStatus.h"
 #include "testing/OracleCache.h"
 #include "triage/Deduper.h"
 #include "triage/MatrixVote.h"
@@ -85,6 +86,10 @@ void CampaignResult::merge(const CampaignResult &Other) {
   ExecutionTimeouts += Other.ExecutionTimeouts;
   MatrixCellsCompared += Other.MatrixCellsCompared;
   SweepCellsExcluded += Other.SweepCellsExcluded;
+  // Telemetry merges like coverage: per-worker summaries folded in shard
+  // order. Deliberately absent from operator== -- wall-clock data must not
+  // break the bit-identity batteries.
+  Telemetry.merge(Other.Telemetry);
 }
 
 bool CampaignResult::operator==(const CampaignResult &Other) const {
@@ -180,6 +185,65 @@ SeedPlan buildSeedPlan(const HarnessOptions &Opts, const std::string &Source,
 /// Freshly computed verdicts staged for the next checkpoint flush.
 using StagedVec = std::vector<std::pair<std::string, OracleCache::Entry>>;
 
+/// The counter slice of \p R the live status feed publishes.
+StatusCounters countersOf(const CampaignResult &R) {
+  StatusCounters C;
+  C.Enumerated = R.VariantsEnumerated;
+  C.Tested = R.VariantsTested;
+  C.Pruned = R.VariantsPruned;
+  C.OracleExcluded = R.VariantsOracleExcluded;
+  C.OracleExecs = R.OracleExecutions;
+  C.CacheHits = R.OracleCacheHits;
+  C.Timeouts = R.ExecutionTimeouts;
+  C.MatrixCells = R.MatrixCellsCompared;
+  C.RawFindings = R.RawFindings.size();
+  C.UniqueBugs = R.UniqueBugs.size();
+  return C;
+}
+
+/// Precomputed span labels (telemetry on only): one backend label per
+/// roster slot, one config label per Opts.Configs entry -- so the hot loop
+/// never rebuilds identity strings.
+struct TelemetryLabels {
+  std::vector<std::string> Backends;
+  std::vector<std::string> Configs;
+};
+
+TelemetryLabels
+makeTelemetryLabels(const HarnessOptions &Opts,
+                    const std::vector<const CompilerBackend *> &Roster) {
+  TelemetryLabels L;
+  L.Backends.reserve(Roster.size());
+  for (const CompilerBackend *B : Roster)
+    L.Backends.push_back(telemetryBackendLabel(B->identity()));
+  L.Configs.reserve(Opts.Configs.size());
+  for (const CompilerConfig &C : Opts.Configs)
+    L.Configs.push_back(telemetryConfigLabel(C.OptLevel, C.Mode64));
+  return L;
+}
+
+/// This worker's live shard progress for the status feed. saveState() is
+/// not free (BigInt decimal round-trips), but this only runs when a status
+/// write is already due -- wall-clock cadence, not per variant.
+CampaignStatusFeed::ShardStatus shardStatusNow(const CampaignResult &Out,
+                                               const StatusCounters &Base0,
+                                               ProgramCursor &Cursor) {
+  CampaignStatusFeed::ShardStatus S;
+  S.C = countersOf(Out) - Base0;
+  CursorState CS = Cursor.saveState();
+  BigInt Pos = BigInt::fromDecimalString(CS.Position);
+  BigInt End = BigInt::fromDecimalString(CS.End);
+  BigInt Pr = BigInt::fromDecimalString(CS.Pruned);
+  uint64_t PrU = Pr.fitsInUint64() ? Pr.toUint64() : ~uint64_t(0);
+  // Pruned ranks fold into the result only at shard end; the feed counts
+  // them live off the cursor.
+  S.C.Pruned += PrU;
+  S.RanksDone = S.C.Enumerated + PrU;
+  BigInt Rem = End < Pos ? BigInt(0) : End - Pos;
+  S.RanksTotal = S.RanksDone + (Rem.fitsInUint64() ? Rem.toUint64() : 0);
+  return S;
+}
+
 /// Oracle-phase outcome for one variant: the verdict, and whether the
 /// variant proceeds to the backend configurations at all.
 struct OracleOutcome {
@@ -204,30 +268,45 @@ OracleOutcome oraclePhase(const HarnessOptions &Opts,
                           const std::vector<std::string> &AllInputs,
                           CampaignResult &Result, StagedVec *Staged) {
   OracleOutcome O;
+  // Telemetry spans record into the worker's own partial summary (merged
+  // in shard order later); with no sink both pointers are null and every
+  // SpanTimer below is a no-op that never reads the clock.
+  TelemetrySink *Sink = Opts.Telemetry;
+  TelemetrySummary *Local = Sink ? &Result.Telemetry : nullptr;
   // One parse serves every input's interpretation; lazily done on the
   // first cache miss.
   std::unique_ptr<ASTContext> RefCtx;
   bool Parsed = false;
-  auto VerdictFor = [&](const std::string &Input) {
+  auto VerdictFor = [&](const std::string &Input, const char *Phase) {
     OracleCache::Entry V;
     std::string Key = oracleCacheKey(Source, Input);
-    if (Opts.Cache && Opts.Cache->lookup(Key, V)) {
-      ++Result.OracleCacheHits;
-      return V;
+    if (Opts.Cache) {
+      bool Hit;
+      {
+        SpanTimer T(Sink, Local, "cache_lookup");
+        Hit = Opts.Cache->lookup(Key, V);
+      }
+      if (Hit) {
+        ++Result.OracleCacheHits;
+        return V;
+      }
     }
-    if (!Parsed) {
-      RefCtx = parseAndAnalyze(Source);
-      Parsed = true;
-    }
-    V.FrontendOk = RefCtx != nullptr;
-    if (RefCtx) {
-      InterpOptions IO;
-      IO.Input = Input;
-      ExecResult Ref = interpret(*RefCtx, IO);
-      ++Result.OracleExecutions;
-      V.Status = Ref.Status;
-      V.ExitCode = Ref.ExitCode;
-      V.Output = std::move(Ref.Output);
+    {
+      SpanTimer T(Sink, Local, Phase);
+      if (!Parsed) {
+        RefCtx = parseAndAnalyze(Source);
+        Parsed = true;
+      }
+      V.FrontendOk = RefCtx != nullptr;
+      if (RefCtx) {
+        InterpOptions IO;
+        IO.Input = Input;
+        ExecResult Ref = interpret(*RefCtx, IO);
+        ++Result.OracleExecutions;
+        V.Status = Ref.Status;
+        V.ExitCode = Ref.ExitCode;
+        V.Output = std::move(Ref.Output);
+      }
     }
     if (Opts.Cache) {
       Opts.Cache->insert(Key, V);
@@ -237,7 +316,8 @@ OracleOutcome oraclePhase(const HarnessOptions &Opts,
     return V;
   };
 
-  O.Verdict = VerdictFor(AllInputs.empty() ? std::string() : AllInputs[0]);
+  O.Verdict = VerdictFor(AllInputs.empty() ? std::string() : AllInputs[0],
+                         "oracle_exec");
   if (!O.Verdict.FrontendOk)
     return O;
   if (O.Verdict.Status != ExecStatus::Ok) {
@@ -256,7 +336,7 @@ OracleOutcome oraclePhase(const HarnessOptions &Opts,
     O.Sweep.resize(AllInputs.size());
     O.Sweep[0] = O.Verdict;
     for (size_t I = 1; I < AllInputs.size(); ++I) {
-      O.Sweep[I] = VerdictFor(AllInputs[I]);
+      O.Sweep[I] = VerdictFor(AllInputs[I], "sweep_exec");
       if (!O.Sweep[I].FrontendOk || O.Sweep[I].Status != ExecStatus::Ok)
         ++Result.SweepCellsExcluded;
     }
@@ -521,15 +601,24 @@ void runMatrixInline(const HarnessOptions &Opts,
                      const std::vector<const CompilerBackend *> &Roster,
                      const std::vector<std::string> &AllInputs,
                      const std::string &Source, const OracleOutcome &O,
-                     CoverageRegistry *Cov, CampaignResult &Result) {
+                     CoverageRegistry *Cov, const TelemetryLabels *TL,
+                     CampaignResult &Result) {
+  TelemetrySink *Sink = Opts.Telemetry;
+  TelemetrySummary *Local = Sink ? &Result.Telemetry : nullptr;
   std::vector<std::vector<std::vector<BackendObservation>>> Obs(
       Roster.size());
   for (size_t B = 0; B < Roster.size(); ++B) {
     Obs[B].reserve(Opts.Configs.size());
-    for (const CompilerConfig &Config : Opts.Configs)
+    for (size_t C = 0; C < Opts.Configs.size(); ++C) {
+      const CompilerConfig &Config = Opts.Configs[C];
+      SpanTimer T(Sink, Local, "backend_run",
+                  TL ? TL->Backends[B] : std::string(),
+                  TL ? TL->Configs[C] : std::string());
       Obs[B].push_back(
           Roster[B]->runSweep(Source, Config, configInputs(Config), Cov));
+    }
   }
+  SpanTimer T(Sink, Local, "vote");
   recordMatrixVariant(Opts, Roster, AllInputs, Obs, Source, O.Verdict,
                       O.Sweep, Result);
 }
@@ -566,6 +655,10 @@ public:
     // campaigns stay byte-for-byte (the equivalence battery's anchor).
     Matrix = Roster.size() > 1 || AllInputs.size() > 1 ||
              !AllInputs.front().empty();
+    Sink = Opts.Telemetry;
+    Local = Sink ? &Result.Telemetry : nullptr;
+    if (Sink)
+      Labels = makeTelemetryLabels(Opts, Roster);
   }
 
   void add(const std::string &Source, StagedVec *Staged) {
@@ -574,12 +667,22 @@ public:
       return;
     if (Opts.BatchSize <= 1) {
       if (!Matrix) {
-        for (const CompilerConfig &Config : Opts.Configs)
-          recordObservation(Config, Roster[0]->run(Source, Config, Cov),
-                            GroundTruth, Source, O.Verdict, Result);
+        for (size_t C = 0; C < Opts.Configs.size(); ++C) {
+          const CompilerConfig &Config = Opts.Configs[C];
+          BackendObservation Obs;
+          {
+            SpanTimer T(Sink, Local, "backend_run",
+                        Sink ? Labels.Backends[0] : std::string(),
+                        Sink ? Labels.Configs[C] : std::string());
+            Obs = Roster[0]->run(Source, Config, Cov);
+          }
+          recordObservation(Config, Obs, GroundTruth, Source, O.Verdict,
+                            Result);
+        }
         return;
       }
-      runMatrixInline(Opts, Roster, AllInputs, Source, O, Cov, Result);
+      runMatrixInline(Opts, Roster, AllInputs, Source, O, Cov,
+                      Sink ? &Labels : nullptr, Result);
       return;
     }
     Cur.push_back({Source, std::move(O.Verdict), std::move(O.Sweep)});
@@ -647,8 +750,11 @@ private:
     std::vector<std::vector<std::vector<std::vector<BackendObservation>>>>
         Obs3;
     Obs3.reserve(Tickets.size());
-    for (size_t B = 0; B < Tickets.size(); ++B)
+    for (size_t B = 0; B < Tickets.size(); ++B) {
+      SpanTimer T(Sink, Local, "batch_wait",
+                  Sink ? Labels.Backends[B] : std::string());
       Obs3.push_back(Roster[B]->finishBatch(std::move(Tickets[B])));
+    }
     Tickets.clear();
     for (size_t I = 0; I < InFlight.size(); ++I) {
       if (!Matrix) {
@@ -668,6 +774,7 @@ private:
       for (size_t B = 0; B < Roster.size(); ++B)
         if (I < Obs3[B].size())
           VarObs[B] = std::move(Obs3[B][I]);
+      SpanTimer T(Sink, Local, "vote");
       recordMatrixVariant(Opts, Roster, AllInputs, VarObs,
                           InFlight[I].Source, InFlight[I].Verdict,
                           InFlight[I].Sweep, Result);
@@ -684,6 +791,11 @@ private:
   const bool GroundTruth; ///< Primary backend's (classic path only).
   CampaignResult &Result;
   CoverageRegistry *Cov;
+  /// Telemetry wiring (null/empty when off): spans record into this
+  /// worker's partial summary so campaign merge stays deterministic.
+  TelemetrySink *Sink = nullptr;
+  TelemetrySummary *Local = nullptr;
+  TelemetryLabels Labels;
   std::vector<Item> Cur;
   std::vector<Item> InFlight;
   /// One in-flight ticket per roster slot (all begun before any finishes).
@@ -729,6 +841,9 @@ struct CheckpointContext {
   std::mutex IOMutex;
   uint64_t WrittenSeq = 0;
   bool WriteWarned = false; ///< One warning per failure streak (IOMutex).
+  /// Campaign telemetry sink (null = off): snapshot writes record a
+  /// global-phase "checkpoint_write" span.
+  TelemetrySink *Sink = nullptr;
 
   /// Writes \p Text (snapshot generation \p Seq, serialized under M) to
   /// the snapshot file unless a newer generation already landed. Called
@@ -740,6 +855,7 @@ struct CheckpointContext {
     std::lock_guard<std::mutex> Lock(IOMutex);
     if (Seq <= WrittenSeq)
       return;
+    SpanTimer Span(Sink, nullptr, "checkpoint_write");
     std::string Err;
     if (atomicWriteFile(Path, Text, &Err)) {
       WrittenSeq = Seq;
@@ -905,6 +1021,8 @@ bool DifferentialHarness::runOnSeedCheckpointed(
     }
     Merged.merge(Header);
     CommitSeed();
+    if (Opts.Status)
+      Opts.Status->commitSeed(countersOf(Merged));
     return true;
   }
 
@@ -957,6 +1075,9 @@ bool DifferentialHarness::runOnSeedCheckpointed(
   // their own starting states.
   std::vector<WorkerCheckpoint> Init = Ck.Snap.Workers;
 
+  if (Opts.Status)
+    Opts.Status->beginSeed(Threads);
+
   std::vector<CampaignResult> Partials(Threads);
   std::vector<CoverageRegistry> PartialCovs;
   if (Opts.Cov)
@@ -983,6 +1104,11 @@ bool DifferentialHarness::runOnSeedCheckpointed(
     std::string Buffer;
     StagedVerdicts Staged;
     VariantPipeline Pipe(Opts, backend(), Out, Cov);
+    TelemetrySink *Sink = Opts.Telemetry;
+    TelemetrySummary *Local = Sink ? &Out.Telemetry : nullptr;
+    // Checkpointed workers start Out at the restored partial, which is all
+    // current-seed work -- the status baseline is therefore zero.
+    const StatusCounters Base0;
     uint64_t SincePublish = 0;
     while (!Ck.Crashed.load(std::memory_order_relaxed)) {
       const ProgramAssignment *PA = Cursor.next();
@@ -992,10 +1118,17 @@ bool DifferentialHarness::runOnSeedCheckpointed(
         return; // Simulated kill: unpublished work dies with the process
                 // -- including whatever the pipeline holds undrained.
       ++Out.VariantsEnumerated;
-      Renderer.renderInto(*PA, Buffer);
+      {
+        SpanTimer T(Sink, Local, "render");
+        Renderer.renderInto(*PA, Buffer);
+      }
       bool Stage = Ck.Store != nullptr &&
                    !Ck.StoreDead.load(std::memory_order_relaxed);
       Pipe.add(Buffer, Stage ? &Staged : nullptr);
+      if (Opts.Status && Opts.Status->noteVariant()) {
+        Opts.Status->updateShard(W, shardStatusNow(Out, Base0, Cursor));
+        Opts.Status->writeNow();
+      }
       if (Ck.EveryN != 0 && ++SincePublish >= Ck.EveryN) {
         // Drain first: the published cursor position, partial result, and
         // staged verdicts must describe exactly the same prefix an
@@ -1047,6 +1180,8 @@ bool DifferentialHarness::runOnSeedCheckpointed(
     for (const CoverageRegistry &Cov : PartialCovs)
       Opts.Cov->merge(Cov);
   CommitSeed();
+  if (Opts.Status)
+    Opts.Status->commitSeed(countersOf(Merged));
   return true;
 }
 
@@ -1057,6 +1192,7 @@ bool DifferentialHarness::runCheckpointed(
   Ck.Path = Opts.CheckpointPath;
   Ck.EveryN = Opts.CheckpointEveryN;
   Ck.CrashAfter = Opts.SimulateCrashAfter;
+  Ck.Sink = Opts.Telemetry;
   OracleStore Store(Opts.OracleStorePath);
   if (!Opts.OracleStorePath.empty() && Opts.Cache)
     Ck.Store = &Store;
@@ -1101,6 +1237,9 @@ bool DifferentialHarness::runCheckpointed(
   if (!From)
     Ck.writeSnapshot(Ck.Snap.serialize(), ++Ck.PublishSeq);
 
+  if (Opts.Status)
+    Opts.Status->beginCampaign(Seeds.size(), StartSeed, countersOf(Result));
+
   for (size_t S = StartSeed; S < Seeds.size(); ++S) {
     const std::vector<WorkerCheckpoint> *Resume =
         (From && From->InFlight && S == StartSeed) ? &From->Workers
@@ -1140,12 +1279,24 @@ bool DifferentialHarness::runCheckpointed(
     // snapshot: it is deterministic given the merged result plus the
     // campaign's cache state, so a crash during triage resumes from the
     // Complete snapshot and simply re-runs it.
+    if (Opts.Status)
+      Opts.Status->beginTriage();
     TriageOptions T;
     T.Cache = Opts.Cache;
     T.InjectBugs = Opts.InjectBugs;
     T.Backend = Opts.Backend;
     T.ExtraBackends = Opts.ExtraBackends;
+    T.Telemetry = Opts.Telemetry;
     triageCampaign(Result, T);
+  }
+  // Global-phase telemetry (compile, batch pack, checkpoint writes,
+  // triage stages) folds into the result exactly once, at campaign end.
+  if (Opts.Telemetry)
+    Result.Telemetry.merge(Opts.Telemetry->summary());
+  if (Opts.Status) {
+    if (Opts.Triage)
+      Opts.Status->setClusters(Result.Triaged.size());
+    Opts.Status->finishCampaign(countersOf(Result));
   }
   return true;
 }
@@ -1180,6 +1331,9 @@ bool DifferentialHarness::resumeCampaign(const std::vector<std::string> &Seeds,
     // Nothing left to enumerate; reconstitute the final state (result,
     // coverage, cache) and run the deterministic post-campaign passes.
     Result = CP.Merged;
+    if (Opts.Status)
+      Opts.Status->beginCampaign(Seeds.size(), Seeds.size(),
+                                 countersOf(Result));
     if (Opts.Cov)
       Opts.Cov->setHits(CP.CovHits);
     if (!Opts.OracleStorePath.empty() && Opts.Cache) {
@@ -1191,12 +1345,22 @@ bool DifferentialHarness::resumeCampaign(const std::vector<std::string> &Seeds,
     if (Opts.Cache)
       Result.OracleCacheEvictions = Opts.Cache->evictions();
     if (Opts.Triage) {
+      if (Opts.Status)
+        Opts.Status->beginTriage();
       TriageOptions T;
       T.Cache = Opts.Cache;
       T.InjectBugs = Opts.InjectBugs;
       T.Backend = Opts.Backend;
-    T.ExtraBackends = Opts.ExtraBackends;
+      T.ExtraBackends = Opts.ExtraBackends;
+      T.Telemetry = Opts.Telemetry;
       triageCampaign(Result, T);
+    }
+    if (Opts.Telemetry)
+      Result.Telemetry.merge(Opts.Telemetry->summary());
+    if (Opts.Status) {
+      if (Opts.Triage)
+        Opts.Status->setClusters(Result.Triaged.size());
+      Opts.Status->finishCampaign(countersOf(Result));
     }
     return true;
   }
@@ -1223,15 +1387,29 @@ void DifferentialHarness::testProgramWith(const std::string &Source,
   OracleOutcome O = oraclePhase(Opts, Source, AllInputs, Result, Staged);
   if (!O.Test)
     return;
+  TelemetrySink *Sink = Opts.Telemetry;
+  TelemetrySummary *Local = Sink ? &Result.Telemetry : nullptr;
+  TelemetryLabels Labels;
+  if (Sink)
+    Labels = makeTelemetryLabels(Opts, Roster);
   if (!Matrix) {
     const CompilerBackend &B = backend();
     const bool GroundTruth = B.hasGroundTruth();
-    for (const CompilerConfig &Config : Opts.Configs)
-      recordObservation(Config, B.run(Source, Config, Cov), GroundTruth,
-                        Source, O.Verdict, Result);
+    for (size_t C = 0; C < Opts.Configs.size(); ++C) {
+      const CompilerConfig &Config = Opts.Configs[C];
+      BackendObservation Obs;
+      {
+        SpanTimer T(Sink, Local, "backend_run",
+                    Sink ? Labels.Backends[0] : std::string(),
+                    Sink ? Labels.Configs[C] : std::string());
+        Obs = B.run(Source, Config, Cov);
+      }
+      recordObservation(Config, Obs, GroundTruth, Source, O.Verdict, Result);
+    }
     return;
   }
-  runMatrixInline(Opts, Roster, AllInputs, Source, O, Cov, Result);
+  runMatrixInline(Opts, Roster, AllInputs, Source, O, Cov,
+                  Sink ? &Labels : nullptr, Result);
 }
 
 void DifferentialHarness::runOnSeed(const std::string &Source,
@@ -1240,9 +1418,16 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
   if (!Plan.Ready)
     return;
   unsigned Threads = Plan.Threads;
+  if (Opts.Status)
+    Opts.Status->beginSeed(Threads);
 
   auto RunShard = [&](unsigned Index, unsigned Count_, CampaignResult &Out,
                       CoverageRegistry *Cov) {
+    // Single-threaded shards reuse the cumulative campaign result as Out;
+    // the status feed wants this seed's delta, hence the baseline capture.
+    const StatusCounters Base0 = countersOf(Out);
+    TelemetrySink *Sink = Opts.Telemetry;
+    TelemetrySummary *Local = Sink ? &Out.Telemetry : nullptr;
     ProgramCursor Cursor(Plan.Units, Opts.Mode);
     if (!Plan.ValidityPtrs.empty())
       Cursor.setConstraints(Plan.ValidityPtrs);
@@ -1253,13 +1438,27 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
     VariantPipeline Pipe(Opts, backend(), Out, Cov);
     while (const ProgramAssignment *PA = Cursor.next()) {
       ++Out.VariantsEnumerated;
-      Renderer.renderInto(*PA, Buffer);
+      {
+        SpanTimer T(Sink, Local, "render");
+        Renderer.renderInto(*PA, Buffer);
+      }
       Pipe.add(Buffer, nullptr);
+      if (Opts.Status && Opts.Status->noteVariant()) {
+        Opts.Status->updateShard(Index, shardStatusNow(Out, Base0, Cursor));
+        Opts.Status->writeNow();
+      }
     }
     Pipe.drain();
     const BigInt &Pruned = Cursor.pruned();
     Out.VariantsPruned +=
         Pruned.fitsInUint64() ? Pruned.toUint64() : ~uint64_t(0);
+    if (Opts.Status) {
+      CampaignStatusFeed::ShardStatus S;
+      S.C = countersOf(Out) - Base0;
+      S.RanksDone = S.RanksTotal = S.C.Enumerated + S.C.Pruned;
+      S.Finished = true;
+      Opts.Status->updateShard(Index, S);
+    }
   };
 
   if (Threads <= 1) {
@@ -1302,19 +1501,36 @@ DifferentialHarness::runCampaign(const std::vector<std::string> &Seeds) const {
     runCheckpointed(Seeds, nullptr, Result, Err);
     return Result;
   }
-  for (const std::string &Seed : Seeds)
+  if (Opts.Status)
+    Opts.Status->beginCampaign(Seeds.size(), 0, StatusCounters());
+  for (const std::string &Seed : Seeds) {
     runOnSeed(Seed, Result);
+    if (Opts.Status)
+      Opts.Status->commitSeed(countersOf(Result));
+  }
   if (Opts.Cache)
     Result.OracleCacheEvictions = Opts.Cache->evictions();
   if (Opts.Triage) {
     // Post-merge and single-threaded, so the triaged report is identical
     // for every Opts.Threads value.
+    if (Opts.Status)
+      Opts.Status->beginTriage();
     TriageOptions T;
     T.Cache = Opts.Cache;
     T.InjectBugs = Opts.InjectBugs;
     T.Backend = Opts.Backend;
     T.ExtraBackends = Opts.ExtraBackends;
+    T.Telemetry = Opts.Telemetry;
     triageCampaign(Result, T);
+  }
+  // Global-phase telemetry folds into the result exactly once, at
+  // campaign end (the checkpointed runner does the same in its tail).
+  if (Opts.Telemetry)
+    Result.Telemetry.merge(Opts.Telemetry->summary());
+  if (Opts.Status) {
+    if (Opts.Triage)
+      Opts.Status->setClusters(Result.Triaged.size());
+    Opts.Status->finishCampaign(countersOf(Result));
   }
   return Result;
 }

@@ -28,6 +28,7 @@
 #include "compiler/Compiler.h"
 #include "core/SpeEnumerator.h"
 #include "skeleton/SkeletonExtractor.h"
+#include "support/Telemetry.h"
 #include "testing/OracleCache.h"
 #include "triage/BugSignature.h"
 
@@ -42,6 +43,7 @@ namespace spe {
 struct CheckpointContext;
 struct WorkerCheckpoint;
 struct CampaignCheckpoint;
+class CampaignStatusFeed;
 
 /// Harness configuration.
 struct HarnessOptions {
@@ -148,6 +150,19 @@ struct HarnessOptions {
   /// partial result the caller should discard in favor of resuming from
   /// the last on-disk checkpoint.
   uint64_t SimulateCrashAfter = 0;
+
+  //===--- Observability (src/support/Telemetry.h, DESIGN.md S.15) ------===//
+
+  /// Optional telemetry sink: phase-timed trace spans (JSONL event log +
+  /// Chrome trace export) and latency histograms, summarized into
+  /// CampaignResult::Telemetry. Observation only -- campaign results,
+  /// coverage, triage, and checkpoint bytes are bit-identical with it on
+  /// or off -- so it is deliberately excluded from fingerprintOptions and
+  /// resume validation. One sink per campaign.
+  TelemetrySink *Telemetry = nullptr;
+  /// Optional live status feed (testing/CampaignStatus.h): an atomically
+  /// rewritten status.json heartbeat. Same exclusions as Telemetry.
+  CampaignStatusFeed *Status = nullptr;
 
   /// The paper's crash-hunting matrix: -O0/-O3 x -m32/-m64 for a persona
   /// at a version.
@@ -368,6 +383,13 @@ struct CampaignResult {
   std::vector<TriagedBug> Triaged;
   /// Cost/benefit accounting of the triage pass (zeros when none ran).
   ReductionStats Reduction;
+  /// Phase timing summary (empty unless HarnessOptions::Telemetry was
+  /// set): worker-local span aggregates merged per worker in shard order,
+  /// plus the sink's global phases folded in at campaign end. Wall-clock
+  /// data lives here and only here -- merge() folds it, but it is excluded
+  /// from operator== (and from checkpoint serialization), so bit-identity
+  /// batteries and resume equivalence hold with telemetry on or off.
+  TelemetrySummary Telemetry;
 
   unsigned bugCount(Persona P) const;
   unsigned bugCount(Persona P, BugEffect E) const;

@@ -72,9 +72,12 @@ spe::clusterBySignature(const std::map<int, FoundBug> &Bugs) {
 
 void spe::triageCampaign(CampaignResult &Result, const TriageOptions &Opts) {
   bool UseRaw = !Result.RawFindings.empty();
-  std::vector<TriagedBug> Clusters =
-      UseRaw ? clusterBySignature(Result.RawFindings)
-             : clusterBySignature(Result.UniqueBugs);
+  std::vector<TriagedBug> Clusters;
+  {
+    SpanTimer T(Opts.Telemetry, nullptr, "triage_dedup");
+    Clusters = UseRaw ? clusterBySignature(Result.RawFindings)
+                      : clusterBySignature(Result.UniqueBugs);
+  }
 
   ReductionStats Stats;
   Stats.RawBugs =
@@ -116,6 +119,7 @@ void spe::triageCampaign(CampaignResult &Result, const TriageOptions &Opts) {
     Spec.Input = Rep.Input;
 
     if (Opts.ReduceWitnesses) {
+      SpanTimer T(Opts.Telemetry, nullptr, "triage_ddmin");
       ReductionOutcome R = Reducer.reduce(Rep.WitnessProgram, Spec);
       Rep.WitnessProgram = std::move(R.Reduced);
       Stats.StatementsDeleted += R.StatementsDeleted;
@@ -126,6 +130,7 @@ void spe::triageCampaign(CampaignResult &Result, const TriageOptions &Opts) {
       Stats.OracleCacheHits += R.Oracle.OracleCacheHits;
     }
     if (Opts.MinimizeRank) {
+      SpanTimer T(Opts.Telemetry, nullptr, "triage_minimize");
       MinimizeOutcome M = Minimizer.minimize(Rep.WitnessProgram, Spec);
       Rep.WitnessProgram = std::move(M.Minimized);
       Stats.RankMinimized += M.Improved ? 1 : 0;

@@ -68,6 +68,10 @@ struct TriageOptions {
   /// no single compiler reproduces an oracle-outvoted divergence, so its
   /// witness is reported as found.
   std::vector<const CompilerBackend *> ExtraBackends;
+  /// Campaign telemetry sink (support/Telemetry.h); null = off. Triage
+  /// stages record global-phase spans (triage_dedup / triage_ddmin /
+  /// triage_minimize) -- observation only, never verdicts.
+  TelemetrySink *Telemetry = nullptr;
 };
 
 /// \returns the normalized signature of one finding.

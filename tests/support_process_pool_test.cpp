@@ -79,6 +79,16 @@ TEST(ProcessPoolTest, OverlappingSubmitsRunConcurrently) {
   EXPECT_TRUE(RB.exitedWith(22)) << RB.Error;
   EXPECT_LT(Secs, 0.75) << "two 0.4s jobs on two brokers took " << Secs
                         << "s -- they did not overlap";
+
+  // Lifetime stats: both jobs accounted, pool idle again, and the
+  // cumulative run time reflects two ~400ms jobs even though they
+  // overlapped on the wall clock.
+  ProcessPool::Stats S = Pool.stats();
+  EXPECT_EQ(S.JobsSubmitted, 2u);
+  EXPECT_EQ(S.JobsCompleted, 2u);
+  EXPECT_EQ(S.QueueDepth, 0u);
+  EXPECT_EQ(S.BusyBrokers, 0u);
+  EXPECT_GE(S.CumRunMs, 700u) << "per-job run time should sum, not overlap";
 }
 
 TEST(ProcessPoolTest, ManyJobsQueueAcrossFewBrokersFromManyThreads) {
@@ -99,6 +109,16 @@ TEST(ProcessPoolTest, ManyJobsQueueAcrossFewBrokersFromManyThreads) {
     EXPECT_TRUE(Results[I].exitedWith(40 + I))
         << "job " << I << ": " << Results[I].Error;
   EXPECT_EQ(Pool.respawns(), 0u);
+
+  // 12 jobs over 2 brokers cannot all dispatch immediately: the FIFO
+  // queue must have been exercised and fully drained by the joins.
+  ProcessPool::Stats S = Pool.stats();
+  EXPECT_EQ(S.JobsSubmitted, static_cast<uint64_t>(N));
+  EXPECT_EQ(S.JobsCompleted, static_cast<uint64_t>(N));
+  EXPECT_GE(S.QueueHighWater, 1u);
+  EXPECT_EQ(S.QueueDepth, 0u);
+  EXPECT_EQ(S.BusyBrokers, 0u);
+  EXPECT_EQ(S.Respawns, 0u);
 }
 
 TEST(ProcessPoolTest, JobTimeoutIsHandledInsideTheBrokerWithoutRespawn) {
@@ -127,6 +147,13 @@ TEST(ProcessPoolTest, DeadBrokerIsRespawnedAndTheJobRetriedOnce) {
   ProcessResult R = Pool.run({"/bin/sh", "-c", "exit 9"});
   EXPECT_TRUE(R.exitedWith(9)) << R.Error;
   EXPECT_GE(Pool.respawns(), 1u);
+
+  // stats() reports the same respawn count, and the retried job counts
+  // once -- a retry is the same submission, not a new one.
+  ProcessPool::Stats S = Pool.stats();
+  EXPECT_EQ(S.Respawns, Pool.respawns());
+  EXPECT_EQ(S.JobsSubmitted, 1u);
+  EXPECT_EQ(S.JobsCompleted, 1u);
 }
 
 TEST(ProcessPoolTest, DeathMidJobRetriesWithoutDuplicatingTheJob) {
