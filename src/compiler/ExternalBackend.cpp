@@ -13,7 +13,9 @@
 #include <map>
 #include <mutex>
 
+#include <cerrno>
 #include <dirent.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -217,12 +219,20 @@ ExternalBackend::ExternalBackend(ExternalBackendOptions O)
   while (!Base.empty() && Base.back() == '/')
     Base.pop_back();
   ::mkdir(Base.c_str(), 0777); // Best effort; mkdtemp reports real failure.
+  // Reap scratch left behind by SIGKILLed campaigns before adding our own:
+  // the destructor below never runs on a kill, so without this every
+  // crashed run strands one directory per backend forever.
+  sweepStaleScratch(Base);
   std::string Templ = Base + "/spe-ext-XXXXXX";
   std::vector<char> Buf(Templ.begin(), Templ.end());
   Buf.push_back('\0');
   if (mkdtemp(Buf.data())) {
     ScratchDir = Buf.data();
     OwnScratchDir = true;
+    // Liveness marker: concurrent and future sweeps skip directories whose
+    // owner pid still runs. Written before any compile job can land here.
+    writeFile(ScratchDir + "/spe-owner.pid",
+              std::to_string(static_cast<long long>(::getpid())) + "\n");
   } else {
     // Flat fallback: unique pid+seq names directly under the base, as the
     // pre-directory layout did. Nothing is removed on destruction beyond
@@ -249,6 +259,56 @@ ExternalBackend::~ExternalBackend() {
     closedir(D);
   }
   rmdir(ScratchDir.c_str());
+}
+
+unsigned ExternalBackend::sweepStaleScratch(const std::string &BaseDir) {
+  std::vector<std::string> Stale;
+  DIR *D = opendir(BaseDir.c_str());
+  if (!D)
+    return 0;
+  while (dirent *E = readdir(D)) {
+    if (std::strncmp(E->d_name, "spe-ext-", 8) != 0)
+      continue;
+    std::string Dir = BaseDir + "/" + E->d_name;
+    struct stat St;
+    if (::stat(Dir.c_str(), &St) != 0 || !S_ISDIR(St.st_mode))
+      continue;
+    bool Live = false;
+    if (std::FILE *F = std::fopen((Dir + "/spe-owner.pid").c_str(), "rb")) {
+      char Buf[32] = {};
+      if (std::fread(Buf, 1, sizeof(Buf) - 1, F) == 0)
+        Buf[0] = '\0';
+      std::fclose(F);
+      char *End = nullptr;
+      long long Pid = std::strtoll(Buf, &End, 10);
+      // kill(pid, 0) probes liveness without signaling: success or EPERM
+      // means the pid exists; ESRCH means the owner is gone. A missing or
+      // garbled marker means the owner died between mkdtemp and the marker
+      // write, so it counts as dead.
+      if (End != Buf && Pid > 0 &&
+          (::kill(static_cast<pid_t>(Pid), 0) == 0 || errno == EPERM))
+        Live = true;
+    }
+    if (!Live)
+      Stale.push_back(std::move(Dir));
+  }
+  closedir(D);
+
+  unsigned Removed = 0;
+  for (const std::string &Dir : Stale) {
+    if (DIR *SD = opendir(Dir.c_str())) {
+      while (dirent *E = readdir(SD)) {
+        if (std::strcmp(E->d_name, ".") == 0 ||
+            std::strcmp(E->d_name, "..") == 0)
+          continue;
+        std::remove((Dir + "/" + E->d_name).c_str());
+      }
+      closedir(SD);
+    }
+    if (::rmdir(Dir.c_str()) == 0)
+      ++Removed;
+  }
+  return Removed;
 }
 
 std::string ExternalBackend::identity() const {

@@ -167,6 +167,15 @@ public:
   static std::string extractCrashSignature(const std::string &Stderr,
                                            const std::string &Fallback);
 
+  /// Best-effort reaper for scratch directories stranded by SIGKILLed
+  /// campaigns: removes every `spe-ext-*` directory directly under
+  /// \p BaseDir whose `spe-owner.pid` marker names a dead process (or is
+  /// missing/garbled -- a crash between mkdtemp and the marker write).
+  /// Directories owned by live processes are left alone. \returns the
+  /// number of directories removed. Runs automatically at construction
+  /// against the instance's scratch base; exposed for tests and tools.
+  static unsigned sweepStaleScratch(const std::string &BaseDir);
+
 private:
   friend struct ExternalBatchTicket;
 

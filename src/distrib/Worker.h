@@ -1,0 +1,48 @@
+//===- distrib/Worker.h - fleet worker protocol loop ----------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker half of the fleet protocol (distrib/FleetProtocol.h): a
+/// stream-driven loop that receives a campaign spec, caches seed sources,
+/// and runs each lease through DifferentialHarness::runLease, streaming the
+/// serialized per-lease CampaignResult fragment back. Stream-parameterized
+/// so tests can drive a worker in-process over stringstreams; the
+/// spe_fleet_worker binary (tools/fleet_worker.cpp) wires it to stdin and
+/// stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_DISTRIB_WORKER_H
+#define SPE_DISTRIB_WORKER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace spe {
+
+struct FleetWorkerOptions {
+  /// When non-empty, the worker maintains a CampaignStatusFeed heartbeat
+  /// at this path: one "seed" per completed lease, live shard progress
+  /// inside a lease. A fleet coordinator aggregates these per-worker
+  /// documents into its fleet status feed.
+  std::string StatusPath;
+  /// Heartbeat cadence (CampaignStatusFeed::Options::EveryMs).
+  uint64_t StatusEveryMs = 500;
+};
+
+/// Runs the worker protocol loop over \p In / \p Out until `exit` or EOF
+/// (EOF means the coordinator died; that is a clean shutdown, exit 0).
+/// \returns the process exit code: 0 on clean shutdown, 2 after a fatal
+/// protocol or lease error (reported to the coordinator as an `error`
+/// line first).
+int runFleetWorker(std::istream &In, std::ostream &Out,
+                   const FleetWorkerOptions &Opts);
+
+} // namespace spe
+
+#endif // SPE_DISTRIB_WORKER_H

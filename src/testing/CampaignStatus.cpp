@@ -17,10 +17,21 @@ CampaignStatusFeed::CampaignStatusFeed(Options O) : Opts(std::move(O)) {
 }
 
 uint64_t CampaignStatusFeed::nowMs() const {
+  if (ClockFn)
+    return ClockFn();
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+void CampaignStatusFeed::setClockForTest(uint64_t (*Clock)()) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ClockFn = Clock;
+  StartMs = nowMs();
+  PrevSampleMs = 0;
+  PrevSampleVariants = 0;
+  LastWriteMs.store(0, std::memory_order_relaxed);
 }
 
 void CampaignStatusFeed::attachPool(const std::string &Name,
@@ -179,17 +190,19 @@ std::string CampaignStatusFeed::serializeLocked(uint64_t Now) {
   }
 
   // Windowed rate: variants since the previous write over that interval;
-  // falls back to the lifetime rate on the first write.
-  double Rate = 0.0;
+  // falls back to the lifetime rate on the first write. Two writes can land
+  // in the same nowMs() tick (EveryMs=0 feeds, or a coarse clock), so the
+  // denominators clamp to one millisecond: the window's variants are then
+  // reported at sub-tick resolution instead of silently becoming 0.0.
   uint64_t WinMs = Now - (PrevSampleMs == 0 ? StartMs : PrevSampleMs);
+  if (WinMs == 0)
+    WinMs = 1;
   uint64_t WinVars = Vars - PrevSampleVariants;
-  if (WinMs > 0)
-    Rate = static_cast<double>(WinVars) * 1000.0 /
-           static_cast<double>(WinMs);
-  double TotalRate = Now > StartMs
-                         ? static_cast<double>(Vars) * 1000.0 /
-                               static_cast<double>(Now - StartMs)
-                         : 0.0;
+  double Rate =
+      static_cast<double>(WinVars) * 1000.0 / static_cast<double>(WinMs);
+  uint64_t UpMs = Now - StartMs;
+  double TotalRate = static_cast<double>(Vars) * 1000.0 /
+                     static_cast<double>(UpMs == 0 ? 1 : UpMs);
   PrevSampleMs = Now;
   PrevSampleVariants = Vars;
 
@@ -282,7 +295,11 @@ std::string CampaignStatusFeed::serializeLocked(uint64_t Now) {
   }
   J += "],";
 
-  putKV(J, "writes", Writes.load(std::memory_order_relaxed) + 1,
+  // Committed writes *before* this document: pre-counting the in-flight
+  // write would let a failed rename make the next successful doc lie.
+  putKV(J, "write_failures",
+        WriteFailures.load(std::memory_order_relaxed));
+  putKV(J, "writes", Writes.load(std::memory_order_relaxed),
         /*Comma=*/false);
   J += '}';
   return J;
@@ -298,6 +315,12 @@ void CampaignStatusFeed::writeNow() {
   // Atomic write-then-rename: a reader (or a SIGKILL) at any instant sees
   // either the previous complete document or this one, never a torn file.
   std::string Err;
-  if (atomicWriteFile(Opts.Path, Text, &Err))
+  if (atomicWriteFile(Opts.Path, Text, &Err)) {
     Writes.fetch_add(1, std::memory_order_relaxed);
+    WriteWarned.store(false, std::memory_order_relaxed);
+    return;
+  }
+  WriteFailures.fetch_add(1, std::memory_order_relaxed);
+  if (!WriteWarned.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr, "spe: status feed write failed: %s\n", Err.c_str());
 }

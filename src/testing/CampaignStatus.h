@@ -130,10 +130,20 @@ public:
   void writeNow();
 
   const std::string &path() const { return Opts.Path; }
+  /// Committed (successful) status writes -- failed atomic writes are
+  /// counted separately in writeFailures(), never here.
   uint64_t writes() const { return Writes.load(std::memory_order_relaxed); }
+  uint64_t writeFailures() const {
+    return WriteFailures.load(std::memory_order_relaxed);
+  }
   uint64_t variants() const {
     return TotalVariants.load(std::memory_order_relaxed);
   }
+
+  /// Test hook: replaces the steady-clock source so cadence and window math
+  /// can be driven deterministically. Re-bases the feed's start time (and
+  /// the rate window) onto the injected clock's current value.
+  void setClockForTest(uint64_t (*Clock)());
 
 private:
   struct PoolRef {
@@ -146,9 +156,14 @@ private:
 
   Options Opts;
   uint64_t StartMs = 0;
+  uint64_t (*ClockFn)() = nullptr; ///< Test clock; null = steady_clock.
   std::atomic<uint64_t> TotalVariants{0};
   std::atomic<uint64_t> LastWriteMs{0};
   std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> WriteFailures{0};
+  /// Warn on stderr once per failure streak, not once per failed cadence
+  /// tick -- a persistently unwritable path would otherwise spam.
+  std::atomic<bool> WriteWarned{false};
 
   mutable std::mutex Mu;
   std::string State = "starting"; ///< starting|running|triage|complete.

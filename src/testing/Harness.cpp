@@ -1490,6 +1490,80 @@ void DifferentialHarness::runOnSeed(const std::string &Source,
       Opts.Cov->merge(Cov);
 }
 
+DifferentialHarness::SeedLeaseSummary
+DifferentialHarness::summarizeSeed(const std::string &Source) const {
+  SeedLeaseSummary S;
+  SeedPlan Plan = buildSeedPlan(Opts, Source, S.Header);
+  S.Enumerable = Plan.Ready;
+  if (Plan.Ready)
+    S.Budget = Plan.Budget;
+  return S;
+}
+
+bool DifferentialHarness::runLease(const std::string &Source,
+                                   const BigInt &Begin, const BigInt &End,
+                                   CampaignResult &Out,
+                                   std::string &Err) const {
+  CampaignResult Header; // Coordinator-owned; deliberately dropped here.
+  SeedPlan Plan = buildSeedPlan(Opts, Source, Header);
+  if (!Plan.Ready) {
+    Err = "seed is not enumerable (front-end rejection or variant threshold)";
+    return false;
+  }
+  if (End < Begin || Plan.Budget < End) {
+    Err = "lease range [" + Begin.toString() + ", " + End.toString() +
+          ") outside the seed's budgeted rank space of " +
+          Plan.Budget.toString();
+    return false;
+  }
+
+  // The body below is RunShard (runOnSeed) over an arbitrary contiguous
+  // subrange: the cursor is positioned exactly the way checkpoint resume
+  // positions a restored worker, so a lease sees the same variants, in the
+  // same order, as the thread shard that would have covered these ranks.
+  const StatusCounters Base0 = countersOf(Out);
+  TelemetrySink *Sink = Opts.Telemetry;
+  TelemetrySummary *Local = Sink ? &Out.Telemetry : nullptr;
+  ProgramCursor Cursor(Plan.Units, Opts.Mode);
+  if (!Plan.ValidityPtrs.empty())
+    Cursor.setConstraints(Plan.ValidityPtrs);
+  CursorState CS;
+  CS.Position = Begin.toString();
+  CS.End = End.toString();
+  CS.Pruned = "0";
+  if (!Cursor.restoreState(CS)) {
+    Err = "cursor rejected lease range [" + CS.Position + ", " + CS.End + ")";
+    return false;
+  }
+  VariantRenderer Renderer(*Plan.Ctx, Plan.Units);
+  std::string Buffer;
+  VariantPipeline Pipe(Opts, backend(), Out, nullptr);
+  while (const ProgramAssignment *PA = Cursor.next()) {
+    ++Out.VariantsEnumerated;
+    {
+      SpanTimer T(Sink, Local, "render");
+      Renderer.renderInto(*PA, Buffer);
+    }
+    Pipe.add(Buffer, nullptr);
+    if (Opts.Status && Opts.Status->noteVariant()) {
+      Opts.Status->updateShard(0, shardStatusNow(Out, Base0, Cursor));
+      Opts.Status->writeNow();
+    }
+  }
+  Pipe.drain();
+  const BigInt &Pruned = Cursor.pruned();
+  Out.VariantsPruned +=
+      Pruned.fitsInUint64() ? Pruned.toUint64() : ~uint64_t(0);
+  if (Opts.Status) {
+    CampaignStatusFeed::ShardStatus S;
+    S.C = countersOf(Out) - Base0;
+    S.RanksDone = S.RanksTotal = S.C.Enumerated + S.C.Pruned;
+    S.Finished = true;
+    Opts.Status->updateShard(0, S);
+  }
+  return true;
+}
+
 CampaignResult
 DifferentialHarness::runCampaign(const std::vector<std::string> &Seeds) const {
   CampaignResult Result;

@@ -439,6 +439,33 @@ public:
   /// mutation baseline and by examples.
   void testProgram(const std::string &Source, CampaignResult &Result) const;
 
+  /// What a fleet coordinator needs to plan leases for one seed without
+  /// enumerating anything: whether the seed is enumerable at all, the
+  /// header counters its front-end pass accrues (SeedsProcessed /
+  /// SeedsSkippedByThreshold), and the budgeted rank-space size.
+  struct SeedLeaseSummary {
+    bool Enumerable = false;
+    CampaignResult Header;
+    BigInt Budget;
+  };
+
+  /// Front-end + threshold + budgeting for \p Source, enumeration skipped.
+  /// Deterministic: matches the plan runOnSeed computes for the same seed.
+  SeedLeaseSummary summarizeSeed(const std::string &Source) const;
+
+  /// Runs exactly the rank range [\p Begin, \p End) of \p Source's
+  /// budgeted space and accrues into \p Out -- the worker half of a fleet
+  /// lease. Merging all of a seed's lease fragments in ascending Begin
+  /// order on top of the summarizeSeed header reproduces the
+  /// single-process runOnSeed result bit for bit, because a lease runs the
+  /// same loop a thread shard does over an arbitrary contiguous subrange.
+  /// Header counters are NOT accrued here (the coordinator owns them via
+  /// summarizeSeed). \returns false with \p Err set when the seed is not
+  /// enumerable or the range is outside [0, Budget].
+  bool runLease(const std::string &Source, const BigInt &Begin,
+                const BigInt &End, CampaignResult &Out,
+                std::string &Err) const;
+
 private:
   /// One staged oracle verdict: computed this interval, not yet flushed to
   /// the on-disk store (flushes ride checkpoint publishes).

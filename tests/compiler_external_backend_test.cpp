@@ -518,6 +518,62 @@ TEST(ExternalBackendTest, ScratchDirectoryIsRemovedOnDestruction) {
       << "scratch directory survived backend destruction: " << Dir;
 }
 
+// A SIGKILLed campaign never runs the destructor above, so construction
+// sweeps the scratch base for directories whose owner pid is dead. The
+// sweep itself is a static function with no compiler dependency.
+TEST(ExternalBackendTest, StaleScratchIsSweptLiveScratchSurvives) {
+  std::string Base = tempPath("sweep-base");
+  std::filesystem::create_directories(Base);
+
+  // Stale: marker names a pid beyond any real pid space (pid_max defaults
+  // to 4194304), so kill(pid, 0) reliably reports ESRCH.
+  std::string Stale = Base + "/spe-ext-stale1";
+  std::filesystem::create_directories(Stale);
+  { std::ofstream(Stale + "/spe-owner.pid") << 2000000000 << "\n"; }
+  { std::ofstream(Stale + "/leftover.o") << "junk"; }
+  // Stale: no marker at all -- the owner died between mkdtemp and the
+  // marker write.
+  std::string NoMarker = Base + "/spe-ext-nomark";
+  std::filesystem::create_directories(NoMarker);
+  // Live: marker names this very process.
+  std::string Live = Base + "/spe-ext-live01";
+  std::filesystem::create_directories(Live);
+  { std::ofstream(Live + "/spe-owner.pid") << ::getpid() << "\n"; }
+  // Unrelated directory: name does not match the scratch prefix.
+  std::string Other = Base + "/other-dir";
+  std::filesystem::create_directories(Other);
+
+  EXPECT_EQ(ExternalBackend::sweepStaleScratch(Base), 2u);
+  EXPECT_FALSE(std::filesystem::exists(Stale));
+  EXPECT_FALSE(std::filesystem::exists(NoMarker));
+  EXPECT_TRUE(std::filesystem::exists(Live));
+  EXPECT_TRUE(std::filesystem::exists(Other));
+  std::filesystem::remove_all(Base);
+}
+
+TEST(ExternalBackendTest, ConstructionReapsStaleScratchAndMarksItsOwn) {
+  SKIP_WITHOUT_HOST_CC();
+  std::string Base = tempPath("sweep-ctor-base");
+  std::filesystem::create_directories(Base);
+  std::string Stale = Base + "/spe-ext-ghost1";
+  std::filesystem::create_directories(Stale);
+  { std::ofstream(Stale + "/spe-owner.pid") << 2000000000 << "\n"; }
+
+  ExternalBackendOptions O;
+  O.TempDir = Base;
+  ExternalBackend B(O);
+  ASSERT_TRUE(B.available()) << B.unavailableReason();
+  EXPECT_FALSE(std::filesystem::exists(Stale))
+      << "stale scratch survived backend construction";
+  // Our own scratch carries a marker naming this process, so a sweep from
+  // any other (or this) process leaves it alone.
+  long long Pid = 0;
+  std::ifstream(B.scratchDir() + "/spe-owner.pid") >> Pid;
+  EXPECT_EQ(Pid, static_cast<long long>(::getpid()));
+  EXPECT_EQ(ExternalBackend::sweepStaleScratch(Base), 0u);
+  EXPECT_TRUE(std::filesystem::exists(B.scratchDir()));
+}
+
 //===----------------------------------------------------------------------===//
 // Batched campaigns: bisection attribution, pollution, pool, resume
 //===----------------------------------------------------------------------===//

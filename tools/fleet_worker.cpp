@@ -1,0 +1,43 @@
+//===- tools/fleet_worker.cpp - fleet worker process entry point ----------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+//
+// The worker half of a fleet campaign (DESIGN.md Section 16): speaks the
+// line-framed protocol of distrib/FleetProtocol.h on stdin/stdout and runs
+// each lease through the differential harness. Spawned by the
+// CampaignCoordinator, one process per worker slot:
+//
+//   spe_fleet_worker [--status <path>] [--status-every-ms <n>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "distrib/Worker.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+int main(int Argc, char **Argv) {
+  spe::FleetWorkerOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--status" && I + 1 < Argc) {
+      Opts.StatusPath = Argv[++I];
+    } else if (Arg == "--status-every-ms" && I + 1 < Argc) {
+      Opts.StatusEveryMs = std::strtoull(Argv[++I], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--status <path>] [--status-every-ms <n>]\n",
+                   Argv[0]);
+      return 64;
+    }
+  }
+  // Lease replies must reach the coordinator as soon as they are written,
+  // not when a stdio buffer happens to fill.
+  std::ios::sync_with_stdio(false);
+  return spe::runFleetWorker(std::cin, std::cout, Opts);
+}
