@@ -1,0 +1,256 @@
+//===- analysis/CFG.cpp - Basic-block graphs over function bodies --------===//
+
+#include "analysis/CFG.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+using namespace spe;
+
+namespace spe {
+
+/// Statement-directed construction of a CFG. The builder keeps a "current"
+/// block; statements append elements to it and split it at control flow.
+/// Blocks created for code that can only be entered by a jump (a loop body,
+/// the statement after a return) start with no predecessors and become
+/// reachable only if an edge is added; reachableFromEntry() filters the
+/// rest.
+class CFGBuilder {
+public:
+  explicit CFGBuilder(const FunctionDecl &F) : F(F) {}
+
+  CFG run() {
+    newBlock(); // 0: entry
+    newBlock(); // 1: exit
+    Cur = newBlock();
+    addEdge(CFG::EntryBlock, Cur);
+    buildStmt(F.body());
+    // Falling off the end of the body returns normally (main's implicit
+    // `return 0;`), so the trailing block edges to the exit.
+    addEdge(Cur, CFG::ExitBlock);
+    return std::move(G);
+  }
+
+private:
+  struct LoopContext {
+    unsigned BreakTarget;
+    unsigned ContinueTarget;
+  };
+
+  unsigned newBlock() {
+    G.Blocks.emplace_back();
+    return static_cast<unsigned>(G.Blocks.size() - 1);
+  }
+
+  void addEdge(unsigned From, unsigned To) {
+    G.Blocks[From].Succs.push_back(To);
+    G.Blocks[To].Preds.push_back(From);
+  }
+
+  void append(CFGElement El) { G.Blocks[Cur].Elems.push_back(El); }
+
+  /// The block a `goto L;` / `L:` pair meets in, created on first mention
+  /// of the label from either side.
+  unsigned labelBlock(const std::string &Name) {
+    auto It = Labels.find(Name);
+    if (It != Labels.end())
+      return It->second;
+    unsigned B = newBlock();
+    Labels.emplace(Name, B);
+    return B;
+  }
+
+  /// Ends the current block without a successor and resumes in a fresh,
+  /// initially unreachable one -- the statements after a return/goto/break.
+  void startDeadBlock() { Cur = newBlock(); }
+
+  void buildStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+        buildStmt(Child);
+      return;
+    case Stmt::Kind::Decl:
+      for (const VarDecl *V : cast<DeclStmt>(S)->decls())
+        append(CFGElement::decl(V));
+      return;
+    case Stmt::Kind::Expr:
+      if (const Expr *E = cast<ExprStmt>(S)->expr())
+        append(CFGElement::expr(E));
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      append(CFGElement::expr(I->cond()));
+      unsigned CondBlock = Cur;
+      unsigned Join = newBlock();
+      Cur = newBlock();
+      addEdge(CondBlock, Cur);
+      buildStmt(I->thenStmt());
+      addEdge(Cur, Join);
+      if (I->elseStmt()) {
+        Cur = newBlock();
+        addEdge(CondBlock, Cur);
+        buildStmt(I->elseStmt());
+        addEdge(Cur, Join);
+      } else {
+        addEdge(CondBlock, Join);
+      }
+      Cur = Join;
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      unsigned Header = newBlock();
+      unsigned After = newBlock();
+      addEdge(Cur, Header);
+      Cur = Header;
+      append(CFGElement::expr(W->cond()));
+      unsigned Body = newBlock();
+      addEdge(Header, Body);
+      addEdge(Header, After);
+      Loops.push_back({After, Header});
+      Cur = Body;
+      buildStmt(W->body());
+      addEdge(Cur, Header); // Back edge.
+      Loops.pop_back();
+      Cur = After;
+      return;
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      unsigned Body = newBlock();
+      unsigned Latch = newBlock(); // Holds the condition.
+      unsigned After = newBlock();
+      addEdge(Cur, Body);
+      Loops.push_back({After, Latch});
+      Cur = Body;
+      buildStmt(D->body());
+      addEdge(Cur, Latch);
+      Loops.pop_back();
+      Cur = Latch;
+      append(CFGElement::expr(D->cond()));
+      addEdge(Latch, Body); // Back edge.
+      addEdge(Latch, After);
+      Cur = After;
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *FS = cast<ForStmt>(S);
+      buildStmt(FS->init()); // Init runs once, in the preceding block.
+      unsigned Header = newBlock();
+      unsigned After = newBlock();
+      addEdge(Cur, Header);
+      Cur = Header;
+      if (FS->cond()) {
+        append(CFGElement::expr(FS->cond()));
+        addEdge(Header, After);
+      }
+      // `for (;;)` has no exit edge from the header; only break/goto/return
+      // can leave, so After stays unreachable unless one exists.
+      unsigned Body = newBlock();
+      addEdge(Header, Body);
+      unsigned Latch = newBlock(); // Holds the step; `continue` lands here.
+      Loops.push_back({After, Latch});
+      Cur = Body;
+      buildStmt(FS->body());
+      addEdge(Cur, Latch);
+      Loops.pop_back();
+      Cur = Latch;
+      if (FS->step())
+        append(CFGElement::expr(FS->step()));
+      addEdge(Latch, Header); // Back edge.
+      Cur = After;
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      if (R->value())
+        append(CFGElement::expr(R->value()));
+      addEdge(Cur, CFG::ExitBlock);
+      startDeadBlock();
+      return;
+    }
+    case Stmt::Kind::Break:
+      if (!Loops.empty()) {
+        addEdge(Cur, Loops.back().BreakTarget);
+        startDeadBlock();
+      }
+      return;
+    case Stmt::Kind::Continue:
+      if (!Loops.empty()) {
+        addEdge(Cur, Loops.back().ContinueTarget);
+        startDeadBlock();
+      }
+      return;
+    case Stmt::Kind::Goto:
+      addEdge(Cur, labelBlock(cast<GotoStmt>(S)->label()));
+      startDeadBlock();
+      return;
+    case Stmt::Kind::Label: {
+      const auto *L = cast<LabelStmt>(S);
+      unsigned B = labelBlock(L->name());
+      addEdge(Cur, B); // Falling into the label.
+      Cur = B;
+      buildStmt(L->sub());
+      return;
+    }
+    }
+  }
+
+  const FunctionDecl &F;
+  CFG G;
+  unsigned Cur = 0;
+  std::vector<LoopContext> Loops;
+  std::map<std::string, unsigned> Labels;
+};
+
+} // namespace spe
+
+CFG CFG::build(const FunctionDecl &F) { return CFGBuilder(F).run(); }
+
+std::vector<uint8_t> CFG::reachableFromEntry() const {
+  std::vector<uint8_t> Seen(Blocks.size(), 0);
+  std::vector<unsigned> Stack{EntryBlock};
+  Seen[EntryBlock] = 1;
+  while (!Stack.empty()) {
+    unsigned B = Stack.back();
+    Stack.pop_back();
+    for (unsigned S : Blocks[B].Succs)
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Stack.push_back(S);
+      }
+  }
+  return Seen;
+}
+
+std::vector<unsigned> CFG::reversePostOrder() const {
+  std::vector<uint8_t> Seen(Blocks.size(), 0);
+  std::vector<unsigned> Post;
+  Post.reserve(Blocks.size());
+  // Iterative DFS with an explicit successor index, so deep goto chains
+  // cannot overflow the native stack.
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  Stack.push_back({EntryBlock, 0});
+  Seen[EntryBlock] = 1;
+  while (!Stack.empty()) {
+    auto &[B, Next] = Stack.back();
+    if (Next < Blocks[B].Succs.size()) {
+      unsigned S = Blocks[B].Succs[Next++];
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      Post.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  std::reverse(Post.begin(), Post.end());
+  return Post;
+}

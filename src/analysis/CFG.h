@@ -1,0 +1,108 @@
+//===- analysis/CFG.h - Basic-block graphs over function bodies ----------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A control-flow graph per FunctionDecl, the substrate of the validity
+/// dataflow layer (analysis/Dataflow.h, skeleton/ValidityAnalysis.cpp).
+/// Blocks hold *elements* -- full expressions and variable declarations --
+/// in exactly the reference interpreter's evaluation order, so a dataflow
+/// client that walks a block's elements front to back replays the events of
+/// any execution that traverses the block. Intra-expression control flow
+/// (short-circuit operands, conditional arms) is deliberately NOT expanded
+/// into blocks; clients handle it with a definiteness flag while walking
+/// one element (analysis/ExprEvents.h), which mirrors how the previous
+/// straight-line walker treated it and keeps the graph small.
+///
+/// One crucial property for soundness: the graph depends only on the
+/// skeleton's *statement structure*, never on which variable fills a hole.
+/// Hole filling rewrites DeclRefExpr names inside elements, but cannot
+/// create or remove edges -- callees in call position are resolved
+/// FunctionDecls, not holes -- so facts proven on the seed's CFG hold for
+/// every enumerated variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_ANALYSIS_CFG_H
+#define SPE_ANALYSIS_CFG_H
+
+#include "lang/AST.h"
+
+#include <vector>
+
+namespace spe {
+
+/// One evaluation step inside a basic block.
+struct CFGElement {
+  enum class Kind {
+    /// A full expression: a statement expression, a branch condition, a
+    /// for-loop step, or a return value.
+    Expr,
+    /// One VarDecl coming into scope; its initializer (if any) is evaluated
+    /// as part of this element, before the declaration takes effect.
+    Decl,
+  };
+
+  Kind ElemKind = Kind::Expr;
+  const Expr *E = nullptr;    ///< Set for Kind::Expr.
+  const VarDecl *D = nullptr; ///< Set for Kind::Decl.
+
+  static CFGElement expr(const Expr *E) {
+    CFGElement El;
+    El.ElemKind = Kind::Expr;
+    El.E = E;
+    return El;
+  }
+  static CFGElement decl(const VarDecl *D) {
+    CFGElement El;
+    El.ElemKind = Kind::Decl;
+    El.D = D;
+    return El;
+  }
+};
+
+/// A basic block: elements executed in order, then a transfer to one of the
+/// successor blocks. Which successor is taken may depend on the value of the
+/// last element (a branch condition); dataflow clients treat successors
+/// uniformly, so the graph does not record which edge is "true".
+struct CFGBlock {
+  std::vector<CFGElement> Elems;
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+};
+
+/// The basic-block graph of one function body. Block 0 is the entry, block
+/// 1 the exit; both are synthetic and empty. Every return statement edges
+/// to the exit block, as does falling off the end of the body.
+class CFG {
+public:
+  /// Builds the graph for \p F, which must have a body.
+  static CFG build(const FunctionDecl &F);
+
+  static constexpr unsigned EntryBlock = 0;
+  static constexpr unsigned ExitBlock = 1;
+
+  unsigned size() const { return static_cast<unsigned>(Blocks.size()); }
+  const CFGBlock &block(unsigned Id) const { return Blocks[Id]; }
+
+  /// \returns a size()-long mask of the blocks reachable from the entry.
+  /// Unreachable blocks (code after an unconditional goto/return, a loop
+  /// body whose header was bypassed) take no part in dataflow.
+  std::vector<uint8_t> reachableFromEntry() const;
+
+  /// \returns the reachable blocks in reverse post-order from the entry --
+  /// the iteration order under which a forward dataflow pass converges in
+  /// the fewest sweeps (predecessors first wherever the graph is acyclic).
+  std::vector<unsigned> reversePostOrder() const;
+
+private:
+  friend class CFGBuilder;
+  std::vector<CFGBlock> Blocks;
+};
+
+} // namespace spe
+
+#endif // SPE_ANALYSIS_CFG_H

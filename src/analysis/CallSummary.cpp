@@ -1,0 +1,83 @@
+//===- analysis/CallSummary.cpp - Per-callee summaries over CFGs ---------===//
+
+#include "analysis/CallSummary.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/ExprEvents.h"
+
+#include <algorithm>
+
+using namespace spe;
+
+FunctionCFGInfo spe::buildFunctionCFGInfo(const FunctionDecl &F) {
+  FunctionCFGInfo Info;
+  Info.Graph = CFG::build(F);
+  Info.Reachable = Info.Graph.reachableFromEntry();
+  Info.MustExec = mustExecuteBlocks(Info.Graph);
+  return Info;
+}
+
+namespace {
+
+/// Collects the targets of definite call events.
+class CallCollector : public ExprEventHandler {
+public:
+  void onRead(const DeclRefExpr *, bool) override {}
+  void onWrite(const DeclRefExpr *) override {}
+  void onCall(const FunctionDecl *Callee, bool Definite) override {
+    if (Definite && Callee->isDefinition())
+      Callees.push_back(Callee);
+  }
+
+  std::vector<const FunctionDecl *> Callees;
+};
+
+} // namespace
+
+std::vector<const FunctionDecl *>
+spe::mustCallees(const FunctionCFGInfo &Info) {
+  CallCollector Collector;
+  for (unsigned B = 0; B < Info.Graph.size(); ++B) {
+    if (!Info.MustExec[B] || !Info.Reachable[B])
+      continue;
+    for (const CFGElement &El : Info.Graph.block(B).Elems)
+      walkElementEvents(El, Collector);
+  }
+  // Deterministic de-dup preserving first-mention order.
+  std::vector<const FunctionDecl *> Result;
+  for (const FunctionDecl *F : Collector.Callees)
+    if (std::find(Result.begin(), Result.end(), F) == Result.end())
+      Result.push_back(F);
+  return Result;
+}
+
+std::map<const FunctionDecl *, FunctionCFGInfo>
+spe::buildAllFunctionCFGs(const ASTContext &Ctx) {
+  std::map<const FunctionDecl *, FunctionCFGInfo> Infos;
+  for (const FunctionDecl *F : Ctx.functions())
+    if (F->isDefinition())
+      Infos.emplace(F, buildFunctionCFGInfo(*F));
+  return Infos;
+}
+
+std::set<const FunctionDecl *> spe::mustCalledFunctions(
+    const ASTContext &Ctx,
+    const std::map<const FunctionDecl *, FunctionCFGInfo> &Infos) {
+  std::set<const FunctionDecl *> Result;
+  const FunctionDecl *Main = Ctx.findFunction("main");
+  if (!Main || !Main->body() || !Infos.count(Main))
+    return Result;
+  std::vector<const FunctionDecl *> Work{Main};
+  Result.insert(Main);
+  while (!Work.empty()) {
+    const FunctionDecl *F = Work.back();
+    Work.pop_back();
+    auto It = Infos.find(F);
+    if (It == Infos.end())
+      continue;
+    for (const FunctionDecl *Callee : mustCallees(It->second))
+      if (Result.insert(Callee).second)
+        Work.push_back(Callee);
+  }
+  return Result;
+}

@@ -1,0 +1,73 @@
+//===- analysis/CallSummary.h - Per-callee summaries over CFGs -----------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural scaffolding for the validity dataflow: one CFG +
+/// must-execute mask per defined function, a per-function summary of the
+/// callees it is guaranteed to invoke, and the transitive must-called set
+/// from main. A function G is *must-called* when every terminating run of
+/// the program completes at least one invocation of G; that is exactly the
+/// license skeleton/ValidityAnalysis.cpp needs to extend def-before-use
+/// pruning into helper-function units -- a read of an uninitialized helper
+/// local that post-dominates the helper's entry is then undefined behavior
+/// in every accepted execution, no matter which call site reached it.
+///
+/// The base case is main (the program entry: a run that terminates has by
+/// definition completed main). The inductive step applies the call summary
+/// at CallExpr sites: a Definite call event inside a must-execute block of
+/// a must-called caller is itself completed by every terminating run --
+/// once a block on every entry-to-exit path is entered in an accepted
+/// execution, all of its elements evaluate, so the callee's invocation both
+/// starts and returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_ANALYSIS_CALLSUMMARY_H
+#define SPE_ANALYSIS_CALLSUMMARY_H
+
+#include "analysis/CFG.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace spe {
+
+class ASTContext;
+
+/// The per-function graph artifacts every dataflow client shares.
+struct FunctionCFGInfo {
+  CFG Graph;
+  /// Mask over Graph's blocks: reachable from the entry.
+  std::vector<uint8_t> Reachable;
+  /// Mask over Graph's blocks: on every entry-to-exit path.
+  std::vector<uint8_t> MustExec;
+};
+
+/// Builds the CFG and its masks for \p F (which must have a body).
+FunctionCFGInfo buildFunctionCFGInfo(const FunctionDecl &F);
+
+/// \returns the callees of \p Info's function that every terminating
+/// invocation of it is guaranteed to invoke: the targets of Definite call
+/// events in must-execute blocks. Duplicates removed, deterministic order.
+std::vector<const FunctionDecl *> mustCallees(const FunctionCFGInfo &Info);
+
+/// Builds CFG info for every defined function of \p Ctx.
+std::map<const FunctionDecl *, FunctionCFGInfo>
+buildAllFunctionCFGs(const ASTContext &Ctx);
+
+/// \returns the transitive must-called set from main over \p Infos
+/// (including main itself). Empty when main is missing or has no body.
+/// Recursion cannot loop the fixpoint: the set only grows and is bounded
+/// by the defined functions.
+std::set<const FunctionDecl *>
+mustCalledFunctions(const ASTContext &Ctx,
+                    const std::map<const FunctionDecl *, FunctionCFGInfo> &Infos);
+
+} // namespace spe
+
+#endif // SPE_ANALYSIS_CALLSUMMARY_H

@@ -1,0 +1,136 @@
+//===- analysis/Dataflow.h - Forward dataflow over CFGs ------------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small forward worklist engine for meet-over-paths dataflow on
+/// analysis/CFG.h graphs, plus the one graph-level client every validity
+/// layer needs: must-execute (which blocks lie on *every* entry-to-exit
+/// path). Clients supply a lattice:
+///
+///   struct Client {
+///     using State = ...;                // copyable, operator== comparable
+///     State boundary() const;           // fact at the entry block
+///     State top() const;                // identity of meet (optimistic)
+///     void meet(State &Into, const State &From) const;
+///     void transfer(unsigned Block, State &S) const; // in place, In -> Out
+///   };
+///
+/// With a must-lattice (meet = intersection) the fixpoint In[B] holds facts
+/// true on every path from the entry to B -- the meet-over-paths solution,
+/// exact here because our transfer functions distribute over intersection.
+/// Unreachable blocks keep top() and must be ignored by clients; back edges
+/// feed the loop header's meet, so anything a loop body can undo is
+/// conservatively dropped from the header onward.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_ANALYSIS_DATAFLOW_H
+#define SPE_ANALYSIS_DATAFLOW_H
+
+#include "analysis/CFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spe {
+
+/// The fixpoint solution of one forward pass.
+template <typename StateT> struct DataflowResult {
+  std::vector<StateT> In;  ///< Fact on entry to each block.
+  std::vector<StateT> Out; ///< Fact on exit from each block.
+  /// Total block-transfer applications until the fixpoint; the convergence
+  /// tests pin this to stay linear-ish on loopy graphs.
+  unsigned TransfersRun = 0;
+};
+
+/// Runs \p C to fixpoint over \p G and \returns the per-block solution.
+/// Blocks are seeded in reverse post-order, so acyclic regions converge in
+/// one sweep and each loop costs one extra pass per carried change.
+template <typename Client>
+DataflowResult<typename Client::State> runForwardDataflow(const CFG &G,
+                                                          const Client &C) {
+  using State = typename Client::State;
+  DataflowResult<State> R;
+  R.In.assign(G.size(), C.top());
+  R.Out.assign(G.size(), C.top());
+
+  std::vector<unsigned> RPO = G.reversePostOrder();
+  std::vector<unsigned> RPOIndex(G.size(), 0);
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  std::vector<uint8_t> OnWorklist(G.size(), 0);
+  std::vector<unsigned> Worklist = RPO; // Already predecessor-first.
+  for (unsigned B : Worklist)
+    OnWorklist[B] = 1;
+
+  // Simple round-robin worklist: pop front-most by RPO index. The graphs
+  // are tiny (a corpus function has tens of blocks), so a plain scan per
+  // pop is cheaper than a priority queue would ever amortize to.
+  while (!Worklist.empty()) {
+    size_t Best = 0;
+    for (size_t I = 1; I < Worklist.size(); ++I)
+      if (RPOIndex[Worklist[I]] < RPOIndex[Worklist[Best]])
+        Best = I;
+    unsigned B = Worklist[Best];
+    Worklist.erase(Worklist.begin() + static_cast<long>(Best));
+    OnWorklist[B] = 0;
+
+    State NewIn =
+        B == CFG::EntryBlock ? C.boundary() : C.top();
+    for (unsigned P : G.block(B).Preds)
+      C.meet(NewIn, R.Out[P]);
+    R.In[B] = NewIn;
+
+    State NewOut = NewIn;
+    C.transfer(B, NewOut);
+    ++R.TransfersRun;
+    if (NewOut == R.Out[B])
+      continue;
+    R.Out[B] = NewOut;
+    for (unsigned S : G.block(B).Succs)
+      if (!OnWorklist[S]) {
+        OnWorklist[S] = 1;
+        Worklist.push_back(S);
+      }
+  }
+  return R;
+}
+
+/// \returns a size()-long mask of the blocks that lie on *every* path from
+/// the entry to the exit -- the blocks whose elements are evaluated at
+/// least once by any execution of the function that returns. Computed as a
+/// must-dataflow whose state is the set of blocks traversed so far: at the
+/// exit, the meet over all paths leaves exactly the blocks no path avoids.
+/// When the exit is unreachable no execution of the function terminates, so
+/// the property holds vacuously for every block and the mask is all-ones;
+/// callers relying on "executes at least once" also require the whole
+/// program to terminate, which the reference oracle's timeout enforces.
+inline std::vector<uint8_t> mustExecuteBlocks(const CFG &G) {
+  struct TraversedClient {
+    const CFG &G;
+    using State = std::vector<uint8_t>;
+    State boundary() const {
+      State S(G.size(), 0);
+      S[CFG::EntryBlock] = 1;
+      return S;
+    }
+    State top() const { return State(G.size(), 1); }
+    void meet(State &Into, const State &From) const {
+      for (size_t I = 0; I < Into.size(); ++I)
+        Into[I] = Into[I] && From[I];
+    }
+    void transfer(unsigned Block, State &S) const { S[Block] = 1; }
+  };
+  TraversedClient C{G};
+  DataflowResult<std::vector<uint8_t>> R = runForwardDataflow(G, C);
+  return R.In[CFG::ExitBlock];
+}
+
+} // namespace spe
+
+#endif // SPE_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,136 @@
+//===- analysis/ExprEvents.cpp - Evaluation-order event walk -------------===//
+
+#include "analysis/ExprEvents.h"
+
+#include "support/Casting.h"
+
+using namespace spe;
+
+ExprEventHandler::~ExprEventHandler() = default;
+
+void ExprEventHandler::onCall(const FunctionDecl *, bool) {}
+
+void ExprEventHandler::onDecl(const VarDecl *) {}
+
+namespace {
+
+/// A DeclRefExpr resolved to a variable (a hole site); null for function
+/// names and unresolved references.
+const DeclRefExpr *bareVarRef(const Expr *E) {
+  const auto *DR = dyn_cast<DeclRefExpr>(E);
+  return DR && DR->decl() ? DR : nullptr;
+}
+
+void walk(const Expr *E, bool Definite, ExprEventHandler &H) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::DeclRef:
+    if (const DeclRefExpr *DR = bareVarRef(E))
+      H.onRead(DR, Definite);
+    return;
+  case Expr::Kind::IntegerLiteral:
+  case Expr::Kind::StringLiteral:
+  case Expr::Kind::SizeOf: // The operand is not evaluated.
+    return;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->op() == UnaryOp::AddrOf) {
+      if (const DeclRefExpr *DR = bareVarRef(U->sub())) {
+        H.onWrite(DR); // The address escapes: anything may store here.
+        return;
+      }
+      walk(U->sub(), Definite, H);
+      return;
+    }
+    if (U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PreDec ||
+        U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec) {
+      if (const DeclRefExpr *DR = bareVarRef(U->sub())) {
+        H.onRead(DR, Definite); // ++v loads v before storing.
+        H.onWrite(DR);
+        return;
+      }
+    }
+    walk(U->sub(), Definite, H);
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (isAssignmentOp(B->op())) {
+      const DeclRefExpr *Lhs = bareVarRef(B->lhs());
+      if (!Lhs)
+        walk(B->lhs(), Definite, H); // *p / a[i] / s.x: subreads happen.
+      walk(B->rhs(), Definite, H);
+      if (Lhs) {
+        // Compound assignment loads the target after the RHS; a plain
+        // store never loads it.
+        if (B->op() != BinaryOp::Assign)
+          H.onRead(Lhs, Definite);
+        H.onWrite(Lhs);
+      }
+      return;
+    }
+    if (B->op() == BinaryOp::LogicalAnd || B->op() == BinaryOp::LogicalOr) {
+      walk(B->lhs(), Definite, H);
+      walk(B->rhs(), false, H); // Short-circuit: RHS may not run.
+      return;
+    }
+    walk(B->lhs(), Definite, H);
+    walk(B->rhs(), Definite, H);
+    return;
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    walk(C->cond(), Definite, H);
+    walk(C->trueExpr(), false, H);
+    walk(C->falseExpr(), false, H);
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    for (const Expr *Arg : C->args())
+      walk(Arg, Definite, H);
+    // Intrinsics (printf, spe_input) resolve to no FunctionDecl and have
+    // no body to summarize; they cannot store to a local whose address
+    // never escaped, which onWrite already accounts for.
+    if (C->callee() && C->callee()->functionDecl())
+      H.onCall(C->callee()->functionDecl(), Definite);
+    return;
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    walk(I->base(), Definite, H);
+    walk(I->index(), Definite, H);
+    return;
+  }
+  case Expr::Kind::Member:
+    walk(cast<MemberExpr>(E)->base(), Definite, H);
+    return;
+  case Expr::Kind::Cast:
+    walk(cast<CastExpr>(E)->sub(), Definite, H);
+    return;
+  case Expr::Kind::InitList:
+    for (const Expr *Elem : cast<InitListExpr>(E)->elements())
+      walk(Elem, Definite, H);
+    return;
+  }
+}
+
+} // namespace
+
+void spe::walkExprEvents(const Expr *E, bool Definite, ExprEventHandler &H) {
+  walk(E, Definite, H);
+}
+
+void spe::walkElementEvents(const CFGElement &El, ExprEventHandler &H) {
+  switch (El.ElemKind) {
+  case CFGElement::Kind::Expr:
+    walk(El.E, true, H);
+    return;
+  case CFGElement::Kind::Decl:
+    if (El.D->init())
+      walk(El.D->init(), true, H);
+    H.onDecl(El.D);
+    return;
+  }
+}

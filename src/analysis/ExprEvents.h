@@ -1,0 +1,72 @@
+//===- analysis/ExprEvents.h - Evaluation-order event walk ---------------===//
+//
+// Part of the SPE reproduction of "Skeletal Program Enumeration for Rigorous
+// Compiler Testing" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays one CFG element (a full expression or a declaration) as a stream
+/// of variable-access events in the reference interpreter's evaluation
+/// order. This is the single place the interpreter's order and the validity
+/// analysis agree on what an expression *does*:
+///
+///  * a bare DeclRefExpr in value position loads its variable (onRead);
+///  * `&v` publishes v's address -- from then on any statement may store to
+///    it, so it is reported as a possible write and never as a read;
+///  * `++v`/`--v` load then store; compound assignment evaluates the RHS,
+///    loads the target, stores; plain assignment stores without loading;
+///  * `a && b`, `a || b`, `c ? t : f`: the lhs/condition is as definite as
+///    the whole expression, the dependent operands are not (Definite=false)
+///    -- they may never run, so a must-analysis cannot count their reads,
+///    while their writes still count as possible stores;
+///  * `sizeof` operands are unevaluated and produce no events;
+///  * calls evaluate arguments left to right, then report the resolved
+///    callee (onCall) so interprocedural clients can apply summaries.
+///
+/// Soundness note: Definite tracks *intra-element* certainty only. Whether
+/// the element itself runs is a property of its block (must-execute,
+/// analysis/Dataflow.h), judged by the client.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPE_ANALYSIS_EXPREVENTS_H
+#define SPE_ANALYSIS_EXPREVENTS_H
+
+#include "analysis/CFG.h"
+#include "lang/AST.h"
+
+namespace spe {
+
+/// Client interface for walkExprEvents / walkElementEvents.
+class ExprEventHandler {
+public:
+  virtual ~ExprEventHandler();
+
+  /// \p Site loads the value of the variable filling it. \p Definite is
+  /// false when the load sits under a short-circuit RHS or a conditional
+  /// arm of the element.
+  virtual void onRead(const DeclRefExpr *Site, bool Definite) = 0;
+
+  /// \p Site is stored to, or its address escapes; either way, the
+  /// variables it can name must be treated as possibly written from this
+  /// event on, whether or not the event is definite.
+  virtual void onWrite(const DeclRefExpr *Site) = 0;
+
+  /// A call to the resolved function \p Callee, after its arguments.
+  virtual void onCall(const FunctionDecl *Callee, bool Definite);
+
+  /// \p V comes into scope (its initializer's events were just emitted).
+  virtual void onDecl(const VarDecl *V);
+};
+
+/// Emits \p E's events into \p H in evaluation order.
+void walkExprEvents(const Expr *E, bool Definite, ExprEventHandler &H);
+
+/// Emits one CFG element's events: the expression's for Kind::Expr, the
+/// initializer's followed by onDecl for Kind::Decl.
+void walkElementEvents(const CFGElement &El, ExprEventHandler &H);
+
+} // namespace spe
+
+#endif // SPE_ANALYSIS_EXPREVENTS_H

@@ -46,6 +46,8 @@ bool ReproOracle::evaluate(const std::string &Source) {
     if (Cache)
       Cache->insert(Key, Verdict);
   }
+  if (Verdict.FrontendOk && Verdict.Status == ExecStatus::Timeout)
+    ++Stats.TimeoutRuns;
   if (!Verdict.FrontendOk || Verdict.Status != ExecStatus::Ok)
     return false;
 

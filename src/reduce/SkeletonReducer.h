@@ -29,8 +29,12 @@
 ///
 /// Every accepted step re-parses printed source, so the pipeline exercises
 /// the renderer/parser round-trip on each shrink; a candidate that fails its
-/// own frontend is simply rejected by the oracle. All probe order is fixed,
-/// so reduction is deterministic for a deterministic oracle.
+/// own frontend is simply rejected by the oracle. Candidates containing a
+/// statically unbounded loop (a frequent ddmin byproduct: the counter
+/// update deleted, the loop kept) are rejected before the oracle by a
+/// syntactic guard (ReducerOptions::BoundedLoopGuard) instead of by a full
+/// interpreter-step-budget timeout. All probe order is fixed, so reduction
+/// is deterministic for a deterministic oracle.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +55,18 @@ struct ReducerOptions {
   /// Propose replacing loop conditions with 0 (minimum trip count). Only
   /// meaningful when SimplifyExpressions is on.
   bool ShrinkLoops = true;
+  /// Statically reject probe candidates containing a provably unbounded
+  /// loop before they reach the oracle. ddmin loves deleting a bounded
+  /// loop's counter update while keeping its body, and every such probe
+  /// costs a full interpreter step-budget exhaustion (Timeout) to reject
+  /// dynamically; a syntactic check -- a loop whose body has no escape
+  /// (break/return/goto), no call, no store through a pointer, and no
+  /// store to any variable its condition reads cannot terminate once
+  /// entered -- rejects them for the price of a parse. The check is
+  /// conservative in the safe direction: it only ever rejects candidates
+  /// (recorded in ReductionOutcome::UnboundedLoopProbesRejected), so a
+  /// false positive costs a missed shrink, never an unsound reduction.
+  bool BoundedLoopGuard = true;
   /// Fixpoint bound on pass iterations (each pass only re-runs while the
   /// previous round shrank something, so this rarely binds).
   unsigned MaxPasses = 4;
@@ -66,6 +82,9 @@ struct ReductionOutcome {
   uint64_t StatementsDeleted = 0;
   uint64_t DeclsDropped = 0;
   uint64_t ExprsSimplified = 0;
+  /// Probe candidates the static bounded-loop guard rejected without
+  /// consulting the oracle (ReducerOptions::BoundedLoopGuard).
+  uint64_t UnboundedLoopProbesRejected = 0;
   /// Oracle-side probe counters (reduce/BugRepro.h).
   ReproStats Oracle;
 };

@@ -2,6 +2,9 @@
 
 #include "skeleton/ValidityAnalysis.h"
 
+#include "analysis/CallSummary.h"
+#include "analysis/Dataflow.h"
+#include "analysis/ExprEvents.h"
 #include "support/Casting.h"
 
 #include <map>
@@ -26,258 +29,150 @@ std::set<std::string> ambiguousNames(const Sema &Analysis) {
   return Dup;
 }
 
-/// \returns true when \p S (or a descendant) may transfer control past the
-/// end of the statement it syntactically belongs to: a return leaves the
-/// function, a goto can land anywhere. break/continue stay within the
-/// enclosing loop and do not count.
-bool mayDivert(const Stmt *S) {
-  if (!S)
-    return false;
-  switch (S->kind()) {
-  case Stmt::Kind::Return:
-  case Stmt::Kind::Goto:
-    return true;
-  case Stmt::Kind::Compound:
-    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
-      if (mayDivert(Child))
-        return true;
-    return false;
-  case Stmt::Kind::If: {
-    const auto *I = cast<IfStmt>(S);
-    return mayDivert(I->thenStmt()) || mayDivert(I->elseStmt());
-  }
-  case Stmt::Kind::While:
-    return mayDivert(cast<WhileStmt>(S)->body());
-  case Stmt::Kind::Do:
-    return mayDivert(cast<DoStmt>(S)->body());
-  case Stmt::Kind::For: {
-    const auto *F = cast<ForStmt>(S);
-    return mayDivert(F->init()) || mayDivert(F->body());
-  }
-  case Stmt::Kind::Label:
-    return mayDivert(cast<LabelStmt>(S)->sub());
-  default:
-    return false;
-  }
-}
+/// The definite-initialization lattice, tracked per skeleton variable of
+/// one unit while analyzing one function. Both are *must* facts (true on
+/// every path from the function entry to the program point), so the meet is
+/// a bitwise AND and top is all-ones.
+struct InitState {
+  /// The variable's declaration has executed (its storage exists and the
+  /// read is a use of an existing object, not of a name whose DeclStmt a
+  /// backward goto skipped).
+  std::vector<uint8_t> MustDeclared;
+  /// No event that could store to the variable has executed: no assignment
+  /// or increment whose target hole can name it, and no address-taking of
+  /// any hole that can name it (the existing escape over-approximation --
+  /// once an address is taken, every later statement may store through it).
+  std::vector<uint8_t> Untouched;
 
-/// Walks main's body in the interpreter's evaluation order, forbidding
-/// (hole, variable) pairs where the hole definitely loads before any
-/// possible store to the variable.
-class DefBeforeUseWalker {
+  bool operator==(const InitState &O) const {
+    return MustDeclared == O.MustDeclared && Untouched == O.Untouched;
+  }
+};
+
+/// Everything the per-function layer-2 pass reads about its unit.
+struct UnitContext {
+  const SkeletonUnit &Unit;
+  /// Candidates[h] is the hole's variable set v_h (cached; candidatesFor
+  /// allocates).
+  std::vector<std::vector<VarId>> Candidates;
+  std::map<const DeclRefExpr *, unsigned> SiteToHole;
+  std::map<const VarDecl *, VarId> DeclToVar;
+  /// Uninitialized scalar locals of the analyzed function with unambiguous
+  /// names: reading one before any possible store is guaranteed UB.
+  std::vector<uint8_t> Eligible;
+};
+
+/// Applies one element stream to an InitState: declarations set
+/// MustDeclared, possible stores clear Untouched, reads change nothing.
+/// Callees need no handling here: a callee cannot store to the analyzed
+/// function's locals unless their address escaped first, and the escaping
+/// AddrOf already cleared Untouched at its own event.
+class StateUpdateHandler : public ExprEventHandler {
 public:
-  DefBeforeUseWalker(const SkeletonUnit &Unit, ValidityConstraints &C,
-                     const std::vector<uint8_t> &Eligible,
-                     const std::map<const DeclRefExpr *, unsigned> &SiteToHole,
-                     const std::map<const VarDecl *, VarId> &DeclToVar)
-      : Unit(Unit), C(C), Eligible(Eligible), SiteToHole(SiteToHole),
-        DeclToVar(DeclToVar) {
-    PossiblyWritten.assign(Unit.Skeleton.numVars(), 0);
-    DeclaredDefinitely.assign(Unit.Skeleton.numVars(), 0);
-    Candidates.resize(Unit.Skeleton.numHoles());
-    for (unsigned H = 0; H < Unit.Skeleton.numHoles(); ++H)
-      Candidates[H] = Unit.Skeleton.candidatesFor(H);
+  StateUpdateHandler(const UnitContext &UC, InitState &S) : UC(UC), S(S) {}
+
+  void onRead(const DeclRefExpr *, bool) override {}
+
+  void onWrite(const DeclRefExpr *Site) override {
+    auto It = UC.SiteToHole.find(Site);
+    if (It == UC.SiteToHole.end())
+      return;
+    for (VarId V : UC.Candidates[It->second])
+      S.Untouched[V] = 0;
   }
 
-  void run(const CompoundStmt *Body) { walkStmt(Body, true); }
+  void onDecl(const VarDecl *V) override {
+    auto It = UC.DeclToVar.find(V);
+    if (It != UC.DeclToVar.end())
+      S.MustDeclared[It->second] = 1;
+  }
 
 private:
-  /// A load of the hole's variable that definitely executes: forbid every
-  /// eligible candidate that no earlier event could have stored to.
-  void readEvent(const DeclRefExpr *Site, bool Definite) {
-    auto It = SiteToHole.find(Site);
-    if (It == SiteToHole.end() || !Definite)
+  const UnitContext &UC;
+  InitState &S;
+};
+
+/// The forward dataflow client running StateUpdateHandler over each block.
+struct DefiniteInitClient {
+  const CFG &G;
+  const UnitContext &UC;
+  unsigned NumVars;
+
+  using State = InitState;
+
+  State boundary() const {
+    State S;
+    S.MustDeclared.assign(NumVars, 0);
+    S.Untouched.assign(NumVars, 1);
+    return S;
+  }
+  State top() const {
+    State S;
+    S.MustDeclared.assign(NumVars, 1);
+    S.Untouched.assign(NumVars, 1);
+    return S;
+  }
+  void meet(State &Into, const State &From) const {
+    for (unsigned V = 0; V < NumVars; ++V) {
+      Into.MustDeclared[V] = Into.MustDeclared[V] && From.MustDeclared[V];
+      Into.Untouched[V] = Into.Untouched[V] && From.Untouched[V];
+    }
+  }
+  void transfer(unsigned Block, State &S) const {
+    StateUpdateHandler H(UC, S);
+    for (const CFGElement &El : G.block(Block).Elems)
+      walkElementEvents(El, H);
+  }
+};
+
+/// The reporting pass: replays a must-execute block from its In-state and
+/// forbids (hole, var) pairs at definite reads of still-untouched eligible
+/// variables. State is updated between reads exactly as in the fixpoint
+/// transfer, so intra-block event order is honored.
+class ForbidHandler : public ExprEventHandler {
+public:
+  ForbidHandler(const UnitContext &UC, InitState &S, ValidityConstraints &C)
+      : UC(UC), S(S), Update(UC, S), C(C) {}
+
+  void onRead(const DeclRefExpr *Site, bool Definite) override {
+    if (!Definite)
+      return;
+    auto It = UC.SiteToHole.find(Site);
+    if (It == UC.SiteToHole.end())
       return;
     unsigned Hole = It->second;
-    for (VarId V : Candidates[Hole])
-      if (Eligible[V] && !PossiblyWritten[V] && DeclaredDefinitely[V])
+    for (VarId V : UC.Candidates[Hole])
+      if (UC.Eligible[V] && S.MustDeclared[V] && S.Untouched[V])
         C.forbid(Hole, V);
   }
 
-  /// A store (or address-taking) that may target any of the hole's
-  /// candidates, whether or not it definitely executes.
-  void writeEvent(const DeclRefExpr *Site) {
-    auto It = SiteToHole.find(Site);
-    if (It == SiteToHole.end())
-      return;
-    for (VarId V : Candidates[It->second])
-      PossiblyWritten[V] = 1;
-  }
+  void onWrite(const DeclRefExpr *Site) override { Update.onWrite(Site); }
+  void onDecl(const VarDecl *V) override { Update.onDecl(V); }
 
-  static const DeclRefExpr *bareVarRef(const Expr *E) {
-    const auto *DR = dyn_cast<DeclRefExpr>(E);
-    return DR && DR->decl() ? DR : nullptr;
-  }
-
-  void walkExpr(const Expr *E, bool Definite) {
-    if (!E)
-      return;
-    switch (E->kind()) {
-    case Expr::Kind::DeclRef:
-      if (const DeclRefExpr *DR = bareVarRef(E))
-        readEvent(DR, Definite);
-      return;
-    case Expr::Kind::IntegerLiteral:
-    case Expr::Kind::StringLiteral:
-    case Expr::Kind::SizeOf: // The operand is not evaluated.
-      return;
-    case Expr::Kind::Unary: {
-      const auto *U = cast<UnaryExpr>(E);
-      if (U->op() == UnaryOp::AddrOf) {
-        if (const DeclRefExpr *DR = bareVarRef(U->sub())) {
-          writeEvent(DR); // The address escapes: anything may store here.
-          return;
-        }
-        walkExpr(U->sub(), Definite);
-        return;
-      }
-      if (U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PreDec ||
-          U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec) {
-        if (const DeclRefExpr *DR = bareVarRef(U->sub())) {
-          readEvent(DR, Definite); // ++v loads v before storing.
-          writeEvent(DR);
-          return;
-        }
-      }
-      walkExpr(U->sub(), Definite);
-      return;
-    }
-    case Expr::Kind::Binary: {
-      const auto *B = cast<BinaryExpr>(E);
-      if (isAssignmentOp(B->op())) {
-        const DeclRefExpr *Lhs = bareVarRef(B->lhs());
-        if (!Lhs)
-          walkExpr(B->lhs(), Definite); // *p / a[i] / s.x: subreads happen.
-        walkExpr(B->rhs(), Definite);
-        if (Lhs) {
-          // Compound assignment loads the target after the RHS; a plain
-          // store never loads it.
-          if (B->op() != BinaryOp::Assign)
-            readEvent(Lhs, Definite);
-          writeEvent(Lhs);
-        }
-        return;
-      }
-      if (B->op() == BinaryOp::LogicalAnd ||
-          B->op() == BinaryOp::LogicalOr) {
-        walkExpr(B->lhs(), Definite);
-        walkExpr(B->rhs(), false); // Short-circuit: RHS may not run.
-        return;
-      }
-      walkExpr(B->lhs(), Definite);
-      walkExpr(B->rhs(), Definite);
-      return;
-    }
-    case Expr::Kind::Conditional: {
-      const auto *Cond = cast<ConditionalExpr>(E);
-      walkExpr(Cond->cond(), Definite);
-      walkExpr(Cond->trueExpr(), false);
-      walkExpr(Cond->falseExpr(), false);
-      return;
-    }
-    case Expr::Kind::Call:
-      // Arguments evaluate left to right; the callee body cannot name
-      // main's locals, and any store through a pointer argument requires a
-      // prior address-taking event, which writeEvent already recorded.
-      for (const Expr *Arg : cast<CallExpr>(E)->args())
-        walkExpr(Arg, Definite);
-      return;
-    case Expr::Kind::Index: {
-      const auto *I = cast<IndexExpr>(E);
-      walkExpr(I->base(), Definite);
-      walkExpr(I->index(), Definite);
-      return;
-    }
-    case Expr::Kind::Member:
-      walkExpr(cast<MemberExpr>(E)->base(), Definite);
-      return;
-    case Expr::Kind::Cast:
-      walkExpr(cast<CastExpr>(E)->sub(), Definite);
-      return;
-    case Expr::Kind::InitList:
-      for (const Expr *Elem : cast<InitListExpr>(E)->elements())
-        walkExpr(Elem, Definite);
-      return;
-    }
-  }
-
-  /// \returns whether execution still definitely continues after \p S.
-  bool walkStmt(const Stmt *S, bool Definite) {
-    if (!S)
-      return Definite;
-    switch (S->kind()) {
-    case Stmt::Kind::Compound: {
-      bool D = Definite;
-      for (const Stmt *Child : cast<CompoundStmt>(S)->body())
-        D = walkStmt(Child, D);
-      return D;
-    }
-    case Stmt::Kind::Decl:
-      for (const VarDecl *V : cast<DeclStmt>(S)->decls()) {
-        if (V->init())
-          walkExpr(V->init(), Definite);
-        auto It = DeclToVar.find(V);
-        if (It != DeclToVar.end() && Definite)
-          DeclaredDefinitely[It->second] = 1;
-      }
-      return Definite;
-    case Stmt::Kind::Expr:
-      walkExpr(cast<ExprStmt>(S)->expr(), Definite);
-      return Definite;
-    case Stmt::Kind::If: {
-      const auto *I = cast<IfStmt>(S);
-      walkExpr(I->cond(), Definite);
-      walkStmt(I->thenStmt(), false);
-      walkStmt(I->elseStmt(), false);
-      return Definite && !mayDivert(I->thenStmt()) &&
-             !mayDivert(I->elseStmt());
-    }
-    case Stmt::Kind::While: {
-      const auto *W = cast<WhileStmt>(S);
-      walkExpr(W->cond(), Definite); // First evaluation is unconditional.
-      walkStmt(W->body(), false);
-      return Definite && !mayDivert(W->body());
-    }
-    case Stmt::Kind::Do: {
-      const auto *D = cast<DoStmt>(S);
-      walkStmt(D->body(), false); // Conservative: treat like a loop body.
-      walkExpr(D->cond(), false);
-      return Definite && !mayDivert(D->body());
-    }
-    case Stmt::Kind::For: {
-      const auto *F = cast<ForStmt>(S);
-      bool D = walkStmt(F->init(), Definite);
-      walkExpr(F->cond(), D); // First evaluation is unconditional.
-      walkStmt(F->body(), false);
-      walkExpr(F->step(), false);
-      return Definite && !mayDivert(F->body());
-    }
-    case Stmt::Kind::Return:
-      walkExpr(cast<ReturnStmt>(S)->value(), Definite);
-      return false;
-    case Stmt::Kind::Goto:
-      return false; // A forward jump may skip everything that follows.
-    case Stmt::Kind::Label:
-      // Falling into a label is unconditional; an earlier *forward* goto
-      // would already have cleared Definite, and a later backward goto only
-      // re-executes statements whose first execution already happened.
-      return walkStmt(cast<LabelStmt>(S)->sub(), Definite);
-    case Stmt::Kind::Break:
-    case Stmt::Kind::Continue:
-      return false; // Within a loop body, which is never definite here.
-    }
-    return Definite;
-  }
-
-  const SkeletonUnit &Unit;
+private:
+  const UnitContext &UC;
+  InitState &S;
+  StateUpdateHandler Update;
   ValidityConstraints &C;
-  const std::vector<uint8_t> &Eligible;
-  const std::map<const DeclRefExpr *, unsigned> &SiteToHole;
-  const std::map<const VarDecl *, VarId> &DeclToVar;
-  std::vector<uint8_t> PossiblyWritten;
-  std::vector<uint8_t> DeclaredDefinitely;
-  std::vector<std::vector<VarId>> Candidates;
 };
+
+/// Runs layer 2 for one unit restricted to one analyzed function \p F:
+/// reads inside F of F's own uninitialized locals. \p Info is F's CFG.
+void runDefBeforeUse(const FunctionCFGInfo &Info, UnitContext &UC,
+                     ValidityConstraints &C) {
+  unsigned NumVars = UC.Unit.Skeleton.numVars();
+  DefiniteInitClient Client{Info.Graph, UC, NumVars};
+  DataflowResult<InitState> R = runForwardDataflow(Info.Graph, Client);
+
+  for (unsigned B = 0; B < Info.Graph.size(); ++B) {
+    if (!Info.Reachable[B] || !Info.MustExec[B])
+      continue;
+    InitState S = R.In[B];
+    ForbidHandler H(UC, S, C);
+    for (const CFGElement &El : Info.Graph.block(B).Elems)
+      walkElementEvents(El, H);
+  }
+}
 
 } // namespace
 
@@ -287,6 +182,17 @@ spe::analyzeValidity(const ASTContext &Ctx, const Sema &Analysis,
   std::vector<ValidityConstraints> Result(Units.size());
   std::set<std::string> Dup = ambiguousNames(Analysis);
   const FunctionDecl *Main = Ctx.findFunction("main");
+
+  // Layer-2 scaffolding, shared across units: one CFG per defined function
+  // and the transitive must-called set from main. A function outside that
+  // set may never run in some variant, so nothing about its body is
+  // guaranteed to execute and no layer-2 fact can be drawn from it.
+  std::map<const FunctionDecl *, FunctionCFGInfo> CFGs;
+  std::set<const FunctionDecl *> MustCalled;
+  if (Main && Main->body()) {
+    CFGs = buildAllFunctionCFGs(Ctx);
+    MustCalled = mustCalledFunctions(Ctx, CFGs);
+  }
 
   for (size_t UI = 0; UI < Units.size(); ++UI) {
     const SkeletonUnit &Unit = Units[UI];
@@ -305,18 +211,20 @@ spe::analyzeValidity(const ASTContext &Ctx, const Sema &Analysis,
       }
     }
 
-    // Layer 2: def-before-use over main's body. Only main's first
-    // execution is unconditional, so only its unit (or the whole-program
-    // unit) can contribute facts.
-    if (!Main || !Main->body())
+    // Layer 2: def-before-use as a forward dataflow over whole function
+    // bodies. For each must-called function F covered by this unit, a
+    // definite read in a must-execute block of a variable that is, on
+    // every path there, declared and never possibly stored to is undefined
+    // behavior in every accepted execution -- so every variant filling the
+    // hole that way is oracle-rejected and the pair can be forbidden.
+    if (MustCalled.empty())
       continue;
-    if (Unit.Fn != Main && Unit.Fn != nullptr)
-      continue;
+
+    // Fn == null is either the whole-program unit of inter-procedural
+    // extraction (its sites span the function bodies) or the pure
+    // global-initializer unit, whose holes all live at file scope where
+    // zero-initialization makes layer 2 moot.
     if (Unit.Fn == nullptr) {
-      // Fn == null is either the whole-program unit of inter-procedural
-      // extraction (walkable: it contains main's sites) or the pure
-      // global-initializer unit, whose holes all live at file scope where
-      // zero-initialization makes layer 2 moot.
       bool AllFileScope = true;
       for (const DeclRefExpr *Site : Unit.HoleSites) {
         int S = Analysis.useScopeOf(Site);
@@ -325,37 +233,53 @@ spe::analyzeValidity(const ASTContext &Ctx, const Sema &Analysis,
       }
       if (AllFileScope)
         continue;
-    }
-
-    // A variable is eligible for layer-2 forbidding iff reading it before
-    // any store is guaranteed UB: an uninitialized scalar local of main
-    // whose rendered name cannot rebind elsewhere.
-    std::vector<uint8_t> Eligible(Unit.Skeleton.numVars(), 0);
-    std::map<const VarDecl *, VarId> DeclToVar;
-    for (VarId V = 0; V < Unit.Skeleton.numVars(); ++V) {
-      const VarDecl *VD = Unit.AstVars[V];
-      DeclToVar[VD] = V;
-      if (VD->storage() != VarDecl::Storage::Local || VD->init() ||
-          !VD->type()->isScalar() || Dup.count(VD->name()))
-        continue;
-      int Scope = VD->scopeId();
-      if (Scope < 0 ||
-          Analysis.scopes()[static_cast<size_t>(Scope)].EnclosingFn != Main)
-        continue;
-      Eligible[V] = 1;
-    }
-    bool AnyEligible = false;
-    for (uint8_t E : Eligible)
-      AnyEligible = AnyEligible || E != 0;
-    if (!AnyEligible)
+    } else if (!MustCalled.count(Unit.Fn)) {
       continue;
+    }
 
-    std::map<const DeclRefExpr *, unsigned> SiteToHole;
+    UnitContext UC{Unit, {}, {}, {}, {}};
+    UC.Candidates.resize(Unit.Skeleton.numHoles());
     for (unsigned H = 0; H < Unit.Skeleton.numHoles(); ++H)
-      SiteToHole[Unit.HoleSites[H]] = H;
+      UC.Candidates[H] = Unit.Skeleton.candidatesFor(H);
+    for (unsigned H = 0; H < Unit.Skeleton.numHoles(); ++H)
+      UC.SiteToHole[Unit.HoleSites[H]] = H;
+    for (VarId V = 0; V < Unit.Skeleton.numVars(); ++V)
+      UC.DeclToVar[Unit.AstVars[V]] = V;
 
-    DefBeforeUseWalker Walker(Unit, C, Eligible, SiteToHole, DeclToVar);
-    Walker.run(Main->body());
+    // One pass per must-called function this unit covers. Per-function
+    // analysis is sound for a whole-program unit too: an eligible variable
+    // is a local of the analyzed function, and no hole in another function
+    // can name it (locals are invisible outside their function), so every
+    // possible store is an event of this function's own body.
+    for (const FunctionDecl *F : MustCalled) {
+      if (Unit.Fn != nullptr && Unit.Fn != F)
+        continue;
+      auto CFGIt = CFGs.find(F);
+      if (CFGIt == CFGs.end())
+        continue;
+
+      // A variable is eligible iff reading it before any store is
+      // guaranteed UB: an uninitialized scalar local of F (parameters are
+      // initialized by the call) whose rendered name cannot rebind.
+      UC.Eligible.assign(Unit.Skeleton.numVars(), 0);
+      bool AnyEligible = false;
+      for (VarId V = 0; V < Unit.Skeleton.numVars(); ++V) {
+        const VarDecl *VD = Unit.AstVars[V];
+        if (VD->storage() != VarDecl::Storage::Local || VD->init() ||
+            !VD->type()->isScalar() || Dup.count(VD->name()))
+          continue;
+        int Scope = VD->scopeId();
+        if (Scope < 0 ||
+            Analysis.scopes()[static_cast<size_t>(Scope)].EnclosingFn != F)
+          continue;
+        UC.Eligible[V] = 1;
+        AnyEligible = true;
+      }
+      if (!AnyEligible)
+        continue;
+
+      runDefBeforeUse(CFGIt->second, UC, C);
+    }
   }
   return Result;
 }

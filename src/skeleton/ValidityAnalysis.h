@@ -21,15 +21,24 @@
 /// variable's name is unique program-wide (otherwise the rendered name
 /// could rebind to a different declaration and the variant might be valid).
 ///
-/// Layer 2 -- def-before-use: a hole that is *definitely executed* before
-/// any statement that could store to variable v -- on the straight-line
-/// prefix of main, before any possibly-diverting control flow -- and that
-/// loads its variable's value must not be filled with an uninitialized
-/// local, because the reference interpreter flags the read of an
-/// indeterminate value as undefined behavior the moment it executes. The
-/// walk mirrors the interpreter's evaluation order; stores through pointers
-/// are over-approximated by treating every address-taking hole as a
-/// potential store to each of its candidates from that point on.
+/// Layer 2 -- def-before-use: a hole that is *guaranteed to execute*
+/// before any statement that could store to variable v, and that loads its
+/// variable's value, must not be filled with an uninitialized local: the
+/// reference interpreter flags the read of an indeterminate value as
+/// undefined behavior the moment it executes. Since the CFG-based rewrite
+/// this covers whole function bodies -- branches, bounded loops, gotos,
+/// and helper functions -- via the analysis/ subsystem: a CFG per
+/// FunctionDecl (analysis/CFG.h), a forward meet-over-paths dataflow
+/// engine (analysis/Dataflow.h) running a must-execute client (is this
+/// block on every entry-to-exit path?) and a definite-initialization
+/// client (is v declared-and-never-possibly-stored on every path here?),
+/// and per-callee call summaries (analysis/CallSummary.h) that extend the
+/// guarantee into helpers main must invoke. Divergent executions need no
+/// special case: the oracle rejects them by timeout, so "every terminating
+/// run reaches the read" suffices. Stores through pointers keep the
+/// address-taken over-approximation -- every address-taking hole is a
+/// potential store to each of its candidates from that event on. See
+/// DESIGN.md Section 17 for the full soundness argument.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -142,6 +142,27 @@ private:
     line("}");
   }
 
+  /// A Patmos-style bounded loop: dedicated counter, literal trip bound,
+  /// counter update pinned to the bottom of the body. Emitted as `while`
+  /// or `do`/`while` -- the only corpus source of do-loops, whose body the
+  /// CFG layer can prove must-execute. The seed always terminates; a
+  /// variant that retargets the bottom update's hole may diverge and is
+  /// excluded by the oracle's step budget.
+  void genBoundedLoop(unsigned Depth) {
+    std::string C = freshName("b");
+    line("int " + C + " = " + std::to_string(Rng.uniformInt(2, 5)) + ";");
+    IntVars.push_back(C);
+    bool UseDo = Rng.chance(0.5);
+    line(UseDo ? "do {" : "while (" + C + " > 0) {");
+    ++Indent;
+    pushScope();
+    genStmts(1, Depth);
+    popScope();
+    line(C + " = " + C + " - 1;");
+    --Indent;
+    line(UseDo ? "} while (" + C + " > 0);" : "}");
+  }
+
   void genGoto() {
     // A forward goto skipping one statement; always terminates.
     std::string L = freshName("lab");
@@ -253,6 +274,11 @@ std::string ProgramGenerator::generate() {
     IntVars.push_back(G);
   }
 
+  // The rich-helper upgrade draws only inside the guard, so the historical
+  // stream is untouched when the knob is off (same idiom as
+  // UninitLocalProb below).
+  bool RichHelper = UseHelper && Opts.RichHelperProb > 0.0 &&
+                    Rng.chance(Opts.RichHelperProb);
   if (UseHelper) {
     HelperName = freshName("helper");
     pushScope();
@@ -265,6 +291,16 @@ std::string ProgramGenerator::generate() {
     IntVars.push_back(H);
     std::string Saved = HelperName;
     HelperName.clear(); // No recursion from the helper.
+    if (RichHelper) {
+      // An uninitialized scalar local of the helper's own, never used by
+      // the seed, plus a bounded loop. Together with the guaranteed call
+      // from main (below) this is the pattern only the interprocedural
+      // CFG layer can prune: the helper is must-called, so a definite
+      // read retargeted onto the uninitialized local is UB in every
+      // accepted execution.
+      line("int " + freshName("z") + ";");
+      genBoundedLoop(1);
+    }
     genStmts(Rng.uniformInt(1, 2), 1);
     HelperName = Saved;
     line("return " + expr(1) + ";");
@@ -277,10 +313,13 @@ std::string ProgramGenerator::generate() {
   ++Indent;
   pushScope();
   unsigned NumLocals = static_cast<unsigned>(Rng.uniformInt(1, 3));
+  std::string FirstLocal;
   for (unsigned I = 0; I < NumLocals; ++I) {
     std::string V = freshName("a");
     line("int " + V + " = " + constant() + ";");
     IntVars.push_back(V);
+    if (I == 0)
+      FirstLocal = V;
     // Optional c-torture-style uninitialized declaration, placed right
     // after the first local so its variable index is small enough for
     // early holes to reach under canonical (restricted-growth) ordering.
@@ -301,6 +340,13 @@ std::string ProgramGenerator::generate() {
         IntVars.push_back(E);
       }
     }
+  }
+  if (RichHelper) {
+    // Unconditional top-level call: every variant of every skeleton keeps
+    // this call, so the helper is must-called and its unit's def-before-use
+    // facts hold program-wide.
+    line(FirstLocal + " = " + HelperName + "(" + FirstLocal + ", " +
+         constant() + ");");
   }
   if (Rng.chance(Opts.ExtraTypeProb)) {
     std::string V = freshName("u");
@@ -329,6 +375,14 @@ std::string ProgramGenerator::generate() {
   genStmts(static_cast<unsigned>(
                Rng.uniformInt(Opts.MinStmts, Opts.MaxStmts)),
            2);
+  if (Opts.BoundedLoopProb > 0.0 && Rng.chance(Opts.BoundedLoopProb)) {
+    genBoundedLoop(1);
+    // A definite read after the loop: on the straight-line-prefix analysis
+    // this point was unprovable; the CFG layer sees the post-loop block on
+    // every entry-to-exit path and prunes reads of still-untouched
+    // uninitialized locals here.
+    genAssignment();
+  }
   line("return " + pickVar() + ";");
   popScope();
   --Indent;

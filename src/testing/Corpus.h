@@ -43,6 +43,25 @@ struct CorpusOptions {
   /// (skeleton/ValidityAnalysis.h) proves invalid without execution.
   /// Default 0 preserves the historical program stream bit for bit.
   double UninitLocalProb = 0.0;
+  /// Probability of appending one extra Patmos-style bounded loop to
+  /// main's top level: a dedicated counter local, a literal trip bound,
+  /// and the counter update pinned to the bottom of the body, emitted as
+  /// `while` or `do`/`while` (the only corpus source of do-loops). The
+  /// seed always terminates at compile-time-bounded trip counts; variants
+  /// that retarget the counter update may diverge and are excluded by the
+  /// oracle's step budget. Reads placed *after* the loop are exactly what
+  /// the CFG-based def-before-use layer can prove about loop programs and
+  /// the straight-line-prefix analysis could not. Default 0 preserves the
+  /// historical stream bit for bit (same guard idiom as UninitLocalProb).
+  double BoundedLoopProb = 0.0;
+  /// Probability of upgrading the helper function to a "rich" body: an
+  /// uninitialized scalar local of its own plus a bounded counter loop,
+  /// with a guaranteed unconditional helper call at the top of main. The
+  /// guaranteed call makes the helper must-called, which is the license
+  /// the validity layer needs to prune reads of the helper's own
+  /// uninitialized local (analysis/CallSummary.h). Default 0 preserves
+  /// the historical stream bit for bit.
+  double RichHelperProb = 0.0;
   unsigned MinStmts = 2;
   unsigned MaxStmts = 3;
 };

@@ -300,6 +300,7 @@ OracleOutcome oraclePhase(const HarnessOptions &Opts,
       V.FrontendOk = RefCtx != nullptr;
       if (RefCtx) {
         InterpOptions IO;
+        IO.MaxSteps = Opts.OracleMaxSteps;
         IO.Input = Input;
         ExecResult Ref = interpret(*RefCtx, IO);
         ++Result.OracleExecutions;

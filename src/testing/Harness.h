@@ -55,6 +55,13 @@ struct HarnessOptions {
   uint64_t VariantThreshold = 10'000;
   /// Cap on variants actually executed per seed (testing budget).
   uint64_t VariantBudget = 400;
+  /// Interpreter step budget per oracle execution. Variants that exhaust
+  /// it are Timeout and excluded from testing, the paper's treatment of
+  /// (potential) non-termination. Loop-corpus campaigns lower this so
+  /// diverging variants are cheap to exclude; a cache (OracleCache or a
+  /// checkpoint) must not be shared between runs with different values,
+  /// since the verdict key does not include the step budget.
+  uint64_t OracleMaxSteps = 2'000'000;
   /// Worker threads per seed: the budgeted variant range is split into one
   /// cursor shard per worker. 0 = one per hardware thread. Results are
   /// deterministic and identical for any thread count.

@@ -228,6 +228,56 @@ TEST(SkeletonReducerTest, ShrinksCampaignWitnessesAndPreservesGroundTruth) {
   EXPECT_LT(TotalAfter, TotalBefore);
 }
 
+TEST(SkeletonReducerTest, BoundedLoopGuardRejectsUnboundedProbesStatically) {
+  // A witness whose crash feature (identical conditional arms, the
+  // operand_equal_p ICE) sits inside a bounded counter loop. ddmin's
+  // natural first move -- delete the counter update, keep the loop --
+  // produces probes that diverge; without the guard each one burns a full
+  // interpreter step budget before the oracle can reject it (visible as
+  // ReproStats::TimeoutRuns), with the guard they are rejected by a parse.
+  const std::string Witness = "int main(void)\n{\n"
+                              "  int x = 1;\n"
+                              "  int y = 2;\n"
+                              "  int n = 3;\n"
+                              "  while (n > 0)\n"
+                              "  {\n"
+                              "    x = y > 0 ? x : x;\n"
+                              "    n = n - 1;\n"
+                              "  }\n"
+                              "  return x;\n}\n";
+  ReproSpec Spec;
+  Spec.Config = {Persona::GccSim, 70, 0, true};
+  Spec.Effect = BugEffect::Crash;
+  Spec.SignatureKey = normalizeSignature(
+      BugEffect::Crash,
+      "internal compiler error: in operand_equal_p, at fold-const.c:2977");
+
+  // Sanity: the witness itself reproduces the signature.
+  {
+    ReproOracle Check(Spec);
+    ASSERT_TRUE(Check.reproduces(Witness));
+  }
+
+  ReducerOptions GuardOff;
+  GuardOff.BoundedLoopGuard = false;
+  ReductionOutcome Unguarded = SkeletonReducer(GuardOff).reduce(Witness, Spec);
+  EXPECT_GT(Unguarded.Oracle.TimeoutRuns, 0u)
+      << "deleting the counter update never produced a diverging probe -- "
+         "the regression scenario is not being exercised";
+  EXPECT_EQ(Unguarded.UnboundedLoopProbesRejected, 0u);
+
+  ReductionOutcome Guarded = SkeletonReducer().reduce(Witness, Spec);
+  EXPECT_EQ(Guarded.Oracle.TimeoutRuns, 0u)
+      << "a statically unbounded probe still reached the oracle";
+  EXPECT_GT(Guarded.UnboundedLoopProbesRejected, 0u);
+
+  // The guard is an optimization, not a semantics change: the reduced
+  // witness still reproduces, and the conditional-arms feature survived.
+  ReproOracle Check(Spec);
+  EXPECT_TRUE(Check.reproduces(Guarded.Reduced));
+  EXPECT_LT(Guarded.TokensAfter, Guarded.TokensBefore);
+}
+
 TEST(SkeletonReducerTest, NonReproducingWitnessIsReturnedUnchanged) {
   ReproSpec Spec;
   Spec.Config = {Persona::GccSim, 70, 3, true};
